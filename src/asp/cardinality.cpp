@@ -1,0 +1,80 @@
+#include "asp/cardinality.hpp"
+
+#include <cassert>
+
+namespace aspmt::asp {
+namespace {
+
+/// Sinz (2005) sequential counter for <= k.
+void sequential_at_most(Solver& solver, std::span<const Lit> lits, std::uint32_t k) {
+  const std::size_t n = lits.size();
+  assert(k >= 1 && n > k);
+  // s[i][j]: among lits[0..i] at least j+1 are true  (j < k)
+  std::vector<std::vector<Lit>> s(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    s[i].resize(k);
+    for (std::uint32_t j = 0; j < k; ++j) s[i][j] = Lit::make(solver.new_var(), true);
+  }
+  // base: lits[0] -> s[0][0]
+  solver.add_clause({~lits[0], s[0][0]});
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    // carry: s[i-1][j] -> s[i][j]
+    for (std::uint32_t j = 0; j < k; ++j) solver.add_clause({~s[i - 1][j], s[i][j]});
+    // count: lits[i] -> s[i][0]
+    solver.add_clause({~lits[i], s[i][0]});
+    // increment: lits[i] & s[i-1][j-1] -> s[i][j]
+    for (std::uint32_t j = 1; j < k; ++j) {
+      solver.add_clause({~lits[i], ~s[i - 1][j - 1], s[i][j]});
+    }
+    // overflow forbidden: lits[i] & s[i-1][k-1] -> false
+    solver.add_clause({~lits[i], ~s[i - 1][k - 1]});
+  }
+  solver.add_clause({~lits[n - 1], ~s[n - 2][k - 1]});
+}
+
+}  // namespace
+
+void encode_at_most(Solver& solver, std::span<const Lit> lits, std::uint32_t k) {
+  if (k >= lits.size()) return;
+  if (k == 0) {
+    for (const Lit l : lits) solver.add_clause({~l});
+    return;
+  }
+  if (k == 1 && lits.size() <= 6) {
+    for (std::size_t i = 0; i < lits.size(); ++i) {
+      for (std::size_t j = i + 1; j < lits.size(); ++j) {
+        solver.add_clause({~lits[i], ~lits[j]});
+      }
+    }
+    return;
+  }
+  sequential_at_most(solver, lits, k);
+}
+
+void encode_at_least(Solver& solver, std::span<const Lit> lits, std::uint32_t k) {
+  if (k == 0) return;
+  if (k > lits.size()) {
+    solver.add_clause({});  // unsatisfiable
+    return;
+  }
+  if (k == 1) {
+    solver.add_clause(std::vector<Lit>(lits.begin(), lits.end()));
+    return;
+  }
+  // at least k of lits  ==  at most (n-k) of ~lits
+  std::vector<Lit> negated;
+  negated.reserve(lits.size());
+  for (const Lit l : lits) negated.push_back(~l);
+  encode_at_most(solver, negated, static_cast<std::uint32_t>(lits.size()) - k);
+}
+
+void encode_at_most_one(Solver& solver, std::span<const Lit> lits) {
+  encode_at_most(solver, lits, 1);
+}
+
+void encode_exactly_one(Solver& solver, std::span<const Lit> lits) {
+  encode_at_least(solver, lits, 1);
+  encode_at_most(solver, lits, 1);
+}
+
+}  // namespace aspmt::asp

@@ -1,0 +1,4 @@
+#include "asp/clause.hpp"
+
+// Clause is header-only; this translation unit anchors the header.
+namespace aspmt::asp {}

@@ -1,0 +1,53 @@
+// Clause storage for the CDCL engine.
+//
+// Clauses are owned by the solver in a stable-address arena (deque of nodes);
+// watchers and reasons refer to them by raw non-owning pointer.  Learnt
+// clauses carry activity and LBD for the reduction policy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "asp/literal.hpp"
+
+namespace aspmt::asp {
+
+class Clause {
+ public:
+  Clause(std::vector<Lit> lits, bool learnt)
+      : lits_(std::move(lits)), learnt_(learnt) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return lits_.size(); }
+  [[nodiscard]] Lit& operator[](std::size_t i) noexcept { return lits_[i]; }
+  [[nodiscard]] Lit operator[](std::size_t i) const noexcept { return lits_[i]; }
+  [[nodiscard]] std::span<const Lit> lits() const noexcept { return lits_; }
+  [[nodiscard]] std::span<Lit> lits() noexcept { return lits_; }
+
+  [[nodiscard]] bool learnt() const noexcept { return learnt_; }
+  [[nodiscard]] bool deleted() const noexcept { return deleted_; }
+  void mark_deleted() noexcept { deleted_ = true; }
+
+  [[nodiscard]] float activity() const noexcept { return activity_; }
+  void bump_activity(float inc) noexcept { activity_ += inc; }
+  void scale_activity(float f) noexcept { activity_ *= f; }
+
+  [[nodiscard]] std::uint32_t lbd() const noexcept { return lbd_; }
+  void set_lbd(std::uint32_t lbd) noexcept { lbd_ = lbd; }
+
+ private:
+  std::vector<Lit> lits_;
+  float activity_ = 0.0F;
+  std::uint32_t lbd_ = 0;
+  bool learnt_ = false;
+  bool deleted_ = false;
+};
+
+/// Watcher entry: the watched clause plus a "blocker" literal whose truth
+/// makes visiting the clause unnecessary.
+struct Watcher {
+  Clause* clause = nullptr;
+  Lit blocker = kLitUndef;
+};
+
+}  // namespace aspmt::asp

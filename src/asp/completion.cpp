@@ -1,0 +1,185 @@
+#include "asp/completion.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+namespace aspmt::asp {
+namespace {
+
+/// Tarjan SCC (iterative) over the positive dependency graph.
+class SccFinder {
+ public:
+  SccFinder(std::uint32_t n, const std::vector<std::vector<Atom>>& succ)
+      : succ_(succ),
+        index_(n, kUnvisited),
+        lowlink_(n, 0),
+        on_stack_(n, 0),
+        scc_of_(n, 0) {}
+
+  void run() {
+    for (Atom a = 0; a < index_.size(); ++a) {
+      if (index_[a] == kUnvisited) visit(a);
+    }
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> take_scc_of() { return std::move(scc_of_); }
+  [[nodiscard]] const std::vector<std::uint32_t>& scc_size() const { return scc_size_; }
+
+ private:
+  static constexpr std::uint32_t kUnvisited = 0xffffffffU;
+
+  void visit(Atom root) {
+    struct Frame {
+      Atom atom;
+      std::size_t next_edge;
+    };
+    std::vector<Frame> call_stack{{root, 0}};
+    while (!call_stack.empty()) {
+      Frame& f = call_stack.back();
+      const Atom a = f.atom;
+      if (f.next_edge == 0) {
+        index_[a] = lowlink_[a] = counter_++;
+        stack_.push_back(a);
+        on_stack_[a] = 1;
+      }
+      bool descended = false;
+      while (f.next_edge < succ_[a].size()) {
+        const Atom b = succ_[a][f.next_edge++];
+        if (index_[b] == kUnvisited) {
+          call_stack.push_back(Frame{b, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack_[b] != 0) lowlink_[a] = std::min(lowlink_[a], index_[b]);
+      }
+      if (descended) continue;
+      // post-order: pop SCC if root
+      if (lowlink_[a] == index_[a]) {
+        const auto id = static_cast<std::uint32_t>(scc_size_.size());
+        std::uint32_t members = 0;
+        for (;;) {
+          const Atom b = stack_.back();
+          stack_.pop_back();
+          on_stack_[b] = 0;
+          scc_of_[b] = id;
+          ++members;
+          if (b == a) break;
+        }
+        scc_size_.push_back(members);
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const Atom parent = call_stack.back().atom;
+        lowlink_[parent] = std::min(lowlink_[parent], lowlink_[a]);
+      }
+    }
+  }
+
+  const std::vector<std::vector<Atom>>& succ_;
+  std::vector<std::uint32_t> index_;
+  std::vector<std::uint32_t> lowlink_;
+  std::vector<char> on_stack_;
+  std::vector<std::uint32_t> scc_of_;
+  std::vector<std::uint32_t> scc_size_;
+  std::vector<Atom> stack_;
+  std::uint32_t counter_ = 0;
+};
+
+}  // namespace
+
+CompiledProgram compile(const Program& program, Solver& solver) {
+  CompiledProgram out;
+  const std::uint32_t n = program.num_atoms();
+  out.atom_var.resize(n);
+  for (Atom a = 0; a < n; ++a) out.atom_var[a] = solver.new_var();
+
+  // A constant-true literal used for empty bodies.
+  const Var true_var = solver.new_var();
+  const Lit true_lit = Lit::make(true_var, true);
+  solver.add_clause({true_lit});
+
+  // Normalize a body into a solver-literal conjunction, returning its
+  // defining literal (auxiliaries are shared across identical bodies).
+  std::map<std::vector<Lit>, Lit> body_cache;
+  auto body_literal = [&](const std::vector<BodyLit>& body) -> Lit {
+    std::vector<Lit> lits;
+    lits.reserve(body.size());
+    for (const BodyLit& bl : body) lits.push_back(out.lit(bl));
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+      if (lits[i + 1] == ~lits[i]) return ~true_lit;  // contradictory body
+    }
+    if (lits.empty()) return true_lit;
+    if (lits.size() == 1) return lits[0];
+    if (const auto it = body_cache.find(lits); it != body_cache.end()) {
+      return it->second;
+    }
+    const Lit aux = Lit::make(solver.new_var(), true);
+    std::vector<Lit> reverse{aux};
+    for (const Lit l : lits) {
+      solver.add_clause({~aux, l});
+      reverse.push_back(~l);
+    }
+    solver.add_clause(std::move(reverse));
+    body_cache.emplace(std::move(lits), aux);
+    return aux;
+  };
+
+  std::vector<std::vector<Lit>> supports(n);
+  std::vector<std::vector<Atom>> pos_succ(n);
+
+  for (const Rule& r : program.rules()) {
+    const Lit body = body_literal(r.body);
+    supports[r.head].push_back(body);
+    if (!r.choice) solver.add_clause({~body, out.lit(r.head)});
+
+    CompiledProgram::CompiledRule cr;
+    cr.head = r.head;
+    cr.body_lit = body;
+    for (const BodyLit& bl : r.body) {
+      if (bl.positive) {
+        cr.pos_body.push_back(bl.atom);
+        pos_succ[r.head].push_back(bl.atom);
+      }
+    }
+    out.rules.push_back(std::move(cr));
+  }
+
+  for (Atom a = 0; a < n; ++a) {
+    auto& sup = supports[a];
+    std::sort(sup.begin(), sup.end());
+    sup.erase(std::unique(sup.begin(), sup.end()), sup.end());
+    std::vector<Lit> clause{~out.lit(a)};
+    clause.insert(clause.end(), sup.begin(), sup.end());
+    solver.add_clause(std::move(clause));
+  }
+
+  for (const auto& body : program.constraints()) {
+    const Lit b = body_literal(body);
+    solver.add_clause({~b});
+  }
+
+  // Tightness analysis.
+  SccFinder scc(n, pos_succ);
+  scc.run();
+  const auto& sizes = scc.scc_size();
+  out.scc_of = scc.take_scc_of();
+  out.cyclic.assign(n, 0);
+  for (Atom a = 0; a < n; ++a) {
+    if (sizes[out.scc_of[a]] > 1) out.cyclic[a] = 1;
+  }
+  // Self loops: a rule whose head occurs in its own positive body.
+  for (const auto& cr : out.rules) {
+    for (const Atom b : cr.pos_body) {
+      if (b == cr.head) out.cyclic[cr.head] = 1;
+    }
+  }
+  out.tight = std::none_of(out.cyclic.begin(), out.cyclic.end(),
+                           [](char c) { return c != 0; });
+  return out;
+}
+
+}  // namespace aspmt::asp

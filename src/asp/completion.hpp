@@ -1,0 +1,57 @@
+// Clark completion — translating a ground program into solver clauses.
+//
+// Each atom gets one solver variable; each non-trivial rule body gets a
+// shared auxiliary variable defined by equivalence clauses.  Support clauses
+// enforce `atom -> some body`, derivation clauses enforce `body -> atom` for
+// non-choice rules.  Tarjan's SCC algorithm over the positive dependency
+// graph determines tightness; for non-tight programs the completion is
+// complemented by the unfounded-set checker (unfounded.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asp/program.hpp"
+#include "asp/solver.hpp"
+
+namespace aspmt::asp {
+
+/// Result of compiling a Program into a Solver.
+struct CompiledProgram {
+  /// Solver variable of each atom (indexed by Atom).
+  std::vector<Var> atom_var;
+
+  /// Rule images needed by the unfounded-set checker.
+  struct CompiledRule {
+    Atom head = 0;
+    Lit body_lit = kLitUndef;      ///< solver literal equivalent to the body
+    std::vector<Atom> pos_body;    ///< positive body atoms
+  };
+  std::vector<CompiledRule> rules;
+
+  /// SCC id per atom over the positive dependency graph.
+  std::vector<std::uint32_t> scc_of;
+
+  /// True for atoms that lie on a positive cycle (member of a non-trivial
+  /// SCC or head of a self-loop rule).
+  std::vector<char> cyclic;
+
+  /// True iff the program is tight (completion alone captures stability).
+  bool tight = true;
+
+  [[nodiscard]] Lit lit(Atom a, bool positive = true) const {
+    return Lit::make(atom_var[a], positive);
+  }
+
+  [[nodiscard]] Lit lit(const BodyLit& bl) const {
+    return Lit::make(atom_var[bl.atom], bl.positive);
+  }
+};
+
+/// Translate `program` into clauses of `solver`.  Allocates one variable per
+/// atom (in atom order) plus shared auxiliaries for rule bodies.  Returns the
+/// compiled image; `solver.ok()` is false afterwards iff the completion is
+/// unsatisfiable at the root.
+[[nodiscard]] CompiledProgram compile(const Program& program, Solver& solver);
+
+}  // namespace aspmt::asp

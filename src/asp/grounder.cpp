@@ -1,0 +1,592 @@
+#include "asp/grounder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace aspmt::asp {
+
+// ---------------------------------------------------------------------------
+// Terms
+// ---------------------------------------------------------------------------
+
+bool Term::is_ground() const {
+  switch (kind) {
+    case Kind::Variable:
+      return false;
+    case Kind::Function:
+      return std::all_of(args.begin(), args.end(),
+                         [](const Term& t) { return t.is_ground(); });
+    default:
+      return true;
+  }
+}
+
+std::string Term::to_string() const {
+  switch (kind) {
+    case Kind::Symbol:
+    case Kind::Variable:
+      return name;
+    case Kind::Number:
+      return std::to_string(number);
+    case Kind::Function: {
+      std::string s = name + "(";
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) s += ",";
+        s += args[i].to_string();
+      }
+      return s + ")";
+    }
+  }
+  return {};
+}
+
+bool operator==(const Term& a, const Term& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Term::Kind::Number:
+      return a.number == b.number;
+    case Term::Kind::Symbol:
+    case Term::Kind::Variable:
+      return a.name == b.name;
+    case Term::Kind::Function:
+      return a.name == b.name && a.args == b.args;
+  }
+  return false;
+}
+
+bool operator<(const Term& a, const Term& b) {
+  // Total order: numbers < symbols < variables < functions.
+  if (a.kind != b.kind) return a.kind < b.kind;
+  switch (a.kind) {
+    case Term::Kind::Number:
+      return a.number < b.number;
+    case Term::Kind::Symbol:
+    case Term::Kind::Variable:
+      return a.name < b.name;
+    case Term::Kind::Function:
+      if (a.name != b.name) return a.name < b.name;
+      return a.args < b.args;
+  }
+  return false;
+}
+
+std::string NgAtom::to_string() const {
+  if (args.empty()) return predicate;
+  std::string s = predicate + "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) s += ",";
+    s += args[i].to_string();
+  }
+  return s + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kIntervalFunctor = "..";
+
+class NgParser {
+ public:
+  explicit NgParser(std::string_view text) : text_(text) {}
+
+  NgProgram run() {
+    NgProgram program;
+    for (;;) {
+      skip_space();
+      if (pos_ >= text_.size()) break;
+      statement(program);
+    }
+    return program;
+  }
+
+ private:
+  void statement(NgProgram& program) {
+    NgRule rule;
+    if (peek() == '{') {
+      ++pos_;
+      rule.choice = true;
+      rule.head = atom();
+      skip_space();
+      expect('}');
+    } else if (peek() == ':') {
+      // constraint; head stays empty
+    } else {
+      rule.head = atom();
+    }
+    skip_space();
+    if (peek() == ':') {
+      expect(':');
+      expect('-');
+      parse_body(rule);
+    }
+    expect('.');
+    expand_and_push(program, std::move(rule));
+  }
+
+  /// Intervals are only supported in facts: expand them into one rule per
+  /// integer value.
+  void expand_and_push(NgProgram& program, NgRule rule) {
+    const auto find_interval = [](const NgAtom& a) -> const Term* {
+      for (const Term& t : a.args) {
+        if (t.kind == Term::Kind::Function && t.name == kIntervalFunctor) {
+          return &t;
+        }
+      }
+      return nullptr;
+    };
+    if (rule.head.has_value()) {
+      if (const Term* iv = find_interval(*rule.head)) {
+        if (!rule.body.empty() || !rule.comparisons.empty()) {
+          fail("intervals are only supported in facts");
+        }
+        if (iv->args[0].kind != Term::Kind::Number ||
+            iv->args[1].kind != Term::Kind::Number) {
+          fail("interval bounds must be integers");
+        }
+        for (std::int64_t v = iv->args[0].number; v <= iv->args[1].number; ++v) {
+          NgRule instance = rule;
+          for (Term& t : instance.head->args) {
+            if (t.kind == Term::Kind::Function && t.name == kIntervalFunctor) {
+              t = Term::number_term(v);
+              break;  // one interval per expansion round
+            }
+          }
+          expand_and_push(program, std::move(instance));
+        }
+        return;
+      }
+    }
+    for (const NgLiteral& l : rule.body) {
+      if (find_interval(l.atom) != nullptr) {
+        fail("intervals are only supported in facts");
+      }
+    }
+    program.rules.push_back(std::move(rule));
+  }
+
+  void parse_body(NgRule& rule) {
+    for (;;) {
+      skip_space();
+      if (match_keyword("not")) {
+        skip_space();
+        rule.body.push_back(NgLiteral{atom(), false});
+      } else {
+        // Either a comparison (term OP term) or a positive literal.
+        const Term t = term();
+        skip_space();
+        if (const auto op = try_comparison_op()) {
+          skip_space();
+          rule.comparisons.push_back(NgComparison{t, *op, term()});
+        } else {
+          rule.body.push_back(NgLiteral{atom_from_term(t), true});
+        }
+      }
+      skip_space();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  NgAtom atom() {
+    const Term t = term();
+    return atom_from_term(t);
+  }
+
+  NgAtom atom_from_term(const Term& t) {
+    if (t.kind == Term::Kind::Symbol) return NgAtom{t.name, {}};
+    if (t.kind == Term::Kind::Function && t.name != kIntervalFunctor) {
+      return NgAtom{t.name, t.args};
+    }
+    fail("expected an atom, got term '" + t.to_string() + "'");
+  }
+
+  Term term() {
+    skip_space();
+    Term t = simple_term();
+    skip_space();
+    // Interval `lo..hi`.
+    if (pos_ + 1 < text_.size() && text_[pos_] == '.' && text_[pos_ + 1] == '.') {
+      pos_ += 2;
+      Term hi = simple_term();
+      return Term::function(kIntervalFunctor, {std::move(t), std::move(hi)});
+    }
+    return t;
+  }
+
+  Term simple_term() {
+    skip_space();
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      return Term::number_term(integer());
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::string name = identifier();
+      const bool is_var = std::isupper(static_cast<unsigned char>(name[0])) ||
+                          name[0] == '_';
+      skip_space();
+      if (!is_var && peek() == '(') {
+        ++pos_;
+        std::vector<Term> args;
+        for (;;) {
+          args.push_back(term());
+          skip_space();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+        expect(')');
+        return Term::function(name, std::move(args));
+      }
+      return is_var ? Term::variable(name) : Term::symbol(name);
+    }
+    fail("expected a term");
+  }
+
+  std::string identifier() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (start == pos_) fail("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::int64_t integer() {
+    skip_space();
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (start == pos_ || (pos_ - start == 1 && text_[start] == '-')) {
+      fail("expected integer");
+    }
+    return std::stoll(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::optional<CompareOp> try_comparison_op() {
+    const auto two = [&](char a, char b) {
+      return pos_ + 1 < text_.size() && text_[pos_] == a && text_[pos_ + 1] == b;
+    };
+    if (two('!', '=')) { pos_ += 2; return CompareOp::Ne; }
+    if (two('<', '=')) { pos_ += 2; return CompareOp::Le; }
+    if (two('>', '=')) { pos_ += 2; return CompareOp::Ge; }
+    if (peek() == '<') { ++pos_; return CompareOp::Lt; }
+    if (peek() == '>') { ++pos_; return CompareOp::Gt; }
+    if (peek() == '=') { ++pos_; return CompareOp::Eq; }
+    return std::nullopt;
+  }
+
+  bool match_keyword(std::string_view kw) {
+    if (text_.substr(pos_, kw.size()) != kw) return false;
+    const std::size_t end = pos_ + kw.size();
+    if (end < text_.size()) {
+      const char c = text_[end];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  void expect(char c) {
+    skip_space();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void skip_space() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    throw GroundError(message + " at line " + std::to_string(line));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Grounding
+// ---------------------------------------------------------------------------
+
+using Substitution = std::map<std::string, Term>;
+
+Term substitute(const Term& t, const Substitution& subst) {
+  switch (t.kind) {
+    case Term::Kind::Variable: {
+      const auto it = subst.find(t.name);
+      return it == subst.end() ? t : it->second;
+    }
+    case Term::Kind::Function: {
+      Term out = t;
+      for (Term& a : out.args) a = substitute(a, subst);
+      return out;
+    }
+    default:
+      return t;
+  }
+}
+
+/// Unify a (possibly non-ground) pattern with a ground term, extending
+/// `subst`; returns false on mismatch (bindings may be partially added, so
+/// callers copy the substitution before trying).
+bool unify(const Term& pattern, const Term& ground, Substitution& subst) {
+  switch (pattern.kind) {
+    case Term::Kind::Variable: {
+      const auto [it, inserted] = subst.emplace(pattern.name, ground);
+      return inserted || it->second == ground;
+    }
+    case Term::Kind::Function:
+      if (ground.kind != Term::Kind::Function || ground.name != pattern.name ||
+          ground.args.size() != pattern.args.size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < pattern.args.size(); ++i) {
+        if (!unify(pattern.args[i], ground.args[i], subst)) return false;
+      }
+      return true;
+    default:
+      return pattern == ground;
+  }
+}
+
+bool evaluate(const NgComparison& cmp, const Substitution& subst) {
+  const Term l = substitute(cmp.lhs, subst);
+  const Term r = substitute(cmp.rhs, subst);
+  if (!l.is_ground() || !r.is_ground()) {
+    throw GroundError("comparison over unbound variable (unsafe rule?)");
+  }
+  switch (cmp.op) {
+    case CompareOp::Eq: return l == r;
+    case CompareOp::Ne: return !(l == r);
+    case CompareOp::Lt: return l < r;
+    case CompareOp::Le: return l < r || l == r;
+    case CompareOp::Gt: return r < l;
+    case CompareOp::Ge: return r < l || l == r;
+  }
+  return false;
+}
+
+void collect_variables(const Term& t, std::set<std::string>& out) {
+  if (t.kind == Term::Kind::Variable) out.insert(t.name);
+  for (const Term& a : t.args) collect_variables(a, out);
+}
+
+void check_safety(const NgRule& rule) {
+  std::set<std::string> bound;
+  for (const NgLiteral& l : rule.body) {
+    if (!l.positive) continue;
+    for (const Term& t : l.atom.args) collect_variables(t, bound);
+  }
+  std::set<std::string> used;
+  if (rule.head.has_value()) {
+    for (const Term& t : rule.head->args) collect_variables(t, used);
+  }
+  for (const NgLiteral& l : rule.body) {
+    if (l.positive) continue;
+    for (const Term& t : l.atom.args) collect_variables(t, used);
+  }
+  for (const NgComparison& c : rule.comparisons) {
+    collect_variables(c.lhs, used);
+    collect_variables(c.rhs, used);
+  }
+  for (const std::string& v : used) {
+    if (bound.count(v) == 0) {
+      throw GroundError("unsafe rule: variable '" + v +
+                        "' does not occur in a positive body literal");
+    }
+  }
+}
+
+/// Ground-atom database: predicate -> set of ground argument tuples.
+using Database = std::map<std::string, std::set<std::vector<Term>>>;
+
+/// Enumerate substitutions matching the positive body against `db`.
+template <typename Callback>
+void instantiate(const NgRule& rule, const Database& db, std::size_t index,
+                 Substitution& subst, const Callback& callback) {
+  // Find the next positive literal.
+  while (index < rule.body.size() && !rule.body[index].positive) ++index;
+  if (index >= rule.body.size()) {
+    for (const NgComparison& c : rule.comparisons) {
+      if (!evaluate(c, subst)) return;
+    }
+    callback(subst);
+    return;
+  }
+  const NgAtom& pattern = rule.body[index].atom;
+  const auto it = db.find(pattern.predicate);
+  if (it == db.end()) return;
+  for (const std::vector<Term>& tuple : it->second) {
+    if (tuple.size() != pattern.args.size()) continue;
+    Substitution extended = subst;
+    bool ok = true;
+    for (std::size_t i = 0; i < tuple.size() && ok; ++i) {
+      ok = unify(pattern.args[i], tuple[i], extended);
+    }
+    if (ok) instantiate(rule, db, index + 1, extended, callback);
+  }
+}
+
+std::size_t term_depth(const Term& t) {
+  std::size_t d = 0;
+  for (const Term& a : t.args) d = std::max(d, term_depth(a));
+  return d + 1;
+}
+
+std::vector<Term> substituted_args(const NgAtom& atom, const Substitution& s) {
+  // Depth cap: programs like `p(s(X)) :- p(X).` build ever-deeper terms;
+  // cutting at a fixed nesting depth turns non-termination into a clean
+  // error long before the iteration/atom caps get expensive.
+  constexpr std::size_t kDepthCap = 48;
+  std::vector<Term> out;
+  out.reserve(atom.args.size());
+  for (const Term& t : atom.args) {
+    Term g = substitute(t, s);
+    if (!g.is_ground()) {
+      throw GroundError("atom '" + atom.to_string() +
+                        "' not fully instantiated (unsafe rule?)");
+    }
+    if (term_depth(g) > kDepthCap) {
+      throw GroundError("term nesting exceeds depth " +
+                        std::to_string(kDepthCap) +
+                        " — non-terminating grounding?");
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace
+
+NgProgram parse_nonground(std::string_view text) { return NgParser(text).run(); }
+
+Program ground(const NgProgram& ng, GroundStats* stats) {
+  for (const NgRule& rule : ng.rules) check_safety(rule);
+
+  // Naive (non-semi-naive) fixpoint: each round rescans the database, so
+  // the caps keep pathological programs (e.g. p(s(X)) :- p(X)) from
+  // spinning; realistic recursion depths converge in a handful of rounds.
+  constexpr std::size_t kAtomCap = 500'000;
+  constexpr std::size_t kIterationCap = 5'000;
+
+  // Phase 1: derivable-atom fixpoint (negative body ignored).
+  Database db;
+  std::size_t iterations = 0;
+  std::size_t total_atoms = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (++iterations > kIterationCap) {
+      throw GroundError("grounding did not converge (iteration cap)");
+    }
+    for (const NgRule& rule : ng.rules) {
+      if (!rule.head.has_value()) continue;
+      Substitution subst;
+      instantiate(rule, db, 0, subst, [&](const Substitution& s) {
+        auto tuple = substituted_args(*rule.head, s);
+        if (db[rule.head->predicate].insert(std::move(tuple)).second) {
+          changed = true;
+          if (++total_atoms > kAtomCap) {
+            throw GroundError("grounding did not converge (atom cap)");
+          }
+        }
+      });
+    }
+  }
+
+  // Phase 2: emit simplified ground rules.
+  Program program;
+  std::unordered_map<std::string, Atom> interned;
+  const auto intern = [&](const std::string& predicate,
+                          const std::vector<Term>& args) {
+    NgAtom ga{predicate, args};
+    const std::string name = ga.to_string();
+    const auto it = interned.find(name);
+    if (it != interned.end()) return it->second;
+    const Atom a = program.new_atom(name);
+    interned.emplace(name, a);
+    return a;
+  };
+
+  std::size_t rule_count = 0;
+  for (const NgRule& rule : ng.rules) {
+    Substitution subst;
+    instantiate(rule, db, 0, subst, [&](const Substitution& s) {
+      std::vector<BodyLit> body;
+      for (const NgLiteral& l : rule.body) {
+        const auto args = substituted_args(l.atom, s);
+        const auto it = db.find(l.atom.predicate);
+        const bool derivable = it != db.end() && it->second.count(args) != 0;
+        if (l.positive) {
+          assert(derivable && "positive literals are matched against db");
+          body.push_back(pos(intern(l.atom.predicate, args)));
+        } else if (derivable) {
+          body.push_back(neg(intern(l.atom.predicate, args)));
+        }
+        // `not a` with underivable a is simply true: drop the literal.
+      }
+      if (!rule.head.has_value()) {
+        program.integrity(std::move(body));
+      } else {
+        const Atom head = intern(rule.head->predicate,
+                                 substituted_args(*rule.head, s));
+        if (rule.choice) {
+          program.choice_rule(head, std::move(body));
+        } else {
+          program.rule(head, std::move(body));
+        }
+      }
+      ++rule_count;
+    });
+  }
+
+  if (stats != nullptr) {
+    stats->ground_atoms = program.num_atoms();
+    stats->ground_rules = rule_count;
+    stats->iterations = iterations;
+  }
+  return program;
+}
+
+Program ground_text(std::string_view text, GroundStats* stats) {
+  return ground(parse_nonground(text), stats);
+}
+
+}  // namespace aspmt::asp

@@ -1,0 +1,111 @@
+// A non-ground front-end for the ASP substrate ("gringo-lite").
+//
+// Supports a practical subset of the gringo language:
+//
+//   node(1..4).                          % facts with integer intervals
+//   edge(1,2).  edge(2,3).
+//   {colour(X,C)} :- node(X), col(C).    % choice rules with variables
+//   reach(X,Y) :- edge(X,Y).             % recursion
+//   reach(X,Z) :- reach(X,Y), edge(Y,Z).
+//   :- colour(X,C1), colour(X,C2), C1 != C2.   % comparisons
+//   ok(X) :- node(X), not bad(X).        % default negation
+//
+// Terms are symbols (lowercase), integers, variables (leading uppercase or
+// '_'), or function terms f(t1,...,tn).  Rules must be *safe*: every
+// variable occurs in a positive body literal.  Grounding is naive bottom-up
+// over the derivable-atom over-approximation (negative literals ignored for
+// derivability), then rules are instantiated and simplified (comparisons
+// evaluated, negations of underivable atoms dropped).  The result is a
+// ground asp::Program ready for compile().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asp/program.hpp"
+
+namespace aspmt::asp {
+
+class GroundError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A (possibly non-ground) term.  The total order used by comparisons is
+/// numbers < symbols < variables < functions (then by value/name/args).
+struct Term {
+  enum class Kind : std::uint8_t { Number, Symbol, Variable, Function };
+  Kind kind = Kind::Symbol;
+  std::string name;           ///< Symbol / Variable / Function name
+  std::int64_t number = 0;    ///< Number
+  std::vector<Term> args;     ///< Function arguments
+
+  [[nodiscard]] bool is_ground() const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Term& a, const Term& b);
+  friend bool operator<(const Term& a, const Term& b);
+
+  static Term symbol(std::string n) { return Term{Kind::Symbol, std::move(n), 0, {}}; }
+  static Term number_term(std::int64_t v) { return Term{Kind::Number, {}, v, {}}; }
+  static Term variable(std::string n) { return Term{Kind::Variable, std::move(n), 0, {}}; }
+  static Term function(std::string n, std::vector<Term> a) {
+    return Term{Kind::Function, std::move(n), 0, std::move(a)};
+  }
+};
+
+/// `predicate(args...)`; the predicate name may also stand alone (arity 0).
+struct NgAtom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct NgLiteral {
+  NgAtom atom;
+  bool positive = true;
+};
+
+enum class CompareOp : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+/// Built-in comparison between two terms (evaluated during grounding).
+struct NgComparison {
+  Term lhs;
+  CompareOp op = CompareOp::Eq;
+  Term rhs;
+};
+
+struct NgRule {
+  std::optional<NgAtom> head;  ///< empty = integrity constraint
+  bool choice = false;
+  std::vector<NgLiteral> body;
+  std::vector<NgComparison> comparisons;
+};
+
+struct NgProgram {
+  std::vector<NgRule> rules;
+};
+
+/// Parse the non-ground textual format (throws GroundError on syntax
+/// problems; intervals `lo..hi` are expanded in fact heads).
+[[nodiscard]] NgProgram parse_nonground(std::string_view text);
+
+struct GroundStats {
+  std::size_t ground_atoms = 0;
+  std::size_t ground_rules = 0;
+  std::size_t iterations = 0;  ///< fixpoint rounds
+};
+
+/// Ground a non-ground program into an asp::Program (throws GroundError on
+/// unsafe rules).  `stats` is optional.
+[[nodiscard]] Program ground(const NgProgram& program, GroundStats* stats = nullptr);
+
+/// Convenience: parse + ground.
+[[nodiscard]] Program ground_text(std::string_view text, GroundStats* stats = nullptr);
+
+}  // namespace aspmt::asp

@@ -1,0 +1,82 @@
+#include "asp/heuristic.hpp"
+
+#include <cassert>
+
+namespace aspmt::asp {
+
+void VsidsHeap::grow_to(Var v) {
+  if (v >= activity_.size()) {
+    activity_.resize(v + 1, 0.0);
+    position_.resize(v + 1, -1);
+  }
+  insert(v);
+}
+
+void VsidsHeap::bump(Var v) {
+  assert(v < activity_.size());
+  activity_[v] += increment_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    increment_ *= 1e-100;
+  }
+  if (contains(v)) sift_up(static_cast<std::size_t>(position_[v]));
+}
+
+void VsidsHeap::boost(Var v, double amount) {
+  assert(v < activity_.size());
+  activity_[v] += amount * increment_;
+  if (contains(v)) sift_up(static_cast<std::size_t>(position_[v]));
+}
+
+void VsidsHeap::insert(Var v) {
+  assert(v < activity_.size());
+  if (contains(v)) return;
+  position_[v] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  sift_up(heap_.size() - 1);
+}
+
+Var VsidsHeap::pop() {
+  if (heap_.empty()) return kNoVar;
+  const Var top = heap_.front();
+  position_[top] = -1;
+  const Var last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = last;
+    position_[last] = 0;
+    sift_down(0);
+  }
+  return top;
+}
+
+void VsidsHeap::sift_up(std::size_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!less(heap_[parent], v)) break;
+    heap_[i] = heap_[parent];
+    position_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  position_[v] = static_cast<std::int32_t>(i);
+}
+
+void VsidsHeap::sift_down(std::size_t i) {
+  const Var v = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && less(heap_[child], heap_[child + 1])) ++child;
+    if (!less(v, heap_[child])) break;
+    heap_[i] = heap_[child];
+    position_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  position_[v] = static_cast<std::int32_t>(i);
+}
+
+}  // namespace aspmt::asp

@@ -1,0 +1,56 @@
+// VSIDS decision heuristic: an indexed max-heap over variable activities
+// with exponential decay (implemented by growing the increment and rescaling
+// on overflow) plus phase saving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asp/literal.hpp"
+
+namespace aspmt::asp {
+
+class VsidsHeap {
+ public:
+  /// Register variables up to and including `v`.
+  void grow_to(Var v);
+
+  /// Increase a variable's activity (called during conflict analysis).
+  void bump(Var v);
+
+  /// One-off additive boost (domain heuristics: decide these vars first).
+  void boost(Var v, double amount);
+
+  /// Decay all activities (called once per conflict).
+  void decay() noexcept { increment_ /= decay_factor_; }
+
+  /// Put a variable (back) into the heap if absent.
+  void insert(Var v);
+
+  /// Pop the variable with maximal activity.  Returns kNoVar if empty.
+  [[nodiscard]] Var pop();
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] bool contains(Var v) const noexcept {
+    return v < position_.size() && position_[v] >= 0;
+  }
+
+  [[nodiscard]] double activity(Var v) const noexcept { return activity_[v]; }
+
+  void set_decay(double d) noexcept { decay_factor_ = d; }
+
+ private:
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  [[nodiscard]] bool less(Var a, Var b) const noexcept {
+    return activity_[a] < activity_[b];
+  }
+
+  std::vector<Var> heap_;
+  std::vector<std::int32_t> position_;  // -1 if not in heap
+  std::vector<double> activity_;
+  double increment_ = 1.0;
+  double decay_factor_ = 0.95;
+};
+
+}  // namespace aspmt::asp

@@ -1,0 +1,73 @@
+// Boolean variables, literals and three-valued truth for the CDNL solver.
+//
+// Variables are dense 0-based indices.  A literal packs the variable index
+// and a sign bit into one 32-bit word (MiniSat style), so literals can index
+// watch lists directly.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+
+namespace aspmt::asp {
+
+using Var = std::uint32_t;
+
+/// Sentinel for "no variable".
+inline constexpr Var kNoVar = 0xffffffffU;
+
+class Lit {
+ public:
+  constexpr Lit() noexcept = default;
+
+  /// Build a literal from a variable and polarity (true = positive).
+  static constexpr Lit make(Var v, bool positive) noexcept {
+    return Lit((v << 1) | (positive ? 0U : 1U));
+  }
+
+  [[nodiscard]] constexpr Var var() const noexcept { return code_ >> 1; }
+  [[nodiscard]] constexpr bool positive() const noexcept { return (code_ & 1U) == 0; }
+  [[nodiscard]] constexpr bool negative() const noexcept { return (code_ & 1U) != 0; }
+
+  /// Dense index usable for watch lists / per-literal arrays.
+  [[nodiscard]] constexpr std::uint32_t index() const noexcept { return code_; }
+
+  /// Reconstruct from a dense index.
+  static constexpr Lit from_index(std::uint32_t idx) noexcept { return Lit(idx); }
+
+  constexpr Lit operator~() const noexcept { return Lit(code_ ^ 1U); }
+
+  friend constexpr bool operator==(Lit a, Lit b) noexcept { return a.code_ == b.code_; }
+  friend constexpr bool operator!=(Lit a, Lit b) noexcept { return a.code_ != b.code_; }
+  friend constexpr bool operator<(Lit a, Lit b) noexcept { return a.code_ < b.code_; }
+
+ private:
+  constexpr explicit Lit(std::uint32_t code) noexcept : code_(code) {}
+  std::uint32_t code_ = 0xffffffffU;
+};
+
+/// Sentinel literal ("undefined").
+inline constexpr Lit kLitUndef{};
+
+/// Three-valued truth.
+enum class Lbool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+[[nodiscard]] constexpr Lbool lbool_of(bool b) noexcept {
+  return b ? Lbool::True : Lbool::False;
+}
+
+/// Truth value of a literal given the truth value of its variable.
+[[nodiscard]] constexpr Lbool lit_value(Lbool var_value, Lit l) noexcept {
+  if (var_value == Lbool::Undef) return Lbool::Undef;
+  const bool v = (var_value == Lbool::True);
+  return lbool_of(l.positive() ? v : !v);
+}
+
+}  // namespace aspmt::asp
+
+template <>
+struct std::hash<aspmt::asp::Lit> {
+  std::size_t operator()(aspmt::asp::Lit l) const noexcept {
+    return std::hash<std::uint32_t>{}(l.index());
+  }
+};

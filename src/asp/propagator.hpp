@@ -1,0 +1,53 @@
+// Theory-propagator interface — the ASPmT extension point.
+//
+// The contract mirrors clingo's propagator API: after every unit-propagation
+// fixpoint the solver hands control to each registered propagator, which may
+// inspect the trail and *inject clauses* (theory nogoods).  Injected clauses
+// are handled uniformly by the solver: they may be silently attached, cause
+// further unit propagation, or raise a conflict that regular CDCL conflict
+// analysis resolves.  This uniformity is what lets learned clauses mix
+// Boolean and theory reasoning.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "asp/literal.hpp"
+
+namespace aspmt::asp {
+
+class Solver;
+
+class TheoryPropagator {
+ public:
+  virtual ~TheoryPropagator() = default;
+
+  TheoryPropagator() = default;
+  TheoryPropagator(const TheoryPropagator&) = delete;
+  TheoryPropagator& operator=(const TheoryPropagator&) = delete;
+
+  /// Called at every unit-propagation fixpoint.  The propagator advances its
+  /// private cursor over `solver.trail()` and reacts to newly assigned
+  /// literals.  To report a theory conflict or a theory implication it calls
+  /// `Solver::add_theory_clause`.  Return false iff a conflicting clause was
+  /// injected (the solver then runs conflict analysis).
+  virtual bool propagate(Solver& solver) = 0;
+
+  /// Called after the solver backtracked.  `trail_size` is the new trail
+  /// length; the propagator must rewind any state derived from literals that
+  /// were popped.
+  virtual void undo_to(const Solver& solver, std::size_t trail_size) = 0;
+
+  /// Called on a total assignment before it is accepted as a model.  Return
+  /// false iff a conflicting clause was injected (the candidate is rejected
+  /// and search continues).
+  virtual bool check(Solver& solver) = 0;
+
+  /// Optional: called when the solver restarts or fully backtracks to the
+  /// root.  Default forwards to undo_to.
+  virtual void reset(const Solver& solver, std::size_t trail_size) {
+    undo_to(solver, trail_size);
+  }
+};
+
+}  // namespace aspmt::asp

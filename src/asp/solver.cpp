@@ -1,0 +1,481 @@
+#include "asp/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace aspmt::asp {
+
+Solver::Solver(SolverOptions options) : options_(options) {
+  heuristic_.set_decay(options_.var_decay);
+  max_learnts_ = options_.learnt_start;
+}
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(Lbool::Undef);
+  level_.push_back(0);
+  reason_.push_back(nullptr);
+  phase_.push_back(options_.default_phase ? 1 : 0);
+  seen_.push_back(0);
+  lbd_seen_.push_back(0);
+  watches_.emplace_back();  // positive literal
+  watches_.emplace_back();  // negative literal
+  heuristic_.grow_to(v);
+  return v;
+}
+
+Clause* Solver::allocate(std::vector<Lit> lits, bool learnt) {
+  arena_.emplace_back(std::move(lits), learnt);
+  return &arena_.back();
+}
+
+void Solver::attach(Clause* c) {
+  assert(c->size() >= 2);
+  watches_[(~(*c)[0]).index()].push_back(Watcher{c, (*c)[1]});
+  watches_[(~(*c)[1]).index()].push_back(Watcher{c, (*c)[0]});
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> c;
+  c.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    if (i + 1 < lits.size() && lits[i + 1] == ~l) return true;  // tautology
+    const Lbool v = value(l);
+    if (v == Lbool::True) return true;  // satisfied at root
+    if (v == Lbool::False) continue;    // false at root: drop
+    c.push_back(l);
+  }
+  if (c.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (c.size() == 1) {
+    enqueue(c[0], nullptr);
+    if (propagate_clauses() != nullptr) ok_ = false;
+    return ok_;
+  }
+  Clause* cl = allocate(std::move(c), /*learnt=*/false);
+  problem_clauses_.push_back(cl);
+  attach(cl);
+  return true;
+}
+
+void Solver::add_propagator(TheoryPropagator* propagator) {
+  assert(propagator != nullptr);
+  propagators_.push_back(propagator);
+}
+
+bool Solver::add_theory_clause(std::span<const Lit> in) {
+  ++stats_.theory_clauses;
+  std::vector<Lit> lits(in.begin(), in.end());
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> c;
+  c.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    if (i + 1 < lits.size() && lits[i + 1] == ~l) return true;  // tautology
+    const Lbool v = value(l);
+    if (v == Lbool::True && level(l.var()) == 0) return true;  // permanently sat
+    if (v == Lbool::False && level(l.var()) == 0) continue;    // permanently false
+    c.push_back(l);
+  }
+  if (c.empty()) {
+    ok_ = false;
+    return false;
+  }
+  // Order literals so that watchable ones come first: non-false literals,
+  // then false literals by decreasing level.  Deterministic tie-break.
+  std::sort(c.begin(), c.end(), [this](Lit a, Lit b) {
+    const bool fa = value(a) == Lbool::False;
+    const bool fb = value(b) == Lbool::False;
+    if (fa != fb) return !fa;
+    if (fa && fb && level(a.var()) != level(b.var()))
+      return level(a.var()) > level(b.var());
+    return a < b;
+  });
+  Clause* cl = allocate(std::move(c), /*learnt=*/true);
+  cl->set_lbd(compute_lbd(cl->lits()));
+  if (cl->size() >= 2) {
+    attach(cl);
+    learnt_clauses_.push_back(cl);
+    ++stats_.learnt_clauses;
+  }
+  const Lbool v0 = value((*cl)[0]);
+  if (v0 == Lbool::True) return true;
+  const bool rest_false =
+      cl->size() == 1 || value((*cl)[1]) == Lbool::False;
+  if (v0 == Lbool::Undef && rest_false) {
+    enqueue((*cl)[0], cl);
+    return true;
+  }
+  if (v0 == Lbool::Undef) return true;  // at least two watchable literals
+  // Every literal false: theory conflict.
+  pending_conflict_ = cl;
+  ++stats_.theory_conflicts;
+  return false;
+}
+
+void Solver::enqueue(Lit l, Clause* reason) {
+  assert(value(l) == Lbool::Undef);
+  const Var v = l.var();
+  assign_[v] = lbool_of(l.positive());
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+Clause* Solver::propagate_clauses() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[p.index()];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    const std::size_t n = ws.size();
+    while (i < n) {
+      const Watcher w = ws[i];
+      if (w.clause->deleted()) {
+        ++i;  // drop lazily
+        continue;
+      }
+      if (value(w.blocker) == Lbool::True) {
+        ws[j++] = w;
+        ++i;
+        continue;
+      }
+      Clause& c = *w.clause;
+      const Lit false_lit = ~p;
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      assert(c[1] == false_lit);
+      ++i;
+      if (value(c[0]) == Lbool::True) {
+        ws[j++] = Watcher{w.clause, c[0]};
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (value(c[k]) != Lbool::False) {
+          std::swap(c[1], c[k]);
+          watches_[(~c[1]).index()].push_back(Watcher{w.clause, c[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting.
+      ws[j++] = Watcher{w.clause, c[0]};
+      if (value(c[0]) == Lbool::False) {
+        while (i < n) ws[j++] = ws[i++];
+        ws.resize(j);
+        qhead_ = trail_.size();
+        return w.clause;
+      }
+      enqueue(c[0], w.clause);
+    }
+    ws.resize(j);
+  }
+  return nullptr;
+}
+
+Clause* Solver::propagate_fixpoint() {
+  for (;;) {
+    if (pending_conflict_ != nullptr) {
+      Clause* pc = std::exchange(pending_conflict_, nullptr);
+      qhead_ = trail_.size();
+      return pc;
+    }
+    if (Clause* c = propagate_clauses(); c != nullptr) return c;
+    const std::size_t before = trail_.size();
+    for (auto* p : propagators_) {
+      const bool ok = p->propagate(*this);
+      if (!ok || pending_conflict_ != nullptr) {
+        Clause* pc = std::exchange(pending_conflict_, nullptr);
+        qhead_ = trail_.size();
+        return pc;  // may be nullptr when ok_ dropped to false
+      }
+      if (trail_.size() != before) break;  // run BCP before the next theory
+    }
+    if (trail_.size() == before) return nullptr;
+  }
+}
+
+std::uint32_t Solver::compute_lbd(std::span<const Lit> lits) {
+  ++lbd_stamp_;
+  std::uint32_t lbd = 0;
+  for (const Lit l : lits) {
+    const std::uint32_t lv = level_[l.var()];
+    if (lv == 0) continue;
+    if (lbd_seen_[lv % lbd_seen_.size()] != lbd_stamp_) {
+      lbd_seen_[lv % lbd_seen_.size()] = lbd_stamp_;
+      ++lbd;
+    }
+  }
+  return lbd == 0 ? 1 : lbd;
+}
+
+void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt,
+                     std::uint32_t& bt_level) {
+  learnt.clear();
+  learnt.push_back(kLitUndef);  // slot for the asserting literal
+  std::vector<Lit>& to_clear = minimize_stack_;
+  to_clear.clear();
+
+  int counter = 0;
+  Lit p = kLitUndef;
+  Clause* c = conflict;
+  std::size_t index = trail_.size();
+
+  do {
+    assert(c != nullptr);
+    if (c->learnt()) c->bump_activity(clause_inc_);
+    const std::size_t start = (p == kLitUndef) ? 0 : 1;
+    for (std::size_t k = start; k < c->size(); ++k) {
+      const Lit q = (*c)[k];
+      const Var v = q.var();
+      if (seen_[v] != 0 || level_[v] == 0) continue;
+      seen_[v] = 1;
+      to_clear.push_back(q);
+      heuristic_.bump(v);
+      if (level_[v] == decision_level()) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    while (seen_[trail_[--index].var()] == 0) {
+    }
+    p = trail_[index];
+    c = reason_[p.var()];
+    seen_[p.var()] = 0;
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  // Local clause minimization: a literal is redundant if its reason consists
+  // only of literals already in the learnt clause (or fixed at the root).
+  std::size_t out = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (!literal_redundant(learnt[i])) learnt[out++] = learnt[i];
+  }
+  learnt.resize(out);
+
+  for (const Lit q : to_clear) seen_[q.var()] = 0;
+  seen_[p.var()] = 0;
+
+  if (learnt.size() == 1) {
+    bt_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[learnt[i].var()] > level_[learnt[max_i].var()]) max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[learnt[1].var()];
+  }
+}
+
+bool Solver::literal_redundant(Lit l) {
+  const Clause* r = reason_[l.var()];
+  if (r == nullptr) return false;
+  for (std::size_t k = 1; k < r->size(); ++k) {
+    const Lit q = (*r)[k];
+    if (level_[q.var()] != 0 && seen_[q.var()] == 0) return false;
+  }
+  return true;
+}
+
+void Solver::record_learnt(std::vector<Lit> learnt, std::uint32_t bt_level) {
+  cancel_until(bt_level);
+  ++stats_.learnt_clauses;
+  if (learnt.size() == 1) {
+    assert(bt_level == 0);
+    enqueue(learnt[0], nullptr);
+    return;
+  }
+  Clause* c = allocate(std::move(learnt), /*learnt=*/true);
+  c->set_lbd(compute_lbd(c->lits()));
+  c->bump_activity(clause_inc_);
+  attach(c);
+  learnt_clauses_.push_back(c);
+  enqueue((*c)[0], c);
+}
+
+void Solver::cancel_until(std::uint32_t target_level) {
+  if (decision_level() <= target_level) return;
+  const std::size_t new_size = trail_lim_[target_level];
+  for (std::size_t i = trail_.size(); i-- > new_size;) {
+    const Lit l = trail_[i];
+    const Var v = l.var();
+    if (options_.phase_saving) phase_[v] = l.positive() ? 1 : 0;
+    assign_[v] = Lbool::Undef;
+    reason_[v] = nullptr;
+    heuristic_.insert(v);
+  }
+  trail_.resize(new_size);
+  trail_lim_.resize(target_level);
+  qhead_ = new_size;
+  for (auto* p : propagators_) p->undo_to(*this, new_size);
+}
+
+Lit Solver::pick_branch_literal() {
+  for (;;) {
+    const Var v = heuristic_.pop();
+    if (v == kNoVar) return kLitUndef;
+    if (assign_[v] == Lbool::Undef) {
+      return Lit::make(v, phase_[v] != 0);
+    }
+  }
+}
+
+bool Solver::is_locked(const Clause* c) const {
+  const Lit l = (*c)[0];
+  return reason_[l.var()] == c && value(l) != Lbool::Undef;
+}
+
+void Solver::reduce_learnt_db() {
+  std::sort(learnt_clauses_.begin(), learnt_clauses_.end(),
+            [](const Clause* a, const Clause* b) {
+              if (a->lbd() != b->lbd()) return a->lbd() > b->lbd();
+              return a->activity() < b->activity();
+            });
+  const std::size_t target = learnt_clauses_.size() / 2;
+  std::size_t removed = 0;
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < learnt_clauses_.size(); ++i) {
+    Clause* c = learnt_clauses_[i];
+    const bool keep = removed >= target || c->lbd() <= 2 || c->size() <= 2 ||
+                      is_locked(c);
+    if (keep) {
+      learnt_clauses_[out++] = c;
+    } else {
+      c->mark_deleted();
+      ++removed;
+      ++stats_.deleted_clauses;
+    }
+  }
+  learnt_clauses_.resize(out);
+}
+
+std::uint64_t Solver::luby(std::uint64_t i) noexcept {
+  // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  std::uint64_t k = 1;
+  while ((1ULL << (k + 1)) - 1 <= i) ++k;
+  while (i != (1ULL << k) - 1) {
+    i -= (1ULL << k) - 1;
+    k = 1;
+    while ((1ULL << (k + 1)) - 1 <= i) ++k;
+  }
+  return 1ULL << (k - 1);
+}
+
+Solver::Result Solver::solve(std::span<const Lit> assumptions,
+                             const util::Deadline* deadline) {
+  if (!ok_) return Result::Unsat;
+  cancel_until(0);
+  model_.clear();
+  const Result r = search(assumptions, deadline);
+  cancel_until(0);
+  return r;
+}
+
+Solver::Result Solver::search(std::span<const Lit> assumptions,
+                              const util::Deadline* deadline) {
+  std::uint64_t restart_round = 0;
+  std::uint64_t conflict_budget =
+      options_.restart_base * luby(restart_round + 1);
+  std::uint64_t conflicts_this_round = 0;
+  std::vector<Lit> learnt;
+
+  for (;;) {
+    if (deadline != nullptr && deadline->expired()) {
+      cancel_until(0);
+      return Result::Unknown;
+    }
+    Clause* conflict = propagate_fixpoint();
+    if (!ok_) return Result::Unsat;
+    if (conflict != nullptr) {
+      ++stats_.conflicts;
+      ++conflicts_this_round;
+      std::uint32_t max_level = 0;
+      for (const Lit l : conflict->lits()) {
+        max_level = std::max(max_level, level_[l.var()]);
+      }
+      if (max_level == 0) {
+        ok_ = false;
+        return Result::Unsat;
+      }
+      if (max_level < decision_level()) cancel_until(max_level);
+      std::uint32_t bt_level = 0;
+      analyze(conflict, learnt, bt_level);
+      record_learnt(std::move(learnt), bt_level);
+      learnt = {};
+      heuristic_.decay();
+      clause_inc_ *= 1.0F / 0.999F;
+      if (clause_inc_ > 1e20F) {
+        for (Clause* c : learnt_clauses_) c->scale_activity(1e-20F);
+        clause_inc_ *= 1e-20F;
+      }
+      continue;
+    }
+
+    // No conflict.
+    if (conflicts_this_round >= conflict_budget) {
+      ++stats_.restarts;
+      ++restart_round;
+      conflict_budget = options_.restart_base * luby(restart_round + 1);
+      conflicts_this_round = 0;
+      cancel_until(0);
+      continue;
+    }
+    if (static_cast<double>(learnt_clauses_.size()) > max_learnts_) {
+      reduce_learnt_db();
+      max_learnts_ *= options_.learnt_growth;
+    }
+
+    // Establish assumptions, one decision level each.
+    if (decision_level() < assumptions.size()) {
+      const Lit a = assumptions[decision_level()];
+      if (value(a) == Lbool::False) {
+        return Result::Unsat;  // conflicts with the assumptions
+      }
+      new_decision_level();
+      if (value(a) == Lbool::Undef) enqueue(a, nullptr);
+      continue;
+    }
+
+    const Lit next = pick_branch_literal();
+    if (next == kLitUndef) {
+      // Total assignment: let every theory accept or reject it.
+      bool rejected = false;
+      const std::size_t before = trail_.size();
+      for (auto* p : propagators_) {
+        if (!p->check(*this)) {
+          rejected = true;
+          break;
+        }
+        if (pending_conflict_ != nullptr) {
+          rejected = true;
+          break;
+        }
+        if (trail_.size() != before) break;  // theory enqueued something
+      }
+      if (rejected) continue;                   // conflict handled next loop
+      if (trail_.size() != before) continue;    // propagate the new literals
+      ++stats_.models;
+      model_.assign(assign_.begin(), assign_.end());
+      return Result::Sat;
+    }
+    ++stats_.decisions;
+    new_decision_level();
+    enqueue(next, nullptr);
+  }
+}
+
+}  // namespace aspmt::asp

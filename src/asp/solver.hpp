@@ -1,0 +1,187 @@
+// Conflict-driven Boolean constraint solver with a theory-propagator hook —
+// the CDNL engine underneath the ASPmT stack.
+//
+// Features: two-watched-literal propagation with blockers, 1UIP clause
+// learning with local minimization, VSIDS + phase saving, Luby restarts,
+// LBD/activity-based learnt-clause reduction, assumptions, and uniform
+// handling of clauses injected by theory propagators at any decision level
+// (the clingo-style ASPmT integration described in the paper series).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "asp/clause.hpp"
+#include "asp/heuristic.hpp"
+#include "asp/literal.hpp"
+#include "asp/propagator.hpp"
+#include "util/timer.hpp"
+
+namespace aspmt::asp {
+
+struct SolverStats {
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnt_clauses = 0;
+  std::uint64_t deleted_clauses = 0;
+  std::uint64_t theory_clauses = 0;
+  std::uint64_t theory_conflicts = 0;
+  std::uint64_t models = 0;
+};
+
+struct SolverOptions {
+  double var_decay = 0.95;
+  std::uint32_t restart_base = 100;   ///< Luby unit, in conflicts.
+  double learnt_growth = 1.3;         ///< Growth factor of the learnt-DB cap.
+  std::uint32_t learnt_start = 2000;  ///< Initial learnt-DB cap.
+  bool default_phase = false;         ///< Polarity when no phase is saved.
+  bool phase_saving = true;
+};
+
+class Solver {
+ public:
+  enum class Result : std::uint8_t { Sat, Unsat, Unknown };
+
+  explicit Solver(SolverOptions options = {});
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // ---- problem construction (root level) --------------------------------
+
+  /// Allocate a fresh variable and return its index.
+  Var new_var();
+
+  [[nodiscard]] std::uint32_t num_vars() const noexcept {
+    return static_cast<std::uint32_t>(assign_.size());
+  }
+
+  /// Add a problem clause.  Returns false if the solver became trivially
+  /// unsatisfiable (conflict at the root level).  May be called between
+  /// solve() invocations (the solver is always at level 0 there).
+  bool add_clause(std::vector<Lit> lits);
+
+  /// Register a theory propagator (non-owning; the caller keeps ownership
+  /// and must outlive the solver's use).
+  void add_propagator(TheoryPropagator* propagator);
+
+  /// False once root-level unsatisfiability has been established.
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+  // ---- solving -----------------------------------------------------------
+
+  /// Search for a model extending `assumptions`.  Returns Unknown only when
+  /// the deadline expires.  On Sat the model is available via model_value()
+  /// until the next call that modifies the solver.
+  Result solve(std::span<const Lit> assumptions = {},
+               const util::Deadline* deadline = nullptr);
+
+  // ---- assignment inspection (propagators + conflict analysis) -----------
+
+  [[nodiscard]] Lbool value(Var v) const noexcept { return assign_[v]; }
+  [[nodiscard]] Lbool value(Lit l) const noexcept { return lit_value(assign_[l.var()], l); }
+  [[nodiscard]] std::span<const Lit> trail() const noexcept { return trail_; }
+  [[nodiscard]] std::uint32_t decision_level() const noexcept {
+    return static_cast<std::uint32_t>(trail_lim_.size());
+  }
+  [[nodiscard]] std::uint32_t level(Var v) const noexcept { return level_[v]; }
+
+  // ---- model access (after Result::Sat) ----------------------------------
+
+  [[nodiscard]] bool model_value(Var v) const noexcept {
+    return model_[v] == Lbool::True;
+  }
+  [[nodiscard]] const std::vector<Lbool>& model() const noexcept { return model_; }
+
+  // ---- theory interface ---------------------------------------------------
+
+  /// Inject a clause discovered by theory reasoning.  Handles every case
+  /// uniformly: satisfied/open clauses are attached, unit clauses propagate,
+  /// falsified clauses raise a conflict.  Returns false iff the clause is
+  /// conflicting under the current assignment; the propagator must then
+  /// immediately return false from its propagate()/check() callback.
+  bool add_theory_clause(std::span<const Lit> lits);
+
+  /// Bump decision priority of a variable (domain heuristics).
+  void bump_variable(Var v) { heuristic_.bump(v); }
+
+  /// Strong one-off priority boost so the variable is decided early
+  /// (domain heuristics, e.g. binding before routing).
+  void boost_variable(Var v, double amount) { heuristic_.boost(v, amount); }
+
+  /// Suggest the polarity tried first for a variable.
+  void set_preferred_phase(Var v, bool positive) {
+    phase_[v] = positive;
+  }
+
+  [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const SolverOptions& options() const noexcept { return options_; }
+
+  [[nodiscard]] std::size_t num_problem_clauses() const noexcept {
+    return problem_clauses_.size();
+  }
+  [[nodiscard]] std::size_t num_learnt_clauses() const noexcept {
+    return learnt_clauses_.size();
+  }
+
+ private:
+  // search machinery
+  Result search(std::span<const Lit> assumptions, const util::Deadline* deadline);
+  [[nodiscard]] Clause* propagate_fixpoint();
+  [[nodiscard]] Clause* propagate_clauses();
+  void analyze(Clause* conflict, std::vector<Lit>& learnt, std::uint32_t& bt_level);
+  [[nodiscard]] bool literal_redundant(Lit l);
+  void record_learnt(std::vector<Lit> learnt, std::uint32_t bt_level);
+  void enqueue(Lit l, Clause* reason);
+  void cancel_until(std::uint32_t target_level);
+  void new_decision_level() { trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size())); }
+  [[nodiscard]] Lit pick_branch_literal();
+  void reduce_learnt_db();
+  void attach(Clause* c);
+  [[nodiscard]] std::uint32_t compute_lbd(std::span<const Lit> lits);
+  [[nodiscard]] bool is_locked(const Clause* c) const;
+  [[nodiscard]] static std::uint64_t luby(std::uint64_t i) noexcept;
+
+  // clause arena: deque gives stable addresses
+  Clause* allocate(std::vector<Lit> lits, bool learnt);
+
+  SolverOptions options_;
+  SolverStats stats_;
+
+  std::deque<Clause> arena_;
+  std::vector<Clause*> problem_clauses_;
+  std::vector<Clause*> learnt_clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index of the *falsified* literal
+
+  std::vector<Lbool> assign_;
+  std::vector<std::uint32_t> level_;
+  std::vector<Clause*> reason_;
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  VsidsHeap heuristic_;
+  std::vector<char> phase_;
+  std::vector<char> seen_;
+  std::vector<Lit> minimize_stack_;
+
+  std::vector<TheoryPropagator*> propagators_;
+  Clause* pending_conflict_ = nullptr;
+
+  std::vector<Lbool> model_;
+  std::vector<Lit> root_units_;  // units injected/learnt, replayed after restarts
+
+  double max_learnts_ = 0.0;
+  float clause_inc_ = 1.0F;
+  std::vector<std::uint32_t> lbd_seen_;
+  std::uint32_t lbd_stamp_ = 0;
+
+  bool ok_ = true;
+};
+
+}  // namespace aspmt::asp

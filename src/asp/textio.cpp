@@ -1,0 +1,275 @@
+#include "asp/textio.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+
+namespace aspmt::asp {
+namespace {
+
+void append_body(std::ostream& os, const Program& p,
+                 const std::vector<BodyLit>& body) {
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) os << ", ";
+    if (!body[i].positive) os << "not ";
+    os << p.name(body[i].atom);
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Program run() {
+    Program program;
+    for (;;) {
+      skip_space();
+      if (pos_ >= text_.size()) break;
+      statement(program);
+    }
+    return program;
+  }
+
+ private:
+  void statement(Program& program) {
+    if (peek() == '#') {
+      ++pos_;
+      if (!match_keyword("minimize")) fail("expected 'minimize' after '#'");
+      skip_space();
+      expect('{');
+      program.minimize(weighted_elements(program));
+      expect('}');
+      expect('.');
+      return;
+    }
+    if (peek() == '{') {
+      ++pos_;
+      skip_space();
+      const Atom head = atom(program);
+      skip_space();
+      expect('}');
+      skip_space();
+      std::vector<BodyLit> body;
+      if (peek() == ':') body = rule_body(program);
+      expect('.');
+      program.choice_rule(head, std::move(body));
+      return;
+    }
+    if (peek() == ':') {
+      std::vector<BodyLit> body = rule_body(program);
+      expect('.');
+      program.integrity(std::move(body));
+      return;
+    }
+    const Atom head = atom(program);
+    skip_space();
+    if (peek() == ':') {
+      expect(':');
+      expect('-');
+      skip_space();
+      if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        // weight / cardinality body:  head :- bound { elems }.
+        const std::int64_t bound = integer();
+        skip_space();
+        expect('{');
+        program.weight_rule(head, bound, weighted_elements(program));
+        expect('}');
+        expect('.');
+        return;
+      }
+      std::vector<BodyLit> body = body_literals(program);
+      expect('.');
+      program.rule(head, std::move(body));
+      return;
+    }
+    expect('.');
+    program.rule(head, {});
+  }
+
+  std::vector<BodyLit> rule_body(Program& program) {
+    expect(':');
+    expect('-');
+    return body_literals(program);
+  }
+
+  std::vector<BodyLit> body_literals(Program& program) {
+    std::vector<BodyLit> body;
+    for (;;) {
+      skip_space();
+      bool positive = true;
+      if (match_keyword("not")) {
+        positive = false;
+        skip_space();
+      }
+      body.push_back(BodyLit{atom(program), positive});
+      skip_space();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return body;
+  }
+
+  /// `[weight :] [not] atom` list separated by ';' (weight defaults to 1).
+  std::vector<WeightedBodyLit> weighted_elements(Program& program) {
+    std::vector<WeightedBodyLit> elems;
+    for (;;) {
+      skip_space();
+      if (peek() == '}') break;
+      std::int64_t weight = 1;
+      if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        weight = integer();
+        skip_space();
+        expect(':');
+        skip_space();
+      }
+      bool positive = true;
+      if (match_keyword("not")) {
+        positive = false;
+        skip_space();
+      }
+      elems.push_back(WeightedBodyLit{BodyLit{atom(program), positive}, weight});
+      skip_space();
+      if (peek() == ';') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return elems;
+  }
+
+  std::int64_t integer() {
+    skip_space();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (start == pos_) fail("expected integer");
+    return std::stoll(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  Atom atom(Program& program) {
+    skip_space();
+    const std::size_t start = pos_;
+    if (pos_ >= text_.size() ||
+        !(std::isalpha(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      fail("expected atom name");
+    }
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      int depth = 0;
+      do {
+        if (text_[pos_] == '(') ++depth;
+        if (text_[pos_] == ')') --depth;
+        ++pos_;
+        if (pos_ > text_.size()) fail("unbalanced parentheses in atom");
+      } while (depth > 0 && pos_ < text_.size());
+      if (depth != 0) fail("unbalanced parentheses in atom");
+    }
+    const std::string name(text_.substr(start, pos_ - start));
+    if (const Atom existing = interned(name); existing != kMissing) return existing;
+    const Atom a = program.new_atom(name);
+    intern_[name] = a;
+    return a;
+  }
+
+  [[nodiscard]] Atom interned(const std::string& name) const {
+    const auto it = intern_.find(name);
+    return it == intern_.end() ? kMissing : it->second;
+  }
+
+  bool match_keyword(std::string_view kw) {
+    if (text_.substr(pos_, kw.size()) != kw) return false;
+    const std::size_t end = pos_ + kw.size();
+    if (end < text_.size()) {
+      const char c = text_[end];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  void expect(char c) {
+    skip_space();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void skip_space() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    throw ParseError(message + " at line " + std::to_string(line));
+  }
+
+  static constexpr Atom kMissing = 0xffffffffU;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::unordered_map<std::string, Atom> intern_;
+};
+
+}  // namespace
+
+std::string to_text(const Program& program) {
+  std::ostringstream os;
+  for (const Rule& r : program.rules()) {
+    if (r.choice) os << '{' << program.name(r.head) << '}';
+    else os << program.name(r.head);
+    if (!r.body.empty()) {
+      os << " :- ";
+      append_body(os, program, r.body);
+    }
+    os << ".\n";
+  }
+  for (const auto& c : program.constraints()) {
+    os << ":- ";
+    append_body(os, program, c);
+    os << ".\n";
+  }
+  if (!program.minimize_terms().empty()) {
+    os << "#minimize {";
+    bool first = true;
+    for (const WeightedBodyLit& t : program.minimize_terms()) {
+      if (!first) os << "; ";
+      os << t.weight << ": ";
+      if (!t.lit.positive) os << "not ";
+      os << program.name(t.lit.atom);
+      first = false;
+    }
+    os << "}.\n";
+  }
+  return os.str();
+}
+
+Program parse_program(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace aspmt::asp

@@ -1,0 +1,38 @@
+// Textual ground-program format (a small gringo-like subset) used by tests,
+// examples and debugging dumps.
+//
+//   % comment
+//   a.                         fact
+//   a :- b, not c.             normal rule
+//   {a} :- b.                  choice rule
+//   :- a, b.                   integrity constraint
+//   a :- 2 {b; c; not d}.      cardinality rule (expanded, see weight_rule)
+//   a :- 5 {3: b; 4: not c}.   weight rule
+//   #minimize {2: a; 1: b}.    minimize statement (accumulates)
+//
+// Atom names are identifiers optionally followed by a balanced parenthesis
+// group, e.g. `bind(t1,r2)`.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "asp/program.hpp"
+
+namespace aspmt::asp {
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Render a program in the textual format (stable order: rules then
+/// constraints, in insertion order).
+[[nodiscard]] std::string to_text(const Program& program);
+
+/// Parse the textual format.  Atoms are created on first mention.
+/// Throws ParseError on malformed input.
+[[nodiscard]] Program parse_program(std::string_view text);
+
+}  // namespace aspmt::asp

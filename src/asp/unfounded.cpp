@@ -1,0 +1,92 @@
+#include "asp/unfounded.hpp"
+
+#include <algorithm>
+
+#include "asp/solver.hpp"
+
+namespace aspmt::asp {
+
+UnfoundedSetChecker::UnfoundedSetChecker(const CompiledProgram& compiled)
+    : compiled_(compiled) {}
+
+bool UnfoundedSetChecker::propagate(Solver&) { return true; }
+
+void UnfoundedSetChecker::undo_to(const Solver&, std::size_t) {}
+
+bool UnfoundedSetChecker::check(Solver& solver) {
+  if (compiled_.tight) return true;
+
+  const std::size_t n = compiled_.atom_var.size();
+  founded_.assign(n, 0);
+  missing_.assign(compiled_.rules.size(), 0);
+
+  // Forward fixpoint: a rule fires once its body literal is true and all its
+  // positive body atoms are founded; its head then becomes founded.
+  // `missing_[r]` counts unfounded positive body atoms of rule r.
+  std::vector<std::vector<std::uint32_t>> watching(n);  // atom -> rules waiting on it
+  std::vector<Atom> queue;
+
+  for (std::size_t r = 0; r < compiled_.rules.size(); ++r) {
+    const auto& cr = compiled_.rules[r];
+    if (solver.value(cr.body_lit) != Lbool::True) {
+      missing_[r] = 0xffffffffU;  // body false: rule can never fire
+      continue;
+    }
+    std::uint32_t need = 0;
+    for (const Atom b : cr.pos_body) {
+      // Positive body atoms are true here (body literal is true), so only
+      // foundedness is pending.
+      ++need;
+      watching[b].push_back(static_cast<std::uint32_t>(r));
+    }
+    missing_[r] = need;
+    if (need == 0 && founded_[cr.head] == 0) {
+      founded_[cr.head] = 1;
+      queue.push_back(cr.head);
+    }
+  }
+
+  while (!queue.empty()) {
+    const Atom a = queue.back();
+    queue.pop_back();
+    for (const std::uint32_t r : watching[a]) {
+      if (missing_[r] == 0xffffffffU || missing_[r] == 0) continue;
+      if (--missing_[r] == 0) {
+        const Atom h = compiled_.rules[r].head;
+        if (founded_[h] == 0) {
+          founded_[h] = 1;
+          queue.push_back(h);
+        }
+      }
+    }
+  }
+
+  // Collect the unfounded set: true atoms that never became founded.
+  std::vector<Atom> unfounded;
+  std::vector<char> in_unfounded(n, 0);
+  for (Atom a = 0; a < n; ++a) {
+    if (solver.value(compiled_.lit(a)) == Lbool::True && founded_[a] == 0) {
+      unfounded.push_back(a);
+      in_unfounded[a] = 1;
+    }
+  }
+  if (unfounded.empty()) return true;
+
+  // Loop nogood: some unfounded atom must be false unless one of the
+  // external support bodies of the unfounded set holds.
+  std::vector<Lit> clause;
+  clause.push_back(~compiled_.lit(unfounded.front()));
+  for (const auto& cr : compiled_.rules) {
+    if (in_unfounded[cr.head] == 0) continue;
+    const bool external = std::none_of(
+        cr.pos_body.begin(), cr.pos_body.end(),
+        [&](Atom b) { return in_unfounded[b] != 0; });
+    if (external) clause.push_back(cr.body_lit);
+  }
+  std::sort(clause.begin(), clause.end());
+  clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+  ++loop_nogoods_;
+  return solver.add_theory_clause(clause);
+}
+
+}  // namespace aspmt::asp

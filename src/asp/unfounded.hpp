@@ -1,0 +1,39 @@
+// Unfounded-set checking for non-tight programs.
+//
+// The Clark completion admits "self-supporting" models on positive cycles;
+// stability additionally requires every true atom to be derivable from facts.
+// This checker runs as a theory propagator: on total assignments it computes
+// the founded set by forward fixpoint and, if any true atom is unfounded,
+// injects a loop nogood built from the external support bodies of the
+// unfounded set.  For tight programs it reduces to a no-op.
+#pragma once
+
+#include <vector>
+
+#include "asp/completion.hpp"
+#include "asp/propagator.hpp"
+
+namespace aspmt::asp {
+
+class UnfoundedSetChecker final : public TheoryPropagator {
+ public:
+  /// `compiled` must outlive the checker.
+  explicit UnfoundedSetChecker(const CompiledProgram& compiled);
+
+  bool propagate(Solver& solver) override;
+  void undo_to(const Solver& solver, std::size_t trail_size) override;
+  bool check(Solver& solver) override;
+
+  /// Number of loop nogoods injected so far (statistics).
+  [[nodiscard]] std::uint64_t loop_nogoods() const noexcept { return loop_nogoods_; }
+
+ private:
+  const CompiledProgram& compiled_;
+  std::uint64_t loop_nogoods_ = 0;
+
+  // scratch buffers reused across checks
+  std::vector<char> founded_;
+  std::vector<std::uint32_t> missing_;
+};
+
+}  // namespace aspmt::asp

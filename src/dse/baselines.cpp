@@ -1,0 +1,156 @@
+#include "dse/baselines.hpp"
+
+#include <algorithm>
+
+#include "dse/context.hpp"
+#include "dse/optimizer.hpp"
+#include "util/timer.hpp"
+
+namespace aspmt::dse {
+
+BaselineResult enumerate_and_filter(const synth::Specification& spec,
+                                    double time_limit_seconds) {
+  util::Timer timer;
+  const util::Deadline deadline(time_limit_seconds);
+  ContextOptions copts;
+  copts.archive_kind = "linear";  // archive stays empty: no dominance pruning
+  SynthContext ctx(spec, copts);
+
+  BaselineResult result;
+  std::vector<pareto::Vec> vectors;
+  for (;;) {
+    const asp::Solver::Result r = ctx.solver.solve({}, &deadline);
+    if (r == asp::Solver::Result::Sat) {
+      ++result.models;
+      vectors.push_back(ctx.capture().vector());
+      // Block exactly this implementation (projection onto decision atoms).
+      std::vector<asp::Lit> blocking;
+      blocking.reserve(ctx.encoding.decision_lits.size());
+      for (const asp::Lit d : ctx.encoding.decision_lits) {
+        blocking.push_back(ctx.solver.model_value(d.var()) == d.positive() ? ~d : d);
+      }
+      if (!ctx.solver.add_clause(std::move(blocking))) {
+        result.complete = true;
+        break;
+      }
+      continue;
+    }
+    result.complete = (r == asp::Solver::Result::Unsat);
+    break;
+  }
+  result.front = pareto::non_dominated_filter(std::move(vectors));
+  result.conflicts = ctx.solver.stats().conflicts;
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+BaselineResult lexicographic_epsilon(const synth::Specification& spec,
+                                     double time_limit_seconds) {
+  util::Timer timer;
+  const util::Deadline deadline(time_limit_seconds);
+  ContextOptions copts;
+  copts.archive_kind = "linear";  // archive unused
+  SynthContext ctx(spec, copts);
+
+  BaselineResult result;
+  const std::size_t k = ctx.objectives.count();
+  for (;;) {
+    if (deadline.expired()) break;
+    std::vector<asp::Lit> assumptions;
+    pareto::Vec point(k, 0);
+    bool feasible = true;
+    bool proven = true;
+    for (std::size_t o = 0; o < k; ++o) {
+      const MinimizeResult mr = minimize_objective(ctx, o, assumptions, &deadline);
+      if (!mr.feasible) {
+        feasible = false;
+        proven = mr.proven;  // Unsat proves exhaustion; a timeout does not
+        break;
+      }
+      proven = proven && mr.proven;
+      point[o] = mr.best;
+    }
+    if (!feasible) {
+      result.complete = proven;
+      break;
+    }
+    if (!proven) break;  // timed out mid-optimisation: the point is unproven
+    result.front.push_back(point);
+    // Exclude the weakly dominated region of `point`: some objective must
+    // improve strictly.  d_o  ->  objective_o <= point_o - 1.
+    std::vector<asp::Lit> some_better;
+    for (std::size_t o = 0; o < k; ++o) {
+      const asp::Lit d = asp::Lit::make(ctx.solver.new_var(), true);
+      ctx.objectives.add_bound(o, point[o] - 1, d);
+      some_better.push_back(d);
+    }
+    if (!ctx.solver.add_clause(std::move(some_better))) {
+      result.complete = true;
+      break;
+    }
+  }
+  std::sort(result.front.begin(), result.front.end());
+  result.models = ctx.solver.stats().models;
+  result.conflicts = ctx.solver.stats().conflicts;
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+BaselineResult lexicographic_epsilon_cold(const synth::Specification& spec,
+                                          double time_limit_seconds) {
+  util::Timer timer;
+  const util::Deadline deadline(time_limit_seconds);
+  ContextOptions copts;
+  copts.archive_kind = "linear";  // archive unused
+
+  BaselineResult result;
+  std::vector<pareto::Vec> excluded;
+  for (;;) {
+    if (deadline.expired()) break;
+    // Single-shot: re-ground and re-solve from scratch for every point.
+    SynthContext ctx(spec, copts);
+    const std::size_t k = ctx.objectives.count();
+    for (const pareto::Vec& p : excluded) {
+      std::vector<asp::Lit> some_better;
+      for (std::size_t o = 0; o < k; ++o) {
+        const asp::Lit d = asp::Lit::make(ctx.solver.new_var(), true);
+        ctx.objectives.add_bound(o, p[o] - 1, d);
+        some_better.push_back(d);
+      }
+      if (!ctx.solver.add_clause(std::move(some_better))) {
+        result.complete = true;
+        break;
+      }
+    }
+    if (result.complete) break;
+
+    std::vector<asp::Lit> assumptions;
+    pareto::Vec point(k, 0);
+    bool feasible = true;
+    bool proven = true;
+    for (std::size_t o = 0; o < k; ++o) {
+      const MinimizeResult mr = minimize_objective(ctx, o, assumptions, &deadline);
+      if (!mr.feasible) {
+        feasible = false;
+        proven = mr.proven;
+        break;
+      }
+      proven = proven && mr.proven;
+      point[o] = mr.best;
+    }
+    result.models += ctx.solver.stats().models;
+    result.conflicts += ctx.solver.stats().conflicts;
+    if (!feasible) {
+      result.complete = proven;
+      break;
+    }
+    if (!proven) break;
+    result.front.push_back(point);
+    excluded.push_back(point);
+  }
+  std::sort(result.front.begin(), result.front.end());
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace aspmt::dse

@@ -1,0 +1,47 @@
+// Baseline exact methods the paper series compares against.
+//
+// * enumerate_and_filter — enumerate every implementation with blocking
+//   clauses over the decision atoms and filter dominated objective vectors
+//   afterwards (the naive exact approach; exponential in practice).
+// * lexicographic_epsilon — iterative exact front construction: repeatedly
+//   find the lexicographically minimal remaining point by single-objective
+//   branch-and-bound, then exclude its weakly dominated region through
+//   indicator-guarded objective bounds.  Exact, but re-optimises from
+//   scratch for every front point and has no dominance propagation.
+// * nsga2 (ea/nsga2.hpp) is the heuristic comparator for Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pareto/point.hpp"
+#include "synth/spec.hpp"
+
+namespace aspmt::dse {
+
+struct BaselineResult {
+  std::vector<pareto::Vec> front;  ///< sorted lexicographically
+  std::uint64_t models = 0;        ///< enumerated models / B&B models
+  std::uint64_t conflicts = 0;
+  double seconds = 0.0;
+  bool complete = false;  ///< exactness proven within the time limit
+};
+
+/// B1: full enumeration + non-dominated filtering.
+[[nodiscard]] BaselineResult enumerate_and_filter(const synth::Specification& spec,
+                                                  double time_limit_seconds = 0.0);
+
+/// B2 (multi-shot): iterative lexicographic ε-constraint construction of the
+/// exact front on ONE persistent solver — learned clauses and theory state
+/// survive across front points (the strongest classical comparator).
+[[nodiscard]] BaselineResult lexicographic_epsilon(const synth::Specification& spec,
+                                                   double time_limit_seconds = 0.0);
+
+/// B3 (single-shot): the same algorithm, but the solver is rebuilt from
+/// scratch for every front point — the re-grounding/re-solving workflow of a
+/// conventional one-shot solver pipeline that the multi-shot ASPmT papers
+/// argue against.
+[[nodiscard]] BaselineResult lexicographic_epsilon_cold(
+    const synth::Specification& spec, double time_limit_seconds = 0.0);
+
+}  // namespace aspmt::dse

@@ -1,0 +1,55 @@
+#include "dse/context.hpp"
+
+namespace aspmt::dse {
+
+bool ModelCapture::check(asp::Solver& solver) {
+  vector_ = ctx_.objectives.lower_bounds();
+  impl_ = synth::decode_current(ctx_.spec(), ctx_.encoding, solver, ctx_.linear,
+                                ctx_.difference);
+  return true;
+}
+
+SynthContext::SynthContext(const synth::Specification& spec, ContextOptions options)
+    : solver(options.solver_options), spec_(&spec) {
+  synth::EncodeOptions eopts;
+  eopts.objective_floors = options.objective_floors;
+  encoding = synth::encode(spec, solver, linear, difference, eopts);
+
+  objectives.add_makespan("latency", &difference, encoding.makespan);
+  objectives.add_linear("energy", &linear, encoding.energy_sum);
+  objectives.add_floor(&linear, encoding.energy_floor_sum);
+  objectives.add_linear("cost", &linear, encoding.cost_sum);
+
+  unfounded_ = std::make_unique<asp::UnfoundedSetChecker>(encoding.compiled);
+  archive_ = pareto::make_archive(options.archive_kind, objectives.count());
+  dominance_ = std::make_unique<DominancePropagator>(objectives, *archive_);
+  capture_ = std::make_unique<ModelCapture>(*this);
+
+  if (!options.partial_evaluation) {
+    linear.set_partial_evaluation(false);
+    difference.set_partial_evaluation(false);
+    dominance_->set_partial_evaluation(false);
+  }
+
+  if (options.binding_first_heuristic) {
+    // Deciding bindings first fixes the WCET/energy/cost contributions of
+    // every task, so the objective lower bounds (and with them the dominance
+    // propagator) become meaningful at shallow decision levels.
+    for (const auto& per_task : encoding.bind_atom) {
+      for (const asp::Atom a : per_task) {
+        solver.boost_variable(encoding.compiled.atom_var[a], 100.0);
+      }
+    }
+  }
+
+  // Registration order matters: theories first (they feed the objective
+  // bounds), then stability, then dominance, then capture (which must only
+  // run on accepted assignments).
+  solver.add_propagator(&linear);
+  solver.add_propagator(&difference);
+  solver.add_propagator(unfounded_.get());
+  solver.add_propagator(dominance_.get());
+  solver.add_propagator(capture_.get());
+}
+
+}  // namespace aspmt::dse

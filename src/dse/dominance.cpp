@@ -1,0 +1,34 @@
+#include "dse/dominance.hpp"
+
+#include <algorithm>
+
+#include "asp/solver.hpp"
+
+namespace aspmt::dse {
+
+bool DominancePropagator::enforce(asp::Solver& solver) {
+  if (archive_.size() == 0) return true;
+  objectives_.lower_bounds_into(corner_);
+  // With ε-dominance an archive point p blocks {f >= p - eps}; querying the
+  // archive with the ε-shifted corner finds exactly those p.
+  if (!epsilon_.empty()) {
+    for (std::size_t i = 0; i < corner_.size(); ++i) corner_[i] += epsilon_[i];
+  }
+  const pareto::Vec* dominator = archive_.find_weak_dominator(corner_);
+  if (dominator == nullptr) return true;
+
+  // Every completion is (ε-)dominated by *dominator: build the nogood from
+  // the per-objective explanations of the lower-bound corner.
+  std::vector<asp::Lit> clause;
+  for (std::size_t i = 0; i < objectives_.count(); ++i) {
+    const std::int64_t eps = epsilon_.empty() ? 0 : epsilon_[i];
+    objectives_.explain(i, (*dominator)[i] - eps, clause);
+  }
+  std::sort(clause.begin(), clause.end());
+  clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+  for (asp::Lit& l : clause) l = ~l;
+  ++prunings_;
+  return solver.add_theory_clause(clause);
+}
+
+}  // namespace aspmt::dse

@@ -1,0 +1,70 @@
+// The dominance propagator — the heart of exact multi-objective DSE with
+// ASPmT.
+//
+// It holds the current Pareto archive.  At every propagation fixpoint it
+// assembles the objective-space *lower-bound corner* of the current partial
+// assignment (partial assignment evaluation) and asks the archive for a
+// weak dominator: if some archived point p is <= the corner componentwise,
+// then every completion of this partial assignment is weakly dominated by p
+// and the whole subtree is pruned with a theory nogood built from the
+// per-objective bound explanations.  When the enumeration finally runs dry,
+// the archive *is* the exact Pareto front.
+//
+// Soundness across the run: a point is only ever removed from the archive
+// when a new point dominates it, and the blocked region of the dominator is
+// a superset of the removed point's region — so clauses learned from older
+// archive states remain valid.
+#pragma once
+
+#include "asp/propagator.hpp"
+#include "dse/objective_manager.hpp"
+#include "pareto/archive.hpp"
+
+namespace aspmt::dse {
+
+class DominancePropagator final : public asp::TheoryPropagator {
+ public:
+  /// Both references must outlive the propagator.
+  DominancePropagator(const ObjectiveManager& objectives, pareto::Archive& archive)
+      : objectives_(objectives), archive_(archive) {}
+
+  /// Record a newly found implementation's objective vector.  Returns true
+  /// iff the point entered the archive (i.e. was not weakly dominated).
+  bool insert(const pareto::Vec& point) { return archive_.insert(point); }
+
+  [[nodiscard]] const pareto::Archive& archive() const noexcept { return archive_; }
+
+  /// Ablation switch: when disabled, dominance is only enforced on total
+  /// assignments (the pre-DATE'17 behaviour).
+  void set_partial_evaluation(bool enabled) noexcept { partial_eval_ = enabled; }
+
+  /// Enable ε-dominance: additionally block every region some archive point
+  /// p epsilon-dominates (f >= p - eps componentwise).  The run then
+  /// terminates with an ε-approximate Pareto set: every true front point q
+  /// has an archive point p with p <= q + eps.  Empty vector (default) means
+  /// exact exploration.  Must be set before solving starts and never
+  /// relaxed (blocked regions may only grow).
+  void set_epsilon(pareto::Vec epsilon) { epsilon_ = std::move(epsilon); }
+
+  /// Number of subtrees pruned by dominance conflicts.
+  [[nodiscard]] std::uint64_t prunings() const noexcept { return prunings_; }
+
+  // -- TheoryPropagator ----------------------------------------------------
+  bool propagate(asp::Solver& solver) override {
+    return partial_eval_ ? enforce(solver) : true;
+  }
+  void undo_to(const asp::Solver&, std::size_t) override {}
+  bool check(asp::Solver& solver) override { return enforce(solver); }
+
+ private:
+  bool enforce(asp::Solver& solver);
+
+  const ObjectiveManager& objectives_;
+  pareto::Archive& archive_;
+  pareto::Vec corner_;  // scratch, avoids per-fixpoint allocation
+  pareto::Vec epsilon_;  // empty = exact
+  std::uint64_t prunings_ = 0;
+  bool partial_eval_ = true;
+};
+
+}  // namespace aspmt::dse

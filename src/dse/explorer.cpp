@@ -1,0 +1,134 @@
+#include "dse/explorer.hpp"
+
+#include <cassert>
+#include <map>
+
+#include "dse/context.hpp"
+#include "util/timer.hpp"
+
+namespace aspmt::dse {
+
+ExploreResult explore(const synth::Specification& spec,
+                      const ExploreOptions& options) {
+  util::Timer timer;
+  const util::Deadline deadline(options.time_limit_seconds);
+
+  ContextOptions copts;
+  copts.archive_kind = options.archive_kind;
+  copts.partial_evaluation = options.partial_evaluation;
+  copts.objective_floors = options.objective_floors;
+  copts.solver_options = options.solver_options;
+  SynthContext ctx(spec, copts);
+  if (!options.epsilon.empty()) {
+    assert(options.epsilon.size() == ctx.objectives.count());
+    ctx.dominance().set_epsilon(options.epsilon);
+  }
+
+  ExploreResult result;
+  std::map<pareto::Vec, synth::Implementation> witnesses;
+
+  bool out_of_time = false;
+  for (;;) {
+    const asp::Solver::Result r = ctx.solver.solve({}, &deadline);
+    if (r == asp::Solver::Result::Sat) {
+      ++result.stats.models;
+      pareto::Vec point = ctx.capture().vector();
+      // The dominance check already rejected weakly dominated candidates,
+      // so insertion must succeed.
+      const bool inserted = ctx.dominance().insert(point);
+      assert(inserted);
+      (void)inserted;
+      result.discoveries.emplace_back(timer.elapsed_seconds(), point);
+      if (options.collect_witnesses) {
+        witnesses[point] = ctx.capture().implementation();
+      }
+      // Drill down: chase strictly dominating points until none is left.
+      // The archive already blocks f >= point, so requiring f <= point
+      // leaves exactly the strictly-better region.
+      while (options.drill_down) {
+        const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
+        for (std::size_t o = 0; o < ctx.objectives.count(); ++o) {
+          ctx.objectives.add_bound(o, point[o], act);
+        }
+        const std::vector<asp::Lit> assume{act};
+        const asp::Solver::Result r2 = ctx.solver.solve(assume, &deadline);
+        if (r2 == asp::Solver::Result::Unknown) {
+          out_of_time = true;
+          break;
+        }
+        if (r2 == asp::Solver::Result::Unsat) break;  // point is Pareto-optimal
+        ++result.stats.models;
+        point = ctx.capture().vector();
+        const bool better = ctx.dominance().insert(point);
+        assert(better);
+        (void)better;
+        result.discoveries.emplace_back(timer.elapsed_seconds(), point);
+        if (options.collect_witnesses) {
+          witnesses[point] = ctx.capture().implementation();
+        }
+      }
+      if (out_of_time) break;
+      continue;
+    }
+    result.stats.complete = (r == asp::Solver::Result::Unsat);
+    break;
+  }
+
+  result.front = ctx.archive().points();
+  if (options.collect_witnesses) {
+    result.witnesses.reserve(result.front.size());
+    for (const pareto::Vec& p : result.front) {
+      const auto it = witnesses.find(p);
+      assert(it != witnesses.end());
+      result.witnesses.push_back(it->second);
+    }
+  }
+
+  const asp::SolverStats& s = ctx.solver.stats();
+  result.stats.prunings = ctx.dominance().prunings();
+  result.stats.conflicts = s.conflicts;
+  result.stats.decisions = s.decisions;
+  result.stats.propagations = s.propagations;
+  result.stats.theory_clauses = s.theory_clauses;
+  result.stats.archive_comparisons = ctx.archive().comparisons();
+  result.stats.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+WitnessEnumeration enumerate_witnesses(const synth::Specification& spec,
+                                       const pareto::Vec& point,
+                                       std::size_t limit,
+                                       double time_limit_seconds) {
+  const util::Deadline deadline(time_limit_seconds);
+  SynthContext ctx(spec, {});
+  assert(point.size() == ctx.objectives.count());
+  // Pin every objective at the point (monotone tightening on a fresh
+  // context is sound without activation literals).
+  for (std::size_t o = 0; o < ctx.objectives.count(); ++o) {
+    ctx.objectives.add_bound(o, point[o]);
+  }
+  WitnessEnumeration result;
+  while (result.implementations.size() < limit) {
+    const asp::Solver::Result r = ctx.solver.solve({}, &deadline);
+    if (r != asp::Solver::Result::Sat) {
+      result.complete = (r == asp::Solver::Result::Unsat);
+      return result;
+    }
+    // With f <= p and p Pareto-optimal, equality is forced.
+    assert(ctx.capture().vector() == point &&
+           "point must be Pareto-optimal for exact witness enumeration");
+    result.implementations.push_back(ctx.capture().implementation());
+    std::vector<asp::Lit> blocking;
+    blocking.reserve(ctx.encoding.decision_lits.size());
+    for (const asp::Lit d : ctx.encoding.decision_lits) {
+      blocking.push_back(ctx.solver.model_value(d.var()) == d.positive() ? ~d : d);
+    }
+    if (!ctx.solver.add_clause(std::move(blocking))) {
+      result.complete = true;
+      return result;
+    }
+  }
+  return result;  // limit reached; completeness unknown
+}
+
+}  // namespace aspmt::dse

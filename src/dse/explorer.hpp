@@ -1,0 +1,87 @@
+// Exact multi-objective design space exploration using ASPmT — the paper's
+// headline algorithm.
+//
+// The explorer enumerates answer sets of the synthesis encoding.  Every
+// accepted model's objective vector enters the Pareto archive held by the
+// dominance propagator, which from then on prunes (already during search,
+// on partial assignments) every region of the design space that the
+// archive weakly dominates.  When the solver reports unsatisfiability the
+// archive is exactly the Pareto front of the specification — with one
+// witness implementation per front point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asp/solver.hpp"
+#include "pareto/point.hpp"
+#include "synth/implementation.hpp"
+#include "synth/spec.hpp"
+
+namespace aspmt::dse {
+
+struct ExploreOptions {
+  double time_limit_seconds = 0.0;  ///< 0 = unlimited
+  bool partial_evaluation = true;   ///< Figure 3 ablation switch
+  std::string archive_kind = "quadtree";  ///< or "linear" (Figure 4 ablation)
+  bool collect_witnesses = true;
+  /// After every model, immediately descend to a Pareto-optimal point by
+  /// re-solving under activation-guarded bounds f <= v: mediocre interim
+  /// points never enter the archive, so dominance pruning is maximal from
+  /// the first insertion on.
+  bool drill_down = true;
+  /// Binding-pair floor bounds in the encoding (ablation switch; disabling
+  /// never changes the front, only the pruning power).
+  bool objective_floors = true;
+  /// ε-dominance approximation (one additive slack per objective, in
+  /// canonical order latency/energy/cost).  Empty = exact.  With a non-empty
+  /// epsilon the run terminates with an ε-approximate front: every true
+  /// Pareto point q is covered by a returned point p with p <= q + eps.
+  pareto::Vec epsilon;
+  asp::SolverOptions solver_options{};
+};
+
+struct ExploreStats {
+  std::uint64_t models = 0;      ///< accepted answer sets
+  std::uint64_t prunings = 0;    ///< dominance conflicts raised
+  std::uint64_t conflicts = 0;   ///< total solver conflicts
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t theory_clauses = 0;
+  std::uint64_t archive_comparisons = 0;
+  double seconds = 0.0;
+  bool complete = false;  ///< true iff the front is proven exact
+};
+
+struct ExploreResult {
+  std::vector<pareto::Vec> front;  ///< sorted lexicographically
+  /// One witness per front point (parallel to `front`), when collected.
+  std::vector<synth::Implementation> witnesses;
+  /// Anytime profile: (seconds since start, inserted point) for every
+  /// archive insertion, in discovery order.  Later insertions may evict
+  /// earlier points; replaying the sequence reconstructs the archive at any
+  /// point in time.
+  std::vector<std::pair<double, pareto::Vec>> discoveries;
+  ExploreStats stats;
+};
+
+/// Compute the exact Pareto front of `spec` (latency, energy, cost).
+[[nodiscard]] ExploreResult explore(const synth::Specification& spec,
+                                    const ExploreOptions& options = {});
+
+struct WitnessEnumeration {
+  std::vector<synth::Implementation> implementations;
+  bool complete = false;  ///< false iff `limit` or the deadline cut it short
+};
+
+/// Enumerate all distinct implementations achieving exactly the objective
+/// vector `point` (which must be Pareto-optimal — otherwise strictly better
+/// implementations would slip under the bounds and the function reports
+/// them as a contract violation via assertion).  Distinctness is modulo the
+/// decision atoms: binding, routing, serialization order.
+[[nodiscard]] WitnessEnumeration enumerate_witnesses(
+    const synth::Specification& spec, const pareto::Vec& point,
+    std::size_t limit = 1000, double time_limit_seconds = 0.0);
+
+}  // namespace aspmt::dse

@@ -1,0 +1,94 @@
+#include "dse/objective_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aspmt::dse {
+
+void ObjectiveManager::add_linear(std::string name,
+                                  theory::LinearSumPropagator* propagator,
+                                  theory::LinearSumPropagator::SumId sum) {
+  assert(propagator != nullptr);
+  Entry e;
+  e.name = std::move(name);
+  e.linear = propagator;
+  e.sum = sum;
+  objectives_.push_back(std::move(e));
+}
+
+void ObjectiveManager::add_makespan(std::string name,
+                                    theory::DifferencePropagator* propagator,
+                                    theory::DifferencePropagator::NodeId node) {
+  assert(propagator != nullptr);
+  Entry e;
+  e.name = std::move(name);
+  e.difference = propagator;
+  e.node = node;
+  objectives_.push_back(std::move(e));
+}
+
+void ObjectiveManager::add_floor(theory::LinearSumPropagator* propagator,
+                                 theory::LinearSumPropagator::SumId sum) {
+  assert(!objectives_.empty() && propagator != nullptr);
+  objectives_.back().floors.push_back(Floor{propagator, sum});
+}
+
+std::int64_t ObjectiveManager::lower_bound(std::size_t i) const {
+  const Entry& e = objectives_[i];
+  std::int64_t best = e.linear != nullptr ? e.linear->lower_bound(e.sum)
+                                          : e.difference->lower_bound(e.node);
+  for (const Floor& f : e.floors) {
+    best = std::max(best, f.linear->lower_bound(f.sum));
+  }
+  return best;
+}
+
+pareto::Vec ObjectiveManager::lower_bounds() const {
+  pareto::Vec v;
+  lower_bounds_into(v);
+  return v;
+}
+
+void ObjectiveManager::lower_bounds_into(pareto::Vec& out) const {
+  out.resize(objectives_.size());
+  for (std::size_t i = 0; i < objectives_.size(); ++i) out[i] = lower_bound(i);
+}
+
+void ObjectiveManager::explain(std::size_t i, std::int64_t threshold,
+                               std::vector<asp::Lit>& out) const {
+  const Entry& e = objectives_[i];
+  // Use the primary source when it suffices, else the strongest floor.
+  const std::int64_t primary = e.linear != nullptr
+                                   ? e.linear->lower_bound(e.sum)
+                                   : e.difference->lower_bound(e.node);
+  if (primary >= threshold) {
+    if (e.linear != nullptr) {
+      e.linear->explain_lower_bound(e.sum, threshold, out);
+    } else if (threshold > 0) {
+      e.difference->explain_bound(e.node, out);
+    }
+    return;
+  }
+  for (const Floor& f : e.floors) {
+    if (f.linear->lower_bound(f.sum) >= threshold) {
+      f.linear->explain_lower_bound(f.sum, threshold, out);
+      return;
+    }
+  }
+  assert(threshold <= 0 && "no source explains the requested threshold");
+}
+
+void ObjectiveManager::add_bound(std::size_t i, std::int64_t bound,
+                                 asp::Lit activation) {
+  const Entry& e = objectives_[i];
+  if (e.linear != nullptr) {
+    e.linear->add_bound(e.sum, bound, activation);
+  } else {
+    e.difference->add_bound(e.node, bound, activation);
+  }
+  // Floors never exceed the objective, so the same bound holds for them and
+  // sharpens propagation.
+  for (const Floor& f : e.floors) f.linear->add_bound(f.sum, bound, activation);
+}
+
+}  // namespace aspmt::dse

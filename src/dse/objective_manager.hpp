@@ -1,0 +1,77 @@
+// Uniform view over the objectives of an encoding, regardless of which
+// background theory computes them (guarded linear sums for energy/cost,
+// difference logic for latency).  The dominance propagator and the
+// optimiser only talk to this facade.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asp/literal.hpp"
+#include "pareto/point.hpp"
+#include "theory/difference.hpp"
+#include "theory/linear_sum.hpp"
+
+namespace aspmt::dse {
+
+class ObjectiveManager {
+ public:
+  /// Register a linear-sum objective (non-owning propagator pointer).
+  void add_linear(std::string name, theory::LinearSumPropagator* propagator,
+                  theory::LinearSumPropagator::SumId sum);
+
+  /// Attach a *floor* to the most recently added objective: a redundant sum
+  /// whose value never exceeds the true objective in any total model but
+  /// whose lower bound can be tighter on partial assignments (e.g. minimal
+  /// communication energy implied by the bound endpoints before routing is
+  /// decided).  lower_bound() takes the maximum over all sources; bounds
+  /// added via add_bound() are mirrored onto floors (sound, since
+  /// floor <= objective).
+  void add_floor(theory::LinearSumPropagator* propagator,
+                 theory::LinearSumPropagator::SumId sum);
+
+  /// Register a difference-logic node objective (e.g. the makespan).
+  void add_makespan(std::string name, theory::DifferencePropagator* propagator,
+                    theory::DifferencePropagator::NodeId node);
+
+  [[nodiscard]] std::size_t count() const noexcept { return objectives_.size(); }
+  [[nodiscard]] const std::string& name(std::size_t i) const {
+    return objectives_[i].name;
+  }
+
+  /// Lower bound of objective `i` under the current partial assignment.
+  [[nodiscard]] std::int64_t lower_bound(std::size_t i) const;
+
+  /// All lower bounds as a vector in registration order.
+  [[nodiscard]] pareto::Vec lower_bounds() const;
+
+  /// Allocation-free variant for the propagation hot path.
+  void lower_bounds_into(pareto::Vec& out) const;
+
+  /// Append literals explaining `lower_bound(i) >= threshold` (all true).
+  void explain(std::size_t i, std::int64_t threshold,
+               std::vector<asp::Lit>& out) const;
+
+  /// Impose `objective_i <= bound` (activation-guarded; see the theory
+  /// propagators' add_bound contracts).
+  void add_bound(std::size_t i, std::int64_t bound,
+                 asp::Lit activation = asp::kLitUndef);
+
+ private:
+  struct Floor {
+    theory::LinearSumPropagator* linear = nullptr;
+    theory::LinearSumPropagator::SumId sum = 0;
+  };
+  struct Entry {
+    std::string name;
+    theory::LinearSumPropagator* linear = nullptr;
+    theory::LinearSumPropagator::SumId sum = 0;
+    theory::DifferencePropagator* difference = nullptr;
+    theory::DifferencePropagator::NodeId node = 0;
+    std::vector<Floor> floors;
+  };
+  std::vector<Entry> objectives_;
+};
+
+}  // namespace aspmt::dse

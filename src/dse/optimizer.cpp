@@ -1,0 +1,43 @@
+#include "dse/optimizer.hpp"
+
+#include "dse/context.hpp"
+
+namespace aspmt::dse {
+
+MinimizeResult minimize_objective(SynthContext& ctx, std::size_t objective,
+                                  std::vector<asp::Lit>& assumptions,
+                                  const util::Deadline* deadline) {
+  MinimizeResult result;
+  const std::size_t base = assumptions.size();
+  for (;;) {
+    const asp::Solver::Result r = ctx.solver.solve(assumptions, deadline);
+    if (r == asp::Solver::Result::Sat) {
+      result.feasible = true;
+      result.best = ctx.capture().vector()[objective];
+      // Tighten: require a strictly better value next round.  The previous
+      // tightening assumption (if any) is implied by the new one, so it is
+      // dropped to keep the assumption list short.
+      assumptions.resize(base);
+      const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
+      ctx.objectives.add_bound(objective, result.best - 1, act);
+      assumptions.push_back(act);
+      continue;
+    }
+    if (r == asp::Solver::Result::Unsat) {
+      result.proven = true;  // optimality — or infeasibility — is definitive
+      break;
+    }
+    break;  // deadline expired
+  }
+  // Replace the tightening assumption by a pin at the best value so that
+  // later lexicographic stages keep this objective fixed.
+  assumptions.resize(base);
+  if (result.feasible) {
+    const asp::Lit pin = asp::Lit::make(ctx.solver.new_var(), true);
+    ctx.objectives.add_bound(objective, result.best, pin);
+    assumptions.push_back(pin);
+  }
+  return result;
+}
+
+}  // namespace aspmt::dse

@@ -1,0 +1,36 @@
+// Single-objective branch-and-bound on top of a SynthContext.
+//
+// Minimisation works by repeatedly solving under an assumption literal that
+// activates the bound `objective <= best - 1`; unsatisfiability under the
+// assumption proves optimality without poisoning the solver (the bound's
+// clauses all carry the negated activation literal).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asp/literal.hpp"
+#include "util/timer.hpp"
+
+namespace aspmt::dse {
+
+class SynthContext;
+
+struct MinimizeResult {
+  bool feasible = false;  ///< at least one model was found
+  /// The outcome is definitive: optimality when feasible, infeasibility when
+  /// not.  False only when the deadline expired first.
+  bool proven = false;
+  std::int64_t best = 0;  ///< best objective value seen
+};
+
+/// Minimise objective `objective` (index into ctx.objectives) subject to the
+/// context's constraints and `assumptions`.  On return (when feasible) a
+/// fresh activation literal pinning `objective <= best` has been appended to
+/// `assumptions`, so subsequent calls optimise lexicographically.
+[[nodiscard]] MinimizeResult minimize_objective(SynthContext& ctx,
+                                                std::size_t objective,
+                                                std::vector<asp::Lit>& assumptions,
+                                                const util::Deadline* deadline);
+
+}  // namespace aspmt::dse

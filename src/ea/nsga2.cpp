@@ -1,0 +1,336 @@
+#include "ea/nsga2.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+#include "pareto/archive.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace aspmt::ea {
+
+namespace {
+
+using synth::LinkId;
+using synth::ResourceId;
+using synth::Specification;
+using synth::TaskId;
+
+/// Deterministic shortest path (BFS, lowest link id first).  Empty result
+/// plus `found=false` when unreachable; empty plus true when from == to.
+bool shortest_path(const Specification& spec, ResourceId from, ResourceId to,
+                   std::vector<LinkId>& out) {
+  out.clear();
+  if (from == to) return true;
+  const std::size_t n = spec.resources().size();
+  std::vector<LinkId> via(n, 0xffffffffU);
+  std::vector<char> seen(n, 0);
+  seen[from] = 1;
+  std::deque<ResourceId> queue{from};
+  while (!queue.empty()) {
+    const ResourceId u = queue.front();
+    queue.pop_front();
+    for (const LinkId l : spec.links_from(u)) {
+      const ResourceId v = spec.links()[l].to;
+      if (seen[v] != 0) continue;
+      seen[v] = 1;
+      via[v] = l;
+      if (v == to) {
+        // reconstruct
+        ResourceId at = to;
+        while (at != from) {
+          out.push_back(via[at]);
+          at = spec.links()[via[at]].from;
+        }
+        std::reverse(out.begin(), out.end());
+        return true;
+      }
+      queue.push_back(v);
+    }
+  }
+  return false;
+}
+
+/// Priority-driven list scheduling honouring precedence, communication
+/// delays and resource exclusivity.
+void list_schedule(const Specification& spec, synth::Implementation& impl,
+                   const std::vector<double>& priority) {
+  const std::size_t T = spec.tasks().size();
+  std::vector<std::uint32_t> pending(T, 0);  // unscheduled predecessors
+  std::vector<std::vector<synth::MessageId>> incoming(T);
+  for (synth::MessageId m = 0; m < spec.messages().size(); ++m) {
+    ++pending[spec.messages()[m].dst];
+    incoming[spec.messages()[m].dst].push_back(m);
+  }
+  std::vector<std::int64_t> resource_free(spec.resources().size(), 0);
+  std::vector<char> done(T, 0);
+  impl.start.assign(T, 0);
+
+  for (std::size_t scheduled = 0; scheduled < T; ++scheduled) {
+    // Highest-priority ready task (deterministic tie-break by id).
+    TaskId best = 0;
+    bool have = false;
+    for (TaskId t = 0; t < T; ++t) {
+      if (done[t] != 0 || pending[t] != 0) continue;
+      if (!have || priority[t] > priority[best]) {
+        best = t;
+        have = true;
+      }
+    }
+    assert(have && "application graph must be acyclic");
+    std::int64_t ready = 0;
+    for (const synth::MessageId m : incoming[best]) {
+      const synth::Message& msg = spec.messages()[m];
+      std::int64_t arrival = impl.start[msg.src] +
+                             spec.mappings()[impl.option_of_task[msg.src]].wcet;
+      for (const LinkId l : impl.route[m]) {
+        arrival += spec.links()[l].hop_delay * msg.payload;
+      }
+      ready = std::max(ready, arrival);
+    }
+    const ResourceId r = impl.binding[best];
+    impl.start[best] = std::max(ready, resource_free[r]);
+    resource_free[r] =
+        impl.start[best] + spec.mappings()[impl.option_of_task[best]].wcet;
+    done[best] = 1;
+    for (synth::MessageId m = 0; m < spec.messages().size(); ++m) {
+      if (spec.messages()[m].src == best) --pending[spec.messages()[m].dst];
+    }
+  }
+
+  std::int64_t latency = 0;
+  for (TaskId t = 0; t < T; ++t) {
+    latency = std::max(latency,
+                       impl.start[t] + spec.mappings()[impl.option_of_task[t]].wcet);
+  }
+  impl.latency = latency;
+}
+
+struct Individual {
+  Genotype genotype;
+  pareto::Vec objectives;
+  bool feasible = false;
+  std::uint32_t rank = 0;
+  double crowding = 0.0;
+};
+
+void non_dominated_sort(std::vector<Individual>& pop) {
+  const std::size_t n = pop.size();
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<std::uint32_t> counter(n, 0);
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const pareto::DomRel r = pareto::compare(pop[i].objectives, pop[j].objectives);
+      if (r == pareto::DomRel::Dominates) {
+        dominated_by[i].push_back(j);
+        ++counter[j];
+      } else if (r == pareto::DomRel::Dominated) {
+        dominated_by[j].push_back(i);
+        ++counter[i];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (counter[i] == 0) {
+      pop[i].rank = 0;
+      current.push_back(i);
+    }
+  }
+  std::uint32_t rank = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (const std::size_t i : current) {
+      for (const std::size_t j : dominated_by[i]) {
+        if (--counter[j] == 0) {
+          pop[j].rank = rank + 1;
+          next.push_back(j);
+        }
+      }
+    }
+    ++rank;
+    current = std::move(next);
+  }
+}
+
+void assign_crowding(std::vector<Individual>& pop) {
+  const std::size_t n = pop.size();
+  if (n == 0) return;
+  const std::size_t k = pop.front().objectives.size();
+  for (Individual& ind : pop) ind.crowding = 0.0;
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t o = 0; o < k; ++o) {
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return pop[a].objectives[o] < pop[b].objectives[o];
+    });
+    pop[idx.front()].crowding = std::numeric_limits<double>::infinity();
+    pop[idx.back()].crowding = std::numeric_limits<double>::infinity();
+    const double span = static_cast<double>(pop[idx.back()].objectives[o] -
+                                            pop[idx.front()].objectives[o]);
+    if (span <= 0.0) continue;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      pop[idx[i]].crowding +=
+          static_cast<double>(pop[idx[i + 1]].objectives[o] -
+                              pop[idx[i - 1]].objectives[o]) /
+          span;
+    }
+  }
+}
+
+/// True if a is a better survivor than b.
+bool crowded_less(const Individual& a, const Individual& b) {
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.crowding > b.crowding;
+}
+
+}  // namespace
+
+bool decode_genotype(const Specification& spec, const Genotype& genotype,
+                     synth::Implementation& out) {
+  const std::size_t T = spec.tasks().size();
+  const std::size_t M = spec.messages().size();
+  synth::Implementation impl;
+  impl.option_of_task.resize(T);
+  impl.binding.resize(T);
+  impl.route.assign(M, {});
+  for (TaskId t = 0; t < T; ++t) {
+    const auto& opts = spec.mappings_of(t);
+    const std::size_t local = genotype.option[t] % opts.size();
+    impl.option_of_task[t] = opts[local];
+    impl.binding[t] = spec.mappings()[opts[local]].resource;
+  }
+  // Capacity-respecting repair is out of scope: over-capacity genotypes are
+  // simply infeasible, as are unroutable bindings.
+  for (ResourceId r = 0; r < spec.resources().size(); ++r) {
+    const std::uint32_t cap = spec.resources()[r].capacity;
+    if (cap == 0) continue;
+    std::uint32_t used = 0;
+    for (TaskId t = 0; t < T; ++t) {
+      if (impl.binding[t] == r) ++used;
+    }
+    if (used > cap) return false;
+  }
+  for (synth::MessageId m = 0; m < M; ++m) {
+    const synth::Message& msg = spec.messages()[m];
+    if (!shortest_path(spec, impl.binding[msg.src], impl.binding[msg.dst],
+                       impl.route[m])) {
+      return false;
+    }
+  }
+  list_schedule(spec, impl, genotype.priority);
+  if (spec.latency_bound > 0 && impl.latency > spec.latency_bound) return false;
+
+  // Energy and cost from the decoded structure.
+  std::int64_t energy = 0;
+  for (TaskId t = 0; t < T; ++t) {
+    energy += spec.mappings()[impl.option_of_task[t]].energy;
+  }
+  std::vector<char> allocated(spec.resources().size(), 0);
+  for (TaskId t = 0; t < T; ++t) allocated[impl.binding[t]] = 1;
+  for (synth::MessageId m = 0; m < M; ++m) {
+    for (const LinkId l : impl.route[m]) {
+      energy += spec.links()[l].hop_energy * spec.messages()[m].payload;
+      allocated[spec.links()[l].to] = 1;
+    }
+  }
+  std::int64_t cost = 0;
+  for (ResourceId r = 0; r < spec.resources().size(); ++r) {
+    if (allocated[r] != 0) cost += spec.resources()[r].cost;
+  }
+  impl.energy = energy;
+  impl.cost = cost;
+  out = std::move(impl);
+  return true;
+}
+
+Nsga2Result nsga2(const Specification& spec, const Nsga2Options& options) {
+  util::Timer timer;
+  util::Rng rng(options.seed);
+  const std::size_t T = spec.tasks().size();
+  const double mutation =
+      options.mutation_rate > 0.0 ? options.mutation_rate : 1.0 / static_cast<double>(T);
+
+  Nsga2Result result;
+  pareto::LinearArchive archive;
+
+  auto evaluate = [&](Individual& ind) {
+    synth::Implementation impl;
+    ++result.evaluations;
+    if (decode_genotype(spec, ind.genotype, impl)) {
+      ind.feasible = true;
+      ind.objectives = impl.objectives();
+      if (archive.insert(ind.objectives)) {
+        result.discoveries.emplace_back(timer.elapsed_seconds(), ind.objectives);
+      }
+    } else {
+      ind.feasible = false;
+      const std::int64_t big = std::numeric_limits<std::int64_t>::max() / 4;
+      ind.objectives = pareto::Vec{big, big, big};
+    }
+  };
+
+  auto random_individual = [&]() {
+    Individual ind;
+    ind.genotype.option.resize(T);
+    ind.genotype.priority.resize(T);
+    for (TaskId t = 0; t < T; ++t) {
+      ind.genotype.option[t] = rng.below(spec.mappings_of(t).size());
+      ind.genotype.priority[t] = rng.uniform();
+    }
+    evaluate(ind);
+    return ind;
+  };
+
+  std::vector<Individual> pop;
+  pop.reserve(options.population);
+  for (std::size_t i = 0; i < options.population; ++i) pop.push_back(random_individual());
+  non_dominated_sort(pop);
+  assign_crowding(pop);
+
+  auto tournament = [&]() -> const Individual& {
+    const Individual& a = pop[rng.below(pop.size())];
+    const Individual& b = pop[rng.below(pop.size())];
+    return crowded_less(a, b) ? a : b;
+  };
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    std::vector<Individual> offspring;
+    offspring.reserve(options.population);
+    while (offspring.size() < options.population) {
+      Individual child;
+      const Individual& p1 = tournament();
+      const Individual& p2 = tournament();
+      child.genotype = p1.genotype;
+      if (rng.chance(options.crossover_rate)) {
+        for (TaskId t = 0; t < T; ++t) {
+          if (rng.chance(0.5)) child.genotype.option[t] = p2.genotype.option[t];
+          if (rng.chance(0.5)) child.genotype.priority[t] = p2.genotype.priority[t];
+        }
+      }
+      for (TaskId t = 0; t < T; ++t) {
+        if (rng.chance(mutation)) {
+          child.genotype.option[t] = rng.below(spec.mappings_of(t).size());
+        }
+        if (rng.chance(mutation)) child.genotype.priority[t] = rng.uniform();
+      }
+      evaluate(child);
+      offspring.push_back(std::move(child));
+    }
+    // Environmental selection over the union.
+    pop.insert(pop.end(), std::make_move_iterator(offspring.begin()),
+               std::make_move_iterator(offspring.end()));
+    non_dominated_sort(pop);
+    assign_crowding(pop);
+    std::sort(pop.begin(), pop.end(), crowded_less);
+    pop.resize(options.population);
+  }
+
+  result.front = archive.points();
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace aspmt::ea

@@ -1,0 +1,65 @@
+#include "pareto/point.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aspmt::pareto {
+
+DomRel compare(std::span<const std::int64_t> a,
+               std::span<const std::int64_t> b) noexcept {
+  assert(a.size() == b.size());
+  bool a_better = false;
+  bool b_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) a_better = true;
+    else if (b[i] < a[i]) b_better = true;
+  }
+  if (a_better && b_better) return DomRel::Incomparable;
+  if (a_better) return DomRel::Dominates;
+  if (b_better) return DomRel::Dominated;
+  return DomRel::Equal;
+}
+
+bool weakly_dominates(std::span<const std::int64_t> a,
+                      std::span<const std::int64_t> b) noexcept {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+bool dominates(std::span<const std::int64_t> a,
+               std::span<const std::int64_t> b) noexcept {
+  const DomRel r = compare(a, b);
+  return r == DomRel::Dominates;
+}
+
+std::vector<Vec> non_dominated_filter(std::vector<Vec> points) {
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  std::vector<Vec> front;
+  for (const Vec& p : points) {
+    bool keep = true;
+    for (const Vec& q : points) {
+      if (&p != &q && weakly_dominates(q, p) && q != p) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) front.push_back(p);
+  }
+  return front;
+}
+
+std::string to_string(std::span<const std::int64_t> v) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(v[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace aspmt::pareto

@@ -1,0 +1,39 @@
+// Objective vectors and Pareto dominance (minimisation everywhere).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aspmt::pareto {
+
+/// An objective vector; all objectives are minimised.
+using Vec = std::vector<std::int64_t>;
+
+enum class DomRel : std::uint8_t {
+  Dominates,     ///< a <= b componentwise and a < b somewhere
+  Dominated,     ///< b dominates a
+  Equal,         ///< a == b
+  Incomparable,  ///< neither
+};
+
+/// Pairwise dominance relation of two vectors of equal dimension.
+[[nodiscard]] DomRel compare(std::span<const std::int64_t> a,
+                             std::span<const std::int64_t> b) noexcept;
+
+/// a <= b componentwise (weak dominance, includes equality).
+[[nodiscard]] bool weakly_dominates(std::span<const std::int64_t> a,
+                                    std::span<const std::int64_t> b) noexcept;
+
+/// a <= b componentwise and a != b (strict Pareto dominance).
+[[nodiscard]] bool dominates(std::span<const std::int64_t> a,
+                             std::span<const std::int64_t> b) noexcept;
+
+/// Remove dominated (and duplicate) vectors; result sorted lexicographically.
+[[nodiscard]] std::vector<Vec> non_dominated_filter(std::vector<Vec> points);
+
+/// "(a, b, c)" rendering for reports.
+[[nodiscard]] std::string to_string(std::span<const std::int64_t> v);
+
+}  // namespace aspmt::pareto

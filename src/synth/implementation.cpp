@@ -1,0 +1,74 @@
+#include "synth/implementation.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace aspmt::synth {
+
+std::string Implementation::describe(const Specification& spec) const {
+  std::ostringstream os;
+  os << "objectives: latency=" << latency << " energy=" << energy
+     << " cost=" << cost << "\n";
+  for (TaskId t = 0; t < spec.tasks().size(); ++t) {
+    os << "  " << spec.tasks()[t].name << " -> "
+       << spec.resources()[binding[t]].name << " @t=" << start[t]
+       << " (wcet=" << spec.mappings()[option_of_task[t]].wcet << ")\n";
+  }
+  for (MessageId m = 0; m < spec.messages().size(); ++m) {
+    const Message& msg = spec.messages()[m];
+    os << "  " << msg.name << ": " << spec.resources()[binding[msg.src]].name;
+    for (const LinkId l : route[m]) {
+      os << " -> " << spec.resources()[spec.links()[l].to].name;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string Implementation::describe_schedule(const Specification& spec) const {
+  std::ostringstream os;
+  if (latency <= 0) return "(empty schedule)\n";
+  // Compress the time axis to at most ~72 columns.
+  const std::int64_t unit = std::max<std::int64_t>(1, (latency + 71) / 72);
+  const auto columns = static_cast<std::size_t>((latency + unit - 1) / unit);
+
+  std::size_t label_width = 0;
+  for (const Resource& r : spec.resources()) {
+    label_width = std::max(label_width, r.name.size());
+  }
+
+  for (ResourceId r = 0; r < spec.resources().size(); ++r) {
+    std::string row(columns, '.');
+    bool used = false;
+    for (TaskId t = 0; t < spec.tasks().size(); ++t) {
+      if (binding[t] != r) continue;
+      used = true;
+      const std::int64_t begin = start[t];
+      const std::int64_t end = begin + spec.mappings()[option_of_task[t]].wcet;
+      const char label =
+          static_cast<char>('A' + static_cast<int>(t % 26));
+      for (std::int64_t x = begin; x < end; ++x) {
+        const auto col = static_cast<std::size_t>(x / unit);
+        if (col < columns) row[col] = label;
+      }
+    }
+    if (!used) continue;
+    os << std::left << std::setw(static_cast<int>(label_width) + 2)
+       << spec.resources()[r].name << "|" << row << "|\n";
+  }
+  os << std::left << std::setw(static_cast<int>(label_width) + 2) << "t" << " 0";
+  const std::string tail = std::to_string(latency);
+  if (columns > tail.size() + 2) {
+    os << std::string(columns - tail.size() - 1, ' ') << tail;
+  }
+  os << "  (1 column = " << unit << " time unit" << (unit == 1 ? "" : "s") << ")\n";
+  // Legend.
+  for (TaskId t = 0; t < spec.tasks().size(); ++t) {
+    os << "  " << static_cast<char>('A' + static_cast<int>(t % 26)) << " = "
+       << spec.tasks()[t].name << " @" << start[t] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aspmt::synth

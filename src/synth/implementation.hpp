@@ -1,0 +1,43 @@
+// A decoded implementation: one feasible design point of the specification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pareto/point.hpp"
+#include "synth/spec.hpp"
+
+namespace aspmt::synth {
+
+struct Implementation {
+  /// Chosen mapping option (index into Specification::mappings) per task.
+  std::vector<std::size_t> option_of_task;
+
+  /// Resource executing each task (redundant with option_of_task; kept for
+  /// convenience and validated for consistency).
+  std::vector<ResourceId> binding;
+
+  /// Route per message: ordered link ids from the source task's resource to
+  /// the destination task's resource; empty when both share a resource.
+  std::vector<std::vector<LinkId>> route;
+
+  /// ASAP start time per task.
+  std::vector<std::int64_t> start;
+
+  std::int64_t latency = 0;
+  std::int64_t energy = 0;
+  std::int64_t cost = 0;
+
+  /// Objective vector in the canonical order (latency, energy, cost).
+  [[nodiscard]] pareto::Vec objectives() const { return {latency, energy, cost}; }
+
+  /// Human-readable multi-line rendering.
+  [[nodiscard]] std::string describe(const Specification& spec) const;
+
+  /// ASCII Gantt chart of the schedule: one row per used processor, task
+  /// executions as labelled blocks on a (possibly compressed) time axis.
+  [[nodiscard]] std::string describe_schedule(const Specification& spec) const;
+};
+
+}  // namespace aspmt::synth

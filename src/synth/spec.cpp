@@ -1,0 +1,131 @@
+#include "synth/spec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace aspmt::synth {
+
+TaskId Specification::add_task(std::string name) {
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(Task{std::move(name)});
+  mappings_by_task_.emplace_back();
+  return id;
+}
+
+MessageId Specification::add_message(std::string name, TaskId src, TaskId dst,
+                                     std::int64_t payload) {
+  assert(src < tasks_.size() && dst < tasks_.size() && src != dst);
+  const MessageId id = static_cast<MessageId>(messages_.size());
+  messages_.push_back(Message{std::move(name), src, dst, payload});
+  return id;
+}
+
+ResourceId Specification::add_resource(std::string name, ResourceKind kind,
+                                       std::int64_t cost, std::uint32_t capacity) {
+  const ResourceId id = static_cast<ResourceId>(resources_.size());
+  resources_.push_back(Resource{std::move(name), kind, cost, capacity});
+  links_from_.emplace_back();
+  return id;
+}
+
+LinkId Specification::add_link(ResourceId from, ResourceId to,
+                               std::int64_t hop_delay, std::int64_t hop_energy) {
+  assert(from < resources_.size() && to < resources_.size() && from != to);
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{from, to, hop_delay, hop_energy});
+  links_from_[from].push_back(id);
+  return id;
+}
+
+std::size_t Specification::add_mapping(TaskId task, ResourceId resource,
+                                       std::int64_t wcet, std::int64_t energy) {
+  assert(task < tasks_.size() && resource < resources_.size());
+  assert(wcet >= 1);
+  const std::size_t idx = mappings_.size();
+  mappings_.push_back(MappingOption{task, resource, wcet, energy});
+  mappings_by_task_[task].push_back(idx);
+  return idx;
+}
+
+std::vector<std::vector<std::uint32_t>> Specification::hop_distances() const {
+  const std::size_t n = resources_.size();
+  std::vector<std::vector<std::uint32_t>> dist(
+      n, std::vector<std::uint32_t>(n, kUnreachable));
+  for (ResourceId s = 0; s < n; ++s) {
+    dist[s][s] = 0;
+    std::deque<ResourceId> queue{s};
+    while (!queue.empty()) {
+      const ResourceId u = queue.front();
+      queue.pop_front();
+      for (const LinkId l : links_from_[u]) {
+        const ResourceId v = links_[l].to;
+        if (dist[s][v] == kUnreachable) {
+          dist[s][v] = dist[s][u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t Specification::effective_max_hops() const {
+  if (max_hops != 0) return max_hops;
+  const auto dist = hop_distances();
+  std::uint32_t needed = 0;
+  for (const Message& m : messages_) {
+    for (const std::size_t so : mappings_by_task_[m.src]) {
+      for (const std::size_t do_ : mappings_by_task_[m.dst]) {
+        const std::uint32_t d =
+            dist[mappings_[so].resource][mappings_[do_].resource];
+        if (d != kUnreachable) needed = std::max(needed, d);
+      }
+    }
+  }
+  return needed;
+}
+
+std::string Specification::validate() const {
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    if (mappings_by_task_[t].empty()) {
+      return "task '" + tasks_[t].name + "' has no mapping option";
+    }
+  }
+  const auto dist = hop_distances();
+  const std::uint32_t hops = effective_max_hops();
+  for (const Message& m : messages_) {
+    if (m.src >= tasks_.size() || m.dst >= tasks_.size()) {
+      return "message '" + m.name + "' references an unknown task";
+    }
+    if (m.payload < 0) return "message '" + m.name + "' has negative payload";
+    bool routable = false;
+    for (const std::size_t so : mappings_by_task_[m.src]) {
+      for (const std::size_t do_ : mappings_by_task_[m.dst]) {
+        const std::uint32_t d =
+            dist[mappings_[so].resource][mappings_[do_].resource];
+        if (d != kUnreachable && d <= hops) {
+          routable = true;
+          break;
+        }
+      }
+      if (routable) break;
+    }
+    if (!routable) {
+      return "message '" + m.name + "' admits no routable binding pair";
+    }
+  }
+  for (const MappingOption& o : mappings_) {
+    if (o.wcet < 1) return "mapping with non-positive WCET";
+    if (o.energy < 0) return "mapping with negative energy";
+  }
+  for (const Resource& r : resources_) {
+    if (r.cost < 0) return "resource '" + r.name + "' has negative cost";
+  }
+  for (const Link& l : links_) {
+    if (l.hop_delay < 0 || l.hop_energy < 0) return "link with negative weights";
+  }
+  return {};
+}
+
+}  // namespace aspmt::synth

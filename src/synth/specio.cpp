@@ -1,0 +1,209 @@
+#include "synth/specio.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace aspmt::synth {
+
+namespace {
+
+const char* kind_name(ResourceKind k) {
+  switch (k) {
+    case ResourceKind::Processor: return "processor";
+    case ResourceKind::Router: return "router";
+    case ResourceKind::Bus: return "bus";
+  }
+  return "processor";
+}
+
+/// Split "key=value" tokens into a map; plain tokens go to `positional`.
+struct TokenLine {
+  std::vector<std::string> positional;
+  std::map<std::string, std::int64_t> options;
+};
+
+TokenLine tokenize(const std::string& line, std::size_t line_no) {
+  TokenLine out;
+  std::istringstream iss(line);
+  std::string tok;
+  while (iss >> tok) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      out.positional.push_back(tok);
+      continue;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    try {
+      std::size_t used = 0;
+      const std::int64_t v = std::stoll(value, &used);
+      if (used != value.size()) throw std::invalid_argument(value);
+      out.options[key] = v;
+    } catch (const std::exception&) {
+      throw SpecParseError("line " + std::to_string(line_no) +
+                           ": bad integer in '" + tok + "'");
+    }
+  }
+  return out;
+}
+
+std::int64_t opt_or(const TokenLine& t, const std::string& key,
+                    std::int64_t fallback) {
+  const auto it = t.options.find(key);
+  return it == t.options.end() ? fallback : it->second;
+}
+
+std::int64_t require_opt(const TokenLine& t, const std::string& key,
+                         std::size_t line_no) {
+  const auto it = t.options.find(key);
+  if (it == t.options.end()) {
+    throw SpecParseError("line " + std::to_string(line_no) + ": missing " +
+                         key + "=...");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+std::string to_text(const Specification& spec) {
+  std::ostringstream os;
+  os << "# aspmt-dse specification\n";
+  if (spec.max_hops != 0) os << "max_hops " << spec.max_hops << "\n";
+  if (spec.latency_bound != 0) os << "latency_bound " << spec.latency_bound << "\n";
+  for (const Resource& r : spec.resources()) {
+    os << "resource " << r.name << " " << kind_name(r.kind) << " cost=" << r.cost;
+    if (r.capacity != 0) os << " capacity=" << r.capacity;
+    os << "\n";
+  }
+  for (const Link& l : spec.links()) {
+    os << "link " << spec.resources()[l.from].name << " "
+       << spec.resources()[l.to].name << " delay=" << l.hop_delay
+       << " energy=" << l.hop_energy << "\n";
+  }
+  for (const Task& t : spec.tasks()) os << "task " << t.name << "\n";
+  for (const Message& m : spec.messages()) {
+    os << "message " << m.name << " " << spec.tasks()[m.src].name << " "
+       << spec.tasks()[m.dst].name << " payload=" << m.payload << "\n";
+  }
+  for (const MappingOption& o : spec.mappings()) {
+    os << "map " << spec.tasks()[o.task].name << " "
+       << spec.resources()[o.resource].name << " wcet=" << o.wcet
+       << " energy=" << o.energy << "\n";
+  }
+  return os.str();
+}
+
+Specification parse_specification(std::string_view text) {
+  Specification spec;
+  std::map<std::string, ResourceId> resource_by_name;
+  std::map<std::string, TaskId> task_by_name;
+
+  auto resource_of = [&](const std::string& name, std::size_t line_no) {
+    const auto it = resource_by_name.find(name);
+    if (it == resource_by_name.end()) {
+      throw SpecParseError("line " + std::to_string(line_no) +
+                           ": unknown resource '" + name + "'");
+    }
+    return it->second;
+  };
+  auto task_of = [&](const std::string& name, std::size_t line_no) {
+    const auto it = task_by_name.find(name);
+    if (it == task_by_name.end()) {
+      throw SpecParseError("line " + std::to_string(line_no) +
+                           ": unknown task '" + name + "'");
+    }
+    return it->second;
+  };
+
+  std::istringstream iss{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(iss, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const TokenLine t = tokenize(line, line_no);
+    if (t.positional.empty()) continue;
+    const std::string& head = t.positional.front();
+
+    auto expect_args = [&](std::size_t n) {
+      if (t.positional.size() != n + 1) {
+        throw SpecParseError("line " + std::to_string(line_no) + ": '" + head +
+                             "' expects " + std::to_string(n) + " names");
+      }
+    };
+
+    if (head == "max_hops") {
+      expect_args(1);
+      spec.max_hops = static_cast<std::uint32_t>(std::stoll(t.positional[1]));
+    } else if (head == "latency_bound") {
+      expect_args(1);
+      spec.latency_bound = std::stoll(t.positional[1]);
+    } else if (head == "resource") {
+      expect_args(2);
+      const std::string& name = t.positional[1];
+      const std::string& kind_str = t.positional[2];
+      ResourceKind kind;
+      if (kind_str == "processor") kind = ResourceKind::Processor;
+      else if (kind_str == "router") kind = ResourceKind::Router;
+      else if (kind_str == "bus") kind = ResourceKind::Bus;
+      else {
+        throw SpecParseError("line " + std::to_string(line_no) +
+                             ": unknown resource kind '" + kind_str + "'");
+      }
+      if (resource_by_name.count(name) != 0) {
+        throw SpecParseError("line " + std::to_string(line_no) +
+                             ": duplicate resource '" + name + "'");
+      }
+      resource_by_name[name] = spec.add_resource(
+          name, kind, require_opt(t, "cost", line_no),
+          static_cast<std::uint32_t>(opt_or(t, "capacity", 0)));
+    } else if (head == "link") {
+      expect_args(2);
+      spec.add_link(resource_of(t.positional[1], line_no),
+                    resource_of(t.positional[2], line_no),
+                    opt_or(t, "delay", 1), opt_or(t, "energy", 1));
+    } else if (head == "task") {
+      expect_args(1);
+      const std::string& name = t.positional[1];
+      if (task_by_name.count(name) != 0) {
+        throw SpecParseError("line " + std::to_string(line_no) +
+                             ": duplicate task '" + name + "'");
+      }
+      task_by_name[name] = spec.add_task(name);
+    } else if (head == "message") {
+      expect_args(3);
+      spec.add_message(t.positional[1], task_of(t.positional[2], line_no),
+                       task_of(t.positional[3], line_no),
+                       opt_or(t, "payload", 1));
+    } else if (head == "map") {
+      expect_args(2);
+      spec.add_mapping(task_of(t.positional[1], line_no),
+                       resource_of(t.positional[2], line_no),
+                       require_opt(t, "wcet", line_no),
+                       opt_or(t, "energy", 0));
+    } else {
+      throw SpecParseError("line " + std::to_string(line_no) +
+                           ": unknown statement '" + head + "'");
+    }
+  }
+  return spec;
+}
+
+void save_specification(const Specification& spec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw SpecParseError("cannot write '" + path + "'");
+  out << to_text(spec);
+}
+
+Specification load_specification(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw SpecParseError("cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_specification(buffer.str());
+}
+
+}  // namespace aspmt::synth

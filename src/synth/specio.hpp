@@ -1,0 +1,42 @@
+// Textual specification format — load/save Specifications so instances can
+// be shipped, versioned and fed to the CLI tool.
+//
+//   # comment
+//   max_hops 0
+//   latency_bound 0
+//   resource <name> processor|router|bus cost=<int> [capacity=<int>]
+//   link <from> <to> [delay=<int>] [energy=<int>]
+//   task <name>
+//   message <name> <src_task> <dst_task> [payload=<int>]
+//   map <task> <resource> wcet=<int> [energy=<int>]
+//
+// Names are whitespace-free identifiers; statements may appear in any order
+// as long as referenced entities are declared first.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "synth/spec.hpp"
+
+namespace aspmt::synth {
+
+class SpecParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Render a specification in the textual format (stable order).
+[[nodiscard]] std::string to_text(const Specification& spec);
+
+/// Parse the textual format; throws SpecParseError with a line number on
+/// malformed input.
+[[nodiscard]] Specification parse_specification(std::string_view text);
+
+/// Convenience file wrappers.
+void save_specification(const Specification& spec, const std::string& path);
+[[nodiscard]] Specification load_specification(const std::string& path);
+
+}  // namespace aspmt::synth

@@ -1,0 +1,149 @@
+#include "synth/validator.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace aspmt::synth {
+namespace {
+
+/// Total communication delay of a message along its route.
+std::int64_t route_delay(const Specification& spec, const Message& msg,
+                         const std::vector<LinkId>& route) {
+  std::int64_t delay = 0;
+  for (const LinkId l : route) delay += spec.links()[l].hop_delay * msg.payload;
+  return delay;
+}
+
+}  // namespace
+
+pareto::Vec recompute_objectives(const Specification& spec,
+                                 const Implementation& impl) {
+  // Energy: execution + communication.
+  std::int64_t energy = 0;
+  for (TaskId t = 0; t < spec.tasks().size(); ++t) {
+    energy += spec.mappings()[impl.option_of_task[t]].energy;
+  }
+  for (MessageId m = 0; m < spec.messages().size(); ++m) {
+    for (const LinkId l : impl.route[m]) {
+      energy += spec.links()[l].hop_energy * spec.messages()[m].payload;
+    }
+  }
+  // Cost: every resource that executes a task or is visited by a route.
+  std::set<ResourceId> allocated;
+  for (TaskId t = 0; t < spec.tasks().size(); ++t) allocated.insert(impl.binding[t]);
+  for (MessageId m = 0; m < spec.messages().size(); ++m) {
+    allocated.insert(impl.binding[spec.messages()[m].src]);
+    for (const LinkId l : impl.route[m]) allocated.insert(spec.links()[l].to);
+  }
+  std::int64_t cost = 0;
+  for (const ResourceId r : allocated) cost += spec.resources()[r].cost;
+  // Latency: maximal finish time.
+  std::int64_t latency = 0;
+  for (TaskId t = 0; t < spec.tasks().size(); ++t) {
+    latency = std::max(latency,
+                       impl.start[t] + spec.mappings()[impl.option_of_task[t]].wcet);
+  }
+  return {latency, energy, cost};
+}
+
+std::string validate_implementation(const Specification& spec,
+                                    const Implementation& impl) {
+  const std::size_t T = spec.tasks().size();
+  const std::size_t M = spec.messages().size();
+  if (impl.option_of_task.size() != T || impl.binding.size() != T ||
+      impl.start.size() != T || impl.route.size() != M) {
+    return "implementation has inconsistent dimensions";
+  }
+
+  // Binding.
+  for (TaskId t = 0; t < T; ++t) {
+    const std::size_t mi = impl.option_of_task[t];
+    if (mi >= spec.mappings().size()) return "mapping index out of range";
+    const MappingOption& o = spec.mappings()[mi];
+    if (o.task != t) return "task " + spec.tasks()[t].name + " bound via foreign option";
+    if (o.resource != impl.binding[t]) {
+      return "binding/option mismatch for task " + spec.tasks()[t].name;
+    }
+  }
+
+  // Routes.
+  const std::uint32_t hops = spec.effective_max_hops();
+  for (MessageId m = 0; m < M; ++m) {
+    const Message& msg = spec.messages()[m];
+    const auto& route = impl.route[m];
+    const ResourceId from = impl.binding[msg.src];
+    const ResourceId to = impl.binding[msg.dst];
+    if (route.empty()) {
+      if (from != to) return "message " + msg.name + " lacks a route";
+      continue;
+    }
+    if (route.size() > hops) return "message " + msg.name + " exceeds the hop bound";
+    std::set<ResourceId> visited{from};
+    ResourceId at = from;
+    for (const LinkId l : route) {
+      if (l >= spec.links().size()) return "route uses an unknown link";
+      if (spec.links()[l].from != at) {
+        return "route of " + msg.name + " is not contiguous";
+      }
+      at = spec.links()[l].to;
+      if (!visited.insert(at).second) {
+        return "route of " + msg.name + " revisits a resource";
+      }
+    }
+    if (at != to) return "route of " + msg.name + " misses its destination";
+  }
+
+  // Schedule: start times, precedence and exclusivity.
+  for (TaskId t = 0; t < T; ++t) {
+    if (impl.start[t] < 0) return "negative start time";
+  }
+  for (MessageId m = 0; m < M; ++m) {
+    const Message& msg = spec.messages()[m];
+    const std::int64_t ready = impl.start[msg.src] +
+                               spec.mappings()[impl.option_of_task[msg.src]].wcet +
+                               route_delay(spec, msg, impl.route[m]);
+    if (impl.start[msg.dst] < ready) {
+      return "precedence violated for message " + msg.name;
+    }
+  }
+  for (TaskId a = 0; a < T; ++a) {
+    for (TaskId b = a + 1; b < T; ++b) {
+      if (impl.binding[a] != impl.binding[b]) continue;
+      const std::int64_t ea = impl.start[a] + spec.mappings()[impl.option_of_task[a]].wcet;
+      const std::int64_t eb = impl.start[b] + spec.mappings()[impl.option_of_task[b]].wcet;
+      const bool disjoint = (ea <= impl.start[b]) || (eb <= impl.start[a]);
+      if (!disjoint) {
+        return "tasks " + spec.tasks()[a].name + " and " + spec.tasks()[b].name +
+               " overlap on " + spec.resources()[impl.binding[a]].name;
+      }
+    }
+  }
+
+  // Resource capacities.
+  for (ResourceId r = 0; r < spec.resources().size(); ++r) {
+    const std::uint32_t cap = spec.resources()[r].capacity;
+    if (cap == 0) continue;
+    std::uint32_t used = 0;
+    for (TaskId t = 0; t < T; ++t) {
+      if (impl.binding[t] == r) ++used;
+    }
+    if (used > cap) {
+      return "capacity of " + spec.resources()[r].name + " exceeded";
+    }
+  }
+
+  // Hard deadline.
+  if (spec.latency_bound > 0 && impl.latency > spec.latency_bound) {
+    return "latency exceeds the hard deadline";
+  }
+
+  // Objectives.
+  const pareto::Vec recomputed = recompute_objectives(spec, impl);
+  if (recomputed != impl.objectives()) {
+    return "objective mismatch: recorded " + pareto::to_string(impl.objectives()) +
+           " recomputed " + pareto::to_string(recomputed);
+  }
+  return {};
+}
+
+}  // namespace aspmt::synth

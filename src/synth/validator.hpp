@@ -1,0 +1,28 @@
+// Independent feasibility and objective checking for decoded
+// implementations.  Deliberately shares no code with the encoder: it
+// re-derives every constraint directly from the specification, so tests can
+// cross-check the whole ASPmT pipeline against it.
+#pragma once
+
+#include <string>
+
+#include "pareto/point.hpp"
+#include "synth/implementation.hpp"
+#include "synth/spec.hpp"
+
+namespace aspmt::synth {
+
+/// Recompute (latency, energy, cost) from the structure of `impl` alone
+/// (latency from the stored start times).  Assumes structural validity.
+[[nodiscard]] pareto::Vec recompute_objectives(const Specification& spec,
+                                               const Implementation& impl);
+
+/// Full feasibility check: binding validity, route well-formedness (simple,
+/// hop-bounded, connects the bound resources), schedule consistency
+/// (precedence + communication delays + resource exclusivity) and agreement
+/// of the recorded objectives with an independent recomputation.  Returns an
+/// empty string when everything holds, else a diagnostic.
+[[nodiscard]] std::string validate_implementation(const Specification& spec,
+                                                  const Implementation& impl);
+
+}  // namespace aspmt::synth

@@ -1,0 +1,90 @@
+#include "theory/asp_minimize.hpp"
+
+namespace aspmt::theory {
+
+LinearSumPropagator::SumId install_minimize(const asp::Program& program,
+                                            const asp::CompiledProgram& compiled,
+                                            LinearSumPropagator& linear) {
+  std::vector<Term> terms;
+  for (const asp::WeightedBodyLit& t : program.minimize_terms()) {
+    terms.push_back(Term{compiled.lit(t.lit), t.weight});
+  }
+  return linear.add_sum("#minimize", std::move(terms));
+}
+
+std::vector<LinearSumPropagator::SumId> install_minimize_levels(
+    const asp::Program& program, const asp::CompiledProgram& compiled,
+    LinearSumPropagator& linear) {
+  std::vector<LinearSumPropagator::SumId> sums;
+  for (const auto& [priority, level_terms] : program.minimize_levels()) {
+    std::vector<Term> terms;
+    for (const asp::WeightedBodyLit& t : level_terms) {
+      terms.push_back(Term{compiled.lit(t.lit), t.weight});
+    }
+    sums.push_back(linear.add_sum("#minimize@" + std::to_string(priority),
+                                  std::move(terms)));
+  }
+  return sums;
+}
+
+OptimalModel minimize_answer_set(asp::Solver& solver, LinearSumPropagator& linear,
+                                 LinearSumPropagator::SumId sum,
+                                 const util::Deadline* deadline) {
+  OptimalModel best;
+  std::vector<asp::Lit> assumptions;
+  for (;;) {
+    const asp::Solver::Result r = solver.solve(assumptions, deadline);
+    if (r == asp::Solver::Result::Sat) {
+      best.feasible = true;
+      best.cost = linear.value_under_model(sum, solver.model());
+      best.model = solver.model();
+      assumptions.clear();
+      const asp::Lit act = asp::Lit::make(solver.new_var(), true);
+      linear.add_bound(sum, best.cost - 1, act);
+      assumptions.push_back(act);
+      continue;
+    }
+    best.proven = (r == asp::Solver::Result::Unsat);
+    return best;
+  }
+}
+
+OptimalModel minimize_answer_set_lex(
+    asp::Solver& solver, LinearSumPropagator& linear,
+    std::span<const LinearSumPropagator::SumId> sums,
+    const util::Deadline* deadline) {
+  OptimalModel best;
+  std::vector<asp::Lit> pins;
+  for (const auto sum : sums) {
+    // Minimize this level under the pins of the previous levels.
+    std::int64_t level_best = 0;
+    bool level_feasible = false;
+    std::vector<asp::Lit> assumptions = pins;
+    for (;;) {
+      const asp::Solver::Result r = solver.solve(assumptions, deadline);
+      if (r == asp::Solver::Result::Sat) {
+        level_feasible = true;
+        level_best = linear.value_under_model(sum, solver.model());
+        best.model = solver.model();
+        assumptions = pins;
+        const asp::Lit act = asp::Lit::make(solver.new_var(), true);
+        linear.add_bound(sum, level_best - 1, act);
+        assumptions.push_back(act);
+        continue;
+      }
+      best.proven = (r == asp::Solver::Result::Unsat);
+      break;
+    }
+    if (!level_feasible) return best;  // globally infeasible (or timeout)
+    best.feasible = true;
+    best.level_costs.push_back(level_best);
+    best.cost = level_best;
+    const asp::Lit pin = asp::Lit::make(solver.new_var(), true);
+    linear.add_bound(sum, level_best, pin);
+    pins.push_back(pin);
+    if (!best.proven) return best;  // timed out within this level
+  }
+  return best;
+}
+
+}  // namespace aspmt::theory

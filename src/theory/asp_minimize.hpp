@@ -1,0 +1,54 @@
+// #minimize support: bridges Program::minimize statements to the guarded
+// linear-sum theory and provides a branch-and-bound driver — the ASP-level
+// counterpart of clasp's optimization mode, built from the same pieces the
+// DSE uses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "asp/completion.hpp"
+#include "asp/program.hpp"
+#include "asp/solver.hpp"
+#include "theory/linear_sum.hpp"
+#include "util/timer.hpp"
+
+namespace aspmt::theory {
+
+/// Register the program's level-0 minimize statement as a guarded linear
+/// sum.  The propagator must already be (or later be) registered with the
+/// solver.
+[[nodiscard]] LinearSumPropagator::SumId install_minimize(
+    const asp::Program& program, const asp::CompiledProgram& compiled,
+    LinearSumPropagator& linear);
+
+/// Register every minimize level; the result is ordered highest priority
+/// first (the order minimize_answer_set_lex optimises in).
+[[nodiscard]] std::vector<LinearSumPropagator::SumId> install_minimize_levels(
+    const asp::Program& program, const asp::CompiledProgram& compiled,
+    LinearSumPropagator& linear);
+
+struct OptimalModel {
+  bool feasible = false;      ///< some answer set exists
+  bool proven = false;        ///< optimality (or unsatisfiability) proven
+  std::int64_t cost = 0;      ///< best objective value (level 0 / last level)
+  std::vector<std::int64_t> level_costs;  ///< per level, highest priority first
+  std::vector<asp::Lbool> model;  ///< best model (per solver variable)
+};
+
+/// Branch-and-bound minimization of `sum` over the answer sets of the
+/// solver's current problem (activation-guarded bounds keep the solver
+/// reusable afterwards).
+[[nodiscard]] OptimalModel minimize_answer_set(
+    asp::Solver& solver, LinearSumPropagator& linear,
+    LinearSumPropagator::SumId sum, const util::Deadline* deadline = nullptr);
+
+/// Lexicographic minimization over several sums (highest priority first),
+/// clingo-style multi-level #minimize.
+[[nodiscard]] OptimalModel minimize_answer_set_lex(
+    asp::Solver& solver, LinearSumPropagator& linear,
+    std::span<const LinearSumPropagator::SumId> sums,
+    const util::Deadline* deadline = nullptr);
+
+}  // namespace aspmt::theory

@@ -1,0 +1,40 @@
+// Minimal fixed-width table printer used by the benchmark harnesses to emit
+// the rows of each reproduced table/figure in a diff-friendly format.
+#pragma once
+
+#include <concepts>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aspmt::util {
+
+/// Collects rows of string cells and renders them with aligned columns.
+/// Numeric cells should be pre-formatted by the caller (see `fmt` helpers).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a separator line under the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 2 digits).
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+
+/// Format any integer (exact match beats the double overload).
+template <std::integral T>
+[[nodiscard]] std::string fmt(T value) {
+  return std::to_string(value);
+}
+
+}  // namespace aspmt::util

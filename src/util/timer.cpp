@@ -1,0 +1,5 @@
+#include "util/timer.hpp"
+
+// Header-only in practice; this translation unit anchors the header so that
+// build systems listing it stay simple.
+namespace aspmt::util {}

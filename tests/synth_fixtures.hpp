@@ -1,0 +1,94 @@
+// Shared miniature specifications for the synthesis / DSE tests.
+#pragma once
+
+#include "synth/spec.hpp"
+
+namespace aspmt::test {
+
+/// Two heterogeneous processors on one bus, producer -> consumer.
+/// Small enough for exhaustive reasoning in tests.
+inline synth::Specification two_proc_bus() {
+  using namespace synth;
+  Specification s;
+  const ResourceId bus = s.add_resource("bus", ResourceKind::Bus, 1);
+  const ResourceId p0 = s.add_resource("p0", ResourceKind::Processor, 10);
+  const ResourceId p1 = s.add_resource("p1", ResourceKind::Processor, 5);
+  s.add_link(p0, bus, 1, 1);
+  s.add_link(bus, p0, 1, 1);
+  s.add_link(p1, bus, 1, 1);
+  s.add_link(bus, p1, 1, 1);
+  const TaskId a = s.add_task("a");
+  const TaskId b = s.add_task("b");
+  s.add_message("m", a, b, 2);
+  s.add_mapping(a, p0, 3, 4);  // fast, hungry
+  s.add_mapping(a, p1, 6, 2);  // slow, frugal
+  s.add_mapping(b, p0, 2, 3);
+  s.add_mapping(b, p1, 4, 1);
+  return s;
+}
+
+/// Three-task chain over three bus-connected processors; enough freedom for
+/// a non-trivial front but still exhaustively enumerable.
+inline synth::Specification chain3_bus() {
+  using namespace synth;
+  Specification s;
+  const ResourceId bus = s.add_resource("bus", ResourceKind::Bus, 2);
+  const ResourceId p0 = s.add_resource("p0", ResourceKind::Processor, 12);
+  const ResourceId p1 = s.add_resource("p1", ResourceKind::Processor, 7);
+  const ResourceId p2 = s.add_resource("p2", ResourceKind::Processor, 4);
+  for (const ResourceId p : {p0, p1, p2}) {
+    s.add_link(p, bus, 1, 1);
+    s.add_link(bus, p, 1, 1);
+  }
+  const TaskId a = s.add_task("a");
+  const TaskId b = s.add_task("b");
+  const TaskId c = s.add_task("c");
+  s.add_message("m0", a, b, 1);
+  s.add_message("m1", b, c, 2);
+  s.add_mapping(a, p0, 2, 6);
+  s.add_mapping(a, p1, 4, 3);
+  s.add_mapping(b, p1, 3, 4);
+  s.add_mapping(b, p2, 6, 2);
+  s.add_mapping(c, p0, 2, 5);
+  s.add_mapping(c, p2, 5, 1);
+  return s;
+}
+
+/// Fork-join diamond (a -> b, a -> c, b -> d, c -> d) on two processors —
+/// exercises resource serialization.
+inline synth::Specification diamond_two_proc() {
+  using namespace synth;
+  Specification s;
+  const ResourceId bus = s.add_resource("bus", ResourceKind::Bus, 1);
+  const ResourceId p0 = s.add_resource("p0", ResourceKind::Processor, 8);
+  const ResourceId p1 = s.add_resource("p1", ResourceKind::Processor, 6);
+  for (const ResourceId p : {p0, p1}) {
+    s.add_link(p, bus, 1, 1);
+    s.add_link(bus, p, 1, 1);
+  }
+  const TaskId a = s.add_task("a");
+  const TaskId b = s.add_task("b");
+  const TaskId c = s.add_task("c");
+  const TaskId d = s.add_task("d");
+  s.add_message("ab", a, b, 1);
+  s.add_message("ac", a, c, 1);
+  s.add_message("bd", b, d, 1);
+  s.add_message("cd", c, d, 1);
+  for (const TaskId t : {a, b, c, d}) {
+    s.add_mapping(t, p0, 2, 3);
+    s.add_mapping(t, p1, 3, 2);
+  }
+  return s;
+}
+
+/// Single task, single processor: the smallest valid specification.
+inline synth::Specification singleton() {
+  using namespace synth;
+  Specification s;
+  const ResourceId p0 = s.add_resource("p0", ResourceKind::Processor, 3);
+  const TaskId a = s.add_task("a");
+  s.add_mapping(a, p0, 4, 2);
+  return s;
+}
+
+}  // namespace aspmt::test

@@ -1,0 +1,119 @@
+#include "dse/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dse/explorer.hpp"
+#include "synth_fixtures.hpp"
+
+namespace aspmt::dse {
+namespace {
+
+TEST(EnumerateAndFilter, SingletonEnumeratesOneModel) {
+  const synth::Specification spec = test::singleton();
+  const BaselineResult r = enumerate_and_filter(spec);
+  ASSERT_TRUE(r.complete);
+  EXPECT_EQ(r.models, 1U);
+  ASSERT_EQ(r.front.size(), 1U);
+  EXPECT_EQ(r.front[0], (pareto::Vec{4, 2, 3}));
+}
+
+TEST(EnumerateAndFilter, CountsAllTwoProcImplementations) {
+  const synth::Specification spec = test::two_proc_bus();
+  const BaselineResult r = enumerate_and_filter(spec);
+  ASSERT_TRUE(r.complete);
+  // 4 binding combinations; co-located ones add a serialization choice, but
+  // the message a->b forces a before b, so both orders of the prec pair are
+  // not both feasible... the count must at least cover the 4 bindings.
+  EXPECT_GE(r.models, 4U);
+  EXPECT_FALSE(r.front.empty());
+}
+
+TEST(EnumerateAndFilter, FrontIsNonDominated) {
+  const synth::Specification spec = test::chain3_bus();
+  const BaselineResult r = enumerate_and_filter(spec);
+  ASSERT_TRUE(r.complete);
+  for (const auto& p : r.front) {
+    for (const auto& q : r.front) {
+      if (&p == &q) continue;
+      EXPECT_FALSE(pareto::weakly_dominates(p, q) && p != q);
+    }
+  }
+}
+
+TEST(EnumerateAndFilter, TimeoutIncomplete) {
+  const synth::Specification spec = test::diamond_two_proc();
+  const BaselineResult r = enumerate_and_filter(spec, 1e-9);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST(LexicographicEpsilon, MatchesExplorerTwoProc) {
+  const synth::Specification spec = test::two_proc_bus();
+  const BaselineResult b = lexicographic_epsilon(spec);
+  const ExploreResult e = explore(spec);
+  ASSERT_TRUE(b.complete);
+  ASSERT_TRUE(e.stats.complete);
+  EXPECT_EQ(b.front, e.front);
+}
+
+TEST(LexicographicEpsilon, MatchesExplorerChain) {
+  const synth::Specification spec = test::chain3_bus();
+  const BaselineResult b = lexicographic_epsilon(spec);
+  const ExploreResult e = explore(spec);
+  ASSERT_TRUE(b.complete);
+  ASSERT_TRUE(e.stats.complete);
+  EXPECT_EQ(b.front, e.front);
+}
+
+TEST(LexicographicEpsilon, MatchesExplorerDiamond) {
+  const synth::Specification spec = test::diamond_two_proc();
+  const BaselineResult b = lexicographic_epsilon(spec, 120.0);
+  const ExploreResult e = explore(spec);
+  ASSERT_TRUE(b.complete);
+  ASSERT_TRUE(e.stats.complete);
+  EXPECT_EQ(b.front, e.front);
+}
+
+TEST(LexicographicEpsilon, SingletonSinglePoint) {
+  const synth::Specification spec = test::singleton();
+  const BaselineResult r = lexicographic_epsilon(spec);
+  ASSERT_TRUE(r.complete);
+  ASSERT_EQ(r.front.size(), 1U);
+  EXPECT_EQ(r.front[0], (pareto::Vec{4, 2, 3}));
+}
+
+TEST(LexicographicEpsilon, TimeoutIncomplete) {
+  const synth::Specification spec = test::diamond_two_proc();
+  const BaselineResult r = lexicographic_epsilon(spec, 1e-9);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST(LexicographicEpsilonCold, MatchesWarmVariant) {
+  for (const synth::Specification& spec :
+       {test::two_proc_bus(), test::chain3_bus(), test::diamond_two_proc()}) {
+    const BaselineResult warm = lexicographic_epsilon(spec, 120.0);
+    const BaselineResult cold = lexicographic_epsilon_cold(spec, 120.0);
+    ASSERT_TRUE(warm.complete && cold.complete);
+    EXPECT_EQ(warm.front, cold.front);
+  }
+}
+
+TEST(LexicographicEpsilonCold, TimeoutIncomplete) {
+  const synth::Specification spec = test::diamond_two_proc();
+  const BaselineResult r = lexicographic_epsilon_cold(spec, 1e-9);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST(Baselines, ThreeExactMethodsAgree) {
+  // The strongest consistency check in the suite: three independently
+  // implemented exact algorithms must produce identical fronts.
+  const synth::Specification spec = test::chain3_bus();
+  const ExploreResult e = explore(spec);
+  const BaselineResult b1 = enumerate_and_filter(spec);
+  const BaselineResult b2 = lexicographic_epsilon(spec);
+  ASSERT_TRUE(e.stats.complete && b1.complete && b2.complete);
+  EXPECT_EQ(e.front, b1.front);
+  EXPECT_EQ(b1.front, b2.front);
+}
+
+}  // namespace
+}  // namespace aspmt::dse

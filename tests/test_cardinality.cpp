@@ -1,0 +1,122 @@
+#include "asp/cardinality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace aspmt::asp {
+namespace {
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  std::uint64_t r = 1;
+  for (std::uint64_t i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+std::uint64_t count_upto(std::uint64_t n, std::uint64_t k) {
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i <= k; ++i) total += binomial(n, i);
+  return total;
+}
+
+struct CardHarness {
+  Solver solver;
+  std::vector<Var> vars;
+  std::vector<Lit> lits;
+  explicit CardHarness(std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      vars.push_back(solver.new_var());
+      lits.push_back(Lit::make(vars.back(), true));
+    }
+  }
+};
+
+struct CardCase {
+  std::uint32_t n;
+  std::uint32_t k;
+};
+
+class AtMostCount : public ::testing::TestWithParam<CardCase> {};
+
+TEST_P(AtMostCount, ModelCountMatchesBinomialSum) {
+  const auto [n, k] = GetParam();
+  CardHarness s(n);
+  encode_at_most(s.solver, s.lits, k);
+  const auto models = test::enumerate_projected(s.solver, s.vars);
+  EXPECT_EQ(models.size(), count_upto(n, k));
+  for (const auto& m : models) {
+    std::uint32_t trues = 0;
+    for (const bool b : m) trues += b ? 1 : 0;
+    EXPECT_LE(trues, k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AtMostCount,
+    ::testing::Values(CardCase{3, 1}, CardCase{4, 2}, CardCase{5, 1},
+                      CardCase{5, 3}, CardCase{6, 2}, CardCase{7, 4},
+                      CardCase{6, 5}, CardCase{8, 1}));
+
+class AtLeastCount : public ::testing::TestWithParam<CardCase> {};
+
+TEST_P(AtLeastCount, ModelCountMatchesBinomialSum) {
+  const auto [n, k] = GetParam();
+  CardHarness s(n);
+  encode_at_least(s.solver, s.lits, k);
+  const auto models = test::enumerate_projected(s.solver, s.vars);
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = k; i <= n; ++i) expected += binomial(n, i);
+  EXPECT_EQ(models.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AtLeastCount,
+    ::testing::Values(CardCase{3, 2}, CardCase{4, 1}, CardCase{5, 3},
+                      CardCase{6, 4}, CardCase{6, 6}, CardCase{5, 5}));
+
+TEST(Cardinality, ExactlyOneCounts) {
+  for (const std::uint32_t n : {2U, 3U, 5U, 8U}) {
+    CardHarness s(n);
+    encode_exactly_one(s.solver, s.lits);
+    const auto models = test::enumerate_projected(s.solver, s.vars);
+    EXPECT_EQ(models.size(), n);
+  }
+}
+
+TEST(Cardinality, AtMostZeroForcesAllFalse) {
+  CardHarness s(4);
+  encode_at_most(s.solver, s.lits, 0);
+  ASSERT_EQ(s.solver.solve(), Solver::Result::Sat);
+  for (const Var v : s.vars) EXPECT_FALSE(s.solver.model_value(v));
+}
+
+TEST(Cardinality, AtLeastMoreThanSizeUnsat) {
+  CardHarness s(3);
+  encode_at_least(s.solver, s.lits, 4);
+  EXPECT_EQ(s.solver.solve(), Solver::Result::Unsat);
+}
+
+TEST(Cardinality, AtMostWholeSizeIsNoOp) {
+  CardHarness s(3);
+  const std::uint32_t vars_before = s.solver.num_vars();
+  encode_at_most(s.solver, s.lits, 3);
+  EXPECT_EQ(s.solver.num_vars(), vars_before);
+  const auto models = test::enumerate_projected(s.solver, s.vars);
+  EXPECT_EQ(models.size(), 8U);
+}
+
+TEST(Cardinality, MixedPolarityLiterals) {
+  // at most 1 of {a, ~b}: forbids a & ~b together... no wait: allows at most
+  // one of the two literals true.
+  CardHarness s(2);
+  const std::vector<Lit> lits{s.lits[0], ~s.lits[1]};
+  encode_at_most(s.solver, lits, 1);
+  const auto models = test::enumerate_projected(s.solver, s.vars);
+  // Excluded: a=true, b=false. Remaining 3.
+  EXPECT_EQ(models.size(), 3U);
+  EXPECT_EQ(models.count({true, false}), 0U);
+}
+
+}  // namespace
+}  // namespace aspmt::asp

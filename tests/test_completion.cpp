@@ -1,0 +1,154 @@
+#include "asp/completion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace aspmt::asp {
+namespace {
+
+TEST(Completion, TightnessDetection) {
+  Program tight;
+  const Atom a = tight.new_atom("a");
+  const Atom b = tight.new_atom("b");
+  tight.rule(b, {pos(a)});
+  tight.fact(a);
+  Solver s1;
+  EXPECT_TRUE(compile(tight, s1).tight);
+
+  Program loop;
+  const Atom x = loop.new_atom("x");
+  const Atom y = loop.new_atom("y");
+  loop.rule(x, {pos(y)});
+  loop.rule(y, {pos(x)});
+  Solver s2;
+  const auto c = compile(loop, s2);
+  EXPECT_FALSE(c.tight);
+  EXPECT_EQ(c.scc_of[x], c.scc_of[y]);
+  EXPECT_TRUE(c.cyclic[x] != 0 && c.cyclic[y] != 0);
+}
+
+TEST(Completion, SelfLoopIsCyclic) {
+  Program p;
+  const Atom a = p.new_atom("a");
+  p.rule(a, {pos(a)});
+  Solver s;
+  const auto c = compile(p, s);
+  EXPECT_FALSE(c.tight);
+  EXPECT_TRUE(c.cyclic[a] != 0);
+}
+
+TEST(Completion, NegativeCycleStaysTight) {
+  // Negation does not create positive dependencies.
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  p.rule(a, {neg(b)});
+  p.rule(b, {neg(a)});
+  Solver s;
+  EXPECT_TRUE(compile(p, s).tight);
+}
+
+TEST(Completion, SupportClauseForcesFalseWithoutRules) {
+  Program p;
+  const Atom a = p.new_atom("a");
+  (void)a;
+  Solver s;
+  const auto c = compile(p, s);
+  ASSERT_EQ(s.solve(), Solver::Result::Sat);
+  EXPECT_FALSE(s.model_value(c.atom_var[a]));
+}
+
+TEST(Completion, DerivationForcesHead) {
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  p.fact(a);
+  p.rule(b, {pos(a)});
+  Solver s;
+  const auto c = compile(p, s);
+  ASSERT_EQ(s.solve(), Solver::Result::Sat);
+  EXPECT_TRUE(s.model_value(c.atom_var[b]));
+}
+
+TEST(Completion, SharedBodiesReuseAuxiliaries) {
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  const Atom c1 = p.new_atom("c1");
+  const Atom c2 = p.new_atom("c2");
+  p.choice_rule(a);
+  p.choice_rule(b);
+  p.rule(c1, {pos(a), pos(b)});
+  p.rule(c2, {pos(a), pos(b)});
+  Solver s;
+  const auto compiled = compile(p, s);
+  // 4 atoms + 1 constant-true + exactly one shared body auxiliary.
+  EXPECT_EQ(s.num_vars(), compiled.atom_var.size() + 2);
+}
+
+TEST(Completion, CompiledRulesCarryPositiveBodies) {
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  const Atom c = p.new_atom("c");
+  p.rule(c, {pos(a), neg(b)});
+  Solver s;
+  const auto compiled = compile(p, s);
+  ASSERT_EQ(compiled.rules.size(), 1U);
+  EXPECT_EQ(compiled.rules[0].head, c);
+  ASSERT_EQ(compiled.rules[0].pos_body.size(), 1U);
+  EXPECT_EQ(compiled.rules[0].pos_body[0], a);
+}
+
+// Property: on random *tight* programs, completion alone must reproduce the
+// brute-force stable models (no unfounded-set checker needed).
+class RandomTightProgram : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTightProgram, MatchesBruteForce) {
+  util::Rng rng(GetParam());
+  Program p;
+  const std::uint32_t n = 7;
+  std::vector<Atom> atoms;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    atoms.push_back(p.new_atom("a" + std::to_string(i)));
+  }
+  // Tight by construction: positive bodies only reference lower atoms.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const int kind = static_cast<int>(rng.below(3));
+    std::vector<BodyLit> body;
+    const std::uint32_t body_len = static_cast<std::uint32_t>(rng.below(3));
+    for (std::uint32_t k = 0; k < body_len; ++k) {
+      const bool positive = rng.chance(0.5);
+      if (positive && i > 0) {
+        body.push_back(pos(atoms[rng.below(i)]));
+      } else {
+        body.push_back(neg(atoms[rng.below(n)]));
+      }
+    }
+    if (kind == 0) {
+      p.choice_rule(atoms[i], std::move(body));
+    } else {
+      p.rule(atoms[i], std::move(body));
+    }
+  }
+  if (rng.chance(0.5)) {
+    p.integrity({pos(atoms[rng.below(n)]), neg(atoms[rng.below(n)])});
+  }
+
+  Solver solver;
+  const auto compiled = compile(p, solver);
+  EXPECT_TRUE(compiled.tight);
+  std::vector<Var> vars;
+  for (const Atom a : atoms) vars.push_back(compiled.atom_var[a]);
+  const auto via_solver = test::enumerate_projected(solver, vars);
+  const auto reference = test::brute_force_stable_models(p);
+  EXPECT_EQ(via_solver, reference) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTightProgram,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace aspmt::asp

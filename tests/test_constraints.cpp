@@ -1,0 +1,125 @@
+// Hard latency deadlines and resource capacities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dse/baselines.hpp"
+#include "dse/explorer.hpp"
+#include "ea/nsga2.hpp"
+#include "synth_fixtures.hpp"
+#include "synth/validator.hpp"
+
+namespace aspmt::dse {
+namespace {
+
+TEST(LatencyBound, FrontContainsOnlyFeasiblePoints) {
+  synth::Specification spec = test::chain3_bus();
+  const ExploreResult unconstrained = explore(spec);
+  ASSERT_TRUE(unconstrained.stats.complete);
+  // Pick a bound that cuts the front roughly in half.
+  const std::int64_t bound =
+      (unconstrained.front.front()[0] + unconstrained.front.back()[0]) / 2;
+  spec.latency_bound = bound;
+  const ExploreResult constrained = explore(spec);
+  ASSERT_TRUE(constrained.stats.complete);
+  for (const auto& p : constrained.front) EXPECT_LE(p[0], bound);
+  // Every unconstrained front point meeting the bound stays Pareto-optimal.
+  for (const auto& p : unconstrained.front) {
+    if (p[0] > bound) continue;
+    EXPECT_NE(std::find(constrained.front.begin(), constrained.front.end(), p),
+              constrained.front.end())
+        << pareto::to_string(p);
+  }
+  for (const auto& w : constrained.witnesses) {
+    EXPECT_EQ(synth::validate_implementation(spec, w), "");
+  }
+}
+
+TEST(LatencyBound, InfeasibleBoundYieldsEmptyFront) {
+  synth::Specification spec = test::singleton();
+  spec.latency_bound = 1;  // wcet is 4
+  const ExploreResult r = explore(spec);
+  EXPECT_TRUE(r.stats.complete);
+  EXPECT_TRUE(r.front.empty());
+}
+
+TEST(LatencyBound, BaselinesAgreeUnderDeadline) {
+  synth::Specification spec = test::diamond_two_proc();
+  spec.latency_bound = 14;
+  const ExploreResult e = explore(spec);
+  const BaselineResult b = enumerate_and_filter(spec, 120.0);
+  ASSERT_TRUE(e.stats.complete && b.complete);
+  EXPECT_EQ(e.front, b.front);
+}
+
+TEST(LatencyBound, ValidatorRejectsDeadlineViolation) {
+  synth::Specification spec = test::singleton();
+  const ExploreResult r = explore(spec);
+  ASSERT_EQ(r.witnesses.size(), 1U);
+  synth::Implementation impl = r.witnesses[0];
+  spec.latency_bound = impl.latency - 1;
+  EXPECT_NE(synth::validate_implementation(spec, impl), "");
+}
+
+TEST(Capacity, UnitCapacityForcesSpreading) {
+  synth::Specification spec = test::diamond_two_proc();
+  // Both processors can hold at most 2 of the 4 tasks.
+  // (resource ids: 0 = bus, 1 = p0, 2 = p1)
+  spec.set_capacity(1, 2);
+  spec.set_capacity(2, 2);
+  const ExploreResult r = explore(spec);
+  ASSERT_TRUE(r.stats.complete);
+  ASSERT_FALSE(r.front.empty());
+  for (const auto& w : r.witnesses) {
+    int on_p0 = 0;
+    int on_p1 = 0;
+    for (const auto b : w.binding) {
+      if (b == 1) ++on_p0;
+      if (b == 2) ++on_p1;
+    }
+    EXPECT_LE(on_p0, 2);
+    EXPECT_LE(on_p1, 2);
+    EXPECT_EQ(synth::validate_implementation(spec, w), "");
+  }
+}
+
+TEST(Capacity, ImpossibleCapacityIsUnsat) {
+  synth::Specification spec = test::diamond_two_proc();
+  spec.set_capacity(1, 1);
+  spec.set_capacity(2, 1);  // 4 tasks, 2 slots: infeasible
+  const ExploreResult r = explore(spec);
+  EXPECT_TRUE(r.stats.complete);
+  EXPECT_TRUE(r.front.empty());
+}
+
+TEST(Capacity, EnumerationAgrees) {
+  synth::Specification spec = test::diamond_two_proc();
+  spec.set_capacity(1, 3);
+  const ExploreResult e = explore(spec);
+  const BaselineResult b = enumerate_and_filter(spec, 120.0);
+  ASSERT_TRUE(e.stats.complete && b.complete);
+  EXPECT_EQ(e.front, b.front);
+}
+
+TEST(Capacity, EaRespectsConstraints) {
+  synth::Specification spec = test::diamond_two_proc();
+  spec.set_capacity(1, 2);
+  spec.set_capacity(2, 2);
+  spec.latency_bound = 30;
+  ea::Nsga2Options opts;
+  opts.population = 16;
+  opts.generations = 10;
+  const ea::Nsga2Result r = ea::nsga2(spec, opts);
+  const ExploreResult exact = explore(spec);
+  ASSERT_TRUE(exact.stats.complete);
+  for (const auto& p : r.front) {
+    bool covered = false;
+    for (const auto& q : exact.front) {
+      covered = covered || pareto::weakly_dominates(q, p);
+    }
+    EXPECT_TRUE(covered);
+  }
+}
+
+}  // namespace
+}  // namespace aspmt::dse

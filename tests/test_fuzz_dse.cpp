@@ -1,0 +1,87 @@
+// Randomized end-to-end fuzz: random generator configurations, random
+// capacities and deadlines — the explorer must agree with an independent
+// exact method and every witness must validate.
+#include <gtest/gtest.h>
+
+#include "dse/baselines.hpp"
+#include "dse/explorer.hpp"
+#include "gen/generator.hpp"
+#include "synth/validator.hpp"
+#include "util/rng.hpp"
+
+namespace aspmt {
+namespace {
+
+class FuzzDse : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzDse, ExplorerAgreesWithLexUnderRandomConstraints) {
+  util::Rng rng(GetParam() * 7207 + 17);
+  gen::GeneratorConfig c;
+  c.seed = rng.next();
+  c.tasks = 4 + static_cast<std::uint32_t>(rng.below(4));
+  c.layers = 2 + static_cast<std::uint32_t>(rng.below(3));
+  c.options_per_task = 2 + static_cast<std::uint32_t>(rng.below(2));
+  c.extra_edge_density = rng.uniform() * 0.4;
+  c.payload_max = 1 + static_cast<std::int64_t>(rng.below(4));
+  switch (rng.below(3)) {
+    case 0: c.architecture = gen::Architecture::SharedBus; break;
+    case 1: c.architecture = gen::Architecture::Mesh2x2; break;
+    default:
+      c.architecture = gen::Architecture::Mesh2x2;  // keep 3x3 out of fuzz (slow)
+      break;
+  }
+  synth::Specification spec = gen::generate(c);
+
+  // Random capacity on one processor, random-ish deadline sometimes.
+  if (rng.chance(0.5)) {
+    const auto r = static_cast<synth::ResourceId>(rng.below(spec.resources().size()));
+    spec.set_capacity(r, 1 + static_cast<std::uint32_t>(rng.below(3)));
+  }
+  if (rng.chance(0.4)) {
+    // A loose-ish deadline derived from total work (often binding, sometimes
+    // infeasible — both are interesting).
+    std::int64_t total = 0;
+    for (const auto& o : spec.mappings()) total += o.wcet;
+    spec.latency_bound = 1 + static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(total)));
+  }
+
+  const dse::ExploreResult e = dse::explore(spec);
+  ASSERT_TRUE(e.stats.complete) << gen::summarize(spec);
+  for (std::size_t i = 0; i < e.front.size(); ++i) {
+    EXPECT_EQ(synth::validate_implementation(spec, e.witnesses[i]), "")
+        << "seed " << GetParam();
+    EXPECT_EQ(e.witnesses[i].objectives(), e.front[i]);
+  }
+  const dse::BaselineResult lex = dse::lexicographic_epsilon(spec, 300.0);
+  ASSERT_TRUE(lex.complete);
+  EXPECT_EQ(e.front, lex.front) << "seed " << GetParam() << " "
+                                << gen::summarize(spec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDse, ::testing::Range<std::uint64_t>(0, 25));
+
+class FuzzDseSmall : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzDseSmall, EnumerationAgreesOnTinyInstances) {
+  util::Rng rng(GetParam() * 31337 + 5);
+  gen::GeneratorConfig c;
+  c.seed = rng.next();
+  c.tasks = 3 + static_cast<std::uint32_t>(rng.below(2));
+  c.layers = 2;
+  c.options_per_task = 2;
+  c.architecture = rng.chance(0.5) ? gen::Architecture::SharedBus
+                                   : gen::Architecture::Mesh2x2;
+  c.bus_processors = 2;
+  const synth::Specification spec = gen::generate(c);
+  const dse::ExploreResult e = dse::explore(spec);
+  const dse::BaselineResult b = dse::enumerate_and_filter(spec, 300.0);
+  ASSERT_TRUE(e.stats.complete && b.complete);
+  EXPECT_EQ(e.front, b.front) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDseSmall,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace aspmt

@@ -1,0 +1,250 @@
+// The non-ground front-end: parsing, safety, grounding, and end-to-end
+// stable-model correctness through the full CDNL pipeline.
+#include "asp/grounder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace aspmt::asp {
+namespace {
+
+/// Ground, solve, and return the names of atoms true in every model plus
+/// the model count (projected on all ground atoms).
+struct Solved {
+  std::set<std::set<std::string>> models;
+};
+
+Solved solve_text(std::string_view text) {
+  const Program p = ground_text(text);
+  const auto raw = test::solver_stable_models(p);
+  Solved out;
+  for (const auto& m : raw) {
+    std::set<std::string> names;
+    for (Atom a = 0; a < p.num_atoms(); ++a) {
+      if (m[a]) names.insert(p.name(a));
+    }
+    out.models.insert(std::move(names));
+  }
+  return out;
+}
+
+TEST(GrounderTerms, OrderingAndGroundness) {
+  EXPECT_TRUE(Term::number_term(3).is_ground());
+  EXPECT_FALSE(Term::variable("X").is_ground());
+  EXPECT_FALSE(Term::function("f", {Term::variable("X")}).is_ground());
+  EXPECT_TRUE(Term::function("f", {Term::symbol("a")}).is_ground());
+  EXPECT_LT(Term::number_term(1), Term::number_term(2));
+  EXPECT_LT(Term::number_term(9), Term::symbol("a"));  // numbers before symbols
+  EXPECT_EQ(Term::function("f", {Term::number_term(1)}).to_string(), "f(1)");
+}
+
+TEST(Grounder, FactsAndIntervals) {
+  GroundStats stats;
+  const Program p = ground_text("node(1..4). weight(7).", &stats);
+  EXPECT_EQ(stats.ground_atoms, 5U);
+  EXPECT_NE(p.find("node(1)"), p.num_atoms());
+  EXPECT_NE(p.find("node(4)"), p.num_atoms());
+  EXPECT_NE(p.find("weight(7)"), p.num_atoms());
+}
+
+TEST(Grounder, JoinOverSharedVariable) {
+  const Solved s = solve_text(
+      "edge(1,2). edge(2,3). edge(2,4).\n"
+      "path(X,Z) :- edge(X,Y), edge(Y,Z).\n");
+  ASSERT_EQ(s.models.size(), 1U);
+  const auto& m = *s.models.begin();
+  EXPECT_TRUE(m.count("path(1,3)"));
+  EXPECT_TRUE(m.count("path(1,4)"));
+  EXPECT_FALSE(m.count("path(2,3)"));
+}
+
+TEST(Grounder, TransitiveClosureOnCycle) {
+  const Solved s = solve_text(
+      "edge(1,2). edge(2,3). edge(3,1).\n"
+      "reach(X,Y) :- edge(X,Y).\n"
+      "reach(X,Z) :- reach(X,Y), edge(Y,Z).\n");
+  ASSERT_EQ(s.models.size(), 1U);
+  const auto& m = *s.models.begin();
+  // Full closure on a 3-cycle: all 9 pairs.
+  for (const char* pair : {"reach(1,1)", "reach(2,2)", "reach(1,3)",
+                           "reach(3,2)", "reach(2,1)"}) {
+    EXPECT_TRUE(m.count(pair)) << pair;
+  }
+}
+
+TEST(Grounder, ChoiceAndNegationSplitWorlds) {
+  const Solved s = solve_text(
+      "node(1..3).\n"
+      "in(X) :- node(X), not out(X).\n"
+      "out(X) :- node(X), not in(X).\n");
+  EXPECT_EQ(s.models.size(), 8U);  // each node independently in or out
+}
+
+TEST(Grounder, GraphColouringCountsMatch) {
+  const Solved s = solve_text(
+      "node(1..3). col(r). col(g). col(b).\n"
+      "edge(1,2). edge(2,3). edge(1,3).\n"
+      "{colour(X,C)} :- node(X), col(C).\n"
+      "has(X) :- colour(X,C).\n"
+      ":- node(X), not has(X).\n"
+      ":- colour(X,C1), colour(X,C2), C1 != C2.\n"
+      ":- edge(X,Y), colour(X,C), colour(Y,C).\n");
+  EXPECT_EQ(s.models.size(), 6U);  // proper 3-colourings of a triangle
+}
+
+TEST(Grounder, ComparisonOperators) {
+  const Solved s = solve_text(
+      "num(1..4).\n"
+      "small(X) :- num(X), X < 3.\n"
+      "big(X) :- num(X), X >= 3.\n"
+      "three(X) :- num(X), X = 3.\n");
+  const auto& m = *s.models.begin();
+  EXPECT_TRUE(m.count("small(1)"));
+  EXPECT_TRUE(m.count("small(2)"));
+  EXPECT_FALSE(m.count("small(3)"));
+  EXPECT_TRUE(m.count("big(3)"));
+  EXPECT_TRUE(m.count("big(4)"));
+  EXPECT_TRUE(m.count("three(3)"));
+  EXPECT_FALSE(m.count("three(2)"));
+}
+
+TEST(Grounder, UnderivableNegationIsDropped) {
+  const Solved s = solve_text("ok :- not missing.\n");
+  ASSERT_EQ(s.models.size(), 1U);
+  EXPECT_TRUE(s.models.begin()->count("ok"));
+}
+
+TEST(Grounder, FunctionTerms) {
+  const Solved s = solve_text(
+      "item(a). item(b).\n"
+      "boxed(box(X)) :- item(X).\n"
+      "unboxed(X) :- boxed(box(X)).\n");
+  const auto& m = *s.models.begin();
+  EXPECT_TRUE(m.count("boxed(box(a))"));
+  EXPECT_TRUE(m.count("unboxed(b)"));
+}
+
+TEST(Grounder, WinLoseGameOnDag) {
+  // Terminal position 3 loses; 2 -> 3 wins; 1 -> 2 loses.
+  const Solved s = solve_text(
+      "move(1,2). move(2,3).\n"
+      "win(X) :- move(X,Y), not win(Y).\n");
+  ASSERT_EQ(s.models.size(), 1U);
+  const auto& m = *s.models.begin();
+  EXPECT_TRUE(m.count("win(2)"));
+  EXPECT_FALSE(m.count("win(1)"));
+}
+
+TEST(Grounder, WinLoseGameOnCycleHasTwoModels) {
+  const Solved s = solve_text(
+      "move(1,2). move(2,1).\n"
+      "win(X) :- move(X,Y), not win(Y).\n");
+  EXPECT_EQ(s.models.size(), 2U);  // the even negation loop splits
+}
+
+TEST(Grounder, ConstraintPrunesModels) {
+  const Solved s = solve_text(
+      "{pick(X)} :- option(X).\n"
+      "option(1..2).\n"
+      ":- pick(1), pick(2).\n");
+  EXPECT_EQ(s.models.size(), 3U);
+}
+
+TEST(Grounder, HamiltonianCycleSmall) {
+  // Classic encoding on a 3-cycle with a chord: count Hamiltonian cycles.
+  const Solved s = solve_text(
+      "node(1..3).\n"
+      "edge(1,2). edge(2,3). edge(3,1). edge(2,1).\n"
+      "{in(X,Y)} :- edge(X,Y).\n"
+      "outdeg(X) :- in(X,Y).\n"
+      "indeg(Y) :- in(X,Y).\n"
+      ":- node(X), not outdeg(X).\n"
+      ":- node(X), not indeg(X).\n"
+      ":- in(X,Y), in(X,Z), Y != Z.\n"
+      ":- in(X,Z), in(Y,Z), X != Y.\n"
+      "reach(1).\n"
+      "reach(Y) :- reach(X), in(X,Y).\n"
+      ":- node(X), not reach(X).\n");
+  // Only the directed 3-cycle 1->2->3->1 qualifies (2->1 breaks degree or
+  // reachability constraints).
+  EXPECT_EQ(s.models.size(), 1U);
+  EXPECT_TRUE(s.models.begin()->count("in(1,2)"));
+  EXPECT_TRUE(s.models.begin()->count("in(3,1)"));
+}
+
+TEST(GrounderSafety, UnboundHeadVariableRejected) {
+  EXPECT_THROW((void)ground_text("p(X).\n"), GroundError);
+}
+
+TEST(GrounderSafety, UnboundNegativeVariableRejected) {
+  EXPECT_THROW((void)ground_text("p :- not q(X).\n"), GroundError);
+}
+
+TEST(GrounderSafety, UnboundComparisonRejected) {
+  EXPECT_THROW((void)ground_text(":- X < Y.\n"), GroundError);
+}
+
+TEST(GrounderSafety, NegativeBindingDoesNotCount) {
+  EXPECT_THROW((void)ground_text("q(1). p(X) :- not q(X).\n"), GroundError);
+}
+
+TEST(GrounderErrors, IntervalOutsideFactRejected) {
+  EXPECT_THROW((void)ground_text("p(X) :- q(1..3).\nq(1).\n"), GroundError);
+}
+
+TEST(GrounderErrors, SyntaxErrorsCarryLine) {
+  try {
+    (void)ground_text("a.\nb :- ,.\n");
+    FAIL() << "expected GroundError";
+  } catch (const GroundError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(GrounderErrors, RunawayRecursionCapped) {
+  EXPECT_THROW((void)ground_text("p(o). p(s(X)) :- p(X).\n"), GroundError);
+}
+
+TEST(Grounder, StatsPopulated) {
+  GroundStats stats;
+  (void)ground_text("a :- not b. b :- not a.", &stats);
+  EXPECT_EQ(stats.ground_atoms, 2U);
+  EXPECT_EQ(stats.ground_rules, 2U);
+  EXPECT_GE(stats.iterations, 1U);
+}
+
+TEST(Grounder, GroundProgramMatchesHandWrittenEquivalent) {
+  // The grounded program must have exactly the stable models of the
+  // hand-grounded version.
+  const Program generated = ground_text(
+      "q(1). q(2).\n"
+      "{p(X)} :- q(X).\n"
+      ":- p(1), p(2).\n");
+  Program manual;
+  const Atom q1 = manual.new_atom("q(1)");
+  const Atom q2 = manual.new_atom("q(2)");
+  const Atom p1 = manual.new_atom("p(1)");
+  const Atom p2 = manual.new_atom("p(2)");
+  manual.fact(q1);
+  manual.fact(q2);
+  manual.choice_rule(p1, {pos(q1)});
+  manual.choice_rule(p2, {pos(q2)});
+  manual.integrity({pos(p1), pos(p2)});
+  // Compare projected models by name.
+  auto names_of = [](const Program& p) {
+    std::set<std::set<std::string>> out;
+    for (const auto& m : test::solver_stable_models(p)) {
+      std::set<std::string> names;
+      for (Atom a = 0; a < p.num_atoms(); ++a) {
+        if (m[a]) names.insert(p.name(a));
+      }
+      out.insert(std::move(names));
+    }
+    return out;
+  };
+  EXPECT_EQ(names_of(generated), names_of(manual));
+}
+
+}  // namespace
+}  // namespace aspmt::asp

@@ -1,0 +1,124 @@
+// End-to-end tests over generated instances: the full ASPmT pipeline
+// (generator -> encoder -> CDNL + theories -> exact front) cross-checked
+// against the independent exact baselines, the validator, and the EA.
+#include <gtest/gtest.h>
+
+#include "dse/baselines.hpp"
+#include "dse/explorer.hpp"
+#include "ea/nsga2.hpp"
+#include "gen/generator.hpp"
+#include "pareto/indicators.hpp"
+#include "synth/validator.hpp"
+
+namespace aspmt {
+namespace {
+
+struct InstanceParam {
+  std::uint64_t seed;
+  std::uint32_t tasks;
+  gen::Architecture arch;
+};
+
+class GeneratedInstance : public ::testing::TestWithParam<InstanceParam> {
+ protected:
+  synth::Specification make_spec() const {
+    gen::GeneratorConfig c;
+    c.seed = GetParam().seed;
+    c.tasks = GetParam().tasks;
+    c.architecture = GetParam().arch;
+    c.layers = 3;
+    c.options_per_task = 2;
+    return gen::generate(c);
+  }
+};
+
+TEST_P(GeneratedInstance, ExactMethodsAgreeAndWitnessesValidate) {
+  const synth::Specification spec = make_spec();
+  ASSERT_EQ(spec.validate(), "");
+
+  const dse::ExploreResult exact = dse::explore(spec);
+  ASSERT_TRUE(exact.stats.complete) << gen::summarize(spec);
+  ASSERT_FALSE(exact.front.empty());
+
+  for (std::size_t i = 0; i < exact.front.size(); ++i) {
+    EXPECT_EQ(synth::validate_implementation(spec, exact.witnesses[i]), "")
+        << exact.witnesses[i].describe(spec);
+    EXPECT_EQ(exact.witnesses[i].objectives(), exact.front[i]);
+  }
+
+  const dse::BaselineResult lex = dse::lexicographic_epsilon(spec, 300.0);
+  ASSERT_TRUE(lex.complete);
+  EXPECT_EQ(exact.front, lex.front) << gen::summarize(spec);
+}
+
+TEST_P(GeneratedInstance, AblationsPreserveTheFront) {
+  const synth::Specification spec = make_spec();
+  const dse::ExploreResult base = dse::explore(spec);
+  dse::ExploreOptions no_pe;
+  no_pe.partial_evaluation = false;
+  const dse::ExploreResult ablated = dse::explore(spec, no_pe);
+  dse::ExploreOptions lin;
+  lin.archive_kind = "linear";
+  const dse::ExploreResult linear = dse::explore(spec, lin);
+  ASSERT_TRUE(base.stats.complete && ablated.stats.complete &&
+              linear.stats.complete);
+  EXPECT_EQ(base.front, ablated.front);
+  EXPECT_EQ(base.front, linear.front);
+}
+
+TEST_P(GeneratedInstance, EaIsCoveredByExactFront) {
+  const synth::Specification spec = make_spec();
+  const dse::ExploreResult exact = dse::explore(spec);
+  ASSERT_TRUE(exact.stats.complete);
+  ea::Nsga2Options opts;
+  opts.population = 20;
+  opts.generations = 15;
+  opts.seed = GetParam().seed;
+  const ea::Nsga2Result ea_result = ea::nsga2(spec, opts);
+  for (const auto& p : ea_result.front) {
+    bool covered = false;
+    for (const auto& q : exact.front) {
+      if (pareto::weakly_dominates(q, p)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << pareto::to_string(p);
+  }
+  // Hypervolume of the exact front dominates the EA's.
+  pareto::Vec ref(3, 0);
+  for (const auto& p : exact.front) {
+    for (int o = 0; o < 3; ++o) ref[o] = std::max(ref[o], p[o] + 1);
+  }
+  for (const auto& p : ea_result.front) {
+    for (int o = 0; o < 3; ++o) ref[o] = std::max(ref[o], p[o] + 1);
+  }
+  EXPECT_GE(pareto::hypervolume(exact.front, ref) + 1e-9,
+            pareto::hypervolume(ea_result.front, ref));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, GeneratedInstance,
+    ::testing::Values(InstanceParam{1, 4, gen::Architecture::SharedBus},
+                      InstanceParam{2, 5, gen::Architecture::SharedBus},
+                      InstanceParam{3, 4, gen::Architecture::Mesh2x2},
+                      InstanceParam{4, 5, gen::Architecture::Mesh2x2},
+                      InstanceParam{5, 6, gen::Architecture::SharedBus}));
+
+TEST(Integration, LargerInstanceCompletesAndValidates) {
+  gen::GeneratorConfig c;
+  c.seed = 77;
+  c.tasks = 7;
+  c.architecture = gen::Architecture::Mesh2x2;
+  c.options_per_task = 2;
+  const synth::Specification spec = gen::generate(c);
+  const dse::ExploreResult exact = dse::explore(spec, {});
+  ASSERT_TRUE(exact.stats.complete) << gen::summarize(spec);
+  for (const auto& w : exact.witnesses) {
+    EXPECT_EQ(synth::validate_implementation(spec, w), "");
+  }
+  EXPECT_GE(exact.front.size(), 2U);
+}
+
+}  // namespace
+}  // namespace aspmt

@@ -1,0 +1,130 @@
+#include "ea/nsga2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dse/explorer.hpp"
+#include "synth_fixtures.hpp"
+#include "synth/validator.hpp"
+#include "util/rng.hpp"
+
+namespace aspmt::ea {
+namespace {
+
+TEST(Decode, ProducesValidatedImplementations) {
+  const synth::Specification spec = test::chain3_bus();
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Genotype g;
+    for (synth::TaskId t = 0; t < spec.tasks().size(); ++t) {
+      g.option.push_back(rng.below(100));
+      g.priority.push_back(rng.uniform());
+    }
+    synth::Implementation impl;
+    ASSERT_TRUE(decode_genotype(spec, g, impl));
+    EXPECT_EQ(synth::validate_implementation(spec, impl), "")
+        << impl.describe(spec);
+  }
+}
+
+TEST(Decode, SingletonDeterministic) {
+  const synth::Specification spec = test::singleton();
+  Genotype g;
+  g.option = {0};
+  g.priority = {0.5};
+  synth::Implementation impl;
+  ASSERT_TRUE(decode_genotype(spec, g, impl));
+  EXPECT_EQ(impl.objectives(), (pareto::Vec{4, 2, 3}));
+}
+
+TEST(Decode, ReportsUnroutableBinding) {
+  using namespace synth;
+  Specification s;
+  const ResourceId p0 = s.add_resource("p0", ResourceKind::Processor, 1);
+  const ResourceId p1 = s.add_resource("p1", ResourceKind::Processor, 1);
+  const ResourceId bus = s.add_resource("bus", ResourceKind::Bus, 1);
+  // Only p0 is connected.
+  s.add_link(p0, bus, 1, 1);
+  s.add_link(bus, p0, 1, 1);
+  const TaskId a = s.add_task("a");
+  const TaskId b = s.add_task("b");
+  s.add_message("m", a, b, 1);
+  s.add_mapping(a, p0, 1, 1);
+  s.add_mapping(b, p0, 1, 1);
+  s.add_mapping(b, p1, 1, 1);  // unroutable when chosen
+  Genotype g;
+  g.option = {0, 1};
+  g.priority = {0.5, 0.5};
+  synth::Implementation impl;
+  EXPECT_FALSE(decode_genotype(s, g, impl));
+  g.option = {0, 0};
+  EXPECT_TRUE(decode_genotype(s, g, impl));
+}
+
+TEST(Nsga2, DeterministicForFixedSeed) {
+  const synth::Specification spec = test::chain3_bus();
+  Nsga2Options opts;
+  opts.seed = 7;
+  opts.population = 16;
+  opts.generations = 10;
+  const Nsga2Result a = nsga2(spec, opts);
+  const Nsga2Result b = nsga2(spec, opts);
+  EXPECT_EQ(a.front, b.front);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Nsga2, EvaluationBudgetRespected) {
+  const synth::Specification spec = test::chain3_bus();
+  Nsga2Options opts;
+  opts.population = 10;
+  opts.generations = 5;
+  const Nsga2Result r = nsga2(spec, opts);
+  EXPECT_EQ(r.evaluations, 10U * (5U + 1U));
+}
+
+TEST(Nsga2, FrontIsNonDominated) {
+  const synth::Specification spec = test::diamond_two_proc();
+  const Nsga2Result r = nsga2(spec, {});
+  for (const auto& p : r.front) {
+    for (const auto& q : r.front) {
+      if (&p == &q) continue;
+      EXPECT_FALSE(pareto::weakly_dominates(p, q) && p != q);
+    }
+  }
+  EXPECT_FALSE(r.front.empty());
+}
+
+TEST(Nsga2, NeverBeatsTheExactFront) {
+  // Every EA point must be weakly dominated by some exact front point —
+  // the exactness sanity check for Figure 1.
+  const synth::Specification spec = test::chain3_bus();
+  const dse::ExploreResult exact = dse::explore(spec);
+  ASSERT_TRUE(exact.stats.complete);
+  Nsga2Options opts;
+  opts.population = 24;
+  opts.generations = 30;
+  const Nsga2Result ea = nsga2(spec, opts);
+  for (const auto& p : ea.front) {
+    bool covered = false;
+    for (const auto& q : exact.front) {
+      if (pareto::weakly_dominates(q, p)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "EA point " << pareto::to_string(p)
+                         << " not covered by the exact front";
+  }
+}
+
+TEST(Nsga2, FindsTheSingletonOptimum) {
+  const synth::Specification spec = test::singleton();
+  Nsga2Options opts;
+  opts.population = 4;
+  opts.generations = 2;
+  const Nsga2Result r = nsga2(spec, opts);
+  ASSERT_EQ(r.front.size(), 1U);
+  EXPECT_EQ(r.front[0], (pareto::Vec{4, 2, 3}));
+}
+
+}  // namespace
+}  // namespace aspmt::ea

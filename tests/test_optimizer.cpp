@@ -1,0 +1,103 @@
+#include "dse/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "dse/baselines.hpp"
+#include "dse/context.hpp"
+#include "synth_fixtures.hpp"
+
+namespace aspmt::dse {
+namespace {
+
+/// Coordinate-wise minimum over the exhaustive front — the reference for
+/// single-objective optima (the front contains the per-objective minima).
+std::int64_t reference_min(const synth::Specification& spec, std::size_t obj) {
+  const BaselineResult all = enumerate_and_filter(spec);
+  EXPECT_TRUE(all.complete);
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (const auto& p : all.front) best = std::min(best, p[obj]);
+  return best;
+}
+
+class MinimizeEachObjective
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MinimizeEachObjective, MatchesExhaustiveMinimumTwoProc) {
+  const synth::Specification spec = test::two_proc_bus();
+  SynthContext ctx(spec);
+  std::vector<asp::Lit> assumptions;
+  const MinimizeResult r =
+      minimize_objective(ctx, GetParam(), assumptions, nullptr);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_TRUE(r.proven);
+  EXPECT_EQ(r.best, reference_min(spec, GetParam()));
+}
+
+TEST_P(MinimizeEachObjective, MatchesExhaustiveMinimumChain) {
+  const synth::Specification spec = test::chain3_bus();
+  SynthContext ctx(spec);
+  std::vector<asp::Lit> assumptions;
+  const MinimizeResult r =
+      minimize_objective(ctx, GetParam(), assumptions, nullptr);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_TRUE(r.proven);
+  EXPECT_EQ(r.best, reference_min(spec, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Objectives, MinimizeEachObjective,
+                         ::testing::Values(0U, 1U, 2U));
+
+TEST(Optimizer, LexicographicStagesPinEarlierObjectives) {
+  const synth::Specification spec = test::chain3_bus();
+  SynthContext ctx(spec);
+  std::vector<asp::Lit> assumptions;
+  const MinimizeResult lat = minimize_objective(ctx, 0, assumptions, nullptr);
+  ASSERT_TRUE(lat.feasible && lat.proven);
+  const MinimizeResult en = minimize_objective(ctx, 1, assumptions, nullptr);
+  ASSERT_TRUE(en.feasible && en.proven);
+  const MinimizeResult cost = minimize_objective(ctx, 2, assumptions, nullptr);
+  ASSERT_TRUE(cost.feasible && cost.proven);
+  // The lexicographic point must lie on the exhaustive front.
+  const BaselineResult all = enumerate_and_filter(spec);
+  const pareto::Vec point{lat.best, en.best, cost.best};
+  EXPECT_NE(std::find(all.front.begin(), all.front.end(), point),
+            all.front.end());
+  // And it must be the lexicographically smallest front point.
+  EXPECT_EQ(point, all.front.front());
+}
+
+TEST(Optimizer, SolverRemainsUsableAfterOptimum) {
+  const synth::Specification spec = test::two_proc_bus();
+  SynthContext ctx(spec);
+  std::vector<asp::Lit> assumptions;
+  const MinimizeResult r = minimize_objective(ctx, 0, assumptions, nullptr);
+  ASSERT_TRUE(r.proven);
+  // Solving without assumptions still works (activation guards dormant).
+  EXPECT_EQ(ctx.solver.solve(), asp::Solver::Result::Sat);
+}
+
+TEST(Optimizer, ExpiredDeadlineIsUnproven) {
+  const synth::Specification spec = test::chain3_bus();
+  SynthContext ctx(spec);
+  std::vector<asp::Lit> assumptions;
+  const util::Deadline expired(1e-9);
+  const MinimizeResult r = minimize_objective(ctx, 0, assumptions, &expired);
+  EXPECT_FALSE(r.proven);
+}
+
+TEST(Optimizer, InfeasibleUnderAssumptionReported) {
+  const synth::Specification spec = test::singleton();
+  SynthContext ctx(spec);
+  // Pin an impossible latency first.
+  const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
+  ctx.objectives.add_bound(0, 1, act);  // latency <= 1 < wcet 4
+  std::vector<asp::Lit> assumptions{act};
+  const MinimizeResult r = minimize_objective(ctx, 1, assumptions, nullptr);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_TRUE(r.proven);
+}
+
+}  // namespace
+}  // namespace aspmt::dse

@@ -1,0 +1,117 @@
+#include "pareto/point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pareto/archive.hpp"
+#include "util/rng.hpp"
+
+namespace aspmt::pareto {
+namespace {
+
+TEST(Dominance, CompareRelations) {
+  EXPECT_EQ(compare(Vec{1, 2}, Vec{2, 3}), DomRel::Dominates);
+  EXPECT_EQ(compare(Vec{2, 3}, Vec{1, 2}), DomRel::Dominated);
+  EXPECT_EQ(compare(Vec{1, 2}, Vec{1, 2}), DomRel::Equal);
+  EXPECT_EQ(compare(Vec{1, 3}, Vec{2, 2}), DomRel::Incomparable);
+  EXPECT_EQ(compare(Vec{1, 2}, Vec{1, 3}), DomRel::Dominates);
+}
+
+TEST(Dominance, WeakVsStrict) {
+  EXPECT_TRUE(weakly_dominates(Vec{1, 2}, Vec{1, 2}));
+  EXPECT_FALSE(dominates(Vec{1, 2}, Vec{1, 2}));
+  EXPECT_TRUE(dominates(Vec{1, 1}, Vec{1, 2}));
+  EXPECT_FALSE(weakly_dominates(Vec{2, 1}, Vec{1, 2}));
+}
+
+TEST(Dominance, NonDominatedFilter) {
+  std::vector<Vec> pts{{3, 3}, {1, 5}, {5, 1}, {2, 4}, {3, 3}, {4, 4}};
+  const auto front = non_dominated_filter(pts);
+  const std::vector<Vec> expected{{1, 5}, {2, 4}, {3, 3}, {5, 1}};
+  EXPECT_EQ(front, expected);
+}
+
+TEST(Dominance, FilterKeepsSingleCopyOfDuplicates) {
+  const auto front = non_dominated_filter({{1, 1}, {1, 1}});
+  EXPECT_EQ(front.size(), 1U);
+}
+
+TEST(Dominance, ToStringFormat) {
+  EXPECT_EQ(to_string(Vec{1, 2, 3}), "(1, 2, 3)");
+  EXPECT_EQ(to_string(Vec{}), "()");
+}
+
+TEST(LinearArchive, InsertRejectsWeaklyDominated) {
+  LinearArchive a;
+  EXPECT_TRUE(a.insert({2, 2}));
+  EXPECT_FALSE(a.insert({2, 2}));  // equal counts as weakly dominated
+  EXPECT_FALSE(a.insert({3, 2}));
+  EXPECT_TRUE(a.insert({1, 3}));
+  EXPECT_EQ(a.size(), 2U);
+}
+
+TEST(LinearArchive, InsertEvictsDominated) {
+  LinearArchive a;
+  EXPECT_TRUE(a.insert({4, 4}));
+  EXPECT_TRUE(a.insert({5, 2}));
+  EXPECT_TRUE(a.insert({2, 2}));  // dominates both? (2,2) <= (4,4) and <= (5,2)
+  EXPECT_EQ(a.size(), 1U);
+  EXPECT_EQ(a.points(), (std::vector<Vec>{{2, 2}}));
+}
+
+TEST(LinearArchive, FindWeakDominator) {
+  LinearArchive a;
+  a.insert({2, 5});
+  a.insert({4, 1});
+  EXPECT_NE(a.find_weak_dominator({3, 6}), nullptr);
+  EXPECT_NE(a.find_weak_dominator({2, 5}), nullptr);
+  EXPECT_EQ(a.find_weak_dominator({1, 1}), nullptr);
+  EXPECT_EQ(a.find_weak_dominator({3, 4}), nullptr);
+}
+
+TEST(LinearArchive, ComparisonsCounted) {
+  LinearArchive a;
+  a.insert({1, 2});
+  a.insert({2, 1});
+  const auto before = a.comparisons();
+  (void)a.find_weak_dominator({5, 5});
+  EXPECT_GT(a.comparisons(), before);
+}
+
+TEST(LinearArchive, ClearEmpties) {
+  LinearArchive a;
+  a.insert({1, 1});
+  a.clear();
+  EXPECT_EQ(a.size(), 0U);
+  EXPECT_TRUE(a.points().empty());
+}
+
+TEST(ArchiveFactory, MakesBothKinds) {
+  EXPECT_NE(make_archive("linear", 3), nullptr);
+  EXPECT_NE(make_archive("quadtree", 3), nullptr);
+  EXPECT_THROW((void)make_archive("btree", 3), std::invalid_argument);
+}
+
+// Property: archive contents equal the non-dominated filter of the inserted
+// prefix at every step.
+class ArchiveProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArchiveProperty, MatchesFilterAtEveryStep) {
+  util::Rng rng(GetParam() + 99);
+  LinearArchive archive;
+  std::vector<Vec> inserted;
+  for (int i = 0; i < 120; ++i) {
+    Vec p{rng.range(0, 12), rng.range(0, 12), rng.range(0, 12)};
+    inserted.push_back(p);
+    archive.insert(p);
+    if (i % 20 == 19) {
+      EXPECT_EQ(archive.points(), non_dominated_filter(inserted));
+    }
+  }
+  EXPECT_EQ(archive.points(), non_dominated_filter(inserted));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArchiveProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace aspmt::pareto

@@ -1,0 +1,179 @@
+// Stress and configuration coverage for the CDCL core: forced clause-DB
+// reduction, restart churn, phase options, and larger cross-checked
+// instances.
+#include <gtest/gtest.h>
+
+#include "asp/solver.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace aspmt::asp {
+namespace {
+
+Lit L(Var v, bool s = true) { return Lit::make(v, s); }
+
+void add_pigeonhole(Solver& s, int pigeons, int holes, std::vector<Var>& vars) {
+  vars.clear();
+  for (int i = 0; i < pigeons * holes; ++i) vars.push_back(s.new_var());
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < holes; ++h) c.push_back(L(vars[p * holes + h]));
+    ASSERT_TRUE(s.add_clause(std::move(c)));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        ASSERT_TRUE(
+            s.add_clause({~L(vars[p1 * holes + h]), ~L(vars[p2 * holes + h])}));
+      }
+    }
+  }
+}
+
+TEST(SolverStress, PigeonholeUnsatWithTinyLearntDb) {
+  SolverOptions opts;
+  opts.learnt_start = 8;  // constant clause-DB reduction
+  opts.learnt_growth = 1.05;
+  Solver s(opts);
+  std::vector<Var> vars;
+  add_pigeonhole(s, 6, 5, vars);
+  EXPECT_EQ(s.solve(), Solver::Result::Unsat);
+  EXPECT_GT(s.stats().deleted_clauses, 0U);
+}
+
+TEST(SolverStress, PigeonholeUnsatWithAggressiveRestarts) {
+  SolverOptions opts;
+  opts.restart_base = 1;  // restart storm
+  Solver s(opts);
+  std::vector<Var> vars;
+  add_pigeonhole(s, 6, 5, vars);
+  EXPECT_EQ(s.solve(), Solver::Result::Unsat);
+  EXPECT_GT(s.stats().restarts, 10U);
+}
+
+TEST(SolverStress, SatisfiablePigeonholeFindsAssignment) {
+  Solver s;
+  std::vector<Var> vars;
+  add_pigeonhole(s, 5, 5, vars);
+  ASSERT_EQ(s.solve(), Solver::Result::Sat);
+  // Verify it is a perfect matching.
+  for (int h = 0; h < 5; ++h) {
+    int count = 0;
+    for (int p = 0; p < 5; ++p) count += s.model_value(vars[p * 5 + h]) ? 1 : 0;
+    EXPECT_LE(count, 1);
+  }
+}
+
+TEST(SolverStress, DefaultPhaseTrueStillCorrect) {
+  SolverOptions opts;
+  opts.default_phase = true;
+  Solver s(opts);
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  ASSERT_TRUE(s.add_clause({~L(a), ~L(b)}));
+  const auto models = test::enumerate_projected(s, {a, b});
+  EXPECT_EQ(models.size(), 3U);
+}
+
+TEST(SolverStress, PhaseSavingOffStillCorrect) {
+  SolverOptions opts;
+  opts.phase_saving = false;
+  Solver s(opts);
+  util::Rng rng(3);
+  std::vector<Var> vars;
+  std::vector<std::vector<Lit>> cnf;
+  for (int i = 0; i < 7; ++i) vars.push_back(s.new_var());
+  for (int c = 0; c < 20; ++c) {
+    std::vector<Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.push_back(L(static_cast<Var>(rng.below(7)), rng.chance(0.5)));
+    }
+    cnf.push_back(clause);
+    (void)s.add_clause(clause);
+  }
+  const bool expected = test::brute_force_sat(cnf, 7);
+  EXPECT_EQ(s.ok() && s.solve() == Solver::Result::Sat, expected);
+}
+
+// Randomized stress with tiny DB + restart storm must still agree with
+// brute force (exercises reduction, locking and restart interplay).
+class StressConfig : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressConfig, RandomCnfUnderHarshOptions) {
+  util::Rng rng(GetParam() * 977 + 11);
+  SolverOptions opts;
+  opts.learnt_start = 4;
+  opts.restart_base = 2;
+  opts.var_decay = 0.8;
+  Solver s(opts);
+  const std::uint32_t n = 9;
+  std::vector<std::vector<Lit>> cnf;
+  bool ok = true;
+  for (std::uint32_t i = 0; i < n; ++i) s.new_var();
+  const std::uint32_t clauses = 20 + static_cast<std::uint32_t>(rng.below(25));
+  for (std::uint32_t c = 0; c < clauses; ++c) {
+    std::vector<Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.push_back(L(static_cast<Var>(rng.below(n)), rng.chance(0.5)));
+    }
+    cnf.push_back(clause);
+    ok = s.add_clause(clause) && ok;
+  }
+  const bool expected = test::brute_force_sat(cnf, n);
+  if (!ok) {
+    EXPECT_FALSE(expected);
+  } else {
+    EXPECT_EQ(s.solve() == Solver::Result::Sat, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressConfig,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(SolverStress, PreferredPhaseSteersUnconstrainedVariables) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.set_preferred_phase(a, true);
+  s.set_preferred_phase(b, false);
+  ASSERT_EQ(s.solve(), Solver::Result::Sat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_FALSE(s.model_value(b));
+}
+
+TEST(SolverStress, BoostedVariableDecidedFirst) {
+  // With a boosted variable and preferred phase, the first decision is
+  // predictable; constraints then force the rest.
+  Solver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  ASSERT_TRUE(s.add_clause({Lit::make(x, false), Lit::make(y, true)}));
+  s.boost_variable(x, 50.0);
+  s.set_preferred_phase(x, true);
+  ASSERT_EQ(s.solve(), Solver::Result::Sat);
+  EXPECT_TRUE(s.model_value(x));
+  EXPECT_TRUE(s.model_value(y));  // forced by the clause
+}
+
+TEST(SolverStress, ManyIncrementalSolveCalls) {
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < 12; ++i) vars.push_back(s.new_var());
+  // Chain of implications with periodic new constraints between solves.
+  for (int i = 0; i + 1 < 12; ++i) {
+    ASSERT_TRUE(s.add_clause({~L(vars[i]), L(vars[i + 1])}));
+  }
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_EQ(s.solve(), Solver::Result::Sat);
+    // Alternate assumptions.
+    const std::vector<Lit> a{L(vars[0], round % 2 == 0)};
+    const auto r = s.solve(a);
+    EXPECT_EQ(r, Solver::Result::Sat);
+  }
+  ASSERT_TRUE(s.add_clause({L(vars[0])}));
+  ASSERT_EQ(s.solve(), Solver::Result::Sat);
+  EXPECT_TRUE(s.model_value(vars[11]));
+}
+
+}  // namespace
+}  // namespace aspmt::asp

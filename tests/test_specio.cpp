@@ -1,0 +1,141 @@
+#include "synth/specio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dse/explorer.hpp"
+#include "gen/generator.hpp"
+#include "synth_fixtures.hpp"
+
+namespace aspmt::synth {
+namespace {
+
+TEST(SpecIo, RoundTripPreservesStructure) {
+  const Specification a = test::chain3_bus();
+  const Specification b = parse_specification(to_text(a));
+  EXPECT_EQ(a.tasks().size(), b.tasks().size());
+  EXPECT_EQ(a.messages().size(), b.messages().size());
+  EXPECT_EQ(a.resources().size(), b.resources().size());
+  EXPECT_EQ(a.links().size(), b.links().size());
+  EXPECT_EQ(a.mappings().size(), b.mappings().size());
+  for (std::size_t i = 0; i < a.mappings().size(); ++i) {
+    EXPECT_EQ(a.mappings()[i].task, b.mappings()[i].task);
+    EXPECT_EQ(a.mappings()[i].resource, b.mappings()[i].resource);
+    EXPECT_EQ(a.mappings()[i].wcet, b.mappings()[i].wcet);
+    EXPECT_EQ(a.mappings()[i].energy, b.mappings()[i].energy);
+  }
+}
+
+TEST(SpecIo, RoundTripPreservesTheFront) {
+  const Specification a = test::diamond_two_proc();
+  const Specification b = parse_specification(to_text(a));
+  const auto ra = dse::explore(a);
+  const auto rb = dse::explore(b);
+  ASSERT_TRUE(ra.stats.complete && rb.stats.complete);
+  EXPECT_EQ(ra.front, rb.front);
+}
+
+TEST(SpecIo, RoundTripOfGeneratedInstances) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    gen::GeneratorConfig c;
+    c.seed = seed;
+    c.tasks = 6;
+    c.architecture = gen::Architecture::Mesh2x2;
+    const Specification a = gen::generate(c);
+    const Specification b = parse_specification(to_text(a));
+    EXPECT_EQ(to_text(a), to_text(b));
+    EXPECT_EQ(b.validate(), "");
+  }
+}
+
+TEST(SpecIo, GlobalSettingsSurvive) {
+  Specification a = test::two_proc_bus();
+  a.max_hops = 4;
+  a.latency_bound = 99;
+  const Specification b = parse_specification(to_text(a));
+  EXPECT_EQ(b.max_hops, 4U);
+  EXPECT_EQ(b.latency_bound, 99);
+}
+
+TEST(SpecIo, CapacitySurvives) {
+  Specification a = test::two_proc_bus();
+  a.set_capacity(1, 2);
+  const Specification b = parse_specification(to_text(a));
+  EXPECT_EQ(b.resources()[1].capacity, 2U);
+}
+
+TEST(SpecIo, CommentsAndBlankLines) {
+  const char* text =
+      "# header\n"
+      "\n"
+      "resource p0 processor cost=5  # trailing comment\n"
+      "task a\n"
+      "map a p0 wcet=3 energy=1\n";
+  const Specification s = parse_specification(text);
+  EXPECT_EQ(s.resources().size(), 1U);
+  EXPECT_EQ(s.validate(), "");
+}
+
+TEST(SpecIo, DefaultsApplied) {
+  const char* text =
+      "resource p0 processor cost=1\n"
+      "resource p1 processor cost=1\n"
+      "link p0 p1\n"
+      "task a\n"
+      "task b\n"
+      "message m a b\n"
+      "map a p0 wcet=1\n"
+      "map b p1 wcet=1\n";
+  const Specification s = parse_specification(text);
+  EXPECT_EQ(s.links()[0].hop_delay, 1);
+  EXPECT_EQ(s.messages()[0].payload, 1);
+  EXPECT_EQ(s.mappings()[0].energy, 0);
+}
+
+TEST(SpecIo, ErrorsMentionLineNumbers) {
+  try {
+    (void)parse_specification("resource p0 processor cost=5\nlink p0 p9\n");
+    FAIL() << "expected SpecParseError";
+  } catch (const SpecParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("p9"), std::string::npos);
+  }
+}
+
+TEST(SpecIo, RejectsUnknownStatement) {
+  EXPECT_THROW((void)parse_specification("frobnicate x\n"), SpecParseError);
+}
+
+TEST(SpecIo, RejectsDuplicates) {
+  EXPECT_THROW((void)parse_specification(
+                   "resource p processor cost=1\nresource p bus cost=1\n"),
+               SpecParseError);
+  EXPECT_THROW((void)parse_specification("task a\ntask a\n"), SpecParseError);
+}
+
+TEST(SpecIo, RejectsMissingRequiredOption) {
+  EXPECT_THROW((void)parse_specification("resource p processor\n"),
+               SpecParseError);
+  EXPECT_THROW((void)parse_specification(
+                   "resource p processor cost=1\ntask a\nmap a p\n"),
+               SpecParseError);
+}
+
+TEST(SpecIo, RejectsBadInteger) {
+  EXPECT_THROW((void)parse_specification("resource p processor cost=abc\n"),
+               SpecParseError);
+}
+
+TEST(SpecIo, FileRoundTrip) {
+  const Specification a = test::two_proc_bus();
+  const std::string path = ::testing::TempDir() + "/aspmt_spec_test.txt";
+  save_specification(a, path);
+  const Specification b = load_specification(path);
+  EXPECT_EQ(to_text(a), to_text(b));
+}
+
+TEST(SpecIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_specification("/nonexistent/nope.txt"), SpecParseError);
+}
+
+}  // namespace
+}  // namespace aspmt::synth

@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace aspmt::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2U);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  std::ostringstream os;
+  t.print(os);
+  // Three lines: header, separator, row.
+  int lines = 0;
+  for (const char c : os.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"col", "x"});
+  t.add_row({"longercell", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  const std::size_t header_end = out.find('\n');
+  const std::string header = out.substr(0, header_end);
+  // Header is padded to the widest cell plus separator spacing.
+  EXPECT_GE(header.size(), std::string("longercell").size());
+}
+
+TEST(TableFmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(2.0, 1), "2.0");
+  EXPECT_EQ(fmt(-0.5, 3), "-0.500");
+}
+
+TEST(TableFmt, Integers) {
+  EXPECT_EQ(fmt(42LL), "42");
+  EXPECT_EQ(fmt(-7LL), "-7");
+  EXPECT_EQ(fmt(0LL), "0");
+}
+
+}  // namespace
+}  // namespace aspmt::util

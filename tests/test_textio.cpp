@@ -1,0 +1,207 @@
+#include "asp/textio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace aspmt::asp {
+namespace {
+
+TEST(TextIo, ParseFact) {
+  const Program p = parse_program("a.");
+  ASSERT_EQ(p.rules().size(), 1U);
+  EXPECT_EQ(p.name(p.rules()[0].head), "a");
+  EXPECT_TRUE(p.rules()[0].body.empty());
+}
+
+TEST(TextIo, ParseNormalRule) {
+  const Program p = parse_program("a :- b, not c.");
+  ASSERT_EQ(p.rules().size(), 1U);
+  const Rule& r = p.rules()[0];
+  EXPECT_FALSE(r.choice);
+  ASSERT_EQ(r.body.size(), 2U);
+  EXPECT_TRUE(r.body[0].positive);
+  EXPECT_EQ(p.name(r.body[0].atom), "b");
+  EXPECT_FALSE(r.body[1].positive);
+  EXPECT_EQ(p.name(r.body[1].atom), "c");
+}
+
+TEST(TextIo, ParseChoiceAndConstraint) {
+  const Program p = parse_program("{a} :- b.\n:- a, not b.\n");
+  ASSERT_EQ(p.rules().size(), 1U);
+  EXPECT_TRUE(p.rules()[0].choice);
+  ASSERT_EQ(p.constraints().size(), 1U);
+}
+
+TEST(TextIo, ParseStructuredAtomNames) {
+  const Program p = parse_program("bind(t1,r2) :- alloc(r2).");
+  EXPECT_NE(p.find("bind(t1,r2)"), p.num_atoms());
+  EXPECT_NE(p.find("alloc(r2)"), p.num_atoms());
+}
+
+TEST(TextIo, CommentsSkipped) {
+  const Program p = parse_program("% a comment\na. % trailing\n% done\n");
+  EXPECT_EQ(p.rules().size(), 1U);
+}
+
+TEST(TextIo, NotAsAtomPrefixIsNotKeyword) {
+  // "nota" is an atom name, not "not a".
+  const Program p = parse_program("x :- nota.");
+  EXPECT_NE(p.find("nota"), p.num_atoms());
+  EXPECT_TRUE(p.rules()[0].body[0].positive);
+}
+
+TEST(TextIo, RoundTripPreservesSemantics) {
+  const char* text =
+      "{a}.\n"
+      "{b}.\n"
+      "c :- a, not b.\n"
+      "d :- c.\n"
+      ":- a, b.\n";
+  const Program p1 = parse_program(text);
+  const Program p2 = parse_program(to_text(p1));
+  EXPECT_EQ(test::brute_force_stable_models(p1),
+            test::brute_force_stable_models(p2));
+}
+
+TEST(TextIo, SameAtomInterned) {
+  const Program p = parse_program("a :- b. c :- b.");
+  EXPECT_EQ(p.num_atoms(), 3U);
+}
+
+TEST(TextIo, ErrorsCarryLineNumbers) {
+  EXPECT_THROW((void)parse_program("a :- .\n"), ParseError);
+  try {
+    (void)parse_program("a.\nb :- ,.\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TextIo, UnbalancedParenthesesRejected) {
+  EXPECT_THROW((void)parse_program("bind(t1,r2 :- a."), ParseError);
+}
+
+TEST(TextIo, MissingDotRejected) {
+  EXPECT_THROW((void)parse_program("a :- b"), ParseError);
+}
+
+TEST(TextIo, ParseCardinalityBody) {
+  const Program p = parse_program(
+      "{a}. {b}. {c}.\n"
+      "two :- 2 {a; b; c}.\n");
+  // Expanded: `two` plus auxiliaries exist; solve and count.
+  const auto models = test::solver_stable_models(p);
+  int with_two = 0;
+  const Atom two = p.find("two");
+  for (const auto& m : models) with_two += m[two] ? 1 : 0;
+  EXPECT_EQ(with_two, 4);  // the 4 subsets of size >= 2
+}
+
+TEST(TextIo, ParseWeightBody) {
+  const Program p = parse_program(
+      "{a}. {b}.\n"
+      "big :- 5 {3: a; 4: b}.\n");
+  const auto models = test::solver_stable_models(p);
+  const Atom a = p.find("a");
+  const Atom b = p.find("b");
+  const Atom big = p.find("big");
+  for (const auto& m : models) {
+    EXPECT_EQ(m[big], m[a] && m[b]);
+  }
+}
+
+TEST(TextIo, ParseWeightBodyWithNegation) {
+  const Program p = parse_program("x :- 1 {2: not a}. {a}.\n");
+  const auto models = test::solver_stable_models(p);
+  const Atom a = p.find("a");
+  const Atom x = p.find("x");
+  for (const auto& m : models) EXPECT_EQ(m[x], !m[a]);
+}
+
+TEST(TextIo, ParseMinimizeStatement) {
+  const Program p = parse_program("{a}. {b}.\n#minimize {2: a; 3: not b}.\n");
+  ASSERT_EQ(p.minimize_terms().size(), 2U);
+  EXPECT_EQ(p.minimize_terms()[0].weight, 2);
+  EXPECT_TRUE(p.minimize_terms()[0].lit.positive);
+  EXPECT_EQ(p.minimize_terms()[1].weight, 3);
+  EXPECT_FALSE(p.minimize_terms()[1].lit.positive);
+}
+
+TEST(TextIo, MinimizeSurvivesRoundTrip) {
+  const Program p1 = parse_program("{a}.\n#minimize {4: a}.\n");
+  const Program p2 = parse_program(to_text(p1));
+  ASSERT_EQ(p2.minimize_terms().size(), 1U);
+  EXPECT_EQ(p2.minimize_terms()[0].weight, 4);
+}
+
+TEST(TextIo, BadDirectiveRejected) {
+  EXPECT_THROW((void)parse_program("#maximize {1: a}.\n"), ParseError);
+}
+
+TEST(TextIo, WeightBodyMissingBraceRejected) {
+  EXPECT_THROW((void)parse_program("a :- 2 b, c.\n"), ParseError);
+}
+
+// Round-trip fuzz: random programs survive to_text/parse with identical
+// stable models.
+class TextIoRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TextIoRoundTrip, RandomProgramsSurvive) {
+  util::Rng rng(GetParam() * 53 + 2);
+  Program p;
+  const std::uint32_t n = 6;
+  std::vector<Atom> atoms;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    atoms.push_back(p.new_atom("a" + std::to_string(i)));
+  }
+  const std::uint32_t rules = 3 + static_cast<std::uint32_t>(rng.below(6));
+  for (std::uint32_t r = 0; r < rules; ++r) {
+    std::vector<BodyLit> body;
+    const std::uint32_t len = static_cast<std::uint32_t>(rng.below(3));
+    for (std::uint32_t k = 0; k < len; ++k) {
+      body.push_back(BodyLit{atoms[rng.below(n)], rng.chance(0.5)});
+    }
+    switch (rng.below(3)) {
+      case 0: p.choice_rule(atoms[rng.below(n)], std::move(body)); break;
+      case 1: p.rule(atoms[rng.below(n)], std::move(body)); break;
+      default:
+        if (!body.empty()) p.integrity(std::move(body));
+        break;
+    }
+  }
+  // The re-parsed program interns atoms in occurrence order and never sees
+  // atoms that occur in no statement, so compare models by atom *name*.
+  const auto names_of = [](const Program& prog) {
+    std::set<std::set<std::string>> out;
+    for (const auto& m : test::brute_force_stable_models(prog)) {
+      std::set<std::string> names;
+      for (Atom a = 0; a < prog.num_atoms(); ++a) {
+        if (m[a]) names.insert(prog.name(a));
+      }
+      out.insert(std::move(names));
+    }
+    return out;
+  };
+  const Program q = parse_program(to_text(p));
+  EXPECT_EQ(names_of(p), names_of(q)) << to_text(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextIoRoundTrip,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(TextIo, ParsedProgramSolvesCorrectly) {
+  const Program p = parse_program(
+      "{x}.\n"
+      "y :- not x.\n"
+      ":- y.\n");
+  const auto models = test::solver_stable_models(p);
+  // y <=> not x, and y forbidden, so x must hold.
+  ASSERT_EQ(models.size(), 1U);
+  EXPECT_TRUE((*models.begin())[p.find("x")]);
+}
+
+}  // namespace
+}  // namespace aspmt::asp

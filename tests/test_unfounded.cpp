@@ -1,0 +1,154 @@
+#include "asp/unfounded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace aspmt::asp {
+namespace {
+
+TEST(Unfounded, TightProgramIsNoOp) {
+  Program p;
+  const Atom a = p.new_atom("a");
+  p.fact(a);
+  Solver s;
+  const auto compiled = compile(p, s);
+  UnfoundedSetChecker checker(compiled);
+  s.add_propagator(&checker);
+  EXPECT_EQ(s.solve(), Solver::Result::Sat);
+  EXPECT_EQ(checker.loop_nogoods(), 0U);
+}
+
+TEST(Unfounded, PositiveLoopRejectedWithoutExternalSupport) {
+  // a :- b. b :- a.  Completion admits {a,b}; stability rejects it.
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  p.rule(a, {pos(b)});
+  p.rule(b, {pos(a)});
+  const auto models = test::solver_stable_models(p);
+  ASSERT_EQ(models.size(), 1U);
+  EXPECT_TRUE(models.count({false, false}) == 1);
+}
+
+TEST(Unfounded, LoopWithExternalSupportKeepsBothOutcomes) {
+  // a :- b. b :- a. a :- c. {c}.
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  const Atom c = p.new_atom("c");
+  p.rule(a, {pos(b)});
+  p.rule(b, {pos(a)});
+  p.rule(a, {pos(c)});
+  p.choice_rule(c);
+  const auto ref = test::brute_force_stable_models(p);
+  // {} and {a,b,c}
+  EXPECT_EQ(ref.size(), 2U);
+  EXPECT_EQ(test::solver_stable_models(p), ref);
+}
+
+TEST(Unfounded, LoopNogoodCounterIncrements) {
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  const Atom c = p.new_atom("c");
+  p.rule(a, {pos(b)});
+  p.rule(b, {pos(a)});
+  // Force the completion to prefer the self-supporting model: require a.
+  p.choice_rule(c);
+  p.integrity({neg(a), pos(c)});
+  Solver s;
+  const auto compiled = compile(p, s);
+  UnfoundedSetChecker checker(compiled);
+  s.add_propagator(&checker);
+  std::vector<Var> vars;
+  for (Atom x = 0; x < p.num_atoms(); ++x) vars.push_back(compiled.atom_var[x]);
+  const auto models = test::enumerate_projected(s, vars);
+  // Only {} survives: a can never be true, so c must be false.
+  ASSERT_EQ(models.size(), 1U);
+  EXPECT_EQ(*models.begin(), (std::vector<bool>{false, false, false}));
+  EXPECT_GT(checker.loop_nogoods(), 0U);
+}
+
+TEST(Unfounded, ThreeAtomCycle) {
+  // a :- b. b :- c. c :- a. {d}. a :- d.
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  const Atom c = p.new_atom("c");
+  const Atom d = p.new_atom("d");
+  p.rule(a, {pos(b)});
+  p.rule(b, {pos(c)});
+  p.rule(c, {pos(a)});
+  p.rule(a, {pos(d)});
+  p.choice_rule(d);
+  const auto ref = test::brute_force_stable_models(p);
+  EXPECT_EQ(test::solver_stable_models(p), ref);
+  EXPECT_EQ(ref.size(), 2U);
+}
+
+TEST(Unfounded, TwoIndependentLoops) {
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  const Atom x = p.new_atom("x");
+  const Atom y = p.new_atom("y");
+  p.rule(a, {pos(b)});
+  p.rule(b, {pos(a)});
+  p.rule(x, {pos(y)});
+  p.rule(y, {pos(x)});
+  const auto models = test::solver_stable_models(p);
+  ASSERT_EQ(models.size(), 1U);
+  EXPECT_EQ(*models.begin(), (std::vector<bool>(4, false)));
+}
+
+TEST(Unfounded, ChoiceRuleInLoopStillNeedsFoundation) {
+  // {a} :- b.  b :- a.  Choosing a requires b which requires a: unfounded.
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  p.choice_rule(a, {pos(b)});
+  p.rule(b, {pos(a)});
+  const auto ref = test::brute_force_stable_models(p);
+  ASSERT_EQ(ref.size(), 1U);
+  EXPECT_TRUE(ref.count({false, false}) == 1);
+  EXPECT_EQ(test::solver_stable_models(p), ref);
+}
+
+// Property: random (frequently non-tight) programs agree with brute force.
+class RandomLoopyProgram : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomLoopyProgram, MatchesBruteForce) {
+  util::Rng rng(GetParam() * 7919 + 13);
+  Program p;
+  const std::uint32_t n = 6;
+  std::vector<Atom> atoms;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    atoms.push_back(p.new_atom("a" + std::to_string(i)));
+  }
+  const std::uint32_t rules = 4 + static_cast<std::uint32_t>(rng.below(6));
+  for (std::uint32_t r = 0; r < rules; ++r) {
+    const Atom head = atoms[rng.below(n)];
+    std::vector<BodyLit> body;
+    const std::uint32_t body_len = static_cast<std::uint32_t>(rng.below(3));
+    for (std::uint32_t k = 0; k < body_len; ++k) {
+      // Unrestricted positive references: loops happen regularly.
+      body.push_back(BodyLit{atoms[rng.below(n)], rng.chance(0.6)});
+    }
+    if (rng.chance(0.3)) {
+      p.choice_rule(head, std::move(body));
+    } else {
+      p.rule(head, std::move(body));
+    }
+  }
+  const auto via_solver = test::solver_stable_models(p);
+  const auto reference = test::brute_force_stable_models(p);
+  EXPECT_EQ(via_solver, reference) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLoopyProgram,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace aspmt::asp

@@ -1,0 +1,123 @@
+#include "synth/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dse/context.hpp"
+#include "synth_fixtures.hpp"
+
+namespace aspmt::synth {
+namespace {
+
+/// Produce a known-good implementation to tamper with.
+Implementation good_impl(const Specification& spec) {
+  dse::SynthContext ctx(spec);
+  EXPECT_EQ(ctx.solver.solve(), asp::Solver::Result::Sat);
+  Implementation impl = ctx.capture().implementation();
+  EXPECT_EQ(validate_implementation(spec, impl), "");
+  return impl;
+}
+
+TEST(Validator, AcceptsDecodedImplementation) {
+  const Specification spec = test::chain3_bus();
+  const Implementation impl = good_impl(spec);
+  EXPECT_EQ(validate_implementation(spec, impl), "");
+}
+
+TEST(Validator, RejectsDimensionMismatch) {
+  const Specification spec = test::two_proc_bus();
+  Implementation impl = good_impl(spec);
+  impl.start.pop_back();
+  EXPECT_NE(validate_implementation(spec, impl), "");
+}
+
+TEST(Validator, RejectsForeignOption) {
+  const Specification spec = test::two_proc_bus();
+  Implementation impl = good_impl(spec);
+  // Use an option belonging to the other task.
+  std::swap(impl.option_of_task[0], impl.option_of_task[1]);
+  EXPECT_NE(validate_implementation(spec, impl), "");
+}
+
+TEST(Validator, RejectsBindingOptionMismatch) {
+  const Specification spec = test::two_proc_bus();
+  Implementation impl = good_impl(spec);
+  impl.binding[0] = impl.binding[0] == 1 ? 2 : 1;
+  EXPECT_NE(validate_implementation(spec, impl), "");
+}
+
+TEST(Validator, RejectsBrokenRoute) {
+  const Specification spec = test::two_proc_bus();
+  dse::SynthContext ctx(spec);
+  // Cross binding ensures a non-empty route.
+  ASSERT_TRUE(ctx.solver.add_clause(
+      {ctx.encoding.lit(ctx.encoding.bind_atom[0][0])}));
+  ASSERT_TRUE(ctx.solver.add_clause(
+      {ctx.encoding.lit(ctx.encoding.bind_atom[1][1])}));
+  ASSERT_EQ(ctx.solver.solve(), asp::Solver::Result::Sat);
+  Implementation impl = ctx.capture().implementation();
+  ASSERT_EQ(validate_implementation(spec, impl), "");
+  Implementation broken = impl;
+  broken.route[0].pop_back();  // no longer reaches the destination
+  EXPECT_NE(validate_implementation(spec, broken), "");
+  Implementation missing = impl;
+  missing.route[0].clear();
+  EXPECT_NE(validate_implementation(spec, missing), "");
+}
+
+TEST(Validator, RejectsPrecedenceViolation) {
+  const Specification spec = test::two_proc_bus();
+  Implementation impl = good_impl(spec);
+  impl.start[1] = 0;
+  impl.start[0] = 100;  // consumer before producer
+  EXPECT_NE(validate_implementation(spec, impl), "");
+}
+
+TEST(Validator, RejectsOverlapOnSharedResource) {
+  const Specification spec = test::diamond_two_proc();
+  dse::SynthContext ctx(spec);
+  const auto& enc = ctx.encoding;
+  ASSERT_TRUE(ctx.solver.add_clause({enc.lit(enc.bind_atom[1][0])}));
+  ASSERT_TRUE(ctx.solver.add_clause({enc.lit(enc.bind_atom[2][0])}));
+  ASSERT_EQ(ctx.solver.solve(), asp::Solver::Result::Sat);
+  Implementation impl = ctx.capture().implementation();
+  ASSERT_EQ(validate_implementation(spec, impl), "");
+  // Collapse b and c onto the same start time: overlap on p0.
+  impl.start[2] = impl.start[1];
+  EXPECT_NE(validate_implementation(spec, impl), "");
+}
+
+TEST(Validator, RejectsWrongObjectives) {
+  const Specification spec = test::two_proc_bus();
+  Implementation impl = good_impl(spec);
+  ++impl.energy;
+  EXPECT_NE(validate_implementation(spec, impl), "");
+  --impl.energy;
+  ++impl.latency;
+  EXPECT_NE(validate_implementation(spec, impl), "");
+}
+
+TEST(Validator, RecomputeMatchesRecorded) {
+  const Specification spec = test::chain3_bus();
+  const Implementation impl = good_impl(spec);
+  EXPECT_EQ(recompute_objectives(spec, impl), impl.objectives());
+}
+
+TEST(Validator, ScheduleRenderingMentionsResourcesAndTasks) {
+  const Specification spec = test::diamond_two_proc();
+  const Implementation impl = good_impl(spec);
+  const std::string gantt = impl.describe_schedule(spec);
+  EXPECT_NE(gantt.find("A = a"), std::string::npos);
+  EXPECT_NE(gantt.find("D = d"), std::string::npos);
+  // At least one processor row rendered with block characters.
+  EXPECT_NE(gantt.find('|'), std::string::npos);
+}
+
+TEST(Validator, RejectsNegativeStart) {
+  const Specification spec = test::singleton();
+  Implementation impl = good_impl(spec);
+  impl.start[0] = -1;
+  EXPECT_NE(validate_implementation(spec, impl), "");
+}
+
+}  // namespace
+}  // namespace aspmt::synth

@@ -1,0 +1,381 @@
+// Weight rules (BDD expansion) and #minimize.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "asp/completion.hpp"
+#include "asp/program.hpp"
+#include "asp/solver.hpp"
+#include "asp/unfounded.hpp"
+#include "test_util.hpp"
+#include "theory/asp_minimize.hpp"
+#include "util/rng.hpp"
+
+namespace aspmt::asp {
+namespace {
+
+/// Independent weight-rule-aware stable-model evaluator over the ORIGINAL
+/// atoms (the Program under test expands weight rules into auxiliaries; this
+/// reference never sees them).
+struct RefWeightRule {
+  Atom head;
+  std::int64_t bound;
+  std::vector<WeightedBodyLit> body;
+};
+
+struct RefProgram {
+  std::uint32_t num_atoms = 0;
+  std::vector<Rule> rules;  // normal + choice
+  std::vector<RefWeightRule> weight_rules;
+  std::vector<std::vector<BodyLit>> constraints;
+};
+
+std::set<std::vector<bool>> reference_models(const RefProgram& p) {
+  std::set<std::vector<bool>> out;
+  for (std::uint64_t mask = 0; mask < (1ULL << p.num_atoms); ++mask) {
+    const auto in_s = [&](Atom a) { return ((mask >> a) & 1ULL) != 0; };
+    bool violated = false;
+    for (const auto& body : p.constraints) {
+      bool fires = true;
+      for (const BodyLit& bl : body) {
+        if (in_s(bl.atom) != bl.positive) fires = false;
+      }
+      if (fires) violated = true;
+    }
+    if (violated) continue;
+
+    std::vector<bool> derived(p.num_atoms, false);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Rule& r : p.rules) {
+        if (derived[r.head]) continue;
+        if (r.choice && !in_s(r.head)) continue;
+        bool ok = true;
+        for (const BodyLit& bl : r.body) {
+          if (bl.positive ? !derived[bl.atom] : in_s(bl.atom)) ok = false;
+        }
+        if (ok) {
+          derived[r.head] = true;
+          changed = true;
+        }
+      }
+      for (const RefWeightRule& r : p.weight_rules) {
+        if (derived[r.head]) continue;
+        std::int64_t have = 0;
+        for (const WeightedBodyLit& e : r.body) {
+          const bool sat =
+              e.lit.positive ? derived[e.lit.atom] : !in_s(e.lit.atom);
+          if (sat) have += e.weight;
+        }
+        if (have >= r.bound) {
+          derived[r.head] = true;
+          changed = true;
+        }
+      }
+    }
+    bool stable = true;
+    std::vector<bool> candidate(p.num_atoms);
+    for (Atom a = 0; a < p.num_atoms; ++a) {
+      candidate[a] = in_s(a);
+      if (derived[a] != candidate[a]) stable = false;
+    }
+    if (stable) out.insert(std::move(candidate));
+  }
+  return out;
+}
+
+/// Solve the (expanded) program and project onto the first `n` atoms.
+std::set<std::vector<bool>> solve_projected(const Program& program,
+                                            std::uint32_t n) {
+  const auto full = test::solver_stable_models(program);
+  std::set<std::vector<bool>> projected;
+  for (const auto& m : full) {
+    projected.insert(std::vector<bool>(m.begin(), m.begin() + n));
+  }
+  EXPECT_EQ(projected.size(), full.size())
+      << "weight-rule auxiliaries must be functionally determined";
+  return projected;
+}
+
+TEST(WeightRules, CardinalityRuleCounts) {
+  // {a} {b} {c}.  two :- 2 {a; b; c}.
+  Program p;
+  RefProgram ref;
+  std::vector<Atom> atoms;
+  for (const char* n : {"a", "b", "c", "two"}) atoms.push_back(p.new_atom(n));
+  ref.num_atoms = 4;
+  for (int i = 0; i < 3; ++i) {
+    p.choice_rule(atoms[i]);
+    ref.rules.push_back(Rule{atoms[i], {}, true});
+  }
+  p.cardinality_rule(atoms[3], 2, {pos(atoms[0]), pos(atoms[1]), pos(atoms[2])});
+  ref.weight_rules.push_back(RefWeightRule{
+      atoms[3], 2,
+      {{pos(atoms[0]), 1}, {pos(atoms[1]), 1}, {pos(atoms[2]), 1}}});
+  const auto got = solve_projected(p, 4);
+  EXPECT_EQ(got, reference_models(ref));
+  // Sanity: 8 subsets, `two` true in exactly the 4 with >= 2 elements.
+  EXPECT_EQ(got.size(), 8U);
+  int with_two = 0;
+  for (const auto& m : got) with_two += m[3] ? 1 : 0;
+  EXPECT_EQ(with_two, 4);
+}
+
+TEST(WeightRules, WeightedThreshold) {
+  // {a} {b}.  big :- 5 <= #sum {3:a, 4:b}.
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  const Atom big = p.new_atom("big");
+  p.choice_rule(a);
+  p.choice_rule(b);
+  p.weight_rule(big, 5, {{pos(a), 3}, {pos(b), 4}});
+  const auto got = solve_projected(p, 3);
+  // big iff a and b (3+4=7 >= 5; singletons 3,4 < 5).
+  std::set<std::vector<bool>> expected{
+      {false, false, false}, {true, false, false}, {false, true, false},
+      {true, true, true}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(WeightRules, NegativeLiteralsContribute) {
+  // {a}.  x :- 1 <= #sum {1: not a}.
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom x = p.new_atom("x");
+  p.choice_rule(a);
+  p.weight_rule(x, 1, {{neg(a), 1}});
+  const auto got = solve_projected(p, 2);
+  std::set<std::vector<bool>> expected{{false, true}, {true, false}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(WeightRules, UnreachableBoundNeverFires) {
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom x = p.new_atom("x");
+  p.choice_rule(a);
+  p.weight_rule(x, 10, {{pos(a), 3}});
+  const auto got = solve_projected(p, 2);
+  for (const auto& m : got) EXPECT_FALSE(m[1]);
+}
+
+TEST(WeightRules, ZeroBoundIsFact) {
+  Program p;
+  const Atom x = p.new_atom("x");
+  p.weight_rule(x, 0, {});
+  const auto got = solve_projected(p, 1);
+  ASSERT_EQ(got.size(), 1U);
+  EXPECT_TRUE(got.begin()->at(0));
+}
+
+TEST(WeightRules, PositiveRecursionThroughWeightBodyIsUnfounded) {
+  // a :- 1 <= #sum {1: b}.   b :- a.   Self-supporting: only {} is stable.
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  p.weight_rule(a, 1, {{pos(b), 1}});
+  p.rule(b, {pos(a)});
+  const auto got = solve_projected(p, 2);
+  ASSERT_EQ(got.size(), 1U);
+  EXPECT_EQ(*got.begin(), (std::vector<bool>{false, false}));
+}
+
+TEST(WeightRules, PartialSupportThroughLoopStillCounts) {
+  // a :- 1 <= #sum {1:b, 1:c}.  b :- a (loop).  c external choice.
+  // With c true, a is founded through c even though b loops.
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  const Atom c = p.new_atom("c");
+  p.weight_rule(a, 1, {{pos(b), 1}, {pos(c), 1}});
+  p.rule(b, {pos(a)});
+  p.choice_rule(c);
+  const auto got = solve_projected(p, 3);
+  std::set<std::vector<bool>> expected{{false, false, false},
+                                       {true, true, true}};
+  EXPECT_EQ(got, expected);
+}
+
+// Property: random programs with weight rules match the reference.
+class RandomWeightProgram : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWeightProgram, MatchesReference) {
+  util::Rng rng(GetParam() * 131 + 7);
+  Program p;
+  RefProgram ref;
+  const std::uint32_t n = 5;
+  std::vector<Atom> atoms;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    atoms.push_back(p.new_atom("a" + std::to_string(i)));
+  }
+  ref.num_atoms = n;
+  const std::uint32_t rules = 3 + static_cast<std::uint32_t>(rng.below(4));
+  for (std::uint32_t r = 0; r < rules; ++r) {
+    const Atom head = atoms[rng.below(n)];
+    const int kind = static_cast<int>(rng.below(3));
+    if (kind == 0) {
+      p.choice_rule(head);
+      ref.rules.push_back(Rule{head, {}, true});
+    } else if (kind == 1) {
+      std::vector<BodyLit> body;
+      const std::uint32_t len = static_cast<std::uint32_t>(rng.below(3));
+      for (std::uint32_t k = 0; k < len; ++k) {
+        body.push_back(BodyLit{atoms[rng.below(n)], rng.chance(0.6)});
+      }
+      ref.rules.push_back(Rule{head, body, false});
+      p.rule(head, std::move(body));
+    } else {
+      std::vector<WeightedBodyLit> body;
+      const std::uint32_t len = 1 + static_cast<std::uint32_t>(rng.below(3));
+      for (std::uint32_t k = 0; k < len; ++k) {
+        body.push_back(WeightedBodyLit{
+            BodyLit{atoms[rng.below(n)], rng.chance(0.6)},
+            rng.range(1, 4)});
+      }
+      const std::int64_t bound = rng.range(1, 6);
+      ref.weight_rules.push_back(RefWeightRule{head, bound, body});
+      p.weight_rule(head, bound, std::move(body));
+    }
+  }
+  EXPECT_EQ(solve_projected(p, n), reference_models(ref))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWeightProgram,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+TEST(Minimize, FindsTheCheapestModel) {
+  // {a} {b} {c}: at least one; costs 5/3/4: optimum is {b} = 3.
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  const Atom c = p.new_atom("c");
+  for (const Atom x : {a, b, c}) p.choice_rule(x);
+  p.integrity({neg(a), neg(b), neg(c)});
+  p.minimize({{pos(a), 5}, {pos(b), 3}, {pos(c), 4}});
+
+  Solver solver;
+  const CompiledProgram compiled = compile(p, solver);
+  UnfoundedSetChecker checker(compiled);
+  theory::LinearSumPropagator linear;
+  const auto sum = theory::install_minimize(p, compiled, linear);
+  solver.add_propagator(&linear);
+  solver.add_propagator(&checker);
+
+  const theory::OptimalModel best = theory::minimize_answer_set(solver, linear, sum);
+  ASSERT_TRUE(best.feasible);
+  ASSERT_TRUE(best.proven);
+  EXPECT_EQ(best.cost, 3);
+  EXPECT_EQ(best.model[compiled.atom_var[b]], Lbool::True);
+  EXPECT_EQ(best.model[compiled.atom_var[a]], Lbool::False);
+}
+
+TEST(Minimize, MinimizeWithNegativeLiteralTerms) {
+  // {a}. Penalize NOT choosing a: optimum has a true, cost 0.
+  Program p;
+  const Atom a = p.new_atom("a");
+  p.choice_rule(a);
+  p.minimize({{neg(a), 7}});
+  Solver solver;
+  const CompiledProgram compiled = compile(p, solver);
+  theory::LinearSumPropagator linear;
+  const auto sum = theory::install_minimize(p, compiled, linear);
+  solver.add_propagator(&linear);
+  const theory::OptimalModel best = theory::minimize_answer_set(solver, linear, sum);
+  ASSERT_TRUE(best.feasible && best.proven);
+  EXPECT_EQ(best.cost, 0);
+  EXPECT_EQ(best.model[compiled.atom_var[a]], Lbool::True);
+}
+
+TEST(Minimize, UnsatisfiableProgramReported) {
+  Program p;
+  const Atom a = p.new_atom("a");
+  p.fact(a);
+  p.integrity({pos(a)});
+  p.minimize({{pos(a), 1}});
+  Solver solver;
+  const CompiledProgram compiled = compile(p, solver);
+  theory::LinearSumPropagator linear;
+  const auto sum = theory::install_minimize(p, compiled, linear);
+  solver.add_propagator(&linear);
+  const theory::OptimalModel best = theory::minimize_answer_set(solver, linear, sum);
+  EXPECT_FALSE(best.feasible);
+  EXPECT_TRUE(best.proven);
+}
+
+TEST(Minimize, LexicographicLevelsOptimizeInPriorityOrder) {
+  // {a} {b}: level 1 (high) prefers a false; level 0 prefers b false — but a
+  // constraint couples them: :- not a, not b. High priority wins: a false,
+  // b true (paying the low-priority cost).
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  p.choice_rule(a);
+  p.choice_rule(b);
+  p.integrity({neg(a), neg(b)});
+  p.minimize_at(1, {{pos(a), 1}});
+  p.minimize_at(0, {{pos(b), 1}});
+  Solver solver;
+  const CompiledProgram compiled = compile(p, solver);
+  theory::LinearSumPropagator linear;
+  const auto sums = theory::install_minimize_levels(p, compiled, linear);
+  ASSERT_EQ(sums.size(), 2U);
+  solver.add_propagator(&linear);
+  const theory::OptimalModel best =
+      theory::minimize_answer_set_lex(solver, linear, sums);
+  ASSERT_TRUE(best.feasible && best.proven);
+  ASSERT_EQ(best.level_costs.size(), 2U);
+  EXPECT_EQ(best.level_costs[0], 0);  // priority 1: a avoided
+  EXPECT_EQ(best.level_costs[1], 1);  // priority 0: b unavoidable
+  EXPECT_EQ(best.model[compiled.atom_var[a]], Lbool::False);
+  EXPECT_EQ(best.model[compiled.atom_var[b]], Lbool::True);
+}
+
+TEST(Minimize, LexicographicSingleLevelMatchesPlain) {
+  Program p;
+  const Atom a = p.new_atom("a");
+  const Atom b = p.new_atom("b");
+  p.choice_rule(a);
+  p.choice_rule(b);
+  p.integrity({neg(a), neg(b)});
+  p.minimize({{pos(a), 5}, {pos(b), 3}});
+  Solver s1;
+  const CompiledProgram c1 = compile(p, s1);
+  theory::LinearSumPropagator l1;
+  const auto sum1 = theory::install_minimize(p, c1, l1);
+  s1.add_propagator(&l1);
+  const auto plain = theory::minimize_answer_set(s1, l1, sum1);
+
+  Solver s2;
+  const CompiledProgram c2 = compile(p, s2);
+  theory::LinearSumPropagator l2;
+  const auto sums = theory::install_minimize_levels(p, c2, l2);
+  s2.add_propagator(&l2);
+  const auto lex = theory::minimize_answer_set_lex(s2, l2, sums);
+  ASSERT_TRUE(plain.proven && lex.proven);
+  EXPECT_EQ(plain.cost, lex.cost);
+  EXPECT_EQ(lex.cost, 3);
+}
+
+TEST(Minimize, SolverReusableAfterOptimization) {
+  Program p;
+  const Atom a = p.new_atom("a");
+  p.choice_rule(a);
+  p.minimize({{pos(a), 2}});
+  Solver solver;
+  const CompiledProgram compiled = compile(p, solver);
+  theory::LinearSumPropagator linear;
+  const auto sum = theory::install_minimize(p, compiled, linear);
+  solver.add_propagator(&linear);
+  const theory::OptimalModel best = theory::minimize_answer_set(solver, linear, sum);
+  ASSERT_TRUE(best.proven);
+  EXPECT_EQ(best.cost, 0);
+  // Bounds were activation-guarded: both answer sets still reachable.
+  const auto models = test::enumerate_projected(solver, {compiled.atom_var[a]});
+  EXPECT_EQ(models.size(), 2U);
+}
+
+}  // namespace
+}  // namespace aspmt::asp

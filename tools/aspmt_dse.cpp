@@ -1,0 +1,309 @@
+// aspmt_dse — command line front-end.
+//
+//   aspmt_dse generate --tasks 8 --arch mesh2x2 [--seed 1] [--options 2] -o spec.txt
+//   aspmt_dse explore  spec.txt [--time-limit 60] [--archive quadtree|linear]
+//                      [--no-partial-eval] [--epsilon L,E,C] [--witnesses]
+//   aspmt_dse optimize spec.txt --objective latency|energy|cost
+//   aspmt_dse baseline spec.txt --method enum|lex|lex-cold [--time-limit 60]
+//   aspmt_dse nsga2    spec.txt [--pop 40] [--gens 60] [--seed 1]
+//   aspmt_dse validate spec.txt
+//   aspmt_dse asp      program.lp [--models N]      (non-ground ASP solving)
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "asp/grounder.hpp"
+#include "asp/unfounded.hpp"
+#include "dse/baselines.hpp"
+#include "dse/context.hpp"
+#include "dse/explorer.hpp"
+#include "dse/optimizer.hpp"
+#include "ea/nsga2.hpp"
+#include "gen/generator.hpp"
+#include "synth/specio.hpp"
+#include "synth/validator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace aspmt;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> named;
+  bool flag(const std::string& name) const { return named.count(name) != 0; }
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = named.find(name);
+    return it == named.end() ? fallback : it->second;
+  }
+  double num(const std::string& name, double fallback) const {
+    const auto it = named.find(name);
+    return it == named.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.named[key] = argv[++i];
+      } else {
+        args.named[key] = "";
+      }
+    } else if (a == "-o" && i + 1 < argc) {
+      args.named["out"] = argv[++i];
+    } else {
+      args.positional.push_back(std::move(a));
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  aspmt_dse generate --tasks N --arch bus|mesh2x2|mesh3x3 [--seed S]\n"
+      "            [--options K] [--bus-procs P] -o spec.txt\n"
+      "  aspmt_dse explore  spec.txt [--time-limit SEC] [--archive KIND]\n"
+      "            [--no-partial-eval] [--epsilon L,E,C] [--witnesses]\n"
+      "  aspmt_dse optimize spec.txt --objective latency|energy|cost\n"
+      "  aspmt_dse baseline spec.txt --method enum|lex|lex-cold [--time-limit SEC]\n"
+      "  aspmt_dse nsga2    spec.txt [--pop N] [--gens N] [--seed S]\n"
+      "  aspmt_dse validate spec.txt\n"
+      "  aspmt_dse asp      program.lp [--models N]\n"
+      "  aspmt_dse witnesses spec.txt --point L,E,C [--limit N]\n";
+  return 2;
+}
+
+synth::Specification load(const Args& args) {
+  if (args.positional.empty()) throw synth::SpecParseError("missing spec file");
+  return synth::load_specification(args.positional.front());
+}
+
+int cmd_generate(const Args& args) {
+  gen::GeneratorConfig c;
+  c.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  c.tasks = static_cast<std::uint32_t>(args.num("tasks", 6));
+  c.options_per_task = static_cast<std::uint32_t>(args.num("options", 2));
+  c.bus_processors = static_cast<std::uint32_t>(args.num("bus-procs", 3));
+  c.layers = static_cast<std::uint32_t>(args.num("layers", 3));
+  const std::string arch = args.get("arch", "bus");
+  if (arch == "bus") c.architecture = gen::Architecture::SharedBus;
+  else if (arch == "mesh2x2") c.architecture = gen::Architecture::Mesh2x2;
+  else if (arch == "mesh3x3") c.architecture = gen::Architecture::Mesh3x3;
+  else {
+    std::cerr << "unknown architecture '" << arch << "'\n";
+    return 2;
+  }
+  const synth::Specification spec = gen::generate(c);
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::cout << synth::to_text(spec);
+  } else {
+    synth::save_specification(spec, out);
+    std::cout << "wrote " << out << " (" << gen::summarize(spec) << ")\n";
+  }
+  return 0;
+}
+
+std::optional<pareto::Vec> parse_epsilon(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  pareto::Vec eps;
+  std::istringstream iss(text);
+  std::string part;
+  while (std::getline(iss, part, ',')) eps.push_back(std::stoll(part));
+  return eps;
+}
+
+int cmd_explore(const Args& args) {
+  const synth::Specification spec = load(args);
+  dse::ExploreOptions opts;
+  opts.time_limit_seconds = args.num("time-limit", 0.0);
+  opts.archive_kind = args.get("archive", "quadtree");
+  opts.partial_evaluation = !args.flag("no-partial-eval");
+  if (const auto eps = parse_epsilon(args.get("epsilon", ""))) {
+    opts.epsilon = *eps;
+  }
+  const dse::ExploreResult r = dse::explore(spec, opts);
+  std::cout << (opts.epsilon.empty() ? "exact front" : "eps-approximate set")
+            << ": " << r.front.size() << " points ("
+            << (r.stats.complete ? "complete" : "time-limited") << ", "
+            << util::fmt(r.stats.seconds, 3) << "s, " << r.stats.models
+            << " models, " << r.stats.prunings << " prunings)\n";
+  util::Table table({"latency", "energy", "cost"});
+  for (const auto& p : r.front) {
+    table.add_row({util::fmt(p[0]), util::fmt(p[1]), util::fmt(p[2])});
+  }
+  table.print(std::cout);
+  if (args.flag("witnesses")) {
+    for (std::size_t i = 0; i < r.witnesses.size(); ++i) {
+      std::cout << "\n" << r.witnesses[i].describe(spec);
+    }
+  }
+  return r.stats.complete ? 0 : 3;
+}
+
+int cmd_optimize(const Args& args) {
+  const synth::Specification spec = load(args);
+  const std::string objective = args.get("objective", "latency");
+  dse::SynthContext ctx(spec);
+  std::size_t index = ctx.objectives.count();
+  for (std::size_t i = 0; i < ctx.objectives.count(); ++i) {
+    if (ctx.objectives.name(i) == objective) index = i;
+  }
+  if (index == ctx.objectives.count()) {
+    std::cerr << "unknown objective '" << objective << "'\n";
+    return 2;
+  }
+  const util::Deadline deadline(args.num("time-limit", 0.0));
+  std::vector<asp::Lit> assumptions;
+  const dse::MinimizeResult r =
+      dse::minimize_objective(ctx, index, assumptions, &deadline);
+  if (!r.feasible) {
+    std::cout << "infeasible" << (r.proven ? " (proven)" : " (timeout)") << "\n";
+    return r.proven ? 0 : 3;
+  }
+  std::cout << "min " << objective << " = " << r.best
+            << (r.proven ? " (proven optimal)" : " (best found, timeout)") << "\n";
+  return r.proven ? 0 : 3;
+}
+
+int cmd_baseline(const Args& args) {
+  const synth::Specification spec = load(args);
+  const std::string method = args.get("method", "lex");
+  const double limit = args.num("time-limit", 0.0);
+  dse::BaselineResult r;
+  if (method == "enum") r = dse::enumerate_and_filter(spec, limit);
+  else if (method == "lex") r = dse::lexicographic_epsilon(spec, limit);
+  else if (method == "lex-cold") r = dse::lexicographic_epsilon_cold(spec, limit);
+  else {
+    std::cerr << "unknown method '" << method << "'\n";
+    return 2;
+  }
+  std::cout << method << ": " << r.front.size() << " points ("
+            << (r.complete ? "complete" : "time-limited") << ", "
+            << util::fmt(r.seconds, 3) << "s, " << r.models << " models)\n";
+  for (const auto& p : r.front) std::cout << pareto::to_string(p) << "\n";
+  return r.complete ? 0 : 3;
+}
+
+int cmd_nsga2(const Args& args) {
+  const synth::Specification spec = load(args);
+  ea::Nsga2Options opts;
+  opts.population = static_cast<std::size_t>(args.num("pop", 40));
+  opts.generations = static_cast<std::size_t>(args.num("gens", 60));
+  opts.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const ea::Nsga2Result r = ea::nsga2(spec, opts);
+  std::cout << "nsga2: " << r.front.size() << " points (" << r.evaluations
+            << " evaluations, " << util::fmt(r.seconds, 3) << "s)\n";
+  for (const auto& p : r.front) std::cout << pareto::to_string(p) << "\n";
+  return 0;
+}
+
+int cmd_witnesses(const Args& args) {
+  const synth::Specification spec = load(args);
+  const std::string point_text = args.get("point", "");
+  if (point_text.empty()) {
+    std::cerr << "missing --point L,E,C\n";
+    return 2;
+  }
+  const auto point = parse_epsilon(point_text);  // same comma-list format
+  const auto limit = static_cast<std::size_t>(args.num("limit", 50));
+  const dse::WitnessEnumeration w =
+      dse::enumerate_witnesses(spec, *point, limit, args.num("time-limit", 0.0));
+  std::cout << w.implementations.size() << " implementation(s) at "
+            << pareto::to_string(*point)
+            << (w.complete ? "" : " (truncated)") << "\n";
+  for (const auto& impl : w.implementations) {
+    std::cout << "\n" << impl.describe(spec) << impl.describe_schedule(spec);
+  }
+  return 0;
+}
+
+int cmd_asp(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "missing program file\n";
+    return 2;
+  }
+  std::ifstream in(args.positional.front());
+  if (!in) {
+    std::cerr << "cannot read '" << args.positional.front() << "'\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  asp::GroundStats gstats;
+  const asp::Program program = asp::ground_text(buffer.str(), &gstats);
+  std::cout << "grounded: " << gstats.ground_atoms << " atoms, "
+            << gstats.ground_rules << " rules\n";
+
+  asp::Solver solver;
+  const asp::CompiledProgram compiled = asp::compile(program, solver);
+  asp::UnfoundedSetChecker checker(compiled);
+  solver.add_propagator(&checker);
+
+  const auto max_models = static_cast<std::uint64_t>(args.num("models", 10));
+  std::uint64_t count = 0;
+  while (count < max_models && solver.solve() == asp::Solver::Result::Sat) {
+    ++count;
+    std::cout << "answer " << count << ":";
+    std::vector<asp::Lit> blocking;
+    for (asp::Atom a = 0; a < program.num_atoms(); ++a) {
+      const bool value = solver.model_value(compiled.atom_var[a]);
+      if (value) std::cout << " " << program.name(a);
+      blocking.push_back(asp::Lit::make(compiled.atom_var[a], !value));
+    }
+    std::cout << "\n";
+    if (!solver.add_clause(std::move(blocking))) break;
+  }
+  if (count == 0) {
+    std::cout << "UNSATISFIABLE\n";
+    return 1;
+  }
+  std::cout << count << " answer set(s)"
+            << (count == max_models ? " (limit reached)" : "") << "\n";
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  const synth::Specification spec = load(args);
+  const std::string err = spec.validate();
+  if (err.empty()) {
+    std::cout << "ok: " << gen::summarize(spec) << "\n";
+    return 0;
+  }
+  std::cout << "invalid: " << err << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "explore") return cmd_explore(args);
+    if (command == "optimize") return cmd_optimize(args);
+    if (command == "baseline") return cmd_baseline(args);
+    if (command == "nsga2") return cmd_nsga2(args);
+    if (command == "validate") return cmd_validate(args);
+    if (command == "asp") return cmd_asp(args);
+    if (command == "witnesses") return cmd_witnesses(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
