@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_anytime.dir/bench_ext_anytime.cpp.o"
+  "CMakeFiles/bench_ext_anytime.dir/bench_ext_anytime.cpp.o.d"
+  "bench_ext_anytime"
+  "bench_ext_anytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_anytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_approximation.dir/bench_ext_approximation.cpp.o"
+  "CMakeFiles/bench_ext_approximation.dir/bench_ext_approximation.cpp.o.d"
+  "bench_ext_approximation"
+  "bench_ext_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mechanisms.dir/bench_ext_mechanisms.cpp.o"
+  "CMakeFiles/bench_ext_mechanisms.dir/bench_ext_mechanisms.cpp.o.d"
+  "bench_ext_mechanisms"
+  "bench_ext_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

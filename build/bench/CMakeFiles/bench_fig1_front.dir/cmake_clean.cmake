@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_front.dir/bench_fig1_front.cpp.o"
+  "CMakeFiles/bench_fig1_front.dir/bench_fig1_front.cpp.o.d"
+  "bench_fig1_front"
+  "bench_fig1_front.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_front.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_partial_eval.dir/bench_fig3_partial_eval.cpp.o"
+  "CMakeFiles/bench_fig3_partial_eval.dir/bench_fig3_partial_eval.cpp.o.d"
+  "bench_fig3_partial_eval"
+  "bench_fig3_partial_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_partial_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_archive.dir/bench_fig4_archive.cpp.o"
+  "CMakeFiles/bench_fig4_archive.dir/bench_fig4_archive.cpp.o.d"
+  "bench_fig4_archive"
+  "bench_fig4_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asp_playground.dir/asp_playground.cpp.o"
+  "CMakeFiles/asp_playground.dir/asp_playground.cpp.o.d"
+  "asp_playground"
+  "asp_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asp_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for asp_playground.
+# This may be replaced when dependencies are built.

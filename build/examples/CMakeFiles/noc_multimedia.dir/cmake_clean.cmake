@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_multimedia.dir/noc_multimedia.cpp.o"
+  "CMakeFiles/noc_multimedia.dir/noc_multimedia.cpp.o.d"
+  "noc_multimedia"
+  "noc_multimedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_multimedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asp/cardinality.cpp" "src/CMakeFiles/aspmt.dir/asp/cardinality.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/asp/cardinality.cpp.o.d"
+  "/root/repo/src/asp/clause.cpp" "src/CMakeFiles/aspmt.dir/asp/clause.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/asp/clause.cpp.o.d"
+  "/root/repo/src/asp/completion.cpp" "src/CMakeFiles/aspmt.dir/asp/completion.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/asp/completion.cpp.o.d"
+  "/root/repo/src/asp/grounder.cpp" "src/CMakeFiles/aspmt.dir/asp/grounder.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/asp/grounder.cpp.o.d"
+  "/root/repo/src/asp/heuristic.cpp" "src/CMakeFiles/aspmt.dir/asp/heuristic.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/asp/heuristic.cpp.o.d"
+  "/root/repo/src/asp/program.cpp" "src/CMakeFiles/aspmt.dir/asp/program.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/asp/program.cpp.o.d"
+  "/root/repo/src/asp/solver.cpp" "src/CMakeFiles/aspmt.dir/asp/solver.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/asp/solver.cpp.o.d"
+  "/root/repo/src/asp/textio.cpp" "src/CMakeFiles/aspmt.dir/asp/textio.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/asp/textio.cpp.o.d"
+  "/root/repo/src/asp/unfounded.cpp" "src/CMakeFiles/aspmt.dir/asp/unfounded.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/asp/unfounded.cpp.o.d"
+  "/root/repo/src/dse/baselines.cpp" "src/CMakeFiles/aspmt.dir/dse/baselines.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/dse/baselines.cpp.o.d"
+  "/root/repo/src/dse/context.cpp" "src/CMakeFiles/aspmt.dir/dse/context.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/dse/context.cpp.o.d"
+  "/root/repo/src/dse/dominance.cpp" "src/CMakeFiles/aspmt.dir/dse/dominance.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/dse/dominance.cpp.o.d"
+  "/root/repo/src/dse/explorer.cpp" "src/CMakeFiles/aspmt.dir/dse/explorer.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/dse/explorer.cpp.o.d"
+  "/root/repo/src/dse/objective_manager.cpp" "src/CMakeFiles/aspmt.dir/dse/objective_manager.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/dse/objective_manager.cpp.o.d"
+  "/root/repo/src/dse/optimizer.cpp" "src/CMakeFiles/aspmt.dir/dse/optimizer.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/dse/optimizer.cpp.o.d"
+  "/root/repo/src/ea/nsga2.cpp" "src/CMakeFiles/aspmt.dir/ea/nsga2.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/ea/nsga2.cpp.o.d"
+  "/root/repo/src/gen/generator.cpp" "src/CMakeFiles/aspmt.dir/gen/generator.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/gen/generator.cpp.o.d"
+  "/root/repo/src/pareto/archive.cpp" "src/CMakeFiles/aspmt.dir/pareto/archive.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/pareto/archive.cpp.o.d"
+  "/root/repo/src/pareto/indicators.cpp" "src/CMakeFiles/aspmt.dir/pareto/indicators.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/pareto/indicators.cpp.o.d"
+  "/root/repo/src/pareto/point.cpp" "src/CMakeFiles/aspmt.dir/pareto/point.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/pareto/point.cpp.o.d"
+  "/root/repo/src/pareto/quadtree.cpp" "src/CMakeFiles/aspmt.dir/pareto/quadtree.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/pareto/quadtree.cpp.o.d"
+  "/root/repo/src/synth/encoder.cpp" "src/CMakeFiles/aspmt.dir/synth/encoder.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/synth/encoder.cpp.o.d"
+  "/root/repo/src/synth/implementation.cpp" "src/CMakeFiles/aspmt.dir/synth/implementation.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/synth/implementation.cpp.o.d"
+  "/root/repo/src/synth/spec.cpp" "src/CMakeFiles/aspmt.dir/synth/spec.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/synth/spec.cpp.o.d"
+  "/root/repo/src/synth/specio.cpp" "src/CMakeFiles/aspmt.dir/synth/specio.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/synth/specio.cpp.o.d"
+  "/root/repo/src/synth/validator.cpp" "src/CMakeFiles/aspmt.dir/synth/validator.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/synth/validator.cpp.o.d"
+  "/root/repo/src/theory/asp_minimize.cpp" "src/CMakeFiles/aspmt.dir/theory/asp_minimize.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/theory/asp_minimize.cpp.o.d"
+  "/root/repo/src/theory/difference.cpp" "src/CMakeFiles/aspmt.dir/theory/difference.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/theory/difference.cpp.o.d"
+  "/root/repo/src/theory/linear_sum.cpp" "src/CMakeFiles/aspmt.dir/theory/linear_sum.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/theory/linear_sum.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/aspmt.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/aspmt.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/aspmt.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/aspmt.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_cardinality.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_cardinality.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_cardinality.cpp.o.d"
+  "/root/repo/tests/test_completion.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_completion.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_completion.cpp.o.d"
+  "/root/repo/tests/test_constraints.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_constraints.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_constraints.cpp.o.d"
+  "/root/repo/tests/test_difference.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_difference.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_difference.cpp.o.d"
+  "/root/repo/tests/test_encoder.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_encoder.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_encoder.cpp.o.d"
+  "/root/repo/tests/test_explorer.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_explorer.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_explorer.cpp.o.d"
+  "/root/repo/tests/test_fuzz_dse.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_fuzz_dse.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_fuzz_dse.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_grounder.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_grounder.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_grounder.cpp.o.d"
+  "/root/repo/tests/test_indicators.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_indicators.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_indicators.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_linear_sum.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_linear_sum.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_linear_sum.cpp.o.d"
+  "/root/repo/tests/test_nsga2.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_nsga2.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_nsga2.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_pareto.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_pareto.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_pareto.cpp.o.d"
+  "/root/repo/tests/test_program.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_program.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_program.cpp.o.d"
+  "/root/repo/tests/test_quadtree.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_quadtree.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_quadtree.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_solver_stress.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_solver_stress.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_solver_stress.cpp.o.d"
+  "/root/repo/tests/test_spec.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_spec.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_spec.cpp.o.d"
+  "/root/repo/tests/test_specio.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_specio.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_specio.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_textio.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_textio.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_textio.cpp.o.d"
+  "/root/repo/tests/test_unfounded.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_unfounded.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_unfounded.cpp.o.d"
+  "/root/repo/tests/test_validator.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_validator.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_validator.cpp.o.d"
+  "/root/repo/tests/test_weight_rules.cpp" "tests/CMakeFiles/aspmt_tests.dir/test_weight_rules.cpp.o" "gcc" "tests/CMakeFiles/aspmt_tests.dir/test_weight_rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aspmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspmt_dse.dir/aspmt_dse.cpp.o"
+  "CMakeFiles/aspmt_dse.dir/aspmt_dse.cpp.o.d"
+  "aspmt_dse"
+  "aspmt_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspmt_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
