@@ -9,6 +9,7 @@ namespace aspmt::asp {
 Solver::Solver(SolverOptions options) : options_(options) {
   heuristic_.set_decay(options_.var_decay);
   max_learnts_ = options_.learnt_start;
+  if (options_.seed != 0) jitter_rng_.reseed(options_.seed);
 }
 
 Var Solver::new_var() {
@@ -16,12 +17,19 @@ Var Solver::new_var() {
   assign_.push_back(Lbool::Undef);
   level_.push_back(0);
   reason_.push_back(nullptr);
-  phase_.push_back(options_.default_phase ? 1 : 0);
+  if (options_.seed != 0) {
+    phase_.push_back(jitter_rng_.chance(0.5) ? 1 : 0);
+  } else {
+    phase_.push_back(options_.default_phase ? 1 : 0);
+  }
   seen_.push_back(0);
   lbd_seen_.push_back(0);
   watches_.emplace_back();  // positive literal
   watches_.emplace_back();  // negative literal
   heuristic_.grow_to(v);
+  // Jitter breaks ties between zero-activity variables without disturbing
+  // domain boosts (which are many orders of magnitude larger).
+  if (options_.seed != 0) heuristic_.boost(v, 1e-6 * jitter_rng_.uniform());
   return v;
 }
 
@@ -394,7 +402,9 @@ Solver::Result Solver::search(std::span<const Lit> assumptions,
   std::vector<Lit> learnt;
 
   for (;;) {
-    if (deadline != nullptr && deadline->expired()) {
+    if ((deadline != nullptr && deadline->expired()) ||
+        (options_.stop != nullptr &&
+         options_.stop->load(std::memory_order_relaxed))) {
       cancel_until(0);
       return Result::Unknown;
     }

@@ -8,6 +8,7 @@
 // (the clingo-style ASPmT integration described in the paper series).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -18,6 +19,7 @@
 #include "asp/heuristic.hpp"
 #include "asp/literal.hpp"
 #include "asp/propagator.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace aspmt::asp {
@@ -32,6 +34,19 @@ struct SolverStats {
   std::uint64_t theory_clauses = 0;
   std::uint64_t theory_conflicts = 0;
   std::uint64_t models = 0;
+
+  /// Accumulate another solver's counters (parallel portfolio reporting).
+  void merge(const SolverStats& other) noexcept {
+    conflicts += other.conflicts;
+    decisions += other.decisions;
+    propagations += other.propagations;
+    restarts += other.restarts;
+    learnt_clauses += other.learnt_clauses;
+    deleted_clauses += other.deleted_clauses;
+    theory_clauses += other.theory_clauses;
+    theory_conflicts += other.theory_conflicts;
+    models += other.models;
+  }
 };
 
 struct SolverOptions {
@@ -41,6 +56,16 @@ struct SolverOptions {
   std::uint32_t learnt_start = 2000;  ///< Initial learnt-DB cap.
   bool default_phase = false;         ///< Polarity when no phase is saved.
   bool phase_saving = true;
+  /// Diversification seed for portfolio solving.  0 (default) keeps the
+  /// solver fully deterministic; non-zero adds a tiny random jitter to the
+  /// initial VSIDS activity of every variable (breaking tie-order between
+  /// otherwise equal variables) and randomizes initial phases — the
+  /// trajectory changes, the answer never does.
+  std::uint64_t seed = 0;
+  /// Optional cooperative cancellation: polled alongside the deadline at
+  /// every search step; when it reads true, solve() returns Unknown.  The
+  /// pointee must outlive every solve() call.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 class Solver {
@@ -166,6 +191,7 @@ class Solver {
   std::size_t qhead_ = 0;
 
   VsidsHeap heuristic_;
+  util::Rng jitter_rng_;
   std::vector<char> phase_;
   std::vector<char> seen_;
   std::vector<Lit> minimize_stack_;

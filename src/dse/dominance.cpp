@@ -3,10 +3,19 @@
 #include <algorithm>
 
 #include "asp/solver.hpp"
+#include "pareto/concurrent_archive.hpp"
 
 namespace aspmt::dse {
 
+void DominancePropagator::sync_shared() {
+  if (shared_ == nullptr || shared_->generation() == synced_generation_) return;
+  sync_buffer_.clear();
+  synced_generation_ = shared_->fetch_updates(synced_generation_, sync_buffer_);
+  for (const pareto::Vec& p : sync_buffer_) archive_.insert(p);
+}
+
 bool DominancePropagator::enforce(asp::Solver& solver) {
+  if (shared_ != nullptr) sync_shared();
   if (archive_.size() == 0) return true;
   objectives_.lower_bounds_into(corner_);
   // With ε-dominance an archive point p blocks {f >= p - eps}; querying the

@@ -20,6 +20,10 @@
 #include "dse/objective_manager.hpp"
 #include "pareto/archive.hpp"
 
+namespace aspmt::pareto {
+class ConcurrentArchive;
+}
+
 namespace aspmt::dse {
 
 class DominancePropagator final : public asp::TheoryPropagator {
@@ -49,6 +53,22 @@ class DominancePropagator final : public asp::TheoryPropagator {
   /// Number of subtrees pruned by dominance conflicts.
   [[nodiscard]] std::uint64_t prunings() const noexcept { return prunings_; }
 
+  /// Portfolio mode: treat the local archive as a snapshot of `shared` and
+  /// keep it fresh.  Every enforce() polls the shared generation counter
+  /// (one relaxed atomic load — lock-free) and, only when it moved, pulls
+  /// the newly published points into the local archive, so dominance
+  /// pruning tightens mid-search as peer workers discover better points.
+  /// Always sound: the local snapshot lags the shared front, and
+  /// dominance-blocked regions only ever grow.
+  void attach_shared(pareto::ConcurrentArchive* shared) noexcept {
+    shared_ = shared;
+    synced_generation_ = 0;
+  }
+
+  /// Pull any pending shared-front updates into the local archive now
+  /// (workers call this right after publishing their own point).
+  void sync_shared();
+
   // -- TheoryPropagator ----------------------------------------------------
   bool propagate(asp::Solver& solver) override {
     return partial_eval_ ? enforce(solver) : true;
@@ -65,6 +85,9 @@ class DominancePropagator final : public asp::TheoryPropagator {
   pareto::Vec epsilon_;  // empty = exact
   std::uint64_t prunings_ = 0;
   bool partial_eval_ = true;
+  pareto::ConcurrentArchive* shared_ = nullptr;  // non-owning; may be null
+  std::uint64_t synced_generation_ = 0;
+  std::vector<pareto::Vec> sync_buffer_;  // scratch for fetch_updates
 };
 
 }  // namespace aspmt::dse

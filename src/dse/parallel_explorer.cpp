@@ -1,0 +1,242 @@
+#include "dse/parallel_explorer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "dse/context.hpp"
+#include "pareto/concurrent_archive.hpp"
+#include "util/timer.hpp"
+
+namespace aspmt::dse {
+namespace {
+
+/// SynthContext always registers latency, energy, cost (see context.cpp).
+constexpr std::size_t kNumObjectives = 3;
+
+std::uint64_t mix_seed(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return (x ^ (x >> 31)) | 1ULL;  // non-zero: 0 would disable jitter
+}
+
+struct SharedState {
+  SharedState(const std::string& kind, std::size_t shards,
+              const util::Deadline* dl)
+      : archive(kind, kNumObjectives, shards), deadline(dl) {}
+
+  pareto::ConcurrentArchive archive;
+  const util::Deadline* deadline;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> complete{false};
+  util::Timer timer;
+  std::mutex mutex;  // guards witnesses + discoveries
+  std::map<pareto::Vec, synth::Implementation> witnesses;
+  std::vector<std::pair<double, pareto::Vec>> discoveries;
+};
+
+/// Diversified solver configuration for worker `index` of `total`.  Worker 0
+/// keeps the caller's base configuration bit-for-bit (it is the "sequential
+/// anchor" of the portfolio); the others jitter tie-breaking, restart
+/// cadence and activity decay.
+asp::SolverOptions diversify(asp::SolverOptions base, std::size_t index,
+                             std::uint64_t portfolio_seed) {
+  if (index == 0) return base;
+  base.seed = mix_seed(portfolio_seed + index);
+  base.restart_base = std::max<std::uint32_t>(
+      1, base.restart_base << (index % 3));
+  if (index % 3 == 2) base.var_decay = 0.90;
+  return base;
+}
+
+void run_worker(std::size_t index, std::size_t total,
+                const synth::Specification& spec,
+                const ParallelExploreOptions& opts, SharedState& shared,
+                WorkerReport& report) {
+  util::Timer worker_timer;
+  report.worker = index;
+
+  ContextOptions copts;
+  copts.archive_kind = opts.archive_kind;
+  copts.partial_evaluation = opts.partial_evaluation;
+  copts.objective_floors = opts.objective_floors;
+  copts.solver_options = diversify(opts.solver_options, index, opts.seed);
+  copts.solver_options.stop = &shared.stop;
+  SynthContext ctx(spec, copts);
+  assert(ctx.objectives.count() == kNumObjectives);
+  ctx.dominance().attach_shared(&shared.archive);
+
+  std::vector<asp::Lit> assumptions;  // the active slice bound, if any
+  bool slice_active = false;
+  // Workers > 0 carve an epsilon-constraint slice out of the first
+  // objective once the shared front spans a range there.
+  bool slice_pending = index > 0 && total > 1;
+
+  const auto publish = [&](const pareto::Vec& point) {
+    ++report.models;
+    if (slice_active) ++report.slice_models;
+    const bool inserted = shared.archive.insert(point);
+    ctx.dominance().sync_shared();
+    if (!inserted) {
+      ++report.rejected_inserts;
+      return;
+    }
+    ++report.shared_inserts;
+    std::lock_guard lock(shared.mutex);
+    shared.discoveries.emplace_back(shared.timer.elapsed_seconds(), point);
+    if (opts.collect_witnesses) {
+      shared.witnesses[point] = ctx.capture().implementation();
+    }
+  };
+
+  const auto try_activate_slice = [&]() {
+    if (!slice_pending) return;
+    const std::vector<pareto::Vec> front = shared.archive.points();
+    if (front.size() < 2) return;
+    std::int64_t lo = front.front()[0];
+    std::int64_t hi = lo;
+    for (const pareto::Vec& p : front) {
+      lo = std::min(lo, p[0]);
+      hi = std::max(hi, p[0]);
+    }
+    slice_pending = false;  // one shot, even when the range is degenerate
+    const std::vector<std::int64_t> splits =
+        ObjectiveManager::epsilon_splits(lo, hi, total);
+    if (splits.empty()) return;
+    const std::int64_t bound = splits[std::min(index - 1, splits.size() - 1)];
+    const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
+    ctx.objectives.add_bound(0, bound, act);
+    assumptions.assign(1, act);
+    slice_active = true;
+  };
+
+  for (;;) {
+    try_activate_slice();
+    const asp::Solver::Result r = ctx.solver.solve(assumptions, shared.deadline);
+    if (r == asp::Solver::Result::Unknown) break;  // peer finished or deadline
+    if (r == asp::Solver::Result::Unsat) {
+      if (!assumptions.empty() && ctx.solver.ok()) {
+        // Slice exhausted; fall back to the unconstrained problem.
+        assumptions.clear();
+        slice_active = false;
+        continue;
+      }
+      // Unconstrained Unsat: every feasible point is weakly dominated by
+      // the shared archive, which therefore is the exact front.
+      report.proved_complete = true;
+      shared.complete.store(true, std::memory_order_release);
+      shared.stop.store(true, std::memory_order_release);
+      break;
+    }
+    pareto::Vec point = ctx.capture().vector();
+    publish(point);
+    // Drill down to a Pareto-optimal point exactly as the sequential
+    // explorer does, except that a peer may publish the point first — the
+    // rejected insert is counted, never asserted against.
+    bool out_of_time = false;
+    while (opts.drill_down) {
+      const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
+      for (std::size_t o = 0; o < ctx.objectives.count(); ++o) {
+        ctx.objectives.add_bound(o, point[o], act);
+      }
+      std::vector<asp::Lit> assume = assumptions;
+      assume.push_back(act);
+      const asp::Solver::Result r2 = ctx.solver.solve(assume, shared.deadline);
+      if (r2 == asp::Solver::Result::Unknown) {
+        out_of_time = true;
+        break;
+      }
+      if (r2 == asp::Solver::Result::Unsat) break;  // point is region-optimal
+      point = ctx.capture().vector();
+      publish(point);
+    }
+    if (out_of_time) break;
+  }
+
+  const asp::SolverStats& s = ctx.solver.stats();
+  report.prunings = ctx.dominance().prunings();
+  report.conflicts = s.conflicts;
+  report.decisions = s.decisions;
+  report.propagations = s.propagations;
+  report.restarts = s.restarts;
+  report.theory_clauses = s.theory_clauses;
+  report.archive_comparisons = ctx.archive().comparisons();
+  report.seconds = worker_timer.elapsed_seconds();
+}
+
+}  // namespace
+
+ParallelExploreResult explore_parallel(const synth::Specification& spec,
+                                       const ParallelExploreOptions& options) {
+  std::size_t threads = options.threads != 0
+                            ? options.threads
+                            : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+
+  const util::Deadline deadline(options.time_limit_seconds);
+  SharedState shared(options.archive_kind, options.archive_shards, &deadline);
+
+  ParallelExploreResult result;
+  result.workers.resize(threads);
+
+  if (threads == 1) {
+    run_worker(0, 1, spec, options, shared, result.workers[0]);
+  } else {
+    std::mutex error_mutex;
+    std::string first_error;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          run_worker(w, threads, spec, options, shared, result.workers[w]);
+        } catch (const std::exception& e) {
+          shared.stop.store(true, std::memory_order_release);
+          std::lock_guard lock(error_mutex);
+          if (first_error.empty()) first_error = e.what();
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    if (!first_error.empty()) {
+      throw std::runtime_error("parallel explorer worker failed: " +
+                               first_error);
+    }
+  }
+
+  result.front = shared.archive.points();
+  if (options.collect_witnesses) {
+    result.witnesses.reserve(result.front.size());
+    for (const pareto::Vec& p : result.front) {
+      const auto it = shared.witnesses.find(p);
+      assert(it != shared.witnesses.end());
+      result.witnesses.push_back(it->second);
+    }
+  }
+  result.discoveries = std::move(shared.discoveries);
+  std::stable_sort(result.discoveries.begin(), result.discoveries.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  ExploreStats& stats = result.stats;
+  for (const WorkerReport& w : result.workers) {
+    stats.models += w.models;
+    stats.prunings += w.prunings;
+    stats.conflicts += w.conflicts;
+    stats.decisions += w.decisions;
+    stats.propagations += w.propagations;
+    stats.theory_clauses += w.theory_clauses;
+    stats.archive_comparisons += w.archive_comparisons;
+  }
+  stats.archive_comparisons += shared.archive.comparisons();
+  stats.seconds = shared.timer.elapsed_seconds();
+  stats.complete = shared.complete.load(std::memory_order_acquire);
+  return result;
+}
+
+}  // namespace aspmt::dse

@@ -1,0 +1,92 @@
+// Parallel portfolio exploration — N diversified ASPmT workers, one shared
+// Pareto front.
+//
+// Every worker owns a full independent SynthContext (solver, theories,
+// encoding, dominance propagator) configured with a distinct seed, restart
+// base and phase polarity, and publishes every accepted model into one
+// shared ConcurrentArchive.  Each worker's dominance propagator treats its
+// thread-local archive as a snapshot of the shared front and refreshes it
+// lazily off a lock-free generation counter, so a point found by any worker
+// starts pruning every other worker's search mid-flight.
+//
+// Work partitioning: as soon as the shared front spans a range in the first
+// objective, worker w (w >= 1) derives an epsilon-constraint slice
+// `latency <= split_w` from the current front and exhausts that slice first
+// — the portfolio fills the front from several regions at once instead of
+// walking it from one end.  Worker 0 always runs the unmodified sequential
+// strategy.
+//
+// Exactness: slices and diversification only change the *order* of
+// discovery.  The run ends when some worker proves the unconstrained
+// problem unsatisfiable under dominance pruning — at that moment the shared
+// archive weakly dominates every feasible point and, since every archived
+// point is itself a feasible model, it *is* the unique exact Pareto front.
+// Hence the front is identical to the sequential explorer's for every
+// thread count (the test layer enforces this point-for-point).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asp/solver.hpp"
+#include "dse/explorer.hpp"
+#include "pareto/point.hpp"
+#include "synth/implementation.hpp"
+#include "synth/spec.hpp"
+
+namespace aspmt::dse {
+
+struct ParallelExploreOptions {
+  std::size_t threads = 0;  ///< 0 = std::thread::hardware_concurrency()
+  double time_limit_seconds = 0.0;  ///< 0 = unlimited
+  std::string archive_kind = "quadtree";  ///< local snapshots + shared shards
+  bool collect_witnesses = true;
+  bool drill_down = true;
+  bool partial_evaluation = true;
+  bool objective_floors = true;
+  /// Base seed for portfolio diversification; worker w runs with a solver
+  /// seed derived from (seed, w).  Worker 0 always keeps the deterministic
+  /// default configuration.
+  std::uint64_t seed = 1;
+  std::size_t archive_shards = 8;
+  asp::SolverOptions solver_options{};  ///< base config; workers diversify
+};
+
+/// Per-worker accounting for the CLI report and the consistency tests.
+struct WorkerReport {
+  std::size_t worker = 0;
+  std::uint64_t models = 0;            ///< accepted answer sets
+  std::uint64_t slice_models = 0;      ///< found while the slice was active
+  std::uint64_t shared_inserts = 0;    ///< points this worker published first
+  std::uint64_t rejected_inserts = 0;  ///< beaten to the archive by a peer
+  std::uint64_t prunings = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t theory_clauses = 0;
+  std::uint64_t archive_comparisons = 0;  ///< in the local snapshot archive
+  double seconds = 0.0;
+  bool proved_complete = false;  ///< this worker closed the global Unsat proof
+};
+
+struct ParallelExploreResult {
+  std::vector<pareto::Vec> front;  ///< sorted lexicographically
+  /// One witness per front point (parallel to `front`), when collected.
+  std::vector<synth::Implementation> witnesses;
+  /// Shared-archive insertions over time (seconds since start), in
+  /// publication order across all workers.
+  std::vector<std::pair<double, pareto::Vec>> discoveries;
+  ExploreStats stats;  ///< aggregated over all workers
+  std::vector<WorkerReport> workers;
+};
+
+/// Compute the exact Pareto front of `spec` with a portfolio of
+/// `options.threads` diversified workers.  With threads == 1 the worker
+/// runs inline in the calling thread (no thread is spawned) and follows the
+/// sequential explorer's exact strategy.
+[[nodiscard]] ParallelExploreResult explore_parallel(
+    const synth::Specification& spec, const ParallelExploreOptions& options = {});
+
+}  // namespace aspmt::dse

@@ -9,20 +9,27 @@ namespace aspmt::pareto {
 
 bool LinearArchive::insert(const Vec& p) {
   for (const Vec& q : points_) {
-    ++comparisons_;
+    count_comparison();
     if (weakly_dominates(q, p)) return false;
   }
   std::erase_if(points_, [&](const Vec& q) {
-    ++comparisons_;
+    count_comparison();
     return weakly_dominates(p, q);
   });
   points_.push_back(p);
   return true;
 }
 
+std::size_t LinearArchive::erase_dominated_by(const Vec& p) {
+  return std::erase_if(points_, [&](const Vec& q) {
+    count_comparison();
+    return q != p && weakly_dominates(p, q);
+  });
+}
+
 const Vec* LinearArchive::find_weak_dominator(const Vec& q) const {
   for (const Vec& p : points_) {
-    ++comparisons_;
+    count_comparison();
     if (weakly_dominates(p, q)) return &p;
   }
   return nullptr;

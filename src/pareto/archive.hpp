@@ -4,6 +4,7 @@
 // and the quad-tree of the ASP-DAC'18 companion paper (quadtree.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -28,6 +29,12 @@ class Archive {
   /// is invalidated by the next insert.
   [[nodiscard]] virtual const Vec* find_weak_dominator(const Vec& q) const = 0;
 
+  /// Evict every archived point weakly dominated by `p`, except a point
+  /// equal to `p` itself.  Returns the number of evicted points.  This is
+  /// exactly the eviction half of insert(); the concurrent sharded archive
+  /// uses it to clear foreign shards before inserting into the home shard.
+  virtual std::size_t erase_dominated_by(const Vec& p) = 0;
+
   [[nodiscard]] virtual std::size_t size() const noexcept = 0;
 
   /// Snapshot of all points (sorted lexicographically for reproducibility).
@@ -36,10 +43,19 @@ class Archive {
   virtual void clear() = 0;
 
   /// Total dominance comparisons performed (for the Figure 4 ablation).
-  [[nodiscard]] std::uint64_t comparisons() const noexcept { return comparisons_; }
+  [[nodiscard]] std::uint64_t comparisons() const noexcept {
+    return comparisons_.load(std::memory_order_relaxed);
+  }
 
  protected:
-  mutable std::uint64_t comparisons_ = 0;
+  // Atomic because the concurrent sharded archive runs const queries under a
+  // shared lock, so concurrent readers bump this counter in parallel; the
+  // count is a statistic, relaxed ordering suffices.
+  mutable std::atomic<std::uint64_t> comparisons_{0};
+
+  void count_comparison() const noexcept {
+    comparisons_.fetch_add(1, std::memory_order_relaxed);
+  }
 };
 
 /// Plain list archive with linear scans.
@@ -47,6 +63,7 @@ class LinearArchive final : public Archive {
  public:
   bool insert(const Vec& p) override;
   [[nodiscard]] const Vec* find_weak_dominator(const Vec& q) const override;
+  std::size_t erase_dominated_by(const Vec& p) override;
   [[nodiscard]] std::size_t size() const noexcept override { return points_.size(); }
   [[nodiscard]] std::vector<Vec> points() const override;
   void clear() override { points_.clear(); }

@@ -39,7 +39,7 @@ void QuadTreeArchive::release(std::int32_t node) { free_list_.push_back(node); }
 const Vec* QuadTreeArchive::dominator_in(std::int32_t node, const Vec& q) const {
   if (node == kNull) return nullptr;
   const Node& n = pool_[node];
-  ++comparisons_;
+  count_comparison();
   if (weakly_dominates(n.point, q)) return &n.point;
   const std::uint32_t mask = successorship(q, n.point);
   // A dominator x of q satisfies x <= q; inside child c every set bit i has
@@ -55,7 +55,7 @@ void QuadTreeArchive::collect_dominated(std::int32_t node, const Vec& q,
                                         std::vector<std::int32_t>& out) const {
   if (node == kNull) return;
   const Node& n = pool_[node];
-  ++comparisons_;
+  count_comparison();
   if (weakly_dominates(q, n.point)) out.push_back(node);
   // A point x >= q in child c: every unset bit i has x_i < n_i, compatible
   // only when q_i < n_i.
@@ -106,7 +106,7 @@ void QuadTreeArchive::hang(std::int32_t node) {
   std::int32_t* slot = &root_;
   while (*slot != kNull) {
     Node& n = pool_[*slot];
-    ++comparisons_;
+    count_comparison();
     const std::uint32_t c = successorship(pool_[node].point, n.point);
     slot = &n.children[c];
   }
@@ -116,19 +116,26 @@ void QuadTreeArchive::hang(std::int32_t node) {
 bool QuadTreeArchive::insert(const Vec& p) {
   assert(p.size() == dims_);
   if (dominator_in(root_, p) != nullptr) return false;
-  std::vector<std::int32_t> doomed_list;
-  collect_dominated(root_, p, doomed_list);
-  if (!doomed_list.empty()) {
-    std::vector<char> doomed(pool_.size(), 0);
-    for (const std::int32_t n : doomed_list) doomed[n] = 1;
-    std::vector<std::int32_t> survivors;
-    detach_doomed(root_, doomed, survivors);
-    size_ -= doomed_list.size();
-    for (const std::int32_t n : survivors) hang(n);
-  }
+  erase_dominated_by(p);
   hang(alloc(p));
   ++size_;
   return true;
+}
+
+std::size_t QuadTreeArchive::erase_dominated_by(const Vec& p) {
+  assert(p.size() == dims_);
+  std::vector<std::int32_t> doomed_list;
+  collect_dominated(root_, p, doomed_list);
+  std::erase_if(doomed_list,
+                [&](std::int32_t n) { return pool_[n].point == p; });
+  if (doomed_list.empty()) return 0;
+  std::vector<char> doomed(pool_.size(), 0);
+  for (const std::int32_t n : doomed_list) doomed[n] = 1;
+  std::vector<std::int32_t> survivors;
+  detach_doomed(root_, doomed, survivors);
+  size_ -= doomed_list.size();
+  for (const std::int32_t n : survivors) hang(n);
+  return doomed_list.size();
 }
 
 const Vec* QuadTreeArchive::find_weak_dominator(const Vec& q) const {

@@ -24,6 +24,7 @@ class QuadTreeArchive final : public Archive {
 
   bool insert(const Vec& p) override;
   [[nodiscard]] const Vec* find_weak_dominator(const Vec& q) const override;
+  std::size_t erase_dominated_by(const Vec& p) override;
   [[nodiscard]] std::size_t size() const noexcept override { return size_; }
   [[nodiscard]] std::vector<Vec> points() const override;
   void clear() override;

@@ -5,6 +5,7 @@
 
 #include "dse/baselines.hpp"
 #include "dse/explorer.hpp"
+#include "dse/parallel_explorer.hpp"
 #include "gen/generator.hpp"
 #include "synth/validator.hpp"
 #include "util/rng.hpp"
@@ -82,6 +83,51 @@ TEST_P(FuzzDseSmall, EnumerationAgreesOnTinyInstances) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDseSmall,
                          ::testing::Range<std::uint64_t>(0, 15));
+
+// Seeded fuzz mode for the parallel portfolio: on randomly generated specs
+// the parallel front at a random thread count must be point-for-point the
+// sequential front.  On mismatch the failing seed is printed — rerun with
+// --gtest_filter='Seeds/FuzzParallelDse.*/<seed>' to reproduce.
+class FuzzParallelDse : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzParallelDse, ParallelFrontEqualsSequentialFront) {
+  util::Rng rng(GetParam() * 104729 + 11);
+  gen::GeneratorConfig c;
+  c.seed = rng.next();
+  c.tasks = 3 + static_cast<std::uint32_t>(rng.below(3));
+  c.layers = 2 + static_cast<std::uint32_t>(rng.below(2));
+  c.options_per_task = 2;
+  c.extra_edge_density = rng.uniform() * 0.3;
+  c.architecture = rng.chance(0.5) ? gen::Architecture::SharedBus
+                                   : gen::Architecture::Mesh2x2;
+  c.bus_processors = 2 + static_cast<std::uint32_t>(rng.below(2));
+  synth::Specification spec = gen::generate(c);
+  if (rng.chance(0.4)) {
+    const auto r = static_cast<synth::ResourceId>(rng.below(spec.resources().size()));
+    spec.set_capacity(r, 1 + static_cast<std::uint32_t>(rng.below(3)));
+  }
+
+  const dse::ExploreResult seq = dse::explore(spec);
+  ASSERT_TRUE(seq.stats.complete) << "seed " << GetParam();
+
+  dse::ParallelExploreOptions popts;
+  popts.threads = 2 + static_cast<std::size_t>(rng.below(3));  // 2..4
+  popts.seed = GetParam() + 1;
+  const dse::ParallelExploreResult par = dse::explore_parallel(spec, popts);
+  ASSERT_TRUE(par.stats.complete) << "seed " << GetParam();
+  EXPECT_EQ(par.front, seq.front)
+      << "seed " << GetParam() << " threads " << popts.threads << " "
+      << gen::summarize(spec);
+  for (std::size_t i = 0; i < par.front.size(); ++i) {
+    EXPECT_EQ(synth::validate_implementation(spec, par.witnesses[i]), "")
+        << "seed " << GetParam();
+    EXPECT_EQ(par.witnesses[i].objectives(), par.front[i])
+        << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzParallelDse,
+                         ::testing::Range<std::uint64_t>(0, 12));
 
 }  // namespace
 }  // namespace aspmt

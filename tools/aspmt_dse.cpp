@@ -24,6 +24,7 @@
 #include "dse/context.hpp"
 #include "dse/explorer.hpp"
 #include "dse/optimizer.hpp"
+#include "dse/parallel_explorer.hpp"
 #include "ea/nsga2.hpp"
 #include "gen/generator.hpp"
 #include "synth/specio.hpp"
@@ -75,6 +76,7 @@ int usage() {
       "            [--options K] [--bus-procs P] -o spec.txt\n"
       "  aspmt_dse explore  spec.txt [--time-limit SEC] [--archive KIND]\n"
       "            [--no-partial-eval] [--epsilon L,E,C] [--witnesses]\n"
+      "            [--threads N] [--seed S]   (N>0: parallel portfolio)\n"
       "  aspmt_dse optimize spec.txt --objective latency|energy|cost\n"
       "  aspmt_dse baseline spec.txt --method enum|lex|lex-cold [--time-limit SEC]\n"
       "  aspmt_dse nsga2    spec.txt [--pop N] [--gens N] [--seed S]\n"
@@ -124,8 +126,51 @@ std::optional<pareto::Vec> parse_epsilon(const std::string& text) {
   return eps;
 }
 
+int explore_portfolio(const synth::Specification& spec, const Args& args) {
+  dse::ParallelExploreOptions opts;
+  opts.threads = static_cast<std::size_t>(args.num("threads", 1));
+  opts.time_limit_seconds = args.num("time-limit", 0.0);
+  opts.archive_kind = args.get("archive", "quadtree");
+  opts.partial_evaluation = !args.flag("no-partial-eval");
+  opts.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const dse::ParallelExploreResult r = dse::explore_parallel(spec, opts);
+  std::cout << "exact front: " << r.front.size() << " points ("
+            << (r.stats.complete ? "complete" : "time-limited") << ", "
+            << util::fmt(r.stats.seconds, 3) << "s, " << r.workers.size()
+            << " workers, " << r.stats.models << " models, "
+            << r.stats.prunings << " prunings)\n";
+  util::Table front({"latency", "energy", "cost"});
+  for (const auto& p : r.front) {
+    front.add_row({util::fmt(p[0]), util::fmt(p[1]), util::fmt(p[2])});
+  }
+  front.print(std::cout);
+  std::cout << "\nper-worker breakdown:\n";
+  util::Table workers({"worker", "models", "slice", "inserts", "rejected",
+                       "prunings", "conflicts", "restarts", "sec", "proof"});
+  for (const dse::WorkerReport& w : r.workers) {
+    workers.add_row({util::fmt(static_cast<long long>(w.worker)),
+                     util::fmt(static_cast<long long>(w.models)),
+                     util::fmt(static_cast<long long>(w.slice_models)),
+                     util::fmt(static_cast<long long>(w.shared_inserts)),
+                     util::fmt(static_cast<long long>(w.rejected_inserts)),
+                     util::fmt(static_cast<long long>(w.prunings)),
+                     util::fmt(static_cast<long long>(w.conflicts)),
+                     util::fmt(static_cast<long long>(w.restarts)),
+                     util::fmt(w.seconds, 3),
+                     w.proved_complete ? "yes" : "-"});
+  }
+  workers.print(std::cout);
+  if (args.flag("witnesses")) {
+    for (const auto& witness : r.witnesses) {
+      std::cout << "\n" << witness.describe(spec);
+    }
+  }
+  return r.stats.complete ? 0 : 3;
+}
+
 int cmd_explore(const Args& args) {
   const synth::Specification spec = load(args);
+  if (args.flag("threads")) return explore_portfolio(spec, args);
   dse::ExploreOptions opts;
   opts.time_limit_seconds = args.num("time-limit", 0.0);
   opts.archive_kind = args.get("archive", "quadtree");
