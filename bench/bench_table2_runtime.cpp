@@ -21,14 +21,32 @@ int main() {
   const double limit = bench::method_time_limit();
   std::cout << "Table 2: time to the exact Pareto front (limit "
             << util::fmt(limit, 1) << "s per method)\n\n";
-  util::Table table({"inst", "|front|", "aspmt[s]", "models", "prunings",
-                     "lex-ms[s]", "lex-ss[s]", "enum[s]", "speedup"});
+  util::Table table({"inst", "|front|", "aspmt[s]", "cert[s]", "models",
+                     "prunings", "lex-ms[s]", "lex-ss[s]", "enum[s]",
+                     "speedup"});
   for (const auto& entry : bench::standard_suite()) {
     const synth::Specification spec = gen::generate(entry.config);
 
     dse::ExploreOptions opts;
     opts.time_limit_seconds = limit;
     const dse::ExploreResult aspmt_run = dse::explore(spec, opts);
+
+    // Certified mode: same exploration with proof logging, witness
+    // validation and an independent checker replay — the cert[s] column is
+    // the end-to-end price of a machine-checked front.
+    dse::ExploreOptions cert_opts;
+    cert_opts.time_limit_seconds = limit;
+    cert_opts.certify = true;
+    const dse::ExploreResult cert_run = dse::explore(spec, cert_opts);
+    const std::string cert_cell =
+        !cert_run.stats.complete ? std::string("t/o")
+        : cert_run.certified    ? util::fmt(cert_run.stats.seconds, 3)
+                                : std::string("FAIL");
+    if (cert_run.stats.complete && !cert_run.certified) {
+      std::cerr << "CERTIFICATION FAILED on " << entry.name << ": "
+                << cert_run.certificate_error << "\n";
+      std::exit(1);
+    }
 
     const dse::BaselineResult lex = dse::lexicographic_epsilon(spec, limit);
     const dse::BaselineResult cold = dse::lexicographic_epsilon_cold(spec, limit);
@@ -56,6 +74,7 @@ int main() {
              ? util::fmt(static_cast<long long>(aspmt_run.front.size()))
              : (">=" + util::fmt(static_cast<long long>(aspmt_run.front.size()))),
          time_cell(aspmt_run.stats.complete, aspmt_run.stats.seconds),
+         cert_cell,
          util::fmt(static_cast<long long>(aspmt_run.stats.models)),
          util::fmt(static_cast<long long>(aspmt_run.stats.prunings)),
          time_cell(lex.complete, lex.seconds),
@@ -71,6 +90,7 @@ int main() {
         std::exit(1);
       }
     };
+    check("cert", cert_run.stats.complete, cert_run.front);
     check("lex-ms", lex.complete, lex.front);
     check("lex-ss", cold.complete, cold.front);
     check("enum", enu.complete, enu.front);

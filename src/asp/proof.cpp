@@ -1,0 +1,113 @@
+#include "asp/proof.hpp"
+
+namespace aspmt::asp {
+
+void ProofLog::append_int(std::int64_t v) {
+  buf_ += ' ';
+  buf_ += std::to_string(v);
+}
+
+void ProofLog::append_lit(Lit l) { append_int(proof_int(l)); }
+
+void ProofLog::clause_step(char kind, std::span<const Lit> lits) {
+  buf_ += kind;
+  for (const Lit l : lits) append_lit(l);
+  buf_ += " 0\n";
+}
+
+void ProofLog::def_sum(std::uint32_t sum,
+                       std::span<const std::pair<Lit, std::int64_t>> terms) {
+  buf_ += 'S';
+  append_int(sum);
+  append_int(static_cast<std::int64_t>(terms.size()));
+  for (const auto& [guard, weight] : terms) {
+    append_lit(guard);
+    append_int(weight);
+  }
+  buf_ += '\n';
+}
+
+void ProofLog::def_sum_bound(std::uint32_t sum, std::int64_t bound, Lit activation) {
+  buf_ += "SB";
+  append_int(sum);
+  append_int(bound);
+  append_int(activation == kLitUndef ? 0 : proof_int(activation));
+  buf_ += '\n';
+}
+
+void ProofLog::def_node(std::uint32_t node) {
+  buf_ += 'N';
+  append_int(node);
+  buf_ += '\n';
+}
+
+void ProofLog::def_edge(std::uint32_t edge, std::uint32_t from, std::uint32_t to,
+                        std::int64_t weight, std::span<const Lit> guards) {
+  buf_ += 'E';
+  append_int(edge);
+  append_int(from);
+  append_int(to);
+  append_int(weight);
+  append_int(static_cast<std::int64_t>(guards.size()));
+  for (const Lit g : guards) append_lit(g);
+  buf_ += '\n';
+}
+
+void ProofLog::def_node_bound(std::uint32_t node, std::int64_t bound,
+                              Lit activation) {
+  buf_ += "NB";
+  append_int(node);
+  append_int(bound);
+  append_int(activation == kLitUndef ? 0 : proof_int(activation));
+  buf_ += '\n';
+}
+
+void ProofLog::def_objective_linear(std::size_t objective, std::uint32_t sum) {
+  buf_ += 'O';
+  append_int(static_cast<std::int64_t>(objective));
+  buf_ += " L";
+  append_int(sum);
+  buf_ += '\n';
+}
+
+void ProofLog::def_objective_diff(std::size_t objective, std::uint32_t node) {
+  buf_ += 'O';
+  append_int(static_cast<std::int64_t>(objective));
+  buf_ += " D";
+  append_int(node);
+  buf_ += '\n';
+}
+
+void ProofLog::def_rule(Lit head, Lit body, std::span<const Lit> positive_heads) {
+  buf_ += "PR";
+  append_lit(head);
+  append_lit(body);
+  append_int(static_cast<std::int64_t>(positive_heads.size()));
+  for (const Lit h : positive_heads) append_lit(h);
+  buf_ += '\n';
+}
+
+void ProofLog::theory_clause(const TheoryJustification& just,
+                             std::span<const Lit> lits) {
+  buf_ += 'T';
+  switch (just.tag) {
+    case TheoryTag::DiffCycle: buf_ += " DC"; break;
+    case TheoryTag::DiffBound: buf_ += " DB"; break;
+    case TheoryTag::LinearBound: buf_ += " LS"; break;
+    case TheoryTag::Unfounded: buf_ += " UF"; break;
+    case TheoryTag::Dominance: buf_ += " DOM"; break;
+  }
+  for (const std::int64_t v : just.payload) append_int(v);
+  buf_ += " ;";
+  for (const Lit l : lits) append_lit(l);
+  buf_ += " 0\n";
+}
+
+void ProofLog::feasible_point(std::span<const std::int64_t> point) {
+  buf_ += 'F';
+  append_int(static_cast<std::int64_t>(point.size()));
+  for (const std::int64_t v : point) append_int(v);
+  buf_ += " 0\n";
+}
+
+}  // namespace aspmt::asp

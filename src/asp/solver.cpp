@@ -59,6 +59,9 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     if (v == Lbool::False) continue;    // false at root: drop
     c.push_back(l);
   }
+  // Log the full clause, not the root-simplified one: the checker re-derives
+  // the simplification from its own root propagation.
+  if (proof_ != nullptr) proof_->input_clause(lits);
   if (c.empty()) {
     ok_ = false;
     return false;
@@ -79,7 +82,8 @@ void Solver::add_propagator(TheoryPropagator* propagator) {
   propagators_.push_back(propagator);
 }
 
-bool Solver::add_theory_clause(std::span<const Lit> in) {
+bool Solver::add_theory_clause(std::span<const Lit> in,
+                               const TheoryJustification* just) {
   ++stats_.theory_clauses;
   std::vector<Lit> lits(in.begin(), in.end());
   std::sort(lits.begin(), lits.end());
@@ -93,6 +97,13 @@ bool Solver::add_theory_clause(std::span<const Lit> in) {
     if (v == Lbool::True && level(l.var()) == 0) return true;  // permanently sat
     if (v == Lbool::False && level(l.var()) == 0) continue;    // permanently false
     c.push_back(l);
+  }
+  if (proof_ != nullptr) {
+    // An untagged lemma cannot be replayed; skipping it makes later RUP
+    // steps that depend on it fail, so certification fails closed instead
+    // of silently trusting the propagator.
+    assert(just != nullptr && "proof-logged theory lemma needs a justification");
+    if (just != nullptr) proof_->theory_clause(*just, lits);
   }
   if (c.empty()) {
     ok_ = false;
@@ -302,6 +313,7 @@ bool Solver::literal_redundant(Lit l) {
 void Solver::record_learnt(std::vector<Lit> learnt, std::uint32_t bt_level) {
   cancel_until(bt_level);
   ++stats_.learnt_clauses;
+  if (proof_ != nullptr) proof_->learnt_clause(learnt);
   if (learnt.size() == 1) {
     assert(bt_level == 0);
     enqueue(learnt[0], nullptr);
@@ -364,6 +376,7 @@ void Solver::reduce_learnt_db() {
       learnt_clauses_[out++] = c;
     } else {
       c->mark_deleted();
+      if (proof_ != nullptr) proof_->delete_clause(c->lits());
       ++removed;
       ++stats_.deleted_clauses;
     }
@@ -385,11 +398,20 @@ std::uint64_t Solver::luby(std::uint64_t i) noexcept {
 
 Solver::Result Solver::solve(std::span<const Lit> assumptions,
                              const util::Deadline* deadline) {
-  if (!ok_) return Result::Unsat;
+  if (!ok_) {
+    if (proof_ != nullptr) proof_->conclude_unsat({});
+    return Result::Unsat;
+  }
   cancel_until(0);
   model_.clear();
   const Result r = search(assumptions, deadline);
   cancel_until(0);
+  if (proof_ != nullptr) {
+    // With ok_ still true the refutation holds only under the assumptions;
+    // once root unsatisfiability is established the claim is global.
+    if (r == Result::Unsat) proof_->conclude_unsat(ok_ ? assumptions : std::span<const Lit>{});
+    if (r == Result::Sat) proof_->sat_marker();
+  }
   return r;
 }
 

@@ -18,6 +18,7 @@
 #include "asp/clause.hpp"
 #include "asp/heuristic.hpp"
 #include "asp/literal.hpp"
+#include "asp/proof.hpp"
 #include "asp/propagator.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -130,7 +131,16 @@ class Solver {
   /// falsified clauses raise a conflict.  Returns false iff the clause is
   /// conflicting under the current assignment; the propagator must then
   /// immediately return false from its propagate()/check() callback.
-  bool add_theory_clause(std::span<const Lit> lits);
+  /// When proof logging is on, `just` tags the lemma for the checker;
+  /// propagators must supply it whenever proof() is non-null.
+  bool add_theory_clause(std::span<const Lit> lits,
+                         const TheoryJustification* just = nullptr);
+
+  /// Attach a proof log (nullptr detaches).  Must be set before any clause
+  /// is added so the trace covers the whole session; the pointee must
+  /// outlive every solver call.
+  void set_proof(ProofLog* proof) noexcept { proof_ = proof; }
+  [[nodiscard]] ProofLog* proof() const noexcept { return proof_; }
 
   /// Bump decision priority of a variable (domain heuristics).
   void bump_variable(Var v) { heuristic_.bump(v); }
@@ -198,6 +208,7 @@ class Solver {
 
   std::vector<TheoryPropagator*> propagators_;
   Clause* pending_conflict_ = nullptr;
+  ProofLog* proof_ = nullptr;
 
   std::vector<Lbool> model_;
   std::vector<Lit> root_units_;  // units injected/learnt, replayed after restarts

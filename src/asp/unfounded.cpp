@@ -9,6 +9,17 @@ namespace aspmt::asp {
 UnfoundedSetChecker::UnfoundedSetChecker(const CompiledProgram& compiled)
     : compiled_(compiled) {}
 
+void UnfoundedSetChecker::set_proof(ProofLog* proof) {
+  proof_ = proof;
+  if (proof_ == nullptr || compiled_.tight) return;  // tight: no loop nogoods
+  std::vector<Lit> pos;
+  for (const auto& cr : compiled_.rules) {
+    pos.clear();
+    for (const Atom b : cr.pos_body) pos.push_back(compiled_.lit(b));
+    proof_->def_rule(compiled_.lit(cr.head), cr.body_lit, pos);
+  }
+}
+
 bool UnfoundedSetChecker::propagate(Solver&) { return true; }
 
 void UnfoundedSetChecker::undo_to(const Solver&, std::size_t) {}
@@ -86,7 +97,12 @@ bool UnfoundedSetChecker::check(Solver& solver) {
   std::sort(clause.begin(), clause.end());
   clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
   ++loop_nogoods_;
-  return solver.add_theory_clause(clause);
+  TheoryJustification just{TheoryTag::Unfounded, {}};
+  if (solver.proof() != nullptr) {
+    just.payload.reserve(unfounded.size());
+    for (const Atom a : unfounded) just.payload.push_back(proof_int(compiled_.lit(a)));
+  }
+  return solver.add_theory_clause(clause, &just);
 }
 
 }  // namespace aspmt::asp

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "asp/completion.hpp"
+#include "asp/proof.hpp"
 #include "asp/propagator.hpp"
 
 namespace aspmt::asp {
@@ -27,8 +28,13 @@ class UnfoundedSetChecker final : public TheoryPropagator {
   /// Number of loop nogoods injected so far (statistics).
   [[nodiscard]] std::uint64_t loop_nogoods() const noexcept { return loop_nogoods_; }
 
+  /// Declare the program rules in a proof log (needed for loop-nogood
+  /// re-derivation) and tag injected nogoods with their unfounded set.
+  void set_proof(ProofLog* proof);
+
  private:
   const CompiledProgram& compiled_;
+  ProofLog* proof_ = nullptr;
   std::uint64_t loop_nogoods_ = 0;
 
   // scratch buffers reused across checks

@@ -1,0 +1,62 @@
+#include "cert/certify.hpp"
+
+#include <algorithm>
+
+#include "synth/validator.hpp"
+
+namespace aspmt::cert {
+
+CertifyResult certify_front(
+    const synth::Specification& spec,
+    std::span<const std::pair<pareto::Vec, synth::Implementation>> discoveries,
+    std::span<const pareto::Vec> front, std::string_view proof) {
+  CertifyResult result;
+
+  // 1. Every discovery needs an independently validated witness whose
+  //    recomputed objectives equal the recorded vector.
+  CheckOptions copts;
+  copts.require_global_unsat = true;
+  copts.trust_feasible_steps = false;
+  copts.feasible_points.reserve(discoveries.size());
+  for (const auto& [point, impl] : discoveries) {
+    const std::string why = synth::validate_implementation(spec, impl);
+    if (!why.empty()) {
+      result.error =
+          "witness for " + pareto::to_string(point) + " invalid: " + why;
+      return result;
+    }
+    if (synth::recompute_objectives(spec, impl) != point) {
+      result.error = "witness objectives disagree with the recorded point " +
+                     pareto::to_string(point);
+      return result;
+    }
+    ++result.witnesses_validated;
+    copts.feasible_points.push_back(point);
+  }
+
+  // 2. The proof must verify with only those points as dominance sources and
+  //    must close with a global Unsat conclusion.
+  result.check = check_proof(proof, copts);
+  if (!result.check.ok) {
+    result.error = "proof check failed: " + result.check.error;
+    return result;
+  }
+
+  // 3. The reported front must be exactly the Pareto-minimal subset of the
+  //    validated discoveries.
+  std::vector<pareto::Vec> points;
+  points.reserve(discoveries.size());
+  for (const auto& [point, impl] : discoveries) points.push_back(point);
+  std::vector<pareto::Vec> minimal = pareto::non_dominated_filter(std::move(points));
+  std::vector<pareto::Vec> reported(front.begin(), front.end());
+  std::sort(reported.begin(), reported.end());
+  if (reported != minimal) {
+    result.error = "reported front differs from the minimal validated set";
+    return result;
+  }
+
+  result.certified = true;
+  return result;
+}
+
+}  // namespace aspmt::cert

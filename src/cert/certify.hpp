@@ -1,0 +1,50 @@
+// Front certification: combine witness validation with proof checking so a
+// whole exploration result becomes independently verified.
+//
+// An exploration run is certified exact when
+//   1. every point it ever discovered carries a witness implementation that
+//      synth::Validator accepts, with objectives matching the recorded
+//      vector (so each F step of the proof denotes a real design point);
+//   2. the proof stream checks out end to end (cert::check_proof) with only
+//      those validated points admitted as dominance sources, and contains a
+//      verified assumption-free Unsat conclusion — no model escapes the
+//      dominance-blocked regions, i.e. everything feasible is weakly
+//      dominated by a validated point;
+//   3. the reported front equals the Pareto-minimal subset of the validated
+//      discoveries.
+// Together these imply the reported front is exactly the Pareto front of
+// the declared constraint system, trusting only the encoding declarations
+// (which the validator cross-checks on the model side).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cert/checker.hpp"
+#include "pareto/point.hpp"
+#include "synth/implementation.hpp"
+#include "synth/spec.hpp"
+
+namespace aspmt::cert {
+
+struct CertifyResult {
+  bool certified = false;
+  std::size_t witnesses_validated = 0;
+  CheckResult check;
+  /// Empty when certified; first failing condition otherwise.
+  std::string error;
+};
+
+/// Certify one exploration run.  `discoveries` must pair every objective
+/// vector the run ever inserted into its archive with the witness
+/// implementation captured for it; `front` is the reported final front.
+[[nodiscard]] CertifyResult certify_front(
+    const synth::Specification& spec,
+    std::span<const std::pair<pareto::Vec, synth::Implementation>> discoveries,
+    std::span<const pareto::Vec> front, std::string_view proof);
+
+}  // namespace aspmt::cert

@@ -1,0 +1,648 @@
+#include "cert/checker.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+namespace aspmt::cert {
+namespace {
+
+using Lits = std::vector<std::int64_t>;
+
+// Sort by variable, negative phase first — makes duplicates and
+// complementary pairs adjacent and gives a canonical deletion key.
+struct LitLess {
+  bool operator()(std::int64_t a, std::int64_t b) const noexcept {
+    const std::int64_t va = std::abs(a);
+    const std::int64_t vb = std::abs(b);
+    if (va != vb) return va < vb;
+    return a < b;
+  }
+};
+
+void canonicalize(Lits& lits) {
+  std::sort(lits.begin(), lits.end(), LitLess{});
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+}
+
+[[nodiscard]] bool is_tautology(const Lits& lits) {
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i] == -lits[i + 1]) return true;
+  }
+  return false;
+}
+
+/// Whitespace tokenizer over one proof line.
+class Line {
+ public:
+  Line(const char* begin, const char* end) : p_(begin), end_(end) {}
+
+  bool word(std::string_view& out) {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t')) ++p_;
+    if (p_ == end_) return false;
+    const char* start = p_;
+    while (p_ != end_ && *p_ != ' ' && *p_ != '\t') ++p_;
+    out = std::string_view(start, static_cast<std::size_t>(p_ - start));
+    return true;
+  }
+
+  bool integer(std::int64_t& out) {
+    std::string_view w;
+    if (!word(w)) return false;
+    const auto res = std::from_chars(w.data(), w.data() + w.size(), out);
+    return res.ec == std::errc{} && res.ptr == w.data() + w.size();
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+struct Edge {
+  std::int64_t from = 0;
+  std::int64_t to = 0;
+  std::int64_t weight = 0;
+  Lits guards;  // all must be true for the edge to apply
+};
+
+struct Rule {
+  std::int64_t head = 0;
+  std::int64_t body = 0;
+  Lits pos_heads;  // head literals of the positive body atoms
+};
+
+/// The whole verification state: clause database with watched-literal unit
+/// propagation plus the declared theory tables.
+class Checker {
+ public:
+  explicit Checker(const CheckOptions& options) : opts_(options) {}
+
+  CheckResult run(std::string_view proof);
+
+ private:
+  // ---- unit propagation ---------------------------------------------------
+
+  [[nodiscard]] static std::size_t lit_index(std::int64_t l) noexcept {
+    return 2 * static_cast<std::size_t>(std::abs(l) - 1) + (l < 0 ? 1 : 0);
+  }
+
+  void ensure_var(std::int64_t l) {
+    const auto v = static_cast<std::size_t>(std::abs(l));
+    if (assign_.size() < v + 1) assign_.resize(v + 1, 0);
+    if (watch_.size() < 2 * v) watch_.resize(2 * v);
+  }
+
+  [[nodiscard]] int value(std::int64_t l) const noexcept {
+    const int a = assign_[static_cast<std::size_t>(std::abs(l))];
+    return l < 0 ? -a : a;
+  }
+
+  void assign(std::int64_t l) {
+    assign_[static_cast<std::size_t>(std::abs(l))] =
+        static_cast<std::int8_t>(l < 0 ? -1 : 1);
+    trail_.push_back(l);
+  }
+
+  /// False iff `l` is already false.
+  bool enqueue(std::int64_t l) {
+    const int v = value(l);
+    if (v == 1) return true;
+    if (v == -1) return false;
+    assign(l);
+    return true;
+  }
+
+  bool propagate() {
+    while (qhead_ < trail_.size()) {
+      const std::int64_t p = trail_[qhead_++];
+      auto& wl = watch_[lit_index(-p)];
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < wl.size(); ++i) {
+        const std::uint32_t ci = wl[i];
+        if (!active_[ci]) continue;  // deleted: lazily drop from the list
+        Lits& ls = clause_lits_[ci];
+        if (ls[0] == -p) std::swap(ls[0], ls[1]);
+        if (value(ls[0]) == 1) {
+          wl[out++] = ci;
+          continue;
+        }
+        bool moved = false;
+        for (std::size_t k = 2; k < ls.size(); ++k) {
+          if (value(ls[k]) != -1) {
+            std::swap(ls[1], ls[k]);
+            watch_[lit_index(ls[1])].push_back(ci);
+            moved = true;
+            break;
+          }
+        }
+        if (moved) continue;
+        wl[out++] = ci;  // clause stays unit/conflicting on ls[0]
+        if (value(ls[0]) == -1) {
+          for (++i; i < wl.size(); ++i) wl[out++] = wl[i];
+          wl.resize(out);
+          return false;
+        }
+        assign(ls[0]);
+      }
+      wl.resize(out);
+    }
+    return true;
+  }
+
+  void undo_to(std::size_t save) {
+    while (trail_.size() > save) {
+      assign_[static_cast<std::size_t>(std::abs(trail_.back()))] = 0;
+      trail_.pop_back();
+    }
+    qhead_ = std::min(qhead_, save);
+  }
+
+  /// RUP: asserting the negation of every clause literal propagates to a
+  /// conflict (or the clause is already satisfied/tautological at root).
+  [[nodiscard]] bool rup(const Lits& clause) {
+    if (root_conflict_) return true;
+    const std::size_t save = trail_.size();
+    bool conflict = false;
+    bool satisfied = false;
+    for (const std::int64_t l : clause) {
+      ensure_var(l);
+      const int v = value(l);
+      if (v == 1) {  // root unit (or a complementary clause literal)
+        satisfied = true;
+        break;
+      }
+      if (v == -1) continue;
+      assign(-l);
+    }
+    if (!satisfied) conflict = !propagate();
+    undo_to(save);
+    return conflict || satisfied;
+  }
+
+  /// The clause set is contradictory once all `assumptions` are asserted.
+  [[nodiscard]] bool refutes_assumptions(const Lits& assumptions) {
+    if (root_conflict_) return true;
+    const std::size_t save = trail_.size();
+    bool conflict = false;
+    for (const std::int64_t a : assumptions) {
+      ensure_var(a);
+      if (!enqueue(a)) {
+        conflict = true;
+        break;
+      }
+    }
+    if (!conflict) conflict = !propagate();
+    undo_to(save);
+    return conflict;
+  }
+
+  /// Add a verified/axiomatic clause to the database and restore the root
+  /// fixpoint.  `lits` must be canonical.
+  void install(Lits lits) {
+    if (root_conflict_ || is_tautology(lits)) return;
+    for (const std::int64_t l : lits) ensure_var(l);
+    if (lits.empty()) {
+      root_conflict_ = true;
+      return;
+    }
+    const std::uint32_t id = static_cast<std::uint32_t>(clause_lits_.size());
+    by_lits_[lits].push_back(id);
+    // Pick two non-false watches; fewer mean the clause is unit or false
+    // under the root assignment right away.
+    std::size_t nonfalse = 0;
+    for (std::size_t i = 0; i < lits.size() && nonfalse < 2; ++i) {
+      if (value(lits[i]) != -1) std::swap(lits[nonfalse++], lits[i]);
+    }
+    const bool watchable = nonfalse >= 2;
+    if (!watchable) {
+      if (nonfalse == 0) {
+        root_conflict_ = true;
+      } else if (!enqueue(lits[0]) || !propagate()) {
+        root_conflict_ = true;
+      }
+    }
+    clause_lits_.push_back(std::move(lits));
+    active_.push_back(watchable);  // unit/false clauses live on as root facts
+    if (watchable) {
+      watch_[lit_index(clause_lits_[id][0])].push_back(id);
+      watch_[lit_index(clause_lits_[id][1])].push_back(id);
+    }
+  }
+
+  // ---- theory re-derivation ----------------------------------------------
+
+  /// Longest origin distances over the edges whose guards are all in `G`
+  /// (nodes are implicitly >= 0).  Bellman-Ford; `cycle` reports a positive
+  /// cycle (distances divergent, any bound claim holds vacuously).
+  void longest_paths(const std::set<std::int64_t>& G, std::vector<std::int64_t>& dist,
+                     bool& cycle) const {
+    dist.assign(static_cast<std::size_t>(num_nodes_), 0);
+    cycle = false;
+    std::vector<const Edge*> live;
+    for (const Edge& e : edges_) {
+      const bool on = std::all_of(e.guards.begin(), e.guards.end(),
+                                  [&](std::int64_t g) { return G.count(g) != 0; });
+      if (on) live.push_back(&e);
+    }
+    bool changed = true;
+    for (std::int64_t round = 0; round <= num_nodes_ && changed; ++round) {
+      changed = false;
+      for (const Edge* e : live) {
+        const std::int64_t nd = dist[static_cast<std::size_t>(e->from)] + e->weight;
+        if (nd > dist[static_cast<std::size_t>(e->to)]) {
+          dist[static_cast<std::size_t>(e->to)] = nd;
+          changed = true;
+        }
+      }
+    }
+    cycle = changed;  // still relaxing after |V| rounds
+  }
+
+  [[nodiscard]] std::int64_t clause_weight_in_sum(
+      std::size_t sum, const std::set<std::int64_t>& clause_set) const {
+    std::int64_t total = 0;
+    for (const auto& [guard, weight] : sums_[sum]) {
+      if (clause_set.count(-guard) != 0) total += weight;
+    }
+    return total;
+  }
+
+  [[nodiscard]] bool some_feasible_leq(const std::vector<std::int64_t>& p) const {
+    const auto& sources =
+        opts_.trust_feasible_steps ? feasible_ : opts_.feasible_points;
+    for (const auto& q : sources) {
+      if (q.size() != p.size()) continue;
+      bool leq = true;
+      for (std::size_t i = 0; i < q.size() && leq; ++i) leq = q[i] <= p[i];
+      if (leq) return true;
+    }
+    return false;
+  }
+
+  /// Verify one theory lemma against the declared tables.  Returns an empty
+  /// string on success, the reason otherwise.
+  [[nodiscard]] std::string verify_lemma(std::string_view tag,
+                                         const std::vector<std::int64_t>& payload,
+                                         const Lits& clause) {
+    std::set<std::int64_t> clause_set(clause.begin(), clause.end());
+    // G: literals the clause claims cannot all hold together.
+    std::set<std::int64_t> G;
+    for (const std::int64_t l : clause) G.insert(-l);
+
+    if (tag == "DC") {
+      std::vector<std::int64_t> dist;
+      bool cycle = false;
+      longest_paths(G, dist, cycle);
+      if (!cycle) return "no positive cycle under the clause guards";
+      return {};
+    }
+    if (tag == "DB") {
+      if (payload.size() != 3) return "DB payload must be node/bound/act";
+      const std::int64_t node = payload[0];
+      const std::int64_t bound = payload[1];
+      const std::int64_t act = payload[2];
+      if (node < 0 || node >= num_nodes_) return "unknown node";
+      if (node_bounds_.count({node, bound, act}) == 0) {
+        return "node bound was never declared";
+      }
+      if (act != 0 && clause_set.count(-act) == 0) {
+        return "clause misses the bound's activation negation";
+      }
+      std::vector<std::int64_t> dist;
+      bool cycle = false;
+      longest_paths(G, dist, cycle);
+      if (!cycle && dist[static_cast<std::size_t>(node)] <= bound) {
+        return "guarded longest path does not exceed the bound";
+      }
+      return {};
+    }
+    if (tag == "LS") {
+      if (payload.size() != 3) return "LS payload must be sum/bound/act";
+      const std::int64_t sum = payload[0];
+      const std::int64_t bound = payload[1];
+      const std::int64_t act = payload[2];
+      if (sum < 0 || static_cast<std::size_t>(sum) >= sums_.size()) {
+        return "unknown sum";
+      }
+      if (sum_bounds_.count({sum, bound, act}) == 0) {
+        return "sum bound was never declared";
+      }
+      if (act != 0 && clause_set.count(-act) == 0) {
+        return "clause misses the bound's activation negation";
+      }
+      if (clause_weight_in_sum(static_cast<std::size_t>(sum), clause_set) <= bound) {
+        return "negated guards do not exceed the bound";
+      }
+      return {};
+    }
+    if (tag == "UF") {
+      if (payload.empty()) return "UF payload must list the unfounded set";
+      std::set<std::int64_t> unfounded(payload.begin(), payload.end());
+      bool negated_member = false;
+      for (const std::int64_t u : unfounded) {
+        if (clause_set.count(-u) != 0) {
+          negated_member = true;
+          break;
+        }
+      }
+      if (!negated_member) return "clause negates no unfounded atom";
+      for (const Rule& r : rules_) {
+        if (unfounded.count(r.head) == 0) continue;
+        const bool external =
+            std::none_of(r.pos_heads.begin(), r.pos_heads.end(),
+                         [&](std::int64_t h) { return unfounded.count(h) != 0; });
+        if (external && clause_set.count(r.body) == 0) {
+          return "clause misses an external support body";
+        }
+      }
+      return {};
+    }
+    if (tag == "DOM") {
+      if (payload.empty() ||
+          payload[0] != static_cast<std::int64_t>(payload.size()) - 1) {
+        return "DOM payload must be k followed by k thresholds";
+      }
+      const std::vector<std::int64_t> point(payload.begin() + 1, payload.end());
+      if (!some_feasible_leq(point)) {
+        return "no certified feasible point at or below the thresholds";
+      }
+      for (std::size_t i = 0; i < point.size(); ++i) {
+        if (point[i] <= 0) continue;  // objectives are >= 0 by construction
+        if (i >= objectives_.size() || objectives_[i].first == 0) {
+          return "objective binding was never declared";
+        }
+        const auto [kind, id] = objectives_[i];
+        if (kind == 'L') {
+          if (static_cast<std::size_t>(id) >= sums_.size()) return "unknown sum";
+          if (clause_weight_in_sum(static_cast<std::size_t>(id), clause_set) <
+              point[i]) {
+            return "negated guards do not reach the dominance threshold";
+          }
+        } else {
+          if (id < 0 || id >= num_nodes_) return "unknown node";
+          std::vector<std::int64_t> dist;
+          bool cycle = false;
+          longest_paths(G, dist, cycle);
+          if (!cycle && dist[static_cast<std::size_t>(id)] < point[i]) {
+            return "guarded longest path misses the dominance threshold";
+          }
+        }
+      }
+      return {};
+    }
+    return "unknown theory tag";
+  }
+
+  // ---- step handlers ------------------------------------------------------
+
+  [[nodiscard]] bool read_lits(Line& line, Lits& out) {
+    out.clear();
+    std::int64_t v = 0;
+    while (line.integer(v)) {
+      if (v == 0) return true;
+      out.push_back(v);
+    }
+    return false;  // missing terminator
+  }
+
+  CheckOptions opts_;
+  CheckResult result_;
+
+  std::vector<std::int8_t> assign_;  // var -> -1/0/+1
+  std::vector<std::int64_t> trail_;
+  std::size_t qhead_ = 0;
+  std::vector<std::vector<std::uint32_t>> watch_;
+  std::vector<Lits> clause_lits_;
+  std::vector<char> active_;
+  std::map<Lits, std::vector<std::uint32_t>> by_lits_;
+  bool root_conflict_ = false;
+
+  std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> sums_;
+  std::set<std::array<std::int64_t, 3>> sum_bounds_;
+  std::int64_t num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::set<std::array<std::int64_t, 3>> node_bounds_;
+  std::vector<std::pair<char, std::int64_t>> objectives_;  // kind 'L'/'D', id
+  std::vector<Rule> rules_;
+  std::vector<std::vector<std::int64_t>> feasible_;
+};
+
+CheckResult Checker::run(std::string_view proof) {
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  auto fail = [&](std::string_view what) {
+    result_.ok = false;
+    result_.error = "line " + std::to_string(line_no) + ": " + std::string(what);
+    return result_;
+  };
+
+  const char* cursor = proof.data();
+  const char* const end = proof.data() + proof.size();
+  Lits lits;
+  while (cursor < end) {
+    const char* eol = std::find(cursor, end, '\n');
+    Line line(cursor, eol);
+    cursor = eol == end ? end : eol + 1;
+    ++line_no;
+
+    std::string_view kind;
+    if (!line.word(kind)) continue;  // blank line
+    if (!saw_header) {
+      std::string_view fmt;
+      std::string_view version;
+      if (kind != "p" || !line.word(fmt) || fmt != "aspmt" ||
+          !line.word(version) || version != "1") {
+        return fail("missing or unsupported 'p aspmt 1' header");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    if (kind == "I" || kind == "L") {
+      if (!read_lits(line, lits)) return fail("unterminated clause");
+      canonicalize(lits);
+      if (kind == "L") {
+        if (!rup(lits)) return fail("learnt clause is not RUP");
+        ++result_.learnt_clauses;
+      } else {
+        ++result_.input_clauses;
+      }
+      install(lits);
+    } else if (kind == "T") {
+      std::string_view tag;
+      if (!line.word(tag)) return fail("theory step without tag");
+      std::vector<std::int64_t> payload;
+      std::string_view tok;
+      bool separated = false;
+      while (line.word(tok)) {
+        if (tok == ";") {
+          separated = true;
+          break;
+        }
+        std::int64_t v = 0;
+        const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+        if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size()) {
+          return fail("malformed theory payload");
+        }
+        payload.push_back(v);
+      }
+      if (!separated) return fail("theory step without ';' separator");
+      if (!read_lits(line, lits)) return fail("unterminated clause");
+      canonicalize(lits);
+      const std::string why = verify_lemma(tag, payload, lits);
+      if (!why.empty()) return fail("theory lemma rejected: " + why);
+      ++result_.theory_lemmas;
+      install(lits);
+    } else if (kind == "D") {
+      if (!read_lits(line, lits)) return fail("unterminated deletion");
+      canonicalize(lits);
+      // The solver stores theory clauses root-simplified, so some deletions
+      // have no exact match here; keeping those clauses only strengthens
+      // propagation over valid clauses, which stays sound.
+      const auto it = by_lits_.find(lits);
+      if (it != by_lits_.end()) {
+        for (const std::uint32_t id : it->second) {
+          if (active_[id]) {
+            active_[id] = 0;
+            break;
+          }
+        }
+      }
+      ++result_.deletions;
+    } else if (kind == "U") {
+      if (!read_lits(line, lits)) return fail("unterminated conclusion");
+      if (!refutes_assumptions(lits)) {
+        return fail("Unsat conclusion is not supported by the database");
+      }
+      ++result_.conclusions;
+      if (lits.empty()) result_.concluded_global_unsat = true;
+    } else if (kind == "M") {
+      // model marker — nothing to verify on the proof side
+    } else if (kind == "F") {
+      std::int64_t k = 0;
+      if (!line.integer(k) || k < 0) return fail("malformed feasible point");
+      std::vector<std::int64_t> point(static_cast<std::size_t>(k));
+      for (auto& v : point) {
+        if (!line.integer(v)) return fail("malformed feasible point");
+      }
+      std::int64_t zero = 0;
+      if (!line.integer(zero) || zero != 0) {
+        return fail("unterminated feasible point");
+      }
+      if (!opts_.trust_feasible_steps &&
+          std::find(opts_.feasible_points.begin(), opts_.feasible_points.end(),
+                    point) == opts_.feasible_points.end()) {
+        return fail("feasible point lacks a validated witness");
+      }
+      feasible_.push_back(std::move(point));
+      ++result_.feasible_points;
+    } else if (kind == "S") {
+      std::int64_t id = 0;
+      std::int64_t n = 0;
+      if (!line.integer(id) || !line.integer(n) || n < 0 ||
+          id != static_cast<std::int64_t>(sums_.size())) {
+        return fail("malformed sum definition");
+      }
+      std::vector<std::pair<std::int64_t, std::int64_t>> terms;
+      terms.reserve(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        std::int64_t guard = 0;
+        std::int64_t weight = 0;
+        if (!line.integer(guard) || !line.integer(weight) || guard == 0 ||
+            weight < 0) {
+          return fail("malformed sum term");
+        }
+        terms.emplace_back(guard, weight);
+      }
+      sums_.push_back(std::move(terms));
+    } else if (kind == "SB") {
+      std::int64_t id = 0;
+      std::int64_t bound = 0;
+      std::int64_t act = 0;
+      if (!line.integer(id) || !line.integer(bound) || !line.integer(act) ||
+          id < 0 || static_cast<std::size_t>(id) >= sums_.size()) {
+        return fail("malformed sum bound");
+      }
+      sum_bounds_.insert({id, bound, act});
+    } else if (kind == "N") {
+      std::int64_t id = 0;
+      if (!line.integer(id) || id != num_nodes_) {
+        return fail("malformed node definition");
+      }
+      ++num_nodes_;
+    } else if (kind == "E") {
+      std::int64_t id = 0;
+      Edge e;
+      std::int64_t n = 0;
+      if (!line.integer(id) || !line.integer(e.from) || !line.integer(e.to) ||
+          !line.integer(e.weight) || !line.integer(n) || n < 0 ||
+          id != static_cast<std::int64_t>(edges_.size()) || e.from < 0 ||
+          e.from >= num_nodes_ || e.to < 0 || e.to >= num_nodes_) {
+        return fail("malformed edge definition");
+      }
+      e.guards.resize(static_cast<std::size_t>(n));
+      for (auto& g : e.guards) {
+        if (!line.integer(g) || g == 0) return fail("malformed edge guard");
+      }
+      edges_.push_back(std::move(e));
+    } else if (kind == "NB") {
+      std::int64_t id = 0;
+      std::int64_t bound = 0;
+      std::int64_t act = 0;
+      if (!line.integer(id) || !line.integer(bound) || !line.integer(act) ||
+          id < 0 || id >= num_nodes_) {
+        return fail("malformed node bound");
+      }
+      node_bounds_.insert({id, bound, act});
+    } else if (kind == "O") {
+      std::int64_t obj = 0;
+      std::string_view what;
+      std::int64_t id = 0;
+      if (!line.integer(obj) || obj < 0 || !line.word(what) ||
+          (what != "L" && what != "D") || !line.integer(id) || id < 0) {
+        return fail("malformed objective binding");
+      }
+      if (objectives_.size() < static_cast<std::size_t>(obj) + 1) {
+        objectives_.resize(static_cast<std::size_t>(obj) + 1, {0, 0});
+      }
+      objectives_[static_cast<std::size_t>(obj)] = {what == "L" ? 'L' : 'D', id};
+    } else if (kind == "PR") {
+      Rule r;
+      std::int64_t n = 0;
+      if (!line.integer(r.head) || r.head == 0 || !line.integer(r.body) ||
+          r.body == 0 || !line.integer(n) || n < 0) {
+        return fail("malformed program rule");
+      }
+      r.pos_heads.resize(static_cast<std::size_t>(n));
+      for (auto& h : r.pos_heads) {
+        if (!line.integer(h) || h == 0) return fail("malformed program rule");
+      }
+      rules_.push_back(std::move(r));
+    } else {
+      return fail("unknown step kind '" + std::string(kind) + "'");
+    }
+  }
+
+  if (!saw_header) {
+    ++line_no;
+    return fail("empty proof");
+  }
+  if (opts_.require_global_unsat && !result_.concluded_global_unsat) {
+    ++line_no;
+    return fail("proof never concludes global unsatisfiability");
+  }
+  result_.ok = true;
+  return result_;
+}
+
+}  // namespace
+
+CheckResult check_proof(std::string_view proof, const CheckOptions& options) {
+  Checker checker(options);
+  return checker.run(proof);
+}
+
+}  // namespace aspmt::cert

@@ -1,0 +1,60 @@
+// Solver-independent proof checker for the `p aspmt 1` stream emitted by
+// asp::ProofLog.
+//
+// The checker shares no code with the solver: it re-parses the trace into
+// its own clause database with its own watched-literal unit propagation,
+// verifies every learnt clause by RUP (asserting the negation and
+// propagating to a conflict), re-derives every theory lemma from the
+// declared theory data alone (sum/edge/bound/rule/objective declarations),
+// and discharges every Unsat conclusion by asserting its assumptions and
+// propagating.  A proof that survives makes the solver's Unsat answers —
+// and with them the exactness of an explored Pareto front — independently
+// machine-checked facts.
+//
+// Trust boundary: declarations (I/S/SB/N/E/NB/O/PR) are axioms of the
+// constraint system — they assert what problem was solved, not how.  The
+// certification layer (cert/certify.hpp) closes the remaining gap on the
+// model side by validating every feasible point's witness against the
+// specification with synth::Validator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aspmt::cert {
+
+struct CheckOptions {
+  /// Demand a global (assumption-free) Unsat conclusion in the stream —
+  /// the completeness certificate of an exhaustive exploration.
+  bool require_global_unsat = false;
+  /// Accept `F` steps as evidence of feasibility for dominance lemmas.
+  /// The certification layer disables this and supplies `feasible_points`
+  /// instead, so only externally validated witnesses count.
+  bool trust_feasible_steps = true;
+  /// Externally certified feasible objective vectors.  When
+  /// trust_feasible_steps is false these are the only admissible dominance
+  /// sources, and every `F` step must match one of them.
+  std::vector<std::vector<std::int64_t>> feasible_points;
+};
+
+struct CheckResult {
+  bool ok = false;
+  /// The stream contains a verified assumption-free Unsat conclusion.
+  bool concluded_global_unsat = false;
+  std::size_t input_clauses = 0;
+  std::size_t learnt_clauses = 0;
+  std::size_t theory_lemmas = 0;
+  std::size_t deletions = 0;
+  std::size_t conclusions = 0;
+  std::size_t feasible_points = 0;
+  /// First failure, with its 1-based line number; empty when ok.
+  std::string error;
+};
+
+/// Replay and verify a complete proof stream.
+[[nodiscard]] CheckResult check_proof(std::string_view proof,
+                                      const CheckOptions& options = {});
+
+}  // namespace aspmt::cert

@@ -11,6 +11,12 @@ bool ModelCapture::check(asp::Solver& solver) {
 
 SynthContext::SynthContext(const synth::Specification& spec, ContextOptions options)
     : solver(options.solver_options), spec_(&spec) {
+  if (options.proof != nullptr) {
+    // Attach before encode() so the trace covers every declaration.
+    solver.set_proof(options.proof);
+    linear.set_proof(options.proof);
+    difference.set_proof(options.proof);
+  }
   synth::EncodeOptions eopts;
   eopts.objective_floors = options.objective_floors;
   encoding = synth::encode(spec, solver, linear, difference, eopts);
@@ -19,8 +25,19 @@ SynthContext::SynthContext(const synth::Specification& spec, ContextOptions opti
   objectives.add_linear("energy", &linear, encoding.energy_sum);
   objectives.add_floor(&linear, encoding.energy_floor_sum);
   objectives.add_linear("cost", &linear, encoding.cost_sum);
+  if (options.proof != nullptr) {
+    for (std::size_t i = 0; i < objectives.count(); ++i) {
+      const auto src = objectives.source(i);
+      if (src.is_linear) {
+        options.proof->def_objective_linear(i, src.id);
+      } else {
+        options.proof->def_objective_diff(i, src.id);
+      }
+    }
+  }
 
   unfounded_ = std::make_unique<asp::UnfoundedSetChecker>(encoding.compiled);
+  unfounded_->set_proof(options.proof);
   archive_ = pareto::make_archive(options.archive_kind, objectives.count());
   dominance_ = std::make_unique<DominancePropagator>(objectives, *archive_);
   capture_ = std::make_unique<ModelCapture>(*this);

@@ -26,6 +26,12 @@ struct ContextOptions {
   bool binding_first_heuristic = true;
   /// Binding-pair floor bounds in the encoding (ablation switch).
   bool objective_floors = true;
+  /// When set, the whole session is proof-logged: the solver emits its
+  /// inference trace and every theory propagator mirrors its declarations
+  /// and lemma justifications.  The pointee must outlive the context.
+  /// Certified exploration requires objective_floors = false (floor-based
+  /// bound explanations are not independently re-derivable).
+  asp::ProofLog* proof = nullptr;
   asp::SolverOptions solver_options{};
 };
 

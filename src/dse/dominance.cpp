@@ -37,7 +37,20 @@ bool DominancePropagator::enforce(asp::Solver& solver) {
   clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
   for (asp::Lit& l : clause) l = ~l;
   ++prunings_;
-  return solver.add_theory_clause(clause);
+  // Payload: the per-objective thresholds the clause literals justify.  The
+  // checker re-derives each threshold through the declared objective binding
+  // and demands a certified feasible point at or below all of them (only
+  // attainable with ε = 0, which certify mode enforces).
+  asp::TheoryJustification just{asp::TheoryTag::Dominance, {}};
+  if (solver.proof() != nullptr) {
+    just.payload.reserve(objectives_.count() + 1);
+    just.payload.push_back(static_cast<std::int64_t>(objectives_.count()));
+    for (std::size_t i = 0; i < objectives_.count(); ++i) {
+      const std::int64_t eps = epsilon_.empty() ? 0 : epsilon_[i];
+      just.payload.push_back((*dominator)[i] - eps);
+    }
+  }
+  return solver.add_theory_clause(clause, &just);
 }
 
 }  // namespace aspmt::dse

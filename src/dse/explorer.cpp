@@ -3,6 +3,7 @@
 #include <cassert>
 #include <map>
 
+#include "cert/certify.hpp"
 #include "dse/context.hpp"
 #include "util/timer.hpp"
 
@@ -13,18 +14,29 @@ ExploreResult explore(const synth::Specification& spec,
   util::Timer timer;
   const util::Deadline deadline(options.time_limit_seconds);
 
+  ExploreResult result;
+  const bool certify = options.certify && options.epsilon.empty();
+  if (options.certify && !options.epsilon.empty()) {
+    result.certificate_error = "certification requires exact exploration (empty epsilon)";
+  }
+  const bool collect = options.collect_witnesses || certify;
+  asp::ProofLog proof_log;
+
   ContextOptions copts;
   copts.archive_kind = options.archive_kind;
   copts.partial_evaluation = options.partial_evaluation;
-  copts.objective_floors = options.objective_floors;
+  // Floor explanations reference redundant copair sums the checker cannot
+  // re-derive; without floors the primary sources explain every bound and
+  // the front is unchanged (floors are a pruning aid only).
+  copts.objective_floors = certify ? false : options.objective_floors;
   copts.solver_options = options.solver_options;
+  if (certify) copts.proof = &proof_log;
   SynthContext ctx(spec, copts);
   if (!options.epsilon.empty()) {
     assert(options.epsilon.size() == ctx.objectives.count());
     ctx.dominance().set_epsilon(options.epsilon);
   }
 
-  ExploreResult result;
   std::map<pareto::Vec, synth::Implementation> witnesses;
 
   bool out_of_time = false;
@@ -38,8 +50,9 @@ ExploreResult explore(const synth::Specification& spec,
       const bool inserted = ctx.dominance().insert(point);
       assert(inserted);
       (void)inserted;
+      if (certify) proof_log.feasible_point(point);
       result.discoveries.emplace_back(timer.elapsed_seconds(), point);
-      if (options.collect_witnesses) {
+      if (collect) {
         witnesses[point] = ctx.capture().implementation();
       }
       // Drill down: chase strictly dominating points until none is left.
@@ -62,8 +75,9 @@ ExploreResult explore(const synth::Specification& spec,
         const bool better = ctx.dominance().insert(point);
         assert(better);
         (void)better;
+        if (certify) proof_log.feasible_point(point);
         result.discoveries.emplace_back(timer.elapsed_seconds(), point);
-        if (options.collect_witnesses) {
+        if (collect) {
           witnesses[point] = ctx.capture().implementation();
         }
       }
@@ -75,12 +89,27 @@ ExploreResult explore(const synth::Specification& spec,
   }
 
   result.front = ctx.archive().points();
-  if (options.collect_witnesses) {
+  if (collect) {
     result.witnesses.reserve(result.front.size());
     for (const pareto::Vec& p : result.front) {
       const auto it = witnesses.find(p);
       assert(it != witnesses.end());
       result.witnesses.push_back(it->second);
+    }
+  }
+
+  result.stats.complete = result.stats.complete && !out_of_time;
+  if (certify) {
+    result.proof = proof_log.text();
+    if (!result.stats.complete) {
+      result.certificate_error = "exploration did not terminate; nothing to certify";
+    } else {
+      std::vector<std::pair<pareto::Vec, synth::Implementation>> pairs(
+          witnesses.begin(), witnesses.end());
+      const cert::CertifyResult cr =
+          cert::certify_front(spec, pairs, result.front, result.proof);
+      result.certified = cr.certified;
+      if (!cr.certified) result.certificate_error = cr.error;
     }
   }
 

@@ -39,6 +39,14 @@ struct ExploreOptions {
   /// epsilon the run terminates with an ε-approximate front: every true
   /// Pareto point q is covered by a returned point p with p <= q + eps.
   pareto::Vec epsilon;
+  /// Certified mode: proof-log the whole session, validate every discovered
+  /// witness with synth::Validator, and machine-check the terminating Unsat
+  /// proof with the independent checker — on success the result's
+  /// `certified` flag asserts the front is exactly the Pareto front of the
+  /// declared system.  Forces witness collection on and objective floors
+  /// off (floor explanations are not independently re-derivable; the front
+  /// is unaffected).  Incompatible with a non-empty epsilon.
+  bool certify = false;
   asp::SolverOptions solver_options{};
 };
 
@@ -63,6 +71,15 @@ struct ExploreResult {
   /// earlier points; replaying the sequence reconstructs the archive at any
   /// point in time.
   std::vector<std::pair<double, pareto::Vec>> discoveries;
+  /// Certified mode only: true once every witness validated and the proof
+  /// checker verified the terminating Unsat conclusion.
+  bool certified = false;
+  /// Why certification failed (or was unavailable); empty when certified or
+  /// not requested.
+  std::string certificate_error;
+  /// Certified mode only: the full proof stream, replayable by
+  /// cert::check_proof and tools/aspmt_check.
+  std::string proof;
   ExploreStats stats;
 };
 

@@ -58,6 +58,17 @@ class ObjectiveManager {
   void add_bound(std::size_t i, std::int64_t bound,
                  asp::Lit activation = asp::kLitUndef);
 
+  /// Primary theory source of an objective — what a proof log's objective
+  /// binding declares and the checker re-evaluates explanations against.
+  struct Source {
+    bool is_linear = false;
+    std::uint32_t id = 0;  ///< sum id (linear) or node id (difference)
+  };
+  [[nodiscard]] Source source(std::size_t i) const noexcept {
+    const Entry& e = objectives_[i];
+    return e.linear != nullptr ? Source{true, e.sum} : Source{false, e.node};
+  }
+
   /// Epsilon-constraint work partitioning for the parallel portfolio: split
   /// the observed objective range [lo, hi] into `parts` regions and return
   /// the ascending interior upper bounds (at most parts-1, deduplicated,

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <cassert>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "cert/certify.hpp"
 #include "dse/context.hpp"
 #include "pareto/concurrent_archive.hpp"
 #include "util/timer.hpp"
@@ -58,14 +60,17 @@ asp::SolverOptions diversify(asp::SolverOptions base, std::size_t index,
 void run_worker(std::size_t index, std::size_t total,
                 const synth::Specification& spec,
                 const ParallelExploreOptions& opts, SharedState& shared,
-                WorkerReport& report) {
+                WorkerReport& report, asp::ProofLog* proof) {
   util::Timer worker_timer;
   report.worker = index;
 
   ContextOptions copts;
   copts.archive_kind = opts.archive_kind;
   copts.partial_evaluation = opts.partial_evaluation;
-  copts.objective_floors = opts.objective_floors;
+  // Certified runs disable floors for checkable explanations (see
+  // ExploreOptions::certify) and give every worker its own proof stream.
+  copts.objective_floors = proof != nullptr ? false : opts.objective_floors;
+  copts.proof = proof;
   copts.solver_options = diversify(opts.solver_options, index, opts.seed);
   copts.solver_options.stop = &shared.stop;
   SynthContext ctx(spec, copts);
@@ -88,9 +93,12 @@ void run_worker(std::size_t index, std::size_t total,
       return;
     }
     ++report.shared_inserts;
+    // Only first publications carry an F step: rejected points may be
+    // dominated by a *different* peer point and then have no witness.
+    if (proof != nullptr) proof->feasible_point(point);
     std::lock_guard lock(shared.mutex);
     shared.discoveries.emplace_back(shared.timer.elapsed_seconds(), point);
-    if (opts.collect_witnesses) {
+    if (opts.collect_witnesses || proof != nullptr) {
       shared.witnesses[point] = ctx.capture().implementation();
     }
   };
@@ -185,8 +193,15 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
   ParallelExploreResult result;
   result.workers.resize(threads);
 
+  // Proof logs are per worker (never shared across threads); the winner's
+  // becomes the portfolio's completeness certificate.
+  std::vector<std::unique_ptr<asp::ProofLog>> logs(threads);
+  if (options.certify) {
+    for (auto& log : logs) log = std::make_unique<asp::ProofLog>();
+  }
+
   if (threads == 1) {
-    run_worker(0, 1, spec, options, shared, result.workers[0]);
+    run_worker(0, 1, spec, options, shared, result.workers[0], logs[0].get());
   } else {
     std::mutex error_mutex;
     std::string first_error;
@@ -195,7 +210,8 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
     for (std::size_t w = 0; w < threads; ++w) {
       pool.emplace_back([&, w] {
         try {
-          run_worker(w, threads, spec, options, shared, result.workers[w]);
+          run_worker(w, threads, spec, options, shared, result.workers[w],
+                     logs[w].get());
         } catch (const std::exception& e) {
           shared.stop.store(true, std::memory_order_release);
           std::lock_guard lock(error_mutex);
@@ -211,7 +227,7 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
   }
 
   result.front = shared.archive.points();
-  if (options.collect_witnesses) {
+  if (options.collect_witnesses || options.certify) {
     result.witnesses.reserve(result.front.size());
     for (const pareto::Vec& p : result.front) {
       const auto it = shared.witnesses.find(p);
@@ -236,6 +252,24 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
   stats.archive_comparisons += shared.archive.comparisons();
   stats.seconds = shared.timer.elapsed_seconds();
   stats.complete = shared.complete.load(std::memory_order_acquire);
+
+  if (options.certify) {
+    const auto winner =
+        std::find_if(result.workers.begin(), result.workers.end(),
+                     [](const WorkerReport& w) { return w.proved_complete; });
+    if (!stats.complete || winner == result.workers.end()) {
+      result.certificate_error =
+          "no worker closed the global Unsat proof; nothing to certify";
+    } else {
+      result.proof = logs[winner->worker]->text();
+      std::vector<std::pair<pareto::Vec, synth::Implementation>> pairs(
+          shared.witnesses.begin(), shared.witnesses.end());
+      const cert::CertifyResult cr =
+          cert::certify_front(spec, pairs, result.front, result.proof);
+      result.certified = cr.certified;
+      if (!cr.certified) result.certificate_error = cr.error;
+    }
+  }
   return result;
 }
 

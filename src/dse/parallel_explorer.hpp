@@ -50,6 +50,12 @@ struct ParallelExploreOptions {
   /// default configuration.
   std::uint64_t seed = 1;
   std::size_t archive_shards = 8;
+  /// Certified mode: every worker proof-logs its own session, every shared
+  /// discovery's witness is validated, and the winning worker's terminating
+  /// Unsat proof — the completeness certificate of the whole portfolio — is
+  /// machine-checked.  Forces witness collection on and objective floors
+  /// off (see ExploreOptions::certify).
+  bool certify = false;
   asp::SolverOptions solver_options{};  ///< base config; workers diversify
 };
 
@@ -78,6 +84,14 @@ struct ParallelExploreResult {
   /// Shared-archive insertions over time (seconds since start), in
   /// publication order across all workers.
   std::vector<std::pair<double, pareto::Vec>> discoveries;
+  /// Certified mode only: true once every shared discovery's witness
+  /// validated and the winning worker's proof checker-verified.
+  bool certified = false;
+  /// Why certification failed (or was unavailable); empty when certified or
+  /// not requested.
+  std::string certificate_error;
+  /// Certified mode only: the winning worker's full proof stream.
+  std::string proof;
   ExploreStats stats;  ///< aggregated over all workers
   std::vector<WorkerReport> workers;
 };

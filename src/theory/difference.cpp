@@ -16,6 +16,7 @@ DifferencePropagator::NodeId DifferencePropagator::new_node(std::string name) {
   Node n;
   n.name = name.empty() ? ("n" + std::to_string(id)) : std::move(name);
   nodes_.push_back(std::move(n));
+  if (proof_ != nullptr) proof_->def_node(id);
   return id;
 }
 
@@ -37,6 +38,9 @@ DifferencePropagator::EdgeId DifferencePropagator::add_edge(
     if (watch_.size() < need) watch_.resize(need);
     watch_[g.index()].push_back(id);
   }
+  if (proof_ != nullptr) {
+    proof_->def_edge(id, from, to, weight, edges_[id].guards);
+  }
   if (edges_[id].pending == 0) {
     edges_[id].active = true;
     if (!relax_from(nullptr, id, /*pos_plus1=*/0)) infeasible_ = true;
@@ -54,6 +58,7 @@ void DifferencePropagator::explain_bound(NodeId n, std::vector<Lit>& out) const 
 }
 
 void DifferencePropagator::add_bound(NodeId n, std::int64_t bound, Lit activation) {
+  if (proof_ != nullptr) proof_->def_node_bound(n, bound, activation);
   nodes_[n].bounds.push_back(BoundEntry{bound, activation});
 }
 
@@ -108,7 +113,8 @@ bool DifferencePropagator::relax_from(Solver* solver, EdgeId trigger,
       guards.erase(std::unique(guards.begin(), guards.end()), guards.end());
       if (solver == nullptr) return false;  // construction-time cycle
       for (Lit& g : guards) g = ~g;
-      const bool status = solver->add_theory_clause(guards);
+      const asp::TheoryJustification just{asp::TheoryTag::DiffCycle, {}};
+      const bool status = solver->add_theory_clause(guards, &just);
       assert(!status && "positive-cycle clause must be conflicting");
       return status;
     }
@@ -143,7 +149,11 @@ bool DifferencePropagator::enforce_bounds(Solver& solver) {
       clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
       for (Lit& l : clause) l = ~l;
       if (b.activation != asp::kLitUndef) clause.push_back(~b.activation);
-      if (!solver.add_theory_clause(clause)) return false;
+      const asp::TheoryJustification just{
+          asp::TheoryTag::DiffBound,
+          {n, b.bound,
+           b.activation == asp::kLitUndef ? 0 : asp::proof_int(b.activation)}};
+      if (!solver.add_theory_clause(clause, &just)) return false;
       break;  // conflict injected; stop here
     }
   }
@@ -151,7 +161,12 @@ bool DifferencePropagator::enforce_bounds(Solver& solver) {
 }
 
 bool DifferencePropagator::propagate(Solver& solver) {
-  if (infeasible_) return solver.add_theory_clause({});
+  if (infeasible_) {
+    // Positive cycle among unguarded edges: the empty clause is justified
+    // by the declared edges alone.
+    const asp::TheoryJustification just{asp::TheoryTag::DiffCycle, {}};
+    return solver.add_theory_clause({}, &just);
+  }
   while (cursor_ < solver.trail().size()) {
     const Lit p = solver.trail()[cursor_];
     const std::size_t pos_plus1 = cursor_ + 1;

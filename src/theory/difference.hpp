@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "asp/literal.hpp"
+#include "asp/proof.hpp"
 #include "asp/propagator.hpp"
 
 namespace aspmt::asp {
@@ -73,6 +74,10 @@ class DifferencePropagator final : public asp::TheoryPropagator {
   /// Disable conflict detection on partial assignments (ablation switch —
   /// bookkeeping still runs; violations surface only in check()).
   void set_partial_evaluation(bool enabled) noexcept { partial_eval_ = enabled; }
+
+  /// Mirror node/edge/bound declarations and lemma justifications into a
+  /// proof log.  Must be attached before any node or edge is created.
+  void set_proof(asp::ProofLog* proof) noexcept { proof_ = proof; }
 
   // -- TheoryPropagator ----------------------------------------------------
   bool propagate(asp::Solver& solver) override;
@@ -132,6 +137,7 @@ class DifferencePropagator final : public asp::TheoryPropagator {
   std::size_t cursor_ = 0;
   bool infeasible_ = false;
   bool partial_eval_ = true;
+  asp::ProofLog* proof_ = nullptr;
 };
 
 }  // namespace aspmt::theory

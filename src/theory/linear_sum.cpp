@@ -32,11 +32,18 @@ LinearSumPropagator::SumId LinearSumPropagator::add_sum(std::string name,
     if (watch_true_.size() < need) watch_true_.resize(need);
     watch_true_[term.guard.index()].push_back(WatchRef{id, t});
   }
+  if (proof_ != nullptr) {
+    std::vector<std::pair<Lit, std::int64_t>> terms_out;
+    terms_out.reserve(s.terms.size());
+    for (const Term& t : s.terms) terms_out.emplace_back(t.guard, t.weight);
+    proof_->def_sum(id, terms_out);
+  }
   sums_.push_back(std::move(s));
   return id;
 }
 
 void LinearSumPropagator::add_bound(SumId s, std::int64_t bound, Lit activation) {
+  if (proof_ != nullptr) proof_->def_sum_bound(s, bound, activation);
   sums_[s].bounds.push_back(BoundEntry{bound, activation});
 }
 
@@ -85,13 +92,19 @@ bool LinearSumPropagator::enforce_bound(Solver& solver, SumId id) {
   if (tightest == nullptr) return true;
   const std::int64_t bound = tightest->bound;
   const Lit activation = tightest->activation;
+  // The same re-derivation covers both lemma shapes below: the negated
+  // guards in the clause carry weight > bound under the declared bound.
+  const asp::TheoryJustification just{
+      asp::TheoryTag::LinearBound,
+      {id, bound,
+       activation == asp::kLitUndef ? 0 : asp::proof_int(activation)}};
   std::vector<Lit> clause;
   if (s.lower > bound) {
     // Conflict: enough true guards already exceed the bound.
     explain_lower_bound(id, bound + 1, clause);
     for (Lit& l : clause) l = ~l;
     if (activation != asp::kLitUndef) clause.push_back(~activation);
-    return solver.add_theory_clause(clause);
+    return solver.add_theory_clause(clause, &just);
   }
   // Implication: any single undecided guard that would overshoot is false.
   const std::int64_t room = bound - s.lower;
@@ -103,7 +116,7 @@ bool LinearSumPropagator::enforce_bound(Solver& solver, SumId id) {
     for (Lit& l : clause) l = ~l;
     clause.push_back(~t.guard);
     if (activation != asp::kLitUndef) clause.push_back(~activation);
-    if (!solver.add_theory_clause(clause)) return false;
+    if (!solver.add_theory_clause(clause, &just)) return false;
   }
   return true;
 }

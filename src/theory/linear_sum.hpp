@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "asp/literal.hpp"
+#include "asp/proof.hpp"
 #include "asp/propagator.hpp"
 
 namespace aspmt::asp {
@@ -86,6 +87,10 @@ class LinearSumPropagator final : public asp::TheoryPropagator {
   /// bookkeeping still runs; violations surface only in check()).
   void set_partial_evaluation(bool enabled) noexcept { partial_eval_ = enabled; }
 
+  /// Mirror sum/bound declarations and lemma justifications into a proof
+  /// log.  Must be attached before any sum is registered.
+  void set_proof(asp::ProofLog* proof) noexcept { proof_ = proof; }
+
   // -- TheoryPropagator ----------------------------------------------------
   bool propagate(asp::Solver& solver) override;
   void undo_to(const asp::Solver& solver, std::size_t trail_size) override;
@@ -127,6 +132,7 @@ class LinearSumPropagator final : public asp::TheoryPropagator {
   std::vector<UndoOp> undo_stack_;
   std::size_t cursor_ = 0;
   bool partial_eval_ = true;
+  asp::ProofLog* proof_ = nullptr;
 };
 
 }  // namespace aspmt::theory

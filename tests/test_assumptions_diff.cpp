@@ -1,0 +1,82 @@
+// Differential property test for assumption-based solving: for a random
+// CNF and a random assumption set, solve(assumptions) on one incremental
+// solver must agree with a scratch solver that receives the same
+// assumptions as unit clauses — and the incremental solver must stay
+// reusable (a later unconstrained solve still matches brute force).
+// Seeds honour ASPMT_TEST_SEED (see test_util.hpp).
+#include <gtest/gtest.h>
+
+#include "asp/solver.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace aspmt::asp {
+namespace {
+
+Lit L(Var v, bool s = true) { return Lit::make(v, s); }
+
+class AssumptionDiff : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AssumptionDiff, AssumptionsEquivalentToUnitClauses) {
+  const std::uint64_t seed = test::fuzz_seed(GetParam());
+  util::Rng rng(seed * 6151 + 29);
+
+  const std::uint32_t n = 8 + static_cast<std::uint32_t>(rng.below(4));
+  const std::uint32_t num_clauses =
+      2 * n + static_cast<std::uint32_t>(rng.below(3 * n));
+  std::vector<std::vector<Lit>> cnf;
+  cnf.reserve(num_clauses);
+  for (std::uint32_t c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> clause;
+    const int width = 2 + static_cast<int>(rng.below(2));  // 2- and 3-clauses
+    for (int k = 0; k < width; ++k) {
+      clause.push_back(L(static_cast<Var>(rng.below(n)), rng.chance(0.5)));
+    }
+    cnf.push_back(std::move(clause));
+  }
+  std::vector<Lit> assumptions;
+  const std::size_t num_assumptions = 1 + rng.below(3);
+  for (std::size_t a = 0; a < num_assumptions; ++a) {
+    assumptions.push_back(L(static_cast<Var>(rng.below(n)), rng.chance(0.5)));
+  }
+
+  Solver incremental;
+  for (std::uint32_t i = 0; i < n; ++i) incremental.new_var();
+  bool inc_ok = true;
+  for (const auto& clause : cnf) inc_ok = incremental.add_clause(clause) && inc_ok;
+
+  Solver scratch;
+  for (std::uint32_t i = 0; i < n; ++i) scratch.new_var();
+  bool scratch_ok = inc_ok;
+  for (const auto& clause : cnf) {
+    scratch_ok = scratch.add_clause(clause) && scratch_ok;
+  }
+  for (const Lit a : assumptions) {
+    scratch_ok = scratch.add_clause({a}) && scratch_ok;
+  }
+
+  const bool incremental_sat =
+      inc_ok && incremental.solve(assumptions) == Solver::Result::Sat;
+  const bool scratch_sat =
+      scratch_ok && scratch.solve() == Solver::Result::Sat;
+  EXPECT_EQ(incremental_sat, scratch_sat) << "seed " << seed;
+  if (incremental_sat) {
+    // The model must honour every assumption, not just exist.
+    for (const Lit a : assumptions) {
+      EXPECT_EQ(incremental.model_value(a.var()), a.positive())
+          << "seed " << seed;
+    }
+  }
+
+  // Assumptions must leave no residue: the same solver, asked again without
+  // them, must agree with brute force on the plain CNF.
+  const bool expected = test::brute_force_sat(cnf, n);
+  EXPECT_EQ(inc_ok && incremental.solve() == Solver::Result::Sat, expected)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssumptionDiff,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace aspmt::asp

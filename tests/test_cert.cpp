@@ -1,0 +1,222 @@
+// The certification layer itself: hand-written proofs exercise every step
+// kind of the checker, real explorer proofs must verify, and mutated real
+// proofs must be rejected — a checker that accepts everything would make
+// `certified: yes` meaningless.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cert/certify.hpp"
+#include "cert/checker.hpp"
+#include "dse/explorer.hpp"
+#include "synth_fixtures.hpp"
+
+namespace aspmt {
+namespace {
+
+cert::CheckResult check(const std::string& proof, bool require_unsat = false) {
+  cert::CheckOptions opts;
+  opts.require_global_unsat = require_unsat;
+  return cert::check_proof(proof, opts);
+}
+
+TEST(ProofChecker, RejectsMissingHeader) {
+  const auto r = check("I 1 0\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("header"), std::string::npos) << r.error;
+}
+
+TEST(ProofChecker, VerifiesUnitContradiction) {
+  const auto r = check("p aspmt 1\nI 1 0\nI -1 0\nU 0\n", true);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.concluded_global_unsat);
+  EXPECT_EQ(r.input_clauses, 2U);
+}
+
+TEST(ProofChecker, RejectsUnsupportedConclusion) {
+  const auto r = check("p aspmt 1\nI 1 2 0\nU 0\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("Unsat conclusion"), std::string::npos) << r.error;
+}
+
+TEST(ProofChecker, RejectsNonRupLearntClause) {
+  const auto r = check("p aspmt 1\nI 1 2 0\nL 1 0\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not RUP"), std::string::npos) << r.error;
+}
+
+TEST(ProofChecker, AcceptsRupLearntClauseAndAssumptionConclusion) {
+  const auto r = check("p aspmt 1\nI 1 2 0\nI 1 -2 0\nL 1 0\nU -1 0\n");
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.learnt_clauses, 1U);
+  EXPECT_EQ(r.conclusions, 1U);
+  EXPECT_FALSE(r.concluded_global_unsat);
+}
+
+TEST(ProofChecker, RequireUnsatRejectsSatOnlyProof) {
+  const auto r = check("p aspmt 1\nI 1 2 0\nM 0\n", true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("never concludes"), std::string::npos) << r.error;
+}
+
+TEST(ProofChecker, VerifiesLinearSumLemma) {
+  // sum 0 = 3*[g1] + 4*[g2], bound 5: both guards set exceeds the bound.
+  const std::string prefix = "p aspmt 1\nS 0 2 1 3 2 4\nSB 0 5 0\n";
+  EXPECT_TRUE(check(prefix + "T LS 0 5 0 ; -1 -2 0\n").ok);
+  // A single guard only reaches 3 <= 5: the lemma claims too much.
+  const auto weak = check(prefix + "T LS 0 5 0 ; -1 0\n");
+  EXPECT_FALSE(weak.ok);
+  EXPECT_NE(weak.error.find("do not exceed"), std::string::npos) << weak.error;
+  // Undeclared bound: the lemma cites a constraint the solver never had.
+  const auto undeclared = check(prefix + "T LS 0 4 0 ; -1 -2 0\n");
+  EXPECT_FALSE(undeclared.ok);
+  EXPECT_NE(undeclared.error.find("never declared"), std::string::npos)
+      << undeclared.error;
+}
+
+TEST(ProofChecker, VerifiesDifferenceCycleLemma) {
+  const std::string prefix =
+      "p aspmt 1\nN 0\nN 1\nE 0 0 1 2 1 3\nE 1 1 0 2 1 4\n";
+  EXPECT_TRUE(check(prefix + "T DC ; -3 -4 0\n").ok);
+  // Dropping one guard from the clause breaks the cycle.
+  const auto broken = check(prefix + "T DC ; -3 0\n");
+  EXPECT_FALSE(broken.ok);
+  EXPECT_NE(broken.error.find("no positive cycle"), std::string::npos)
+      << broken.error;
+}
+
+TEST(ProofChecker, VerifiesNodeBoundLemma) {
+  const std::string prefix =
+      "p aspmt 1\nN 0\nN 1\nE 0 0 1 7 1 3\nNB 1 5 2\n";
+  // Guarded longest path to node 1 is 7 > 5; clause negates guard and act.
+  EXPECT_TRUE(check(prefix + "T DB 1 5 2 ; -3 -2 0\n").ok);
+  const auto missing_act = check(prefix + "T DB 1 5 2 ; -3 0\n");
+  EXPECT_FALSE(missing_act.ok);
+  EXPECT_NE(missing_act.error.find("activation"), std::string::npos)
+      << missing_act.error;
+}
+
+TEST(ProofChecker, VerifiesDominanceLemma) {
+  // Objective 0 is sum 0 = 5*[g1]; feasible point (3) <= threshold (4).
+  const std::string prefix =
+      "p aspmt 1\nS 0 1 1 5\nO 0 L 0\nF 1 3 0\n";
+  EXPECT_TRUE(check(prefix + "T DOM 1 4 ; -1 0\n").ok);
+  // Without any feasible point at or below the threshold the pruning is
+  // unjustified.
+  const auto unjustified = check("p aspmt 1\nS 0 1 1 5\nO 0 L 0\nT DOM 1 4 ; -1 0\n");
+  EXPECT_FALSE(unjustified.ok);
+  EXPECT_NE(unjustified.error.find("no certified feasible point"),
+            std::string::npos)
+      << unjustified.error;
+}
+
+// ---- mutations of a real explorer proof -----------------------------------
+
+std::string real_proof() {
+  dse::ExploreOptions opts;
+  opts.certify = true;
+  const dse::ExploreResult r = dse::explore(test::chain3_bus(), opts);
+  EXPECT_TRUE(r.certified) << r.certificate_error;
+  EXPECT_FALSE(r.proof.empty());
+  return r.proof;
+}
+
+TEST(ProofMutation, PristineProofVerifies) {
+  const auto r = check(real_proof(), true);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.theory_lemmas, 0U);
+  EXPECT_GT(r.learnt_clauses, 0U);
+}
+
+TEST(ProofMutation, BogusLearntClauseRejected) {
+  std::string proof = real_proof();
+  // A fresh-variable unit clause right after the header can never be RUP.
+  const std::size_t header_end = proof.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  proof.insert(header_end + 1, "L 999999 0\n");
+  const auto r = check(proof, true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not RUP"), std::string::npos) << r.error;
+}
+
+TEST(ProofMutation, DroppedConclusionRejected) {
+  std::string proof = real_proof();
+  // Remove the global "U 0" conclusion line(s).
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < proof.size()) {
+    const std::size_t eol = proof.find('\n', pos);
+    const std::string line = proof.substr(pos, eol - pos);
+    if (line != "U 0") out += line + "\n";
+    pos = eol == std::string::npos ? proof.size() : eol + 1;
+  }
+  const auto r = check(out, true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("never concludes"), std::string::npos) << r.error;
+}
+
+TEST(ProofMutation, UnknownTheoryTagRejected) {
+  std::string proof = real_proof();
+  const std::size_t pos = proof.find("\nT ");
+  ASSERT_NE(pos, std::string::npos) << "proof has no theory lemma";
+  proof.replace(pos, 3, "\nT ZZ");  // "T <tag>" -> "T ZZ<tag>"
+  EXPECT_FALSE(check(proof, true).ok);
+}
+
+TEST(ProofMutation, TamperedSumBoundRejected) {
+  std::string proof = real_proof();
+  const std::size_t pos = proof.find("\nT LS ");
+  ASSERT_NE(pos, std::string::npos) << "proof has no linear-sum lemma";
+  // Bump the cited bound far past anything declared.
+  std::size_t tok = pos + 6;                      // after "\nT LS "
+  tok = proof.find(' ', tok);                     // skip sum id
+  ASSERT_NE(tok, std::string::npos);
+  const std::size_t bound_end = proof.find(' ', tok + 1);
+  ASSERT_NE(bound_end, std::string::npos);
+  proof.replace(tok + 1, bound_end - tok - 1, "1000001");
+  const auto r = check(proof, true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("theory lemma rejected"), std::string::npos)
+      << r.error;
+}
+
+// ---- certify_front end-to-end ----------------------------------------------
+
+TEST(CertifyFront, SingletonRoundTrips) {
+  const synth::Specification spec = test::singleton();
+  dse::ExploreOptions opts;
+  opts.certify = true;
+  const dse::ExploreResult r = dse::explore(spec, opts);
+  ASSERT_TRUE(r.certified) << r.certificate_error;
+  ASSERT_EQ(r.front.size(), 1U);
+  ASSERT_EQ(r.witnesses.size(), 1U);
+
+  std::vector<std::pair<pareto::Vec, synth::Implementation>> pairs;
+  pairs.emplace_back(r.front[0], r.witnesses[0]);
+
+  const auto ok = cert::certify_front(spec, pairs, r.front, r.proof);
+  EXPECT_TRUE(ok.certified) << ok.error;
+  EXPECT_EQ(ok.witnesses_validated, 1U);
+
+  // An extra fabricated front point must be caught even though the proof
+  // and the witnesses are untouched.
+  std::vector<pareto::Vec> padded = r.front;
+  padded.push_back({0, 0, 0});
+  const auto extra = cert::certify_front(spec, pairs, padded, r.proof);
+  EXPECT_FALSE(extra.certified);
+
+  // A discovery whose recorded objectives disagree with its witness is the
+  // witness-forgery case.
+  auto forged = pairs;
+  forged[0].first[0] += 1;
+  const auto forgery = cert::certify_front(spec, forged, r.front, r.proof);
+  EXPECT_FALSE(forgery.certified);
+  EXPECT_NE(forgery.error.find("disagree"), std::string::npos) << forgery.error;
+
+  // And an empty proof certifies nothing.
+  const auto empty = cert::certify_front(spec, pairs, r.front, "");
+  EXPECT_FALSE(empty.certified);
+}
+
+}  // namespace
+}  // namespace aspmt

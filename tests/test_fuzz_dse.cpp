@@ -1,6 +1,9 @@
 // Randomized end-to-end fuzz: random generator configurations, random
 // capacities and deadlines — the explorer must agree with an independent
-// exact method and every witness must validate.
+// exact method, every witness must validate, and every run is driven in
+// certified mode: the terminating Unsat proof is replayed by the
+// independent checker and the front cross-checked against the validated
+// witnesses (see src/cert/).  Seeds honour ASPMT_TEST_SEED (test_util.hpp).
 #include <gtest/gtest.h>
 
 #include "dse/baselines.hpp"
@@ -8,6 +11,7 @@
 #include "dse/parallel_explorer.hpp"
 #include "gen/generator.hpp"
 #include "synth/validator.hpp"
+#include "test_util.hpp"
 #include "util/rng.hpp"
 
 namespace aspmt {
@@ -16,7 +20,8 @@ namespace {
 class FuzzDse : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzDse, ExplorerAgreesWithLexUnderRandomConstraints) {
-  util::Rng rng(GetParam() * 7207 + 17);
+  const std::uint64_t seed = test::fuzz_seed(GetParam());
+  util::Rng rng(seed * 7207 + 17);
   gen::GeneratorConfig c;
   c.seed = rng.next();
   c.tasks = 4 + static_cast<std::uint32_t>(rng.below(4));
@@ -47,16 +52,19 @@ TEST_P(FuzzDse, ExplorerAgreesWithLexUnderRandomConstraints) {
         rng.below(static_cast<std::uint64_t>(total)));
   }
 
-  const dse::ExploreResult e = dse::explore(spec);
+  dse::ExploreOptions eopts;
+  eopts.certify = true;  // every terminating Unsat goes through the checker
+  const dse::ExploreResult e = dse::explore(spec, eopts);
   ASSERT_TRUE(e.stats.complete) << gen::summarize(spec);
+  EXPECT_TRUE(e.certified) << "seed " << seed << ": " << e.certificate_error;
   for (std::size_t i = 0; i < e.front.size(); ++i) {
     EXPECT_EQ(synth::validate_implementation(spec, e.witnesses[i]), "")
-        << "seed " << GetParam();
+        << "seed " << seed;
     EXPECT_EQ(e.witnesses[i].objectives(), e.front[i]);
   }
   const dse::BaselineResult lex = dse::lexicographic_epsilon(spec, 300.0);
   ASSERT_TRUE(lex.complete);
-  EXPECT_EQ(e.front, lex.front) << "seed " << GetParam() << " "
+  EXPECT_EQ(e.front, lex.front) << "seed " << seed << " "
                                 << gen::summarize(spec);
 }
 
@@ -65,7 +73,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDse, ::testing::Range<std::uint64_t>(0, 25))
 class FuzzDseSmall : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzDseSmall, EnumerationAgreesOnTinyInstances) {
-  util::Rng rng(GetParam() * 31337 + 5);
+  const std::uint64_t seed = test::fuzz_seed(GetParam());
+  util::Rng rng(seed * 31337 + 5);
   gen::GeneratorConfig c;
   c.seed = rng.next();
   c.tasks = 3 + static_cast<std::uint32_t>(rng.below(2));
@@ -75,10 +84,13 @@ TEST_P(FuzzDseSmall, EnumerationAgreesOnTinyInstances) {
                                    : gen::Architecture::Mesh2x2;
   c.bus_processors = 2;
   const synth::Specification spec = gen::generate(c);
-  const dse::ExploreResult e = dse::explore(spec);
+  dse::ExploreOptions eopts;
+  eopts.certify = true;
+  const dse::ExploreResult e = dse::explore(spec, eopts);
   const dse::BaselineResult b = dse::enumerate_and_filter(spec, 300.0);
   ASSERT_TRUE(e.stats.complete && b.complete);
-  EXPECT_EQ(e.front, b.front) << "seed " << GetParam();
+  EXPECT_TRUE(e.certified) << "seed " << seed << ": " << e.certificate_error;
+  EXPECT_EQ(e.front, b.front) << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDseSmall,
@@ -91,7 +103,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDseSmall,
 class FuzzParallelDse : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzParallelDse, ParallelFrontEqualsSequentialFront) {
-  util::Rng rng(GetParam() * 104729 + 11);
+  const std::uint64_t seed = test::fuzz_seed(GetParam());
+  util::Rng rng(seed * 104729 + 11);
   gen::GeneratorConfig c;
   c.seed = rng.next();
   c.tasks = 3 + static_cast<std::uint32_t>(rng.below(3));
@@ -108,21 +121,24 @@ TEST_P(FuzzParallelDse, ParallelFrontEqualsSequentialFront) {
   }
 
   const dse::ExploreResult seq = dse::explore(spec);
-  ASSERT_TRUE(seq.stats.complete) << "seed " << GetParam();
+  ASSERT_TRUE(seq.stats.complete) << "seed " << seed;
 
   dse::ParallelExploreOptions popts;
   popts.threads = 2 + static_cast<std::size_t>(rng.below(3));  // 2..4
-  popts.seed = GetParam() + 1;
+  popts.seed = seed + 1;
+  popts.certify = true;  // winner's Unsat proof replayed by the checker
   const dse::ParallelExploreResult par = dse::explore_parallel(spec, popts);
-  ASSERT_TRUE(par.stats.complete) << "seed " << GetParam();
+  ASSERT_TRUE(par.stats.complete) << "seed " << seed;
+  EXPECT_TRUE(par.certified) << "seed " << seed << ": "
+                             << par.certificate_error;
   EXPECT_EQ(par.front, seq.front)
-      << "seed " << GetParam() << " threads " << popts.threads << " "
+      << "seed " << seed << " threads " << popts.threads << " "
       << gen::summarize(spec);
   for (std::size_t i = 0; i < par.front.size(); ++i) {
     EXPECT_EQ(synth::validate_implementation(spec, par.witnesses[i]), "")
-        << "seed " << GetParam();
+        << "seed " << seed;
     EXPECT_EQ(par.witnesses[i].objectives(), par.front[i])
-        << "seed " << GetParam();
+        << "seed " << seed;
   }
 }
 

@@ -100,7 +100,8 @@ TEST(SolverStress, PhaseSavingOffStillCorrect) {
 class StressConfig : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(StressConfig, RandomCnfUnderHarshOptions) {
-  util::Rng rng(GetParam() * 977 + 11);
+  const std::uint64_t seed = test::fuzz_seed(GetParam());
+  util::Rng rng(seed * 977 + 11);
   SolverOptions opts;
   opts.learnt_start = 4;
   opts.restart_base = 2;
@@ -121,9 +122,9 @@ TEST_P(StressConfig, RandomCnfUnderHarshOptions) {
   }
   const bool expected = test::brute_force_sat(cnf, n);
   if (!ok) {
-    EXPECT_FALSE(expected);
+    EXPECT_FALSE(expected) << "seed " << seed;
   } else {
-    EXPECT_EQ(s.solve() == Solver::Result::Sat, expected);
+    EXPECT_EQ(s.solve() == Solver::Result::Sat, expected) << "seed " << seed;
   }
 }
 

@@ -4,6 +4,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 #include <set>
 #include <vector>
 
@@ -12,6 +14,18 @@
 #include "asp/solver.hpp"
 
 namespace aspmt::test {
+
+/// Seed for parameterized fuzz/stress suites.  ASPMT_TEST_SEED=<N> shifts
+/// every seed by N, so nightly runs can sweep fresh regions of the input
+/// space without a rebuild; failure messages print the *effective* seed —
+/// reproduce a shifted failure with ASPMT_TEST_SEED=<printed - param>.
+inline std::uint64_t fuzz_seed(std::uint64_t param) {
+  static const std::uint64_t offset = [] {
+    const char* env = std::getenv("ASPMT_TEST_SEED");
+    return env != nullptr ? std::strtoull(env, nullptr, 10) : 0ULL;
+  }();
+  return param + offset;
+}
 
 /// Enumerate all models of `solver`, projected onto `vars`, by adding
 /// blocking clauses.  Destructive (the solver ends up unsatisfiable).

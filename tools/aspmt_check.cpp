@@ -1,0 +1,61 @@
+// aspmt_check — standalone verifier for `p aspmt 1` proof streams.
+//
+//   aspmt_check proof.txt [--require-unsat]
+//
+// Replays the proof with the solver-independent checker: every learnt
+// clause is RUP-verified, every theory lemma re-derived from the declared
+// theory data, every Unsat conclusion discharged by unit propagation.
+// With --require-unsat the stream must additionally contain a verified
+// assumption-free Unsat conclusion (the completeness certificate of an
+// exhaustive exploration).  Feasible-point steps are taken at face value
+// here; end-to-end witness validation is `aspmt_dse explore --certify`.
+//
+// Exit code: 0 when the proof verifies, 1 otherwise, 2 on usage errors.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cert/checker.hpp"
+
+int main(int argc, char** argv) {
+  std::string path;
+  aspmt::cert::CheckOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-unsat") {
+      options.require_global_unsat = true;
+    } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "usage: aspmt_check proof.txt [--require-unsat]\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: aspmt_check proof.txt [--require-unsat]\n";
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot read '" << path << "'\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  const aspmt::cert::CheckResult r = aspmt::cert::check_proof(buffer.str(), options);
+  std::cout << "steps: " << r.input_clauses << " input, " << r.learnt_clauses
+            << " learnt, " << r.theory_lemmas << " theory, " << r.deletions
+            << " deleted, " << r.conclusions << " conclusion(s), "
+            << r.feasible_points << " feasible point(s)\n";
+  if (!r.ok) {
+    std::cout << "REJECTED: " << r.error << "\n";
+    return 1;
+  }
+  std::cout << "VERIFIED"
+            << (r.concluded_global_unsat ? " (global unsatisfiability concluded)"
+                                         : "")
+            << "\n";
+  return 0;
+}

@@ -77,6 +77,7 @@ int usage() {
       "  aspmt_dse explore  spec.txt [--time-limit SEC] [--archive KIND]\n"
       "            [--no-partial-eval] [--epsilon L,E,C] [--witnesses]\n"
       "            [--threads N] [--seed S]   (N>0: parallel portfolio)\n"
+      "            [--certify] [--proof FILE] [--front-out FILE]\n"
       "  aspmt_dse optimize spec.txt --objective latency|energy|cost\n"
       "  aspmt_dse baseline spec.txt --method enum|lex|lex-cold [--time-limit SEC]\n"
       "  aspmt_dse nsga2    spec.txt [--pop N] [--gens N] [--seed S]\n"
@@ -126,6 +127,65 @@ std::optional<pareto::Vec> parse_epsilon(const std::string& text) {
   return eps;
 }
 
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write '" << path << "'\n";
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+/// One point per line, objectives space-separated — the .front golden format.
+std::string front_to_text(const std::vector<pareto::Vec>& front) {
+  std::ostringstream out;
+  for (const pareto::Vec& p : front) {
+    for (std::size_t i = 0; i < p.size(); ++i) out << (i ? " " : "") << p[i];
+    out << "\n";
+  }
+  return out.str();
+}
+
+/// Shared post-run plumbing for --certify / --proof / --front-out.  Returns
+/// the process exit code: certification failures trump the complete/timeout
+/// distinction so scripted runs can trust exit 0 == certified.
+int finish_explore(const Args& args, bool complete, bool certified,
+                   const std::string& certificate_error,
+                   const std::string& proof,
+                   const std::vector<pareto::Vec>& front) {
+  int rc = complete ? 0 : 3;
+  if (args.flag("certify")) {
+    if (certified) {
+      std::cout << "certified: yes (witnesses validated, proof verified)\n";
+    } else {
+      std::cout << "certified: no (" << certificate_error << ")\n";
+      rc = 4;
+    }
+  }
+  const std::string proof_path = args.get("proof", "");
+  if (!proof_path.empty()) {
+    if (proof.empty()) {
+      std::cerr << "no proof stream recorded (use --certify)\n";
+      if (rc == 0) rc = 4;
+    } else if (write_text_file(proof_path, proof)) {
+      std::cout << "wrote proof to " << proof_path << " (" << proof.size()
+                << " bytes)\n";
+    } else {
+      rc = 1;
+    }
+  }
+  const std::string front_path = args.get("front-out", "");
+  if (!front_path.empty()) {
+    if (write_text_file(front_path, front_to_text(front))) {
+      std::cout << "wrote front to " << front_path << "\n";
+    } else {
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 int explore_portfolio(const synth::Specification& spec, const Args& args) {
   dse::ParallelExploreOptions opts;
   opts.threads = static_cast<std::size_t>(args.num("threads", 1));
@@ -133,6 +193,7 @@ int explore_portfolio(const synth::Specification& spec, const Args& args) {
   opts.archive_kind = args.get("archive", "quadtree");
   opts.partial_evaluation = !args.flag("no-partial-eval");
   opts.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  opts.certify = args.flag("certify");
   const dse::ParallelExploreResult r = dse::explore_parallel(spec, opts);
   std::cout << "exact front: " << r.front.size() << " points ("
             << (r.stats.complete ? "complete" : "time-limited") << ", "
@@ -165,7 +226,8 @@ int explore_portfolio(const synth::Specification& spec, const Args& args) {
       std::cout << "\n" << witness.describe(spec);
     }
   }
-  return r.stats.complete ? 0 : 3;
+  return finish_explore(args, r.stats.complete, r.certified,
+                        r.certificate_error, r.proof, r.front);
 }
 
 int cmd_explore(const Args& args) {
@@ -178,6 +240,7 @@ int cmd_explore(const Args& args) {
   if (const auto eps = parse_epsilon(args.get("epsilon", ""))) {
     opts.epsilon = *eps;
   }
+  opts.certify = args.flag("certify");
   const dse::ExploreResult r = dse::explore(spec, opts);
   std::cout << (opts.epsilon.empty() ? "exact front" : "eps-approximate set")
             << ": " << r.front.size() << " points ("
@@ -194,7 +257,8 @@ int cmd_explore(const Args& args) {
       std::cout << "\n" << r.witnesses[i].describe(spec);
     }
   }
-  return r.stats.complete ? 0 : 3;
+  return finish_explore(args, r.stats.complete, r.certified,
+                        r.certificate_error, r.proof, r.front);
 }
 
 int cmd_optimize(const Args& args) {
