@@ -38,6 +38,8 @@ int main() {
   const synth::Specification spec = gen::generate(entry.config);
   std::cout << "Extension: anytime front quality on " << entry.name << " ("
             << gen::summarize(spec) << ")\n\n";
+  bench::Report report("ext_anytime");
+  report.note("instance", entry.name);
 
   dse::ExploreOptions opts;
   opts.time_limit_seconds = bench::method_time_limit();
@@ -79,5 +81,13 @@ int main() {
             << " after " << util::fmt(exact.stats.seconds, 3) << "s), nsga2 HV="
             << util::fmt(hv_ea, 0) << " after " << util::fmt(ea_run.seconds, 3)
             << "s / " << ea_run.evaluations << " evaluations\n";
+  report.metric("aspmt.hv", hv_exact);
+  report.metric("aspmt.seconds", exact.stats.seconds);
+  report.metric("nsga2.hv", hv_ea);
+  report.metric("nsga2.seconds", ea_run.seconds);
+  report.metric("nsga2.evaluations", static_cast<double>(ea_run.evaluations));
+  report.note("aspmt.complete", exact.stats.complete ? "yes" : "timeout");
+  const std::string path = report.write();
+  std::cout << "wrote " << (path.empty() ? "(failed)" : path) << "\n";
   return 0;
 }

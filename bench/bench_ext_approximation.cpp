@@ -18,6 +18,8 @@ int main() {
   const double limit = bench::method_time_limit();
   std::cout << "Extension: eps-dominance approximation (limit "
             << util::fmt(limit, 1) << "s per run)\n\n";
+  bench::Report report("ext_approximation");
+  report.metric("time_limit_s", limit);
   util::Table table({"inst", "eps", "time[s]", "|set|", "models", "covers exact"});
   const auto suite = bench::standard_suite();
   for (const std::size_t idx : {7UL, 8UL, 9UL}) {  // S08..S10
@@ -40,6 +42,9 @@ int main() {
                                         : std::string("t/o"),
                    util::fmt(static_cast<long long>(exact.front.size())),
                    util::fmt(static_cast<long long>(exact.stats.models)), "-"});
+    report.metric(entry.name + ".exact_s", exact.stats.seconds);
+    report.metric(entry.name + ".exact_front",
+                  static_cast<double>(exact.front.size()));
 
     for (const double frac : {0.05, 0.10, 0.25}) {
       dse::ExploreOptions opts;
@@ -80,10 +85,16 @@ int main() {
                      util::fmt(static_cast<long long>(approx.front.size())),
                      util::fmt(static_cast<long long>(approx.stats.models)),
                      covers});
+      const std::string key =
+          entry.name + ".eps" + util::fmt(100.0 * frac, 0);
+      report.metric(key + "_s", approx.stats.seconds);
+      report.metric(key + "_set", static_cast<double>(approx.front.size()));
     }
   }
   table.print(std::cout);
   std::cout << "\nclaim: growing eps shrinks the returned set and the "
                "runtime while the cover guarantee holds\n";
+  const std::string path = report.write();
+  std::cout << "wrote " << (path.empty() ? "(failed)" : path) << "\n";
   return 0;
 }

@@ -26,6 +26,8 @@ int main() {
       {"-floors", false, true},
       {"-both", false, false},
   };
+  bench::Report report("ext_mechanisms");
+  report.metric("time_limit_s", limit);
   util::Table table({"inst", "config", "time[s]", "models", "conflicts",
                      "prunings", "|front|"});
   const auto suite = bench::standard_suite();
@@ -47,6 +49,10 @@ int main() {
                      util::fmt(static_cast<long long>(r.stats.conflicts)),
                      util::fmt(static_cast<long long>(r.stats.prunings)),
                      util::fmt(static_cast<long long>(r.front.size()))});
+      const std::string key = entry.name + "." + cfg.name;
+      report.metric(key + "_s", r.stats.seconds);
+      report.metric(key + "_conflicts", static_cast<double>(r.stats.conflicts));
+      report.metric(key + "_models", static_cast<double>(r.stats.models));
       if (r.stats.complete) {
         if (!have_reference) {
           reference = r.front;
@@ -61,5 +67,7 @@ int main() {
   }
   table.print(std::cout);
   std::cout << "\nfronts agree across every completed configuration\n";
+  const std::string path = report.write();
+  std::cout << "wrote " << (path.empty() ? "(failed)" : path) << "\n";
   return 0;
 }

@@ -20,6 +20,8 @@ int main() {
   const synth::Specification spec = gen::generate(entry.config);
   std::cout << "Figure 1: exact front vs NSGA-II on " << entry.name << " ("
             << gen::summarize(spec) << ")\n\n";
+  bench::Report report("fig1_front");
+  report.note("instance", entry.name);
 
   dse::ExploreOptions opts;
   opts.time_limit_seconds = bench::method_time_limit();
@@ -68,5 +70,17 @@ int main() {
   std::cout << "front coverage by nsga2 = "
             << util::fmt(100.0 * pareto::coverage_ratio(approx.front, exact.front), 1)
             << "%\n";
+  report.metric("exact.front_size", static_cast<double>(exact.front.size()));
+  report.metric("exact.seconds", exact.stats.seconds);
+  report.metric("nsga2.front_size", static_cast<double>(approx.front.size()));
+  report.metric("nsga2.seconds", approx.seconds);
+  report.metric("nsga2.evaluations", static_cast<double>(approx.evaluations));
+  report.metric("hypervolume.exact", hv_exact);
+  report.metric("hypervolume.nsga2", hv_ea);
+  report.metric("epsilon.nsga2_to_exact",
+                pareto::additive_epsilon(approx.front, exact.front));
+  report.metric("coverage.nsga2", pareto::coverage_ratio(approx.front, exact.front));
+  const std::string path = report.write();
+  std::cout << "wrote " << (path.empty() ? "(failed)" : path) << "\n";
   return 0;
 }

@@ -15,6 +15,8 @@ int main() {
   const double limit = bench::method_time_limit();
   std::cout << "Figure 2: scaling with task count (mesh2x2, limit "
             << util::fmt(limit, 1) << "s per method)\n\n";
+  bench::Report report("fig2_scaling");
+  report.metric("time_limit_s", limit);
   util::Table table(
       {"tasks", "|front|", "aspmt[s]", "lex-ms[s]", "lex-ss[s]", "enum[s]"});
   for (std::uint32_t tasks = 4; tasks <= 12; ++tasks) {
@@ -44,7 +46,17 @@ int main() {
                    cell(lex.complete, lex.seconds),
                    cell(cold.complete, cold.seconds),
                    cell(enu.complete, enu.seconds)});
+
+    const std::string key = "tasks" + util::fmt(static_cast<long long>(tasks));
+    report.metric(key + ".aspmt_s", aspmt_run.stats.seconds);
+    report.metric(key + ".lex_ms_s", lex.seconds);
+    report.metric(key + ".lex_ss_s", cold.seconds);
+    report.metric(key + ".enum_s", enu.seconds);
+    report.note(key + ".aspmt_complete",
+                aspmt_run.stats.complete ? "yes" : "timeout");
   }
   table.print(std::cout);
+  const std::string path = report.write();
+  std::cout << "\nwrote " << (path.empty() ? "(failed)" : path) << "\n";
   return 0;
 }

@@ -16,6 +16,8 @@ int main() {
   const double limit = bench::method_time_limit();
   std::cout << "Figure 3: partial assignment evaluation ablation (limit "
             << util::fmt(limit, 1) << "s)\n\n";
+  bench::Report report("fig3_partial_eval");
+  report.metric("time_limit_s", limit);
   util::Table table({"inst", "pe[s]", "pe models", "pe conflicts", "nope[s]",
                      "nope models", "nope conflicts", "slowdown"});
   for (const auto& entry : bench::standard_suite()) {
@@ -51,8 +53,16 @@ int main() {
       std::cerr << "FRONT MISMATCH on " << entry.name << "\n";
       return 1;
     }
+    report.metric(entry.name + ".pe_s", with_pe.stats.seconds);
+    report.metric(entry.name + ".pe_conflicts",
+                  static_cast<double>(with_pe.stats.conflicts));
+    report.metric(entry.name + ".nope_s", without_pe.stats.seconds);
+    report.metric(entry.name + ".nope_conflicts",
+                  static_cast<double>(without_pe.stats.conflicts));
   }
   table.print(std::cout);
   std::cout << "\nfronts agree wherever both configurations completed\n";
+  const std::string path = report.write();
+  std::cout << "wrote " << (path.empty() ? "(failed)" : path) << "\n";
   return 0;
 }

@@ -47,6 +47,10 @@ int main() {
             << util::fmt(limit, 1) << "s per run, "
             << std::thread::hardware_concurrency() << " hardware threads)\n\n";
 
+  bench::Report report("parallel_scaling");
+  report.metric("time_limit_s", limit);
+  report.metric("hardware_threads",
+                static_cast<double>(std::thread::hardware_concurrency()));
   util::Table table({"inst", "|front|", "seq[s]", "p1[s]", "p2[s]", "p4[s]",
                      "p8[s]", "speedup@4"});
   bool any_mismatch = false;
@@ -83,7 +87,13 @@ int main() {
                                        : std::string("t/o"));
       if (n == 1 && par.stats.complete) t1 = par.stats.seconds;
       if (n == 4 && par.stats.complete) t4 = par.stats.seconds;
+      report.metric(
+          entry.name + ".p" + util::fmt(static_cast<long long>(n)) + "_s",
+          par.stats.seconds);
     }
+    report.metric(entry.name + ".seq_s", seq.stats.seconds);
+    report.metric(entry.name + ".front_size",
+                  static_cast<double>(seq.front.size()));
     row.push_back(t1 > 0.0 && t4 > 0.0 ? util::fmt(t1 / t4, 2) + "x"
                                        : std::string("-"));
     table.add_row(row);
@@ -91,5 +101,7 @@ int main() {
   table.print(std::cout);
   if (any_mismatch) return 1;
   std::cout << "\nall completed runs agree on every front\n";
+  const std::string path = report.write();
+  std::cout << "wrote " << (path.empty() ? "(failed)" : path) << "\n";
   return 0;
 }

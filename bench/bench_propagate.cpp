@@ -1,0 +1,172 @@
+// bench_propagate — microbenchmark of the clause-propagation core.
+//
+// Three deterministic, propagation-dominated workloads exercise the
+// two-watched-literal loop that every DSE query bottoms out in:
+//
+//   bus  : model enumeration over the combinatorial part of the S06
+//          shared-bus encoding (theory propagators left unregistered, so
+//          the run is pure BCP + clause learning over the real encoding)
+//   mesh : the same over the S08 3x3-mesh encoding
+//   ph   : pigeonhole(9,8) refutation — dense conflict/learning traffic
+//
+// Reports wall time, propagations/s and conflicts/s per workload and
+// writes BENCH_propagate.json for trend tracking.  ASPMT_BENCH_REPEAT
+// (default 3) controls how many timed repetitions are aggregated.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "asp/solver.hpp"
+#include "gen/generator.hpp"
+#include "suite.hpp"
+#include "synth/encoder.hpp"
+#include "theory/difference.hpp"
+#include "theory/linear_sum.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace aspmt;
+
+struct RunStats {
+  double seconds = 0.0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t models = 0;
+};
+
+RunStats& operator+=(RunStats& a, const RunStats& b) {
+  a.seconds += b.seconds;
+  a.propagations += b.propagations;
+  a.conflicts += b.conflicts;
+  a.models += b.models;
+  return a;
+}
+
+/// Enumerate models of the combinatorial part of a synthesis encoding by
+/// blocking each model's decision atoms, up to `max_models`.
+RunStats enumerate_encoding(const bench::SuiteEntry& entry,
+                            std::size_t max_models) {
+  const synth::Specification spec = gen::generate(entry.config);
+  asp::Solver solver;
+  theory::LinearSumPropagator linear;
+  theory::DifferencePropagator difference;
+  const synth::Encoding enc =
+      synth::encode(spec, solver, linear, difference);
+
+  RunStats run;
+  const util::Timer timer;
+  for (std::size_t m = 0; m < max_models; ++m) {
+    if (solver.solve() != asp::Solver::Result::Sat) break;
+    ++run.models;
+    std::vector<asp::Lit> block;
+    block.reserve(enc.decision_lits.size());
+    for (const asp::Lit l : enc.decision_lits) {
+      block.push_back(solver.model_value(l.var()) ? ~l : l);
+    }
+    if (!solver.add_clause(std::move(block))) break;
+  }
+  run.seconds = timer.elapsed_seconds();
+  run.propagations = solver.stats().propagations;
+  run.conflicts = solver.stats().conflicts;
+  return run;
+}
+
+/// Refute pigeonhole(pigeons, pigeons - 1): pure conflict-driven search.
+RunStats pigeonhole(int pigeons) {
+  const int holes = pigeons - 1;
+  asp::Solver solver;
+  std::vector<asp::Var> v;
+  v.reserve(static_cast<std::size_t>(pigeons) * holes);
+  for (int i = 0; i < pigeons * holes; ++i) v.push_back(solver.new_var());
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<asp::Lit> c;
+    for (int h = 0; h < holes; ++h) {
+      c.push_back(asp::Lit::make(v[p * holes + h], true));
+    }
+    (void)solver.add_clause(std::move(c));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        (void)solver.add_clause({asp::Lit::make(v[p1 * holes + h], false),
+                                 asp::Lit::make(v[p2 * holes + h], false)});
+      }
+    }
+  }
+  RunStats run;
+  const util::Timer timer;
+  const auto result = solver.solve();
+  run.seconds = timer.elapsed_seconds();
+  if (result != asp::Solver::Result::Unsat) {
+    std::cerr << "pigeonhole workload must be Unsat\n";
+    std::exit(1);
+  }
+  run.propagations = solver.stats().propagations;
+  run.conflicts = solver.stats().conflicts;
+  return run;
+}
+
+int repeat_count() {
+  if (const char* env = std::getenv("ASPMT_BENCH_REPEAT"); env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 3;
+}
+
+}  // namespace
+
+int main() {
+  const int repeats = repeat_count();
+  std::cout << "bench_propagate: clause-propagation core (" << repeats
+            << " repetition(s) per workload)\n\n";
+
+  const auto suite = bench::standard_suite();
+  struct Workload {
+    const char* name;
+    RunStats (*run)(const bench::SuiteEntry&);
+  };
+
+  bench::Report report("propagate");
+  report.note("repeats", std::to_string(repeats));
+
+  util::Table table({"workload", "time[s]", "props", "props/s", "confl",
+                     "confl/s", "models"});
+  const auto record = [&](const char* name, const RunStats& total) {
+    const double props_per_sec =
+        total.seconds > 0.0 ? static_cast<double>(total.propagations) / total.seconds : 0.0;
+    const double confl_per_sec =
+        total.seconds > 0.0 ? static_cast<double>(total.conflicts) / total.seconds : 0.0;
+    table.add_row({name, util::fmt(total.seconds, 3),
+                   util::fmt(static_cast<long long>(total.propagations)),
+                   util::fmt(props_per_sec, 0),
+                   util::fmt(static_cast<long long>(total.conflicts)),
+                   util::fmt(confl_per_sec, 0),
+                   util::fmt(static_cast<long long>(total.models))});
+    const std::string prefix = name;
+    report.metric(prefix + ".wall_s", total.seconds);
+    report.metric(prefix + ".props_per_sec", props_per_sec);
+    report.metric(prefix + ".conflicts_per_sec", confl_per_sec);
+  };
+
+  // S06 (shared bus) and S08 (3x3 mesh) are the mid-ladder fixtures whose
+  // combinatorial parts are big enough to stress the watcher lists.
+  RunStats bus;
+  RunStats mesh;
+  RunStats ph;
+  for (int r = 0; r < repeats; ++r) {
+    bus += enumerate_encoding(suite[5], /*max_models=*/3000);
+    mesh += enumerate_encoding(suite[7], /*max_models=*/2000);
+    ph += pigeonhole(9);
+  }
+  record("bus", bus);
+  record("mesh", mesh);
+  record("ph", ph);
+
+  table.print(std::cout);
+  const std::string path = report.write();
+  std::cout << "\nwrote " << (path.empty() ? "(failed)" : path) << "\n";
+  return 0;
+}

@@ -12,6 +12,7 @@
 int main() {
   using namespace aspmt;
   std::cout << "Table 1: benchmark instance characteristics\n\n";
+  bench::Report report("table1_instances");
   util::Table table({"inst", "arch", "|T|", "|M|", "|R|", "|L|", "opts", "H",
                      "vars", "clauses", "decisions"});
   for (const auto& entry : bench::standard_suite()) {
@@ -33,7 +34,14 @@ int main() {
                    util::fmt(static_cast<long long>(ctx.solver.num_vars())),
                    util::fmt(static_cast<long long>(ctx.solver.num_problem_clauses())),
                    util::fmt(static_cast<long long>(ctx.encoding.decision_lits.size()))});
+    report.metric(entry.name + ".vars", static_cast<double>(ctx.solver.num_vars()));
+    report.metric(entry.name + ".clauses",
+                  static_cast<double>(ctx.solver.num_problem_clauses()));
+    report.metric(entry.name + ".decisions",
+                  static_cast<double>(ctx.encoding.decision_lits.size()));
   }
   table.print(std::cout);
+  const std::string path = report.write();
+  std::cout << "\nwrote " << (path.empty() ? "(failed)" : path) << "\n";
   return 0;
 }

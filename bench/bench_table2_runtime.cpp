@@ -21,6 +21,8 @@ int main() {
   const double limit = bench::method_time_limit();
   std::cout << "Table 2: time to the exact Pareto front (limit "
             << util::fmt(limit, 1) << "s per method)\n\n";
+  bench::Report report("table2_runtime");
+  report.metric("time_limit_s", limit);
   util::Table table({"inst", "|front|", "aspmt[s]", "cert[s]", "models",
                      "prunings", "lex-ms[s]", "lex-ss[s]", "enum[s]",
                      "speedup"});
@@ -94,8 +96,22 @@ int main() {
     check("lex-ms", lex.complete, lex.front);
     check("lex-ss", cold.complete, cold.front);
     check("enum", enu.complete, enu.front);
+
+    report.metric(entry.name + ".front_size",
+                  static_cast<double>(aspmt_run.front.size()));
+    report.metric(entry.name + ".aspmt_s", aspmt_run.stats.seconds);
+    report.metric(entry.name + ".cert_s", cert_run.stats.seconds);
+    report.metric(entry.name + ".models",
+                  static_cast<double>(aspmt_run.stats.models));
+    report.metric(entry.name + ".lex_ms_s", lex.seconds);
+    report.metric(entry.name + ".lex_ss_s", cold.seconds);
+    report.metric(entry.name + ".enum_s", enu.seconds);
+    report.note(entry.name + ".aspmt_complete",
+                aspmt_run.stats.complete ? "yes" : "timeout");
   }
   table.print(std::cout);
   std::cout << "\nall completed methods agree on every front\n";
+  const std::string path = report.write();
+  std::cout << "wrote " << (path.empty() ? "(failed)" : path) << "\n";
   return 0;
 }

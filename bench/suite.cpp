@@ -1,6 +1,15 @@
 #include "suite.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace aspmt::bench {
 
@@ -38,6 +47,86 @@ double method_time_limit() {
     if (v > 0.0) return v;
   }
   return 40.0;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+long peak_rss_kib() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return usage.ru_maxrss / 1024;  // bytes on macOS
+#else
+    return usage.ru_maxrss;  // KiB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::string git_rev() {
+  if (const char* env = std::getenv("ASPMT_GIT_REV"); env != nullptr && *env != '\0') {
+    return env;
+  }
+#ifdef ASPMT_GIT_REV
+  return ASPMT_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+std::string Report::write() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("ASPMT_BENCH_OUT"); env != nullptr && *env != '\0') {
+    dir = env;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best effort; open reports
+  }
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) return {};
+  out << "{\n";
+  out << "  \"name\": \"" << json_escape(name_) << "\",\n";
+  out << "  \"git_rev\": \"" << json_escape(git_rev()) << "\",\n";
+  out << "  \"peak_rss_kib\": " << peak_rss_kib() << ",\n";
+  out << "  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(metrics_[i].first)
+        << "\": " << json_number(metrics_[i].second);
+  }
+  out << (metrics_.empty() ? "" : "\n  ") << "},\n";
+  out << "  \"notes\": {";
+  for (std::size_t i = 0; i < notes_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(notes_[i].first)
+        << "\": \"" << json_escape(notes_[i].second) << "\"";
+  }
+  out << (notes_.empty() ? "" : "\n  ") << "}\n";
+  out << "}\n";
+  return out ? path : std::string{};
 }
 
 }  // namespace aspmt::bench

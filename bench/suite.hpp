@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gen/generator.hpp"
@@ -24,5 +25,42 @@ struct SuiteEntry {
 
 /// Per-method time limit in seconds; override with ASPMT_BENCH_TIMEOUT.
 [[nodiscard]] double method_time_limit();
+
+/// Machine-readable result sink.  Every benchmark executable records its
+/// headline numbers (wall time, conflicts/s, propagations/s, ...) here and
+/// calls write(), which serializes them together with the peak RSS and the
+/// git revision to `BENCH_<name>.json` so the perf trajectory of the repo
+/// can be tracked across commits.  The output directory defaults to the
+/// working directory and can be redirected with ASPMT_BENCH_OUT.
+class Report {
+ public:
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  /// Record a numeric result, e.g. metric("bus.props_per_sec", 1.9e6).
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Record a free-form annotation, e.g. note("build", "Release").
+  void note(const std::string& key, const std::string& value) {
+    notes_.emplace_back(key, value);
+  }
+
+  /// Write BENCH_<name>.json; returns the path (empty on I/O failure).
+  std::string write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+};
+
+/// Peak resident set size of this process in KiB (0 when unavailable).
+[[nodiscard]] long peak_rss_kib();
+
+/// Git revision the benchmark binary was built from: the ASPMT_GIT_REV
+/// environment variable when set, else the configure-time `git rev-parse`
+/// result baked into the binary, else "unknown".
+[[nodiscard]] std::string git_rev();
 
 }  // namespace aspmt::bench

@@ -43,6 +43,9 @@ Var VsidsHeap::pop() {
   const Var last = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) {
+    // Top-down sift (not Wegener's bottom-up deletion): enumeration
+    // workloads leave most activities equal, where the classic sift exits
+    // at the root while a hole-sink would pay full depth down and up.
     heap_.front() = last;
     position_[last] = 0;
     sift_down(0);

@@ -57,10 +57,15 @@ enum class Lbool : std::uint8_t { False = 0, True = 1, Undef = 2 };
 }
 
 /// Truth value of a literal given the truth value of its variable.
+///
+/// Branch-free (this sits in the innermost propagation loop): XOR-ing the
+/// sign bit swaps True(1)/False(0) and maps Undef(2) to 2 or 3; the mask
+/// `raw & ~(raw >> 1)` collapses 3 back to 2 and leaves 0/1/2 unchanged.
 [[nodiscard]] constexpr Lbool lit_value(Lbool var_value, Lit l) noexcept {
-  if (var_value == Lbool::Undef) return Lbool::Undef;
-  const bool v = (var_value == Lbool::True);
-  return lbool_of(l.positive() ? v : !v);
+  const auto raw = static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(var_value) ^
+      static_cast<std::uint8_t>(l.negative()));
+  return static_cast<Lbool>(raw & ~(raw >> 1));
 }
 
 }  // namespace aspmt::asp

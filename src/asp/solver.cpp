@@ -10,13 +10,15 @@ Solver::Solver(SolverOptions options) : options_(options) {
   heuristic_.set_decay(options_.var_decay);
   max_learnts_ = options_.learnt_start;
   if (options_.seed != 0) jitter_rng_.reseed(options_.seed);
+  // Slot for decision level 0; new_var() keeps the array sized num_vars + 1
+  // so compute_lbd can index by level directly.
+  lbd_seen_.push_back(0);
 }
 
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assign_.size());
   assign_.push_back(Lbool::Undef);
-  level_.push_back(0);
-  reason_.push_back(nullptr);
+  vardata_.push_back({});
   if (options_.seed != 0) {
     phase_.push_back(jitter_rng_.chance(0.5) ? 1 : 0);
   } else {
@@ -33,15 +35,18 @@ Var Solver::new_var() {
   return v;
 }
 
-Clause* Solver::allocate(std::vector<Lit> lits, bool learnt) {
-  arena_.emplace_back(std::move(lits), learnt);
-  return &arena_.back();
+ClauseRef Solver::allocate(std::span<const Lit> lits, bool learnt) {
+  return arena_.alloc(lits, learnt);
 }
 
-void Solver::attach(Clause* c) {
-  assert(c->size() >= 2);
-  watches_[(~(*c)[0]).index()].push_back(Watcher{c, (*c)[1]});
-  watches_[(~(*c)[1]).index()].push_back(Watcher{c, (*c)[0]});
+void Solver::attach(ClauseRef cref) {
+  const Clause c = arena_[cref];
+  assert(c.size() >= 2);
+  // Binary clauses are resolved from the watcher alone (the blocker is the
+  // whole rest of the clause); the flag spares propagation the arena load.
+  const ClauseRef tagged = c.size() == 2 ? (cref | kWatcherBinaryFlag) : cref;
+  watches_[(~c[0]).index()].push_back(Watcher{tagged, c[1]});
+  watches_[(~c[1]).index()].push_back(Watcher{tagged, c[0]});
 }
 
 bool Solver::add_clause(std::vector<Lit> lits) {
@@ -67,13 +72,13 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     return false;
   }
   if (c.size() == 1) {
-    enqueue(c[0], nullptr);
-    if (propagate_clauses() != nullptr) ok_ = false;
+    enqueue(c[0], kClauseRefUndef);
+    if (propagate_clauses() != kClauseRefUndef) ok_ = false;
     return ok_;
   }
-  Clause* cl = allocate(std::move(c), /*learnt=*/false);
-  problem_clauses_.push_back(cl);
-  attach(cl);
+  const ClauseRef cref = allocate(c, /*learnt=*/false);
+  problem_clauses_.push_back(cref);
+  attach(cref);
   return true;
 }
 
@@ -119,79 +124,121 @@ bool Solver::add_theory_clause(std::span<const Lit> in,
       return level(a.var()) > level(b.var());
     return a < b;
   });
-  Clause* cl = allocate(std::move(c), /*learnt=*/true);
-  cl->set_lbd(compute_lbd(cl->lits()));
-  if (cl->size() >= 2) {
-    attach(cl);
-    learnt_clauses_.push_back(cl);
+  const ClauseRef cref = allocate(c, /*learnt=*/true);
+  Clause cl = arena_[cref];
+  cl.set_lbd(compute_lbd(cl.lits()));
+  if (cl.size() >= 2) {
+    attach(cref);
+    learnt_clauses_.push_back(cref);
     ++stats_.learnt_clauses;
   }
-  const Lbool v0 = value((*cl)[0]);
+  const Lbool v0 = value(cl[0]);
   if (v0 == Lbool::True) return true;
-  const bool rest_false =
-      cl->size() == 1 || value((*cl)[1]) == Lbool::False;
+  const bool rest_false = cl.size() == 1 || value(cl[1]) == Lbool::False;
   if (v0 == Lbool::Undef && rest_false) {
-    enqueue((*cl)[0], cl);
+    enqueue(cl[0], cref);
     return true;
   }
   if (v0 == Lbool::Undef) return true;  // at least two watchable literals
   // Every literal false: theory conflict.
-  pending_conflict_ = cl;
+  pending_conflict_ = cref;
   ++stats_.theory_conflicts;
   return false;
 }
 
-void Solver::enqueue(Lit l, Clause* reason) {
+void Solver::enqueue(Lit l, ClauseRef reason) {
   assert(value(l) == Lbool::Undef);
   const Var v = l.var();
   assign_[v] = lbool_of(l.positive());
-  level_[v] = decision_level();
-  reason_[v] = reason;
+  vardata_[v] = VarData{reason, decision_level()};
   trail_.push_back(l);
 }
 
-Clause* Solver::propagate_clauses() {
+ClauseRef Solver::propagate_clauses() {
+  // Pushing a replacement watch into *another* watch list could, as far as
+  // the compiler can prove, move any buffer in sight, so inside the loop it
+  // would re-load the assignment array and list pointers on every
+  // iteration.  None of them can actually move here: no variables are
+  // created during propagation, and a replacement watch never lands on the
+  // list being traversed (that list holds watchers of ~p, which is False,
+  // while the new watch literal is non-False).  Hoist the invariant
+  // pointers into locals.
+  const Lbool* const assign = assign_.data();
+  const auto val = [assign](Lit l) noexcept {
+    return lit_value(assign[l.var()], l);
+  };
+  std::vector<Watcher>* const lists = watches_.data();
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];
     ++stats_.propagations;
-    auto& ws = watches_[p.index()];
+    auto& ws = lists[p.index()];
+    Watcher* const wd = ws.data();
     std::size_t i = 0;
     std::size_t j = 0;
     const std::size_t n = ws.size();
+    const Lit* const arena_base = arena_.base();
     while (i < n) {
-      const Watcher w = ws[i];
-      if (w.clause->deleted()) {
-        ++i;  // drop lazily
-        continue;
+      const Watcher w = wd[i];
+      // The dependent load chain watcher -> clause words is the dominant
+      // stall; hint the next watcher's clause while this one is handled.
+      // Binary watchers never dereference the arena, so their (flagged)
+      // refs would prefetch a junk address — mask keeps it in-buffer.
+      if (i + 1 < n) {
+        __builtin_prefetch(arena_base + (wd[i + 1].clause & ~kWatcherBinaryFlag));
       }
-      if (value(w.blocker) == Lbool::True) {
-        ws[j++] = w;
+      // Blocker first: a satisfied blocker makes the clause irrelevant
+      // without touching its memory (the common case on dense lists).
+      if (val(w.blocker) == Lbool::True) {
+        wd[j++] = w;
         ++i;
         continue;
       }
-      Clause& c = *w.clause;
-      const Lit false_lit = ~p;
-      if (c[0] == false_lit) std::swap(c[0], c[1]);
-      assert(c[1] == false_lit);
-      ++i;
-      if (value(c[0]) == Lbool::True) {
-        ws[j++] = Watcher{w.clause, c[0]};
+      if ((w.clause & kWatcherBinaryFlag) != 0) {
+        // Binary: the blocker is the rest of the clause — unit or conflict.
+        const ClauseRef cref = w.clause & ~kWatcherBinaryFlag;
+        wd[j++] = w;
+        ++i;
+        if (val(w.blocker) == Lbool::False) {
+          while (i < n) wd[j++] = wd[i++];
+          ws.resize(j);
+          qhead_ = trail_.size();
+          return cref;
+        }
+        enqueue(w.blocker, cref);
         continue;
       }
+      Clause c = arena_[w.clause];
+      if (c.deleted()) {
+        ++i;  // drop lazily
+        continue;
+      }
+      const Lit false_lit = ~p;
+      ++i;
+      // Satisfied-by-the-other-watch is the common revisit during
+      // enumeration; test it before normalizing the slot order so that
+      // path never dirties the clause's cache line.
+      const Lit other = c[0] == false_lit ? c[1] : c[0];
+      if (val(other) == Lbool::True) {
+        wd[j++] = Watcher{w.clause, other};
+        continue;
+      }
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      assert(c[1] == false_lit);
       bool moved = false;
-      for (std::size_t k = 2; k < c.size(); ++k) {
-        if (value(c[k]) != Lbool::False) {
+      const std::size_t size = c.size();
+      for (std::size_t k = 2; k < size; ++k) {
+        if (val(c[k]) != Lbool::False) {
           std::swap(c[1], c[k]);
-          watches_[(~c[1]).index()].push_back(Watcher{w.clause, c[0]});
+          lists[(~c[1]).index()].push_back(Watcher{w.clause, c[0]});
           moved = true;
           break;
         }
       }
       if (moved) continue;
       // Clause is unit or conflicting.
-      ws[j++] = Watcher{w.clause, c[0]};
-      if (value(c[0]) == Lbool::False) {
-        while (i < n) ws[j++] = ws[i++];
+      wd[j++] = Watcher{w.clause, c[0]};
+      if (val(c[0]) == Lbool::False) {
+        while (i < n) wd[j++] = wd[i++];
         ws.resize(j);
         qhead_ = trail_.size();
         return w.clause;
@@ -200,46 +247,49 @@ Clause* Solver::propagate_clauses() {
     }
     ws.resize(j);
   }
-  return nullptr;
+  return kClauseRefUndef;
 }
 
-Clause* Solver::propagate_fixpoint() {
+ClauseRef Solver::propagate_fixpoint() {
   for (;;) {
-    if (pending_conflict_ != nullptr) {
-      Clause* pc = std::exchange(pending_conflict_, nullptr);
+    if (pending_conflict_ != kClauseRefUndef) {
+      const ClauseRef pc = std::exchange(pending_conflict_, kClauseRefUndef);
       qhead_ = trail_.size();
       return pc;
     }
-    if (Clause* c = propagate_clauses(); c != nullptr) return c;
+    if (const ClauseRef c = propagate_clauses(); c != kClauseRefUndef) return c;
     const std::size_t before = trail_.size();
     for (auto* p : propagators_) {
       const bool ok = p->propagate(*this);
-      if (!ok || pending_conflict_ != nullptr) {
-        Clause* pc = std::exchange(pending_conflict_, nullptr);
+      if (!ok || pending_conflict_ != kClauseRefUndef) {
+        const ClauseRef pc = std::exchange(pending_conflict_, kClauseRefUndef);
         qhead_ = trail_.size();
-        return pc;  // may be nullptr when ok_ dropped to false
+        return pc;  // may be undef when ok_ dropped to false
       }
       if (trail_.size() != before) break;  // run BCP before the next theory
     }
-    if (trail_.size() == before) return nullptr;
+    if (trail_.size() == before) return kClauseRefUndef;
   }
 }
 
 std::uint32_t Solver::compute_lbd(std::span<const Lit> lits) {
+  // lbd_seen_ is sized num_vars + 1 and indexed by decision level directly
+  // (levels never exceed the variable count), so distinct levels can never
+  // alias and under-count the LBD.
   ++lbd_stamp_;
   std::uint32_t lbd = 0;
   for (const Lit l : lits) {
-    const std::uint32_t lv = level_[l.var()];
+    const std::uint32_t lv = vardata_[l.var()].level;
     if (lv == 0) continue;
-    if (lbd_seen_[lv % lbd_seen_.size()] != lbd_stamp_) {
-      lbd_seen_[lv % lbd_seen_.size()] = lbd_stamp_;
+    if (lbd_seen_[lv] != lbd_stamp_) {
+      lbd_seen_[lv] = lbd_stamp_;
       ++lbd;
     }
   }
   return lbd == 0 ? 1 : lbd;
 }
 
-void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt,
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
                      std::uint32_t& bt_level) {
   learnt.clear();
   learnt.push_back(kLitUndef);  // slot for the asserting literal
@@ -248,21 +298,28 @@ void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt,
 
   int counter = 0;
   Lit p = kLitUndef;
-  Clause* c = conflict;
+  ClauseRef cref = conflict;
   std::size_t index = trail_.size();
 
   do {
-    assert(c != nullptr);
-    if (c->learnt()) c->bump_activity(clause_inc_);
+    assert(cref != kClauseRefUndef);
+    Clause c = arena_[cref];
+    // Binary reasons enqueue the watcher blocker, which may be stored as
+    // c[1]; put the implied literal first so the skip below stays valid.
+    if (p != kLitUndef && c[0] != p) {
+      assert(c.size() == 2 && c[1] == p);
+      std::swap(c[0], c[1]);
+    }
+    if (c.learnt()) c.bump_activity(clause_inc_);
     const std::size_t start = (p == kLitUndef) ? 0 : 1;
-    for (std::size_t k = start; k < c->size(); ++k) {
-      const Lit q = (*c)[k];
+    for (std::size_t k = start; k < c.size(); ++k) {
+      const Lit q = c[k];
       const Var v = q.var();
-      if (seen_[v] != 0 || level_[v] == 0) continue;
+      if (seen_[v] != 0 || vardata_[v].level == 0) continue;
       seen_[v] = 1;
       to_clear.push_back(q);
       heuristic_.bump(v);
-      if (level_[v] == decision_level()) {
+      if (vardata_[v].level == decision_level()) {
         ++counter;
       } else {
         learnt.push_back(q);
@@ -271,7 +328,7 @@ void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt,
     while (seen_[trail_[--index].var()] == 0) {
     }
     p = trail_[index];
-    c = reason_[p.var()];
+    cref = vardata_[p.var()].reason;
     seen_[p.var()] = 0;
     --counter;
   } while (counter > 0);
@@ -293,19 +350,26 @@ void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt,
   } else {
     std::size_t max_i = 1;
     for (std::size_t i = 2; i < learnt.size(); ++i) {
-      if (level_[learnt[i].var()] > level_[learnt[max_i].var()]) max_i = i;
+      if (vardata_[learnt[i].var()].level > vardata_[learnt[max_i].var()].level)
+        max_i = i;
     }
     std::swap(learnt[1], learnt[max_i]);
-    bt_level = level_[learnt[1].var()];
+    bt_level = vardata_[learnt[1].var()].level;
   }
 }
 
 bool Solver::literal_redundant(Lit l) {
-  const Clause* r = reason_[l.var()];
-  if (r == nullptr) return false;
-  for (std::size_t k = 1; k < r->size(); ++k) {
-    const Lit q = (*r)[k];
-    if (level_[q.var()] != 0 && seen_[q.var()] == 0) return false;
+  const ClauseRef rref = vardata_[l.var()].reason;
+  if (rref == kClauseRefUndef) return false;
+  Clause r = arena_[rref];
+  // Binary reasons may carry the implied literal in slot 1 (see analyze).
+  if (r[0].var() != l.var()) {
+    assert(r.size() == 2 && r[1].var() == l.var());
+    std::swap(r[0], r[1]);
+  }
+  for (std::size_t k = 1; k < r.size(); ++k) {
+    const Lit q = r[k];
+    if (vardata_[q.var()].level != 0 && seen_[q.var()] == 0) return false;
   }
   return true;
 }
@@ -316,15 +380,16 @@ void Solver::record_learnt(std::vector<Lit> learnt, std::uint32_t bt_level) {
   if (proof_ != nullptr) proof_->learnt_clause(learnt);
   if (learnt.size() == 1) {
     assert(bt_level == 0);
-    enqueue(learnt[0], nullptr);
+    enqueue(learnt[0], kClauseRefUndef);
     return;
   }
-  Clause* c = allocate(std::move(learnt), /*learnt=*/true);
-  c->set_lbd(compute_lbd(c->lits()));
-  c->bump_activity(clause_inc_);
-  attach(c);
-  learnt_clauses_.push_back(c);
-  enqueue((*c)[0], c);
+  const ClauseRef cref = allocate(learnt, /*learnt=*/true);
+  Clause c = arena_[cref];
+  c.set_lbd(compute_lbd(c.lits()));
+  c.bump_activity(clause_inc_);
+  attach(cref);
+  learnt_clauses_.push_back(cref);
+  enqueue(c[0], cref);
 }
 
 void Solver::cancel_until(std::uint32_t target_level) {
@@ -335,7 +400,7 @@ void Solver::cancel_until(std::uint32_t target_level) {
     const Var v = l.var();
     if (options_.phase_saving) phase_[v] = l.positive() ? 1 : 0;
     assign_[v] = Lbool::Undef;
-    reason_[v] = nullptr;
+    vardata_[v].reason = kClauseRefUndef;
     heuristic_.insert(v);
   }
   trail_.resize(new_size);
@@ -354,34 +419,85 @@ Lit Solver::pick_branch_literal() {
   }
 }
 
-bool Solver::is_locked(const Clause* c) const {
-  const Lit l = (*c)[0];
-  return reason_[l.var()] == c && value(l) != Lbool::Undef;
+bool Solver::is_locked(ClauseRef cref) const {
+  const Clause c = arena_[cref];
+  const Lit l = c[0];
+  if (vardata_[l.var()].reason == cref && value(l) != Lbool::Undef) return true;
+  // A binary clause can be the reason of either of its literals (the
+  // watcher enqueues the blocker without reordering the stored clause).
+  if (c.size() == 2) {
+    const Lit o = c[1];
+    return vardata_[o.var()].reason == cref && value(o) != Lbool::Undef;
+  }
+  return false;
 }
 
 void Solver::reduce_learnt_db() {
   std::sort(learnt_clauses_.begin(), learnt_clauses_.end(),
-            [](const Clause* a, const Clause* b) {
-              if (a->lbd() != b->lbd()) return a->lbd() > b->lbd();
-              return a->activity() < b->activity();
+            [this](ClauseRef a, ClauseRef b) {
+              const Clause ca = arena_[a];
+              const Clause cb = arena_[b];
+              if (ca.lbd() != cb.lbd()) return ca.lbd() > cb.lbd();
+              return ca.activity() < cb.activity();
             });
   const std::size_t target = learnt_clauses_.size() / 2;
   std::size_t removed = 0;
   std::size_t out = 0;
   for (std::size_t i = 0; i < learnt_clauses_.size(); ++i) {
-    Clause* c = learnt_clauses_[i];
-    const bool keep = removed >= target || c->lbd() <= 2 || c->size() <= 2 ||
-                      is_locked(c);
+    const ClauseRef cref = learnt_clauses_[i];
+    const Clause c = arena_[cref];
+    const bool keep = removed >= target || c.lbd() <= 2 || c.size() <= 2 ||
+                      is_locked(cref);
     if (keep) {
-      learnt_clauses_[out++] = c;
+      learnt_clauses_[out++] = cref;
     } else {
-      c->mark_deleted();
-      if (proof_ != nullptr) proof_->delete_clause(c->lits());
+      if (proof_ != nullptr) proof_->delete_clause(c.lits());
+      arena_.free(cref);
       ++removed;
       ++stats_.deleted_clauses;
     }
   }
   learnt_clauses_.resize(out);
+  maybe_garbage_collect();
+}
+
+void Solver::maybe_garbage_collect() {
+  if (options_.gc_fraction <= 0.0) return;
+  const auto wasted = static_cast<double>(arena_.wasted_words());
+  const auto size = static_cast<double>(arena_.size_words());
+  if (size > 0.0 && wasted >= size * options_.gc_fraction) garbage_collect();
+}
+
+void Solver::garbage_collect() {
+  assert(pending_conflict_ == kClauseRefUndef);
+  ClauseArena to;
+  to.reserve(arena_.size_words() - arena_.wasted_words());
+
+  // Relocation order fixes the new layout: reasons first (they are the
+  // clauses locked by the current trail), then problem clauses, then the
+  // learnt database, then whatever only watchers still reference.  Within
+  // every list the relative order — and with it the search trajectory —
+  // is preserved exactly.
+  for (const Lit l : trail_) {
+    ClauseRef& r = vardata_[l.var()].reason;
+    if (r != kClauseRefUndef) arena_.reloc(r, to);
+  }
+  for (ClauseRef& cref : problem_clauses_) arena_.reloc(cref, to);
+  for (ClauseRef& cref : learnt_clauses_) arena_.reloc(cref, to);
+  for (auto& ws : watches_) {
+    std::size_t out = 0;
+    for (Watcher& w : ws) {
+      const ClauseRef tag = w.clause & kWatcherBinaryFlag;
+      ClauseRef cref = w.clause & ~kWatcherBinaryFlag;
+      // Watchers of clauses dropped by reduce_learnt_db die with the copy.
+      if (!arena_.reloc_if_alive(cref, to)) continue;
+      w.clause = cref | tag;
+      ws[out++] = w;
+    }
+    ws.resize(out);
+  }
+  swap(arena_, to);
+  ++stats_.arena_gcs;
 }
 
 std::uint64_t Solver::luby(std::uint64_t i) noexcept {
@@ -430,14 +546,14 @@ Solver::Result Solver::search(std::span<const Lit> assumptions,
       cancel_until(0);
       return Result::Unknown;
     }
-    Clause* conflict = propagate_fixpoint();
+    const ClauseRef conflict = propagate_fixpoint();
     if (!ok_) return Result::Unsat;
-    if (conflict != nullptr) {
+    if (conflict != kClauseRefUndef) {
       ++stats_.conflicts;
       ++conflicts_this_round;
       std::uint32_t max_level = 0;
-      for (const Lit l : conflict->lits()) {
-        max_level = std::max(max_level, level_[l.var()]);
+      for (const Lit l : arena_[conflict].lits()) {
+        max_level = std::max(max_level, vardata_[l.var()].level);
       }
       if (max_level == 0) {
         ok_ = false;
@@ -451,8 +567,14 @@ Solver::Result Solver::search(std::span<const Lit> assumptions,
       heuristic_.decay();
       clause_inc_ *= 1.0F / 0.999F;
       if (clause_inc_ > 1e20F) {
-        for (Clause* c : learnt_clauses_) c->scale_activity(1e-20F);
+        for (const ClauseRef cref : learnt_clauses_) {
+          arena_[cref].scale_activity(1e-20F);
+        }
         clause_inc_ *= 1e-20F;
+      }
+      if (options_.gc_every_conflicts != 0 &&
+          stats_.conflicts % options_.gc_every_conflicts == 0) {
+        garbage_collect();
       }
       continue;
     }
@@ -478,7 +600,7 @@ Solver::Result Solver::search(std::span<const Lit> assumptions,
         return Result::Unsat;  // conflicts with the assumptions
       }
       new_decision_level();
-      if (value(a) == Lbool::Undef) enqueue(a, nullptr);
+      if (value(a) == Lbool::Undef) enqueue(a, kClauseRefUndef);
       continue;
     }
 
@@ -492,7 +614,7 @@ Solver::Result Solver::search(std::span<const Lit> assumptions,
           rejected = true;
           break;
         }
-        if (pending_conflict_ != nullptr) {
+        if (pending_conflict_ != kClauseRefUndef) {
           rejected = true;
           break;
         }
@@ -506,7 +628,7 @@ Solver::Result Solver::search(std::span<const Lit> assumptions,
     }
     ++stats_.decisions;
     new_decision_level();
-    enqueue(next, nullptr);
+    enqueue(next, kClauseRefUndef);
   }
 }
 

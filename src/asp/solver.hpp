@@ -10,7 +10,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <span>
 #include <vector>
@@ -35,6 +34,7 @@ struct SolverStats {
   std::uint64_t theory_clauses = 0;
   std::uint64_t theory_conflicts = 0;
   std::uint64_t models = 0;
+  std::uint64_t arena_gcs = 0;  ///< clause-arena compactions
 
   /// Accumulate another solver's counters (parallel portfolio reporting).
   void merge(const SolverStats& other) noexcept {
@@ -47,6 +47,7 @@ struct SolverStats {
     theory_clauses += other.theory_clauses;
     theory_conflicts += other.theory_conflicts;
     models += other.models;
+    arena_gcs += other.arena_gcs;
   }
 };
 
@@ -67,6 +68,15 @@ struct SolverOptions {
   /// every search step; when it reads true, solve() returns Unknown.  The
   /// pointee must outlive every solve() call.
   const std::atomic<bool>* stop = nullptr;
+  /// Compact the clause arena once at least this fraction of it is dead
+  /// space left behind by reduce_learnt_db.  Compaction relocates the
+  /// surviving clauses and rewrites all watchers/reasons; it never changes
+  /// the search trajectory.  <= 0 disables compaction entirely.
+  double gc_fraction = 0.25;
+  /// Testing/diagnostics: additionally force a compaction every N
+  /// conflicts (0 = wasted-fraction trigger only).  Search results, stats
+  /// and proof streams are identical for every value.
+  std::uint32_t gc_every_conflicts = 0;
 };
 
 class Solver {
@@ -115,7 +125,9 @@ class Solver {
   [[nodiscard]] std::uint32_t decision_level() const noexcept {
     return static_cast<std::uint32_t>(trail_lim_.size());
   }
-  [[nodiscard]] std::uint32_t level(Var v) const noexcept { return level_[v]; }
+  [[nodiscard]] std::uint32_t level(Var v) const noexcept {
+    return vardata_[v].level;
+  }
 
   // ---- model access (after Result::Sat) ----------------------------------
 
@@ -167,35 +179,44 @@ class Solver {
  private:
   // search machinery
   Result search(std::span<const Lit> assumptions, const util::Deadline* deadline);
-  [[nodiscard]] Clause* propagate_fixpoint();
-  [[nodiscard]] Clause* propagate_clauses();
-  void analyze(Clause* conflict, std::vector<Lit>& learnt, std::uint32_t& bt_level);
+  [[nodiscard]] ClauseRef propagate_fixpoint();
+  [[nodiscard]] ClauseRef propagate_clauses();
+  void analyze(ClauseRef conflict, std::vector<Lit>& learnt, std::uint32_t& bt_level);
   [[nodiscard]] bool literal_redundant(Lit l);
   void record_learnt(std::vector<Lit> learnt, std::uint32_t bt_level);
-  void enqueue(Lit l, Clause* reason);
+  void enqueue(Lit l, ClauseRef reason);
   void cancel_until(std::uint32_t target_level);
   void new_decision_level() { trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size())); }
   [[nodiscard]] Lit pick_branch_literal();
   void reduce_learnt_db();
-  void attach(Clause* c);
+  void maybe_garbage_collect();
+  void garbage_collect();
+  void attach(ClauseRef cref);
   [[nodiscard]] std::uint32_t compute_lbd(std::span<const Lit> lits);
-  [[nodiscard]] bool is_locked(const Clause* c) const;
+  [[nodiscard]] bool is_locked(ClauseRef cref) const;
   [[nodiscard]] static std::uint64_t luby(std::uint64_t i) noexcept;
 
-  // clause arena: deque gives stable addresses
-  Clause* allocate(std::vector<Lit> lits, bool learnt);
+  /// Allocate a clause in the arena (literals are copied inline).
+  ClauseRef allocate(std::span<const Lit> lits, bool learnt);
 
   SolverOptions options_;
   SolverStats stats_;
 
-  std::deque<Clause> arena_;
-  std::vector<Clause*> problem_clauses_;
-  std::vector<Clause*> learnt_clauses_;
+  ClauseArena arena_;
+  std::vector<ClauseRef> problem_clauses_;
+  std::vector<ClauseRef> learnt_clauses_;
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index of the *falsified* literal
 
+  /// Reason and decision level of a variable, packed into 8 bytes so
+  /// enqueue and conflict analysis touch one cache line per variable
+  /// instead of two (MiniSat's VarData layout).
+  struct VarData {
+    ClauseRef reason = kClauseRefUndef;
+    std::uint32_t level = 0;
+  };
+
   std::vector<Lbool> assign_;
-  std::vector<std::uint32_t> level_;
-  std::vector<Clause*> reason_;
+  std::vector<VarData> vardata_;
   std::vector<Lit> trail_;
   std::vector<std::uint32_t> trail_lim_;
   std::size_t qhead_ = 0;
@@ -207,7 +228,7 @@ class Solver {
   std::vector<Lit> minimize_stack_;
 
   std::vector<TheoryPropagator*> propagators_;
-  Clause* pending_conflict_ = nullptr;
+  ClauseRef pending_conflict_ = kClauseRefUndef;
   ProofLog* proof_ = nullptr;
 
   std::vector<Lbool> model_;
