@@ -30,6 +30,8 @@
 //                                    (no literals = global unsatisfiability)
 //   M  0                             model accepted (marker)
 //   F  <k> <v>* 0                    feasible objective vector published
+//   X  0                             stream truncated (budget/interrupt);
+//                                    everything above remains checkable
 #pragma once
 
 #include <cstdint>
@@ -84,6 +86,10 @@ class ProofLog {
   }
   void sat_marker() { buf_ += "M 0\n"; }
   void feasible_point(std::span<const std::int64_t> point);
+  /// Honest label for a proof cut short by a budget trip or interrupt: the
+  /// prefix stays verifiable step by step, but no Unsat conclusion (and
+  /// hence no completeness claim) can follow.
+  void truncation_marker() { buf_ += "X 0\n"; }
 
   [[nodiscard]] const std::string& text() const noexcept { return buf_; }
   [[nodiscard]] std::size_t size_bytes() const noexcept { return buf_.size(); }

@@ -538,6 +538,7 @@ Solver::Result Solver::search(std::span<const Lit> assumptions,
       options_.restart_base * luby(restart_round + 1);
   std::uint64_t conflicts_this_round = 0;
   std::vector<Lit> learnt;
+  if (options_.monitor != nullptr) options_.monitor->poll(stats_);
 
   for (;;) {
     if ((deadline != nullptr && deadline->expired()) ||
@@ -576,6 +577,10 @@ Solver::Result Solver::search(std::span<const Lit> assumptions,
           stats_.conflicts % options_.gc_every_conflicts == 0) {
         garbage_collect();
       }
+      if (options_.monitor != nullptr &&
+          stats_.conflicts % options_.monitor_interval == 0) {
+        options_.monitor->poll(stats_);
+      }
       continue;
     }
 
@@ -586,6 +591,7 @@ Solver::Result Solver::search(std::span<const Lit> assumptions,
       conflict_budget = options_.restart_base * luby(restart_round + 1);
       conflicts_this_round = 0;
       cancel_until(0);
+      if (options_.monitor != nullptr) options_.monitor->poll(stats_);
       continue;
     }
     if (static_cast<double>(learnt_clauses_.size()) > max_learnts_) {

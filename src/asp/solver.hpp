@@ -51,6 +51,18 @@ struct SolverStats {
   }
 };
 
+/// Off-hot-path observer of a running search.  The solver calls poll() at
+/// solve() entry, at every restart, and every SolverOptions::monitor_interval
+/// conflicts — frequently enough to enforce resource budgets with sub-second
+/// latency, rarely enough that the poll may take locks or syscalls.  A
+/// monitor typically accounts conflicts against a shared budget and trips
+/// the solver's stop token, making the current solve() return Unknown.
+class SearchMonitor {
+ public:
+  virtual ~SearchMonitor() = default;
+  virtual void poll(const SolverStats& stats) = 0;
+};
+
 struct SolverOptions {
   double var_decay = 0.95;
   std::uint32_t restart_base = 100;   ///< Luby unit, in conflicts.
@@ -77,6 +89,13 @@ struct SolverOptions {
   /// conflicts (0 = wasted-fraction trigger only).  Search results, stats
   /// and proof streams are identical for every value.
   std::uint32_t gc_every_conflicts = 0;
+  /// Optional resource monitor, polled off the hot path (see SearchMonitor).
+  /// The pointee must outlive every solve() call.  Monitors observe the
+  /// search; they never alter its trajectory.
+  SearchMonitor* monitor = nullptr;
+  /// Conflicts between two monitor polls (also polled at solve() entry and
+  /// at every restart).  Must be non-zero.
+  std::uint32_t monitor_interval = 1024;
 };
 
 class Solver {

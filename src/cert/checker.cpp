@@ -521,6 +521,12 @@ CheckResult Checker::run(std::string_view proof) {
       if (lits.empty()) result_.concluded_global_unsat = true;
     } else if (kind == "M") {
       // model marker — nothing to verify on the proof side
+    } else if (kind == "X") {
+      std::int64_t zero = 0;
+      if (!line.integer(zero) || zero != 0) {
+        return fail("malformed truncation marker");
+      }
+      result_.truncated = true;
     } else if (kind == "F") {
       std::int64_t k = 0;
       if (!line.integer(k) || k < 0) return fail("malformed feasible point");

@@ -43,6 +43,10 @@ struct CheckResult {
   bool ok = false;
   /// The stream contains a verified assumption-free Unsat conclusion.
   bool concluded_global_unsat = false;
+  /// The stream carries an `X` truncation marker: a budget trip or
+  /// interrupt cut the session short.  The replayed prefix is still sound,
+  /// but completeness claims must not be made from this stream.
+  bool truncated = false;
   std::size_t input_clauses = 0;
   std::size_t learnt_clauses = 0;
   std::size_t theory_lemmas = 0;

@@ -1,0 +1,48 @@
+#include "dse/budget.hpp"
+
+#include <sys/resource.h>
+
+namespace aspmt::dse {
+
+const char* to_string(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::Completed: return "completed";
+    case StopReason::Deadline: return "deadline";
+    case StopReason::Conflicts: return "conflicts";
+    case StopReason::Memory: return "memory";
+    case StopReason::Interrupted: return "interrupted";
+    case StopReason::WorkerFailure: return "worker-failure";
+  }
+  return "unknown";
+}
+
+long peak_rss_mb() noexcept {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1;
+#ifdef __APPLE__
+  return usage.ru_maxrss / (1024 * 1024);  // bytes on macOS
+#else
+  return usage.ru_maxrss / 1024;  // KiB on Linux
+#endif
+}
+
+void Budget::poll() noexcept {
+  if (stop_.load(std::memory_order_relaxed)) return;  // already stopping
+  if (deadline_.expired()) {
+    trip(StopReason::Deadline);
+    return;
+  }
+  if (limits_.conflicts != 0 &&
+      conflicts_.load(std::memory_order_relaxed) >= limits_.conflicts) {
+    trip(StopReason::Conflicts);
+    return;
+  }
+  if (limits_.memory_mb != 0) {
+    const long rss = peak_rss_mb();
+    if (rss >= 0 && static_cast<std::size_t>(rss) >= limits_.memory_mb) {
+      trip(StopReason::Memory);
+    }
+  }
+}
+
+}  // namespace aspmt::dse

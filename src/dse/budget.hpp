@@ -1,0 +1,155 @@
+// Resource governance and cooperative cancellation for exploration runs.
+//
+// A Budget bundles every resource ceiling of a run — wall-clock deadline,
+// total conflict budget, peak-RSS ceiling — behind one lock-free stop token
+// plus a structured StopReason.  Explorers hand the token to their solvers
+// (SolverOptions::stop) and poll the ceilings off the hot path through the
+// solver's SearchMonitor hook; signal handlers and peer threads trip the
+// same token asynchronously.  The first recorded reason wins, so a run that
+// hits its deadline while a SIGINT is in flight reports exactly one honest
+// cause of death.
+//
+// All mutating entry points are async-signal-safe (atomics only, no locks,
+// no allocation): interrupt() may be called directly from a SIGINT/SIGTERM
+// handler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "asp/solver.hpp"
+#include "dse/fault.hpp"
+#include "util/timer.hpp"
+
+namespace aspmt::dse {
+
+/// Why an exploration run stopped.  `Completed` means the front was proven
+/// exact; everything else labels a partial (but still valid) front.
+enum class StopReason : std::uint8_t {
+  Completed = 0,   ///< search space exhausted, front proven exact
+  Deadline,        ///< wall-clock budget spent
+  Conflicts,       ///< total conflict budget spent
+  Memory,          ///< peak RSS crossed the configured ceiling
+  Interrupted,     ///< external cancellation (SIGINT/SIGTERM or API)
+  WorkerFailure,   ///< a worker died; surviving workers finished the run
+};
+
+[[nodiscard]] const char* to_string(StopReason reason) noexcept;
+
+struct BudgetLimits {
+  double wall_seconds = 0.0;     ///< <= 0 = unlimited
+  std::uint64_t conflicts = 0;   ///< 0 = unlimited, total across all workers
+  std::size_t memory_mb = 0;     ///< 0 = unlimited; ceiling on peak RSS
+};
+
+/// Current peak RSS of this process in MiB, or -1 when unavailable.
+[[nodiscard]] long peak_rss_mb() noexcept;
+
+/// Shared cancellation token + resource governor for one exploration run.
+/// Thread-safe; one instance is shared by every worker of a portfolio.
+class Budget {
+ public:
+  Budget() = default;
+  explicit Budget(const BudgetLimits& limits)
+      : limits_(limits), deadline_(limits.wall_seconds) {}
+
+  Budget(const Budget&) = delete;
+  Budget& operator=(const Budget&) = delete;
+
+  /// Trip the token, recording `reason` unless another reason won the race.
+  /// Async-signal-safe.
+  void trip(StopReason reason) noexcept {
+    std::uint8_t expected = kUntripped;
+    reason_.compare_exchange_strong(expected,
+                                    static_cast<std::uint8_t>(reason),
+                                    std::memory_order_acq_rel);
+    stop_.store(true, std::memory_order_release);
+  }
+
+  /// External cancellation (the signal-handler entry point).
+  void interrupt() noexcept { trip(StopReason::Interrupted); }
+
+  /// Stop every worker without recording a failure — used when a worker
+  /// completes the search and peers merely need to wind down.
+  void request_stop() noexcept { stop_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool tripped() const noexcept {
+    return reason_.load(std::memory_order_acquire) != kUntripped;
+  }
+
+  /// Account `delta` further solver conflicts toward the shared budget.
+  void add_conflicts(std::uint64_t delta) noexcept {
+    if (delta != 0) conflicts_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t conflicts() const noexcept {
+    return conflicts_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-check every ceiling and trip the token on the first violation.
+  /// Called off the hot path (solver restarts / every ~1k conflicts).
+  void poll() noexcept;
+
+  /// The deadline solvers poll each search step (tighter latency than the
+  /// monitor cadence).  Unlimited when wall_seconds <= 0.
+  [[nodiscard]] const util::Deadline* deadline() const noexcept {
+    return &deadline_;
+  }
+  /// The token for SolverOptions::stop.
+  [[nodiscard]] const std::atomic<bool>* token() const noexcept {
+    return &stop_;
+  }
+  [[nodiscard]] const BudgetLimits& limits() const noexcept { return limits_; }
+
+  /// Classify the run after the fact.  `completed` (front proven exact)
+  /// wins over any trip; an un-tripped stop falls back to the deadline
+  /// check, then to Interrupted (externally stopped without a reason).
+  [[nodiscard]] StopReason finish(bool completed) const noexcept {
+    if (completed) return StopReason::Completed;
+    const std::uint8_t r = reason_.load(std::memory_order_acquire);
+    if (r != kUntripped) return static_cast<StopReason>(r);
+    if (deadline_.expired()) return StopReason::Deadline;
+    return StopReason::Interrupted;
+  }
+
+ private:
+  static constexpr std::uint8_t kUntripped = 0xFF;
+
+  BudgetLimits limits_;
+  util::Deadline deadline_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint8_t> reason_{kUntripped};
+  std::atomic<std::uint64_t> conflicts_{0};
+};
+
+/// Per-solver adapter between the solver's SearchMonitor hook and a shared
+/// Budget: forwards conflict deltas, runs the ceiling poll, and hosts the
+/// injected-deadline fault point.  One instance per worker (not shared).
+class BudgetMonitor final : public asp::SearchMonitor {
+ public:
+  explicit BudgetMonitor(Budget* budget, const FaultPlan* fault = nullptr,
+                         FaultState* state = nullptr)
+      : budget_(budget), fault_(fault), state_(state) {}
+
+  void poll(const asp::SolverStats& stats) override {
+    budget_->add_conflicts(stats.conflicts - last_conflicts_);
+    last_conflicts_ = stats.conflicts;
+    if (fault_ != nullptr && state_ != nullptr &&
+        fault_->deadline_after_polls != 0 &&
+        state_->polls.fetch_add(1, std::memory_order_relaxed) + 1 >=
+            fault_->deadline_after_polls) {
+      budget_->trip(StopReason::Deadline);  // deadline expiry mid-propagation
+    }
+    budget_->poll();
+  }
+
+ private:
+  Budget* budget_;
+  const FaultPlan* fault_;
+  FaultState* state_;
+  std::uint64_t last_conflicts_ = 0;
+};
+
+}  // namespace aspmt::dse

@@ -1,0 +1,314 @@
+#include "dse/checkpoint.hpp"
+
+#include <unistd.h>
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "synth/specio.hpp"
+
+namespace aspmt::dse {
+namespace {
+
+constexpr std::string_view kHeader = "aspmt-ckpt 1";
+
+std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Whitespace-separated integer scanner over one line.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view line) : line_(line) {}
+
+  bool word(std::string_view& out) {
+    skip();
+    if (pos_ >= line_.size()) return false;
+    const std::size_t start = pos_;
+    while (pos_ < line_.size() && line_[pos_] != ' ') ++pos_;
+    out = line_.substr(start, pos_ - start);
+    return true;
+  }
+
+  template <typename T>
+  bool integer(T& out) {
+    std::string_view tok;
+    if (!word(tok)) return false;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), out);
+    return res.ec == std::errc{} && res.ptr == tok.data() + tok.size();
+  }
+
+  bool done() {
+    skip();
+    return pos_ >= line_.size();
+  }
+
+ private:
+  void skip() {
+    while (pos_ < line_.size() && line_[pos_] == ' ') ++pos_;
+  }
+  std::string_view line_;
+  std::size_t pos_ = 0;
+};
+
+void append_witness(std::ostringstream& out, const synth::Implementation& w) {
+  if (w.option_of_task.empty()) {  // missing-witness sentinel
+    out << "w -\n";
+    return;
+  }
+  out << "w " << w.option_of_task.size();
+  for (const std::size_t o : w.option_of_task) out << ' ' << o;
+  for (const synth::ResourceId r : w.binding) out << ' ' << r;
+  for (const std::int64_t s : w.start) out << ' ' << s;
+  out << ' ' << w.route.size();
+  for (const auto& route : w.route) {
+    out << ' ' << route.size();
+    for (const synth::LinkId l : route) out << ' ' << l;
+  }
+  out << ' ' << w.latency << ' ' << w.energy << ' ' << w.cost << '\n';
+}
+
+std::string parse_witness(Scanner& sc, synth::Implementation& w) {
+  std::string_view first;
+  if (!sc.word(first)) return "truncated witness line";
+  if (first == "-") return "";  // missing witness
+  std::size_t tasks = 0;
+  {
+    const auto res =
+        std::from_chars(first.data(), first.data() + first.size(), tasks);
+    if (res.ec != std::errc{} || res.ptr != first.data() + first.size() ||
+        tasks == 0) {
+      return "malformed witness task count";
+    }
+  }
+  w.option_of_task.resize(tasks);
+  w.binding.resize(tasks);
+  w.start.resize(tasks);
+  for (auto& v : w.option_of_task) {
+    if (!sc.integer(v)) return "malformed witness options";
+  }
+  for (auto& v : w.binding) {
+    if (!sc.integer(v)) return "malformed witness binding";
+  }
+  for (auto& v : w.start) {
+    if (!sc.integer(v)) return "malformed witness schedule";
+  }
+  std::size_t routes = 0;
+  if (!sc.integer(routes)) return "malformed witness route count";
+  w.route.resize(routes);
+  for (auto& route : w.route) {
+    std::size_t len = 0;
+    if (!sc.integer(len)) return "malformed witness route";
+    route.resize(len);
+    for (auto& l : route) {
+      if (!sc.integer(l)) return "malformed witness route";
+    }
+  }
+  if (!sc.integer(w.latency) || !sc.integer(w.energy) || !sc.integer(w.cost) ||
+      !sc.done()) {
+    return "malformed witness objectives";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::uint64_t spec_fingerprint(const synth::Specification& spec) {
+  return fnv1a(synth::to_text(spec));
+}
+
+std::string to_text(const Checkpoint& ckpt) {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  out << "spec " << ckpt.spec_fingerprint << '\n';
+  out << "seed " << ckpt.seed << '\n';
+  out << "elapsed-ms " << ckpt.elapsed_ms << '\n';
+  out << "points " << ckpt.points.size() << '\n';
+  for (const pareto::Vec& p : ckpt.points) {
+    out << "p " << p.size();
+    for (const std::int64_t v : p) out << ' ' << v;
+    out << '\n';
+  }
+  if (!ckpt.witnesses.empty()) {
+    for (const synth::Implementation& w : ckpt.witnesses) {
+      append_witness(out, w);
+    }
+  }
+  std::string payload = out.str();
+  payload += "end ";
+  payload += std::to_string(fnv1a(std::string_view(payload)));
+  payload += '\n';
+  return payload;
+}
+
+std::string parse_checkpoint(std::string_view text, Checkpoint& out) {
+  out = Checkpoint{};
+  // Split off and verify the checksum trailer first: any bit flip anywhere
+  // above it is caught before structural parsing begins.
+  const std::size_t end_pos = text.rfind("end ");
+  if (end_pos == std::string_view::npos ||
+      (end_pos != 0 && text[end_pos - 1] != '\n')) {
+    return "checkpoint: missing checksum trailer";
+  }
+  {
+    Scanner sc(text.substr(end_pos + 4,
+                           text.find('\n', end_pos) == std::string_view::npos
+                               ? std::string_view::npos
+                               : text.find('\n', end_pos) - end_pos - 4));
+    std::uint64_t stated = 0;
+    if (!sc.integer(stated) || !sc.done()) {
+      return "checkpoint: malformed checksum";
+    }
+    const std::uint64_t actual = fnv1a(text.substr(0, end_pos + 4));
+    if (stated != actual) return "checkpoint: checksum mismatch";
+  }
+  std::string_view body = text.substr(0, end_pos);
+
+  std::size_t line_no = 0;
+  std::size_t declared_points = 0;
+  bool saw_header = false;
+  bool counts_seen = false;
+  while (!body.empty()) {
+    const std::size_t nl = body.find('\n');
+    std::string_view line = body.substr(0, nl);
+    body = nl == std::string_view::npos ? std::string_view{}
+                                        : body.substr(nl + 1);
+    ++line_no;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kHeader) return "checkpoint: bad header";
+      saw_header = true;
+      continue;
+    }
+    Scanner sc(line);
+    std::string_view kind;
+    if (!sc.word(kind)) continue;
+    if (kind == "spec") {
+      if (!sc.integer(out.spec_fingerprint) || !sc.done()) {
+        return "checkpoint: malformed spec fingerprint";
+      }
+    } else if (kind == "seed") {
+      if (!sc.integer(out.seed) || !sc.done()) {
+        return "checkpoint: malformed seed";
+      }
+    } else if (kind == "elapsed-ms") {
+      if (!sc.integer(out.elapsed_ms) || !sc.done()) {
+        return "checkpoint: malformed elapsed time";
+      }
+    } else if (kind == "points") {
+      if (!sc.integer(declared_points) || !sc.done()) {
+        return "checkpoint: malformed point count";
+      }
+      counts_seen = true;
+    } else if (kind == "p") {
+      std::size_t dims = 0;
+      if (!sc.integer(dims) || dims == 0 || dims > 16) {
+        return "checkpoint: malformed point";
+      }
+      pareto::Vec p(dims);
+      for (auto& v : p) {
+        if (!sc.integer(v)) return "checkpoint: malformed point";
+      }
+      if (!sc.done()) return "checkpoint: malformed point";
+      out.points.push_back(std::move(p));
+    } else if (kind == "w") {
+      synth::Implementation w;
+      const std::string err = parse_witness(sc, w);
+      if (!err.empty()) return "checkpoint: " + err;
+      out.witnesses.push_back(std::move(w));
+    } else {
+      return "checkpoint: unknown line kind '" + std::string(kind) + "'";
+    }
+  }
+  if (!saw_header) return "checkpoint: empty file";
+  if (!counts_seen || out.points.size() != declared_points) {
+    return "checkpoint: point count mismatch";
+  }
+  if (!out.witnesses.empty() && out.witnesses.size() != out.points.size()) {
+    return "checkpoint: witness count mismatch";
+  }
+  // Structural invariants: sorted lexicographically, uniform dimension,
+  // mutually non-dominated, witness objectives matching their points.
+  for (std::size_t i = 0; i < out.points.size(); ++i) {
+    if (out.points[i].size() != out.points.front().size()) {
+      return "checkpoint: inconsistent point dimensions";
+    }
+    if (i > 0 && !(out.points[i - 1] < out.points[i])) {
+      return "checkpoint: points not sorted";
+    }
+    for (std::size_t j = 0; j < out.points.size(); ++j) {
+      if (i != j && pareto::weakly_dominates(out.points[j], out.points[i])) {
+        return "checkpoint: points not mutually non-dominated";
+      }
+    }
+    if (!out.witnesses.empty() && !out.witnesses[i].option_of_task.empty()) {
+      const synth::Implementation& w = out.witnesses[i];
+      if (w.binding.size() != w.option_of_task.size() ||
+          w.start.size() != w.option_of_task.size()) {
+        return "checkpoint: witness shape mismatch";
+      }
+      if (w.objectives() != out.points[i]) {
+        return "checkpoint: witness objectives do not match point";
+      }
+    }
+  }
+  return "";
+}
+
+std::string save_checkpoint(const Checkpoint& ckpt, const std::string& path,
+                            bool inject_corruption) {
+  std::string text = to_text(ckpt);
+  if (inject_corruption && text.size() > 20) {
+    text[text.size() / 2] ^= 0x20;  // damage the payload post-checksum
+  }
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return "checkpoint: cannot open '" + tmp + "' for writing";
+    out << text;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return "checkpoint: write to '" + tmp + "' failed";
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return "checkpoint: rename to '" + path + "' failed";
+  }
+  return "";
+}
+
+std::string load_checkpoint(const std::string& path, Checkpoint& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "checkpoint: cannot read '" + path + "'";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_checkpoint(buffer.str(), out);
+}
+
+std::string CheckpointWriter::write_if_due(const Checkpoint& ckpt) {
+  if (!due()) return "";
+  std::unique_lock lock(mutex_, std::try_to_lock);
+  if (!lock.owns_lock() || !due()) return "";  // another worker is writing
+  const std::string err = save_checkpoint(ckpt, path_, corrupt_);
+  timer_.restart();
+  return err;
+}
+
+std::string CheckpointWriter::write(const Checkpoint& ckpt) {
+  const std::lock_guard lock(mutex_);
+  const std::string err = save_checkpoint(ckpt, path_, corrupt_);
+  timer_.restart();
+  return err;
+}
+
+}  // namespace aspmt::dse

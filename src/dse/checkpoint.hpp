@@ -1,0 +1,101 @@
+// Archive checkpointing for long exploration runs.
+//
+// A checkpoint is a versioned, checksummed text snapshot of the best-known
+// front: the non-dominated points, one witness implementation per point
+// (when collected), the spec fingerprint that produced them, the base seed
+// and the elapsed wall time.  Snapshots are written atomically (tmp file +
+// rename) so a crash mid-write never leaves a torn file, and the loader
+// verifies the FNV-1a checksum plus the structural invariants (sorted,
+// mutually non-dominated, witness objectives matching their points) before
+// accepting anything — a corrupted checkpoint degrades to a cold start, it
+// never poisons a resumed run.
+//
+// Resuming seeds the explorer's archive with the checkpointed points before
+// search begins, so every region they weakly dominate is pruned from the
+// first propagation on.  Seeded points are ordinary feasible points to the
+// exactness argument: the final unconstrained Unsat still proves the
+// archive is the exact front.  Resumed runs are not certifiable (seeded
+// points carry no in-stream derivation) and say so.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pareto/point.hpp"
+#include "synth/implementation.hpp"
+#include "synth/spec.hpp"
+#include "util/timer.hpp"
+
+#include <mutex>
+
+namespace aspmt::dse {
+
+struct Checkpoint {
+  std::uint64_t spec_fingerprint = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t elapsed_ms = 0;  ///< cumulative across resumed segments
+  /// Mutually non-dominated, sorted lexicographically.
+  std::vector<pareto::Vec> points;
+  /// Parallel to `points`; an implementation with empty option_of_task
+  /// marks a missing witness.  May be empty when none were collected.
+  std::vector<synth::Implementation> witnesses;
+};
+
+/// FNV-1a fingerprint of the specification's canonical text form — resuming
+/// against a different spec is refused.
+[[nodiscard]] std::uint64_t spec_fingerprint(const synth::Specification& spec);
+
+/// Serialize to the `aspmt-ckpt 1` text format (checksum trailer included).
+[[nodiscard]] std::string to_text(const Checkpoint& ckpt);
+
+/// Parse and validate; returns "" on success, a diagnostic otherwise.
+[[nodiscard]] std::string parse_checkpoint(std::string_view text,
+                                           Checkpoint& out);
+
+/// Atomic write-rename.  Returns "" on success, a diagnostic otherwise.
+/// `inject_corruption` is the fault hook: the payload is damaged after the
+/// checksum was computed, so the loader must reject the file.
+[[nodiscard]] std::string save_checkpoint(const Checkpoint& ckpt,
+                                          const std::string& path,
+                                          bool inject_corruption = false);
+
+/// Load + parse_checkpoint.  Returns "" on success, a diagnostic otherwise.
+[[nodiscard]] std::string load_checkpoint(const std::string& path,
+                                          Checkpoint& out);
+
+/// Periodic snapshot governor shared by all workers of a run: write()
+/// serializes writers and enforces the interval, so publishing workers can
+/// call it opportunistically after every insert.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(std::string path, double interval_seconds,
+                   bool inject_corruption = false)
+      : path_(std::move(path)),
+        interval_(interval_seconds),
+        corrupt_(inject_corruption) {}
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Cheap pre-check: the interval elapsed since the last write.
+  [[nodiscard]] bool due() const noexcept {
+    return timer_.elapsed_seconds() >= interval_;
+  }
+
+  /// Write a periodic snapshot if due (re-checked under the writer lock).
+  /// Returns "" on success or when skipped, a diagnostic otherwise.
+  [[nodiscard]] std::string write_if_due(const Checkpoint& ckpt);
+
+  /// Unconditional final snapshot (end of run).
+  [[nodiscard]] std::string write(const Checkpoint& ckpt);
+
+ private:
+  std::string path_;
+  double interval_;
+  bool corrupt_;
+  std::mutex mutex_;
+  util::Timer timer_;
+};
+
+}  // namespace aspmt::dse

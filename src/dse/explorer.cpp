@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <map>
+#include <memory>
 
 #include "cert/certify.hpp"
+#include "dse/checkpoint.hpp"
 #include "dse/context.hpp"
 #include "util/timer.hpp"
 
@@ -12,7 +14,6 @@ namespace aspmt::dse {
 ExploreResult explore(const synth::Specification& spec,
                       const ExploreOptions& options) {
   util::Timer timer;
-  const util::Deadline deadline(options.time_limit_seconds);
 
   ExploreResult result;
   const bool certify = options.certify && options.epsilon.empty();
@@ -22,6 +23,22 @@ ExploreResult explore(const synth::Specification& spec,
   const bool collect = options.collect_witnesses || certify;
   asp::ProofLog proof_log;
 
+  // Resource governance: the caller's Budget wins; otherwise build one from
+  // the numeric limits.  Either way the solver polls the same token.
+  Budget local_budget(BudgetLimits{options.time_limit_seconds,
+                                   options.conflict_budget,
+                                   options.mem_limit_mb});
+  Budget* budget = options.budget != nullptr ? options.budget : &local_budget;
+
+  FaultPlan env_fault;
+  const FaultPlan* fault = options.fault;
+  if (fault == nullptr) {
+    env_fault = FaultPlan::from_env();
+    if (env_fault.any()) fault = &env_fault;
+  }
+  FaultState fstate;
+  BudgetMonitor monitor(budget, fault, &fstate);
+
   ContextOptions copts;
   copts.archive_kind = options.archive_kind;
   copts.partial_evaluation = options.partial_evaluation;
@@ -30,6 +47,8 @@ ExploreResult explore(const synth::Specification& spec,
   // the front is unchanged (floors are a pruning aid only).
   copts.objective_floors = certify ? false : options.objective_floors;
   copts.solver_options = options.solver_options;
+  copts.solver_options.stop = budget->token();
+  copts.solver_options.monitor = &monitor;
   if (certify) copts.proof = &proof_log;
   SynthContext ctx(spec, copts);
   if (!options.epsilon.empty()) {
@@ -39,53 +58,114 @@ ExploreResult explore(const synth::Specification& spec,
 
   std::map<pareto::Vec, synth::Implementation> witnesses;
 
-  bool out_of_time = false;
-  for (;;) {
-    const asp::Solver::Result r = ctx.solver.solve({}, &deadline);
-    if (r == asp::Solver::Result::Sat) {
-      ++result.stats.models;
-      pareto::Vec point = ctx.capture().vector();
-      // The dominance check already rejected weakly dominated candidates,
-      // so insertion must succeed.
-      const bool inserted = ctx.dominance().insert(point);
-      assert(inserted);
-      (void)inserted;
-      if (certify) proof_log.feasible_point(point);
-      result.discoveries.emplace_back(timer.elapsed_seconds(), point);
-      if (collect) {
-        witnesses[point] = ctx.capture().implementation();
-      }
-      // Drill down: chase strictly dominating points until none is left.
-      // The archive already blocks f >= point, so requiring f <= point
-      // leaves exactly the strictly-better region.
-      while (options.drill_down) {
-        const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
-        for (std::size_t o = 0; o < ctx.objectives.count(); ++o) {
-          ctx.objectives.add_bound(o, point[o], act);
-        }
-        const std::vector<asp::Lit> assume{act};
-        const asp::Solver::Result r2 = ctx.solver.solve(assume, &deadline);
-        if (r2 == asp::Solver::Result::Unknown) {
-          out_of_time = true;
-          break;
-        }
-        if (r2 == asp::Solver::Result::Unsat) break;  // point is Pareto-optimal
-        ++result.stats.models;
-        point = ctx.capture().vector();
-        const bool better = ctx.dominance().insert(point);
-        assert(better);
-        (void)better;
-        if (certify) proof_log.feasible_point(point);
-        result.discoveries.emplace_back(timer.elapsed_seconds(), point);
-        if (collect) {
-          witnesses[point] = ctx.capture().implementation();
+  // Warm start: seed the archive with the checkpointed front so every
+  // region it weakly dominates is pruned from the first propagation on.
+  std::uint64_t base_elapsed_ms = 0;
+  bool resumed = false;
+  if (options.resume != nullptr) {
+    if (options.resume->spec_fingerprint != spec_fingerprint(spec)) {
+      result.errors.push_back(
+          "resume rejected: checkpoint was written for a different "
+          "specification; starting cold");
+    } else {
+      const Checkpoint& ckpt = *options.resume;
+      for (std::size_t i = 0; i < ckpt.points.size(); ++i) {
+        ctx.dominance().insert(ckpt.points[i]);
+        if (collect && i < ckpt.witnesses.size() &&
+            !ckpt.witnesses[i].option_of_task.empty()) {
+          witnesses[ckpt.points[i]] = ckpt.witnesses[i];
         }
       }
-      if (out_of_time) break;
-      continue;
+      base_elapsed_ms = ckpt.elapsed_ms;
+      resumed = !ckpt.points.empty();
     }
-    result.stats.complete = (r == asp::Solver::Result::Unsat);
-    break;
+  }
+
+  std::unique_ptr<CheckpointWriter> ckpt_writer;
+  if (!options.checkpoint_path.empty()) {
+    ckpt_writer = std::make_unique<CheckpointWriter>(
+        options.checkpoint_path, options.checkpoint_interval_seconds,
+        fault != nullptr && fault->corrupt_checkpoint);
+  }
+  const auto snapshot = [&]() {
+    Checkpoint c;
+    c.spec_fingerprint = spec_fingerprint(spec);
+    c.seed = options.solver_options.seed;
+    c.elapsed_ms = base_elapsed_ms +
+                   static_cast<std::uint64_t>(timer.elapsed_ms());
+    c.points = ctx.archive().points();
+    if (collect) {
+      c.witnesses.reserve(c.points.size());
+      for (const pareto::Vec& p : c.points) {
+        const auto it = witnesses.find(p);
+        c.witnesses.push_back(it == witnesses.end() ? synth::Implementation{}
+                                                    : it->second);
+      }
+    }
+    return c;
+  };
+
+  const auto record = [&](const pareto::Vec& point) {
+    ++result.stats.models;
+    fault_worker_throw(fault, 0, result.stats.models);
+    if (certify) proof_log.feasible_point(point);
+    result.discoveries.emplace_back(timer.elapsed_seconds(), point);
+    if (collect) {
+      fault_alloc(fault, &fstate);
+      witnesses[point] = ctx.capture().implementation();
+    }
+    if (ckpt_writer != nullptr && ckpt_writer->due()) {
+      const std::string err = ckpt_writer->write_if_due(snapshot());
+      if (!err.empty()) result.errors.push_back(err);
+    }
+  };
+
+  bool out_of_time = false;
+  bool failed = false;
+  try {
+    for (;;) {
+      const asp::Solver::Result r = ctx.solver.solve({}, budget->deadline());
+      if (r == asp::Solver::Result::Sat) {
+        pareto::Vec point = ctx.capture().vector();
+        // The dominance check already rejected weakly dominated candidates,
+        // so insertion must succeed.
+        const bool inserted = ctx.dominance().insert(point);
+        assert(inserted);
+        (void)inserted;
+        record(point);
+        // Drill down: chase strictly dominating points until none is left.
+        // The archive already blocks f >= point, so requiring f <= point
+        // leaves exactly the strictly-better region.
+        while (options.drill_down) {
+          const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
+          for (std::size_t o = 0; o < ctx.objectives.count(); ++o) {
+            ctx.objectives.add_bound(o, point[o], act);
+          }
+          const std::vector<asp::Lit> assume{act};
+          const asp::Solver::Result r2 =
+              ctx.solver.solve(assume, budget->deadline());
+          if (r2 == asp::Solver::Result::Unknown) {
+            out_of_time = true;
+            break;
+          }
+          if (r2 == asp::Solver::Result::Unsat) break;  // point is Pareto-optimal
+          point = ctx.capture().vector();
+          const bool better = ctx.dominance().insert(point);
+          assert(better);
+          (void)better;
+          record(point);
+        }
+        if (out_of_time) break;
+        continue;
+      }
+      result.stats.complete = (r == asp::Solver::Result::Unsat);
+      break;
+    }
+  } catch (const std::exception& e) {
+    // Graceful degradation: the archive holds every point found so far and
+    // is returned labelled as partial instead of dying with the exception.
+    failed = true;
+    result.errors.push_back(std::string("exploration aborted: ") + e.what());
   }
 
   result.front = ctx.archive().points();
@@ -93,16 +173,34 @@ ExploreResult explore(const synth::Specification& spec,
     result.witnesses.reserve(result.front.size());
     for (const pareto::Vec& p : result.front) {
       const auto it = witnesses.find(p);
-      assert(it != witnesses.end());
-      result.witnesses.push_back(it->second);
+      if (it == witnesses.end()) {
+        // A fault between archive insert and witness capture can leave a
+        // front point witness-less; report it instead of dereferencing
+        // end() (the pre-fix behavior was UB under NDEBUG).
+        result.witnesses.emplace_back();
+        result.errors.push_back("missing witness for " + pareto::to_string(p));
+      } else {
+        result.witnesses.push_back(it->second);
+      }
     }
   }
 
-  result.stats.complete = result.stats.complete && !out_of_time;
+  result.stats.complete = result.stats.complete && !out_of_time && !failed;
+  result.stats.reason = failed ? StopReason::WorkerFailure
+                               : budget->finish(result.stats.complete);
   if (certify) {
     result.proof = proof_log.text();
     if (!result.stats.complete) {
-      result.certificate_error = "exploration did not terminate; nothing to certify";
+      result.proof += "X 0\n";  // truncation marker: prefix-checkable only
+      result.certificate_error =
+          std::string("exploration stopped early (") +
+          to_string(result.stats.reason) + "); nothing to certify";
+    } else if (resumed) {
+      result.certificate_error =
+          "resumed runs are not certifiable (seeded points lack in-stream "
+          "derivations)";
+    } else if (!result.errors.empty()) {
+      result.certificate_error = result.errors.front();
     } else {
       std::vector<std::pair<pareto::Vec, synth::Implementation>> pairs(
           witnesses.begin(), witnesses.end());
@@ -111,6 +209,11 @@ ExploreResult explore(const synth::Specification& spec,
       result.certified = cr.certified;
       if (!cr.certified) result.certificate_error = cr.error;
     }
+  }
+
+  if (ckpt_writer != nullptr) {
+    const std::string err = ckpt_writer->write(snapshot());
+    if (!err.empty()) result.errors.push_back(err);
   }
 
   const asp::SolverStats& s = ctx.solver.stats();

@@ -15,11 +15,14 @@
 #include <vector>
 
 #include "asp/solver.hpp"
+#include "dse/budget.hpp"
 #include "pareto/point.hpp"
 #include "synth/implementation.hpp"
 #include "synth/spec.hpp"
 
 namespace aspmt::dse {
+
+struct Checkpoint;
 
 struct ExploreOptions {
   double time_limit_seconds = 0.0;  ///< 0 = unlimited
@@ -48,6 +51,23 @@ struct ExploreOptions {
   /// is unaffected).  Incompatible with a non-empty epsilon.
   bool certify = false;
   asp::SolverOptions solver_options{};
+
+  // ---- fault-tolerant runtime (see budget.hpp / checkpoint.hpp) ----------
+  std::uint64_t conflict_budget = 0;  ///< 0 = unlimited solver conflicts
+  std::size_t mem_limit_mb = 0;       ///< 0 = unlimited; ceiling on peak RSS
+  /// External budget/token (CLI signal handling, embedding).  When set it
+  /// governs the run and the three numeric limits above are ignored — the
+  /// caller configured the Budget itself.
+  Budget* budget = nullptr;
+  /// Periodic archive snapshots ("" = off), written atomically.
+  std::string checkpoint_path;
+  double checkpoint_interval_seconds = 30.0;
+  /// Warm start: seed the archive (and witness table) from a loaded
+  /// checkpoint.  Rejected with a recorded error when the spec fingerprint
+  /// does not match.  Resumed runs are not certifiable.
+  const Checkpoint* resume = nullptr;
+  /// Fault-injection plan; nullptr = consult ASPMT_FAULT_INJECT.
+  const FaultPlan* fault = nullptr;
 };
 
 struct ExploreStats {
@@ -60,6 +80,10 @@ struct ExploreStats {
   std::uint64_t archive_comparisons = 0;
   double seconds = 0.0;
   bool complete = false;  ///< true iff the front is proven exact
+  /// Structured cause of termination.  `Completed` iff `complete`, except
+  /// after a contained worker failure, where the front may still have been
+  /// proven exact by survivors while the reason honestly reports the crash.
+  StopReason reason = StopReason::Completed;
 };
 
 struct ExploreResult {
@@ -78,8 +102,13 @@ struct ExploreResult {
   /// not requested.
   std::string certificate_error;
   /// Certified mode only: the full proof stream, replayable by
-  /// cert::check_proof and tools/aspmt_check.
+  /// cert::check_proof and tools/aspmt_check.  Streams of runs that stopped
+  /// early end with an `X 0` truncation marker.
   std::string proof;
+  /// Non-fatal degradations survived during the run (contained exceptions,
+  /// missing witnesses, checkpoint I/O failures, rejected resume files).
+  /// Empty on a healthy run.
+  std::vector<std::string> errors;
   ExploreStats stats;
 };
 

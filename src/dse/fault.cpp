@@ -1,0 +1,85 @@
+#include "dse/fault.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+namespace aspmt::dse {
+namespace {
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  std::uint64_t value = 0;
+  const auto res =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (res.ec != std::errc{} || res.ptr != text.data() + text.size()) {
+    throw std::invalid_argument("fault plan: malformed number for '" +
+                                std::string(what) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  while (!text.empty()) {
+    const std::size_t comma = text.find(',');
+    std::string_view item = text.substr(0, comma);
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value =
+        eq == std::string_view::npos ? std::string_view{} : item.substr(eq + 1);
+    if (key == "worker-throw") {
+      const std::size_t colon = value.find(':');
+      plan.throw_worker =
+          static_cast<int>(parse_u64(value.substr(0, colon), key));
+      plan.throw_after_models =
+          colon == std::string_view::npos
+              ? 1
+              : parse_u64(value.substr(colon + 1), "worker-throw models");
+    } else if (key == "alloc-fail") {
+      plan.alloc_fail_after = value.empty() ? 1 : parse_u64(value, key);
+    } else if (key == "deadline-polls") {
+      plan.deadline_after_polls = parse_u64(value, key);
+    } else if (key == "corrupt-checkpoint") {
+      plan.corrupt_checkpoint = true;
+    } else {
+      throw std::invalid_argument("fault plan: unknown key '" +
+                                  std::string(key) + "'");
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* env = std::getenv("ASPMT_FAULT_INJECT");
+  return env == nullptr ? FaultPlan{} : parse(env);
+}
+
+void fault_worker_throw(const FaultPlan* plan, std::size_t worker,
+                        std::uint64_t models) {
+  if (plan == nullptr || plan->throw_worker < 0) return;
+  if (static_cast<std::size_t>(plan->throw_worker) == worker &&
+      models >= plan->throw_after_models) {
+    throw std::runtime_error("injected fault: worker " +
+                             std::to_string(worker) + " crashed after " +
+                             std::to_string(models) + " model(s)");
+  }
+}
+
+void fault_alloc(const FaultPlan* plan, FaultState* state) {
+  if (plan == nullptr || state == nullptr || plan->alloc_fail_after == 0) {
+    return;
+  }
+  if (state->captures.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      plan->alloc_fail_after) {
+    throw std::bad_alloc();
+  }
+}
+
+}  // namespace aspmt::dse

@@ -3,14 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "cert/certify.hpp"
+#include "dse/checkpoint.hpp"
 #include "dse/context.hpp"
 #include "pareto/concurrent_archive.hpp"
 #include "util/timer.hpp"
@@ -21,6 +22,9 @@ namespace {
 /// SynthContext always registers latency, energy, cost (see context.cpp).
 constexpr std::size_t kNumObjectives = 3;
 
+constexpr std::size_t kNoSlice = std::numeric_limits<std::size_t>::max();
+constexpr std::int64_t kNoBound = std::numeric_limits<std::int64_t>::min();
+
 std::uint64_t mix_seed(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -29,18 +33,71 @@ std::uint64_t mix_seed(std::uint64_t x) {
 }
 
 struct SharedState {
-  SharedState(const std::string& kind, std::size_t shards,
-              const util::Deadline* dl)
-      : archive(kind, kNumObjectives, shards), deadline(dl) {}
+  SharedState(const std::string& kind, std::size_t shards, Budget* bdg,
+              std::size_t total_workers)
+      : archive(kind, kNumObjectives, shards), budget(bdg) {
+    const std::size_t slices = total_workers > 1 ? total_workers - 1 : 0;
+    slice_bound.assign(slices, kNoBound);
+    slice_done.assign(slices, 0);
+    slice_requeued.assign(slices, 0);
+  }
 
   pareto::ConcurrentArchive archive;
-  const util::Deadline* deadline;
-  std::atomic<bool> stop{false};
+  Budget* budget;
   std::atomic<bool> complete{false};
   util::Timer timer;
-  std::mutex mutex;  // guards witnesses + discoveries
+  std::uint64_t base_elapsed_ms = 0;  ///< carried over from a resumed run
+
+  std::mutex mutex;  // guards witnesses, discoveries, errors, slice tables
   std::map<pareto::Vec, synth::Implementation> witnesses;
   std::vector<std::pair<double, pareto::Vec>> discoveries;
+  std::vector<WorkerError> errors;
+
+  // Epsilon-slice bookkeeping: slice s belongs to worker s+1 until its
+  // owner dies, at which point it is requeued (once) for survivors.
+  std::vector<std::int64_t> slice_bound;     ///< kNoBound until computed
+  std::vector<std::uint8_t> slice_done;      ///< exhausted, never requeue
+  std::vector<std::uint8_t> slice_requeued;  ///< one-shot requeue latch
+  std::vector<std::size_t> orphan_slices;    ///< requeued, awaiting adoption
+
+  CheckpointWriter* checkpoint = nullptr;
+  const FaultPlan* fault = nullptr;
+  FaultState fstate;
+  std::uint64_t checkpoint_seed = 0;
+  std::uint64_t fingerprint = 0;
+
+  /// Contain a worker death: preserve the error and requeue its slice so a
+  /// survivor can finish the region it was responsible for.
+  void record_failure(std::size_t worker, std::size_t active_slice,
+                      bool own_slice_pending, std::string message) {
+    std::lock_guard lock(mutex);
+    errors.push_back({worker, std::move(message)});
+    std::size_t sid = active_slice;
+    if (sid == kNoSlice && own_slice_pending && worker > 0) sid = worker - 1;
+    if (sid != kNoSlice && sid < slice_done.size() && slice_done[sid] == 0 &&
+        slice_requeued[sid] == 0) {
+      slice_requeued[sid] = 1;
+      orphan_slices.push_back(sid);
+    }
+  }
+
+  /// Consistent snapshot for the checkpoint writer.
+  Checkpoint snapshot() {
+    Checkpoint c;
+    c.spec_fingerprint = fingerprint;
+    c.seed = checkpoint_seed;
+    c.elapsed_ms = base_elapsed_ms +
+                   static_cast<std::uint64_t>(timer.elapsed_ms());
+    c.points = archive.points();
+    std::lock_guard lock(mutex);
+    c.witnesses.reserve(c.points.size());
+    for (const pareto::Vec& p : c.points) {
+      const auto it = witnesses.find(p);
+      c.witnesses.push_back(it == witnesses.end() ? synth::Implementation{}
+                                                  : it->second);
+    }
+    return c;
+  }
 };
 
 /// Diversified solver configuration for worker `index` of `total`.  Worker 0
@@ -72,20 +129,23 @@ void run_worker(std::size_t index, std::size_t total,
   copts.objective_floors = proof != nullptr ? false : opts.objective_floors;
   copts.proof = proof;
   copts.solver_options = diversify(opts.solver_options, index, opts.seed);
-  copts.solver_options.stop = &shared.stop;
+  copts.solver_options.stop = shared.budget->token();
+  BudgetMonitor monitor(shared.budget, shared.fault, &shared.fstate);
+  copts.solver_options.monitor = &monitor;
   SynthContext ctx(spec, copts);
   assert(ctx.objectives.count() == kNumObjectives);
   ctx.dominance().attach_shared(&shared.archive);
 
   std::vector<asp::Lit> assumptions;  // the active slice bound, if any
-  bool slice_active = false;
+  std::size_t active_slice = kNoSlice;
   // Workers > 0 carve an epsilon-constraint slice out of the first
   // objective once the shared front spans a range there.
-  bool slice_pending = index > 0 && total > 1;
+  bool own_slice_pending = index > 0 && total > 1;
 
   const auto publish = [&](const pareto::Vec& point) {
     ++report.models;
-    if (slice_active) ++report.slice_models;
+    fault_worker_throw(shared.fault, index, report.models);
+    if (active_slice != kNoSlice) ++report.slice_models;
     const bool inserted = shared.archive.insert(point);
     ctx.dominance().sync_shared();
     if (!inserted) {
@@ -96,75 +156,144 @@ void run_worker(std::size_t index, std::size_t total,
     // Only first publications carry an F step: rejected points may be
     // dominated by a *different* peer point and then have no witness.
     if (proof != nullptr) proof->feasible_point(point);
-    std::lock_guard lock(shared.mutex);
-    shared.discoveries.emplace_back(shared.timer.elapsed_seconds(), point);
-    if (opts.collect_witnesses || proof != nullptr) {
-      shared.witnesses[point] = ctx.capture().implementation();
+    {
+      std::lock_guard lock(shared.mutex);
+      shared.discoveries.emplace_back(shared.timer.elapsed_seconds(), point);
+      if (opts.collect_witnesses || proof != nullptr) {
+        fault_alloc(shared.fault, &shared.fstate);
+        shared.witnesses[point] = ctx.capture().implementation();
+      }
+    }
+    if (shared.checkpoint != nullptr && shared.checkpoint->due()) {
+      // Ignore write errors here: a failing disk must not kill the search.
+      // The final write at end of run reports them.
+      (void)shared.checkpoint->write_if_due(shared.snapshot());
     }
   };
 
-  const auto try_activate_slice = [&]() {
-    if (!slice_pending) return;
+  /// Compute the epsilon bound for `sid` from the current shared front,
+  /// caching it so a requeued slice reuses its owner's exact bound.
+  const auto slice_bound_for = [&](std::size_t sid) -> std::int64_t {
+    {
+      std::lock_guard lock(shared.mutex);
+      if (shared.slice_bound[sid] != kNoBound) return shared.slice_bound[sid];
+    }
     const std::vector<pareto::Vec> front = shared.archive.points();
-    if (front.size() < 2) return;
+    if (front.size() < 2) return kNoBound;
     std::int64_t lo = front.front()[0];
     std::int64_t hi = lo;
     for (const pareto::Vec& p : front) {
       lo = std::min(lo, p[0]);
       hi = std::max(hi, p[0]);
     }
-    slice_pending = false;  // one shot, even when the range is degenerate
     const std::vector<std::int64_t> splits =
         ObjectiveManager::epsilon_splits(lo, hi, total);
-    if (splits.empty()) return;
-    const std::int64_t bound = splits[std::min(index - 1, splits.size() - 1)];
+    std::lock_guard lock(shared.mutex);
+    if (splits.empty()) {
+      shared.slice_done[sid] = 1;  // degenerate range: nothing to slice
+      return kNoBound;
+    }
+    const std::int64_t bound = splits[std::min(sid, splits.size() - 1)];
+    if (shared.slice_bound[sid] == kNoBound) shared.slice_bound[sid] = bound;
+    return shared.slice_bound[sid];
+  };
+
+  const auto activate_slice = [&](std::size_t sid, std::int64_t bound) {
     const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
     ctx.objectives.add_bound(0, bound, act);
     assumptions.assign(1, act);
-    slice_active = true;
+    active_slice = sid;
   };
 
-  for (;;) {
-    try_activate_slice();
-    const asp::Solver::Result r = ctx.solver.solve(assumptions, shared.deadline);
-    if (r == asp::Solver::Result::Unknown) break;  // peer finished or deadline
-    if (r == asp::Solver::Result::Unsat) {
-      if (!assumptions.empty() && ctx.solver.ok()) {
-        // Slice exhausted; fall back to the unconstrained problem.
-        assumptions.clear();
-        slice_active = false;
-        continue;
-      }
-      // Unconstrained Unsat: every feasible point is weakly dominated by
-      // the shared archive, which therefore is the exact front.
-      report.proved_complete = true;
-      shared.complete.store(true, std::memory_order_release);
-      shared.stop.store(true, std::memory_order_release);
-      break;
+  const auto try_activate_slice = [&]() {
+    if (active_slice != kNoSlice) return;
+    if (own_slice_pending) {
+      if (shared.archive.points().size() < 2) return;  // no spread yet
+      own_slice_pending = false;  // one shot, even when the range is degenerate
+      const std::int64_t bound = slice_bound_for(index - 1);
+      if (bound != kNoBound) activate_slice(index - 1, bound);
+      return;
     }
-    pareto::Vec point = ctx.capture().vector();
-    publish(point);
-    // Drill down to a Pareto-optimal point exactly as the sequential
-    // explorer does, except that a peer may publish the point first — the
-    // rejected insert is counted, never asserted against.
-    bool out_of_time = false;
-    while (opts.drill_down) {
-      const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
-      for (std::size_t o = 0; o < ctx.objectives.count(); ++o) {
-        ctx.objectives.add_bound(o, point[o], act);
+    // Adopt an orphaned slice left behind by a dead worker (at most one
+    // requeue per slice — see record_failure).
+    std::size_t sid = kNoSlice;
+    {
+      std::lock_guard lock(shared.mutex);
+      while (!shared.orphan_slices.empty()) {
+        const std::size_t cand = shared.orphan_slices.back();
+        shared.orphan_slices.pop_back();
+        if (shared.slice_done[cand] == 0) {
+          sid = cand;
+          break;
+        }
       }
-      std::vector<asp::Lit> assume = assumptions;
-      assume.push_back(act);
-      const asp::Solver::Result r2 = ctx.solver.solve(assume, shared.deadline);
-      if (r2 == asp::Solver::Result::Unknown) {
-        out_of_time = true;
+    }
+    if (sid == kNoSlice) return;
+    const std::int64_t bound = slice_bound_for(sid);
+    if (bound != kNoBound) activate_slice(sid, bound);
+  };
+
+  try {
+    for (;;) {
+      try_activate_slice();
+      const asp::Solver::Result r =
+          ctx.solver.solve(assumptions, shared.budget->deadline());
+      if (r == asp::Solver::Result::Unknown) break;  // peer finished or budget
+      if (r == asp::Solver::Result::Unsat) {
+        if (!assumptions.empty() && ctx.solver.ok()) {
+          // Slice exhausted; fall back to orphans or the unconstrained
+          // problem.
+          {
+            std::lock_guard lock(shared.mutex);
+            shared.slice_done[active_slice] = 1;
+          }
+          assumptions.clear();
+          active_slice = kNoSlice;
+          continue;
+        }
+        // Unconstrained Unsat: every feasible point is weakly dominated by
+        // the shared archive, which therefore is the exact front.
+        report.proved_complete = true;
+        shared.complete.store(true, std::memory_order_release);
+        shared.budget->request_stop();
         break;
       }
-      if (r2 == asp::Solver::Result::Unsat) break;  // point is region-optimal
-      point = ctx.capture().vector();
+      pareto::Vec point = ctx.capture().vector();
       publish(point);
+      // Drill down to a Pareto-optimal point exactly as the sequential
+      // explorer does, except that a peer may publish the point first — the
+      // rejected insert is counted, never asserted against.
+      bool out_of_time = false;
+      while (opts.drill_down) {
+        const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
+        for (std::size_t o = 0; o < ctx.objectives.count(); ++o) {
+          ctx.objectives.add_bound(o, point[o], act);
+        }
+        std::vector<asp::Lit> assume = assumptions;
+        assume.push_back(act);
+        const asp::Solver::Result r2 =
+            ctx.solver.solve(assume, shared.budget->deadline());
+        if (r2 == asp::Solver::Result::Unknown) {
+          out_of_time = true;
+          break;
+        }
+        if (r2 == asp::Solver::Result::Unsat) break;  // point is region-optimal
+        point = ctx.capture().vector();
+        publish(point);
+      }
+      if (out_of_time) break;
     }
-    if (out_of_time) break;
+  } catch (const std::exception& e) {
+    // Contained: the shared archive keeps every published point, the slice
+    // is requeued for a survivor, and the run degrades instead of dying.
+    report.failed = true;
+    report.error = e.what();
+    shared.record_failure(index, active_slice, own_slice_pending, e.what());
+  } catch (...) {
+    report.failed = true;
+    report.error = "unknown exception";
+    shared.record_failure(index, active_slice, own_slice_pending,
+                          "unknown exception");
   }
 
   const asp::SolverStats& s = ctx.solver.stats();
@@ -187,11 +316,56 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
                             : std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
 
-  const util::Deadline deadline(options.time_limit_seconds);
-  SharedState shared(options.archive_kind, options.archive_shards, &deadline);
+  Budget local_budget(BudgetLimits{options.time_limit_seconds,
+                                   options.conflict_budget,
+                                   options.mem_limit_mb});
+  Budget* budget = options.budget != nullptr ? options.budget : &local_budget;
+
+  FaultPlan env_fault;
+  const FaultPlan* fault = options.fault;
+  if (fault == nullptr) {
+    env_fault = FaultPlan::from_env();
+    if (env_fault.any()) fault = &env_fault;
+  }
+
+  SharedState shared(options.archive_kind, options.archive_shards, budget,
+                     threads);
+  shared.fault = fault;
+  shared.checkpoint_seed = options.seed;
+  shared.fingerprint = spec_fingerprint(spec);
 
   ParallelExploreResult result;
   result.workers.resize(threads);
+
+  // Warm start: seed the shared archive before any worker spawns, so every
+  // worker's first generation-counter sync pulls the checkpointed front.
+  bool resumed = false;
+  if (options.resume != nullptr) {
+    if (options.resume->spec_fingerprint != shared.fingerprint) {
+      result.errors.push_back(
+          "resume rejected: checkpoint was written for a different "
+          "specification; starting cold");
+    } else {
+      const Checkpoint& ckpt = *options.resume;
+      for (std::size_t i = 0; i < ckpt.points.size(); ++i) {
+        shared.archive.insert(ckpt.points[i]);
+        if (i < ckpt.witnesses.size() &&
+            !ckpt.witnesses[i].option_of_task.empty()) {
+          shared.witnesses[ckpt.points[i]] = ckpt.witnesses[i];
+        }
+      }
+      shared.base_elapsed_ms = ckpt.elapsed_ms;
+      resumed = !ckpt.points.empty();
+    }
+  }
+
+  std::unique_ptr<CheckpointWriter> ckpt_writer;
+  if (!options.checkpoint_path.empty()) {
+    ckpt_writer = std::make_unique<CheckpointWriter>(
+        options.checkpoint_path, options.checkpoint_interval_seconds,
+        fault != nullptr && fault->corrupt_checkpoint);
+    shared.checkpoint = ckpt_writer.get();
+  }
 
   // Proof logs are per worker (never shared across threads); the winner's
   // becomes the portfolio's completeness certificate.
@@ -203,8 +377,6 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
   if (threads == 1) {
     run_worker(0, 1, spec, options, shared, result.workers[0], logs[0].get());
   } else {
-    std::mutex error_mutex;
-    std::string first_error;
     std::vector<std::thread> pool;
     pool.reserve(threads);
     for (std::size_t w = 0; w < threads; ++w) {
@@ -213,26 +385,32 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
           run_worker(w, threads, spec, options, shared, result.workers[w],
                      logs[w].get());
         } catch (const std::exception& e) {
-          shared.stop.store(true, std::memory_order_release);
-          std::lock_guard lock(error_mutex);
-          if (first_error.empty()) first_error = e.what();
+          // run_worker contains its own search-loop failures; this catch
+          // covers context construction, which leaves no stats to report.
+          result.workers[w].failed = true;
+          result.workers[w].error = e.what();
+          shared.record_failure(w, kNoSlice, w > 0, e.what());
         }
       });
     }
     for (std::thread& t : pool) t.join();
-    if (!first_error.empty()) {
-      throw std::runtime_error("parallel explorer worker failed: " +
-                               first_error);
-    }
   }
+  result.worker_errors = shared.errors;
 
   result.front = shared.archive.points();
   if (options.collect_witnesses || options.certify) {
     result.witnesses.reserve(result.front.size());
     for (const pareto::Vec& p : result.front) {
       const auto it = shared.witnesses.find(p);
-      assert(it != shared.witnesses.end());
-      result.witnesses.push_back(it->second);
+      if (it == shared.witnesses.end()) {
+        // A worker death between archive insert and witness capture leaves
+        // the point witness-less; report it instead of dereferencing end()
+        // (the pre-fix behavior was UB under NDEBUG).
+        result.witnesses.emplace_back();
+        result.errors.push_back("missing witness for " + pareto::to_string(p));
+      } else {
+        result.witnesses.push_back(it->second);
+      }
     }
   }
   result.discoveries = std::move(shared.discoveries);
@@ -252,12 +430,28 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
   stats.archive_comparisons += shared.archive.comparisons();
   stats.seconds = shared.timer.elapsed_seconds();
   stats.complete = shared.complete.load(std::memory_order_acquire);
+  // A contained crash is reported even when survivors proved the front
+  // exact: `complete` certifies the mathematics, `reason` the operations.
+  stats.reason = !result.worker_errors.empty() ? StopReason::WorkerFailure
+                                               : budget->finish(stats.complete);
 
   if (options.certify) {
     const auto winner =
         std::find_if(result.workers.begin(), result.workers.end(),
                      [](const WorkerReport& w) { return w.proved_complete; });
-    if (!stats.complete || winner == result.workers.end()) {
+    if (!result.worker_errors.empty()) {
+      result.certificate_error =
+          "worker " + std::to_string(result.worker_errors.front().worker) +
+          " failed (" + result.worker_errors.front().message +
+          "); a degraded run is never certified";
+    } else if (resumed) {
+      result.certificate_error =
+          "resumed runs are not certifiable (seeded points lack in-stream "
+          "derivations)";
+    } else if (!stats.complete || winner == result.workers.end()) {
+      // Emit the sequential anchor's stream, honestly truncation-marked, so
+      // interrupted certified runs still hand over a checkable prefix.
+      result.proof = logs[0]->text() + "X 0\n";
       result.certificate_error =
           "no worker closed the global Unsat proof; nothing to certify";
     } else {
@@ -269,6 +463,11 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
       result.certified = cr.certified;
       if (!cr.certified) result.certificate_error = cr.error;
     }
+  }
+
+  if (ckpt_writer != nullptr) {
+    const std::string err = ckpt_writer->write(shared.snapshot());
+    if (!err.empty()) result.errors.push_back(err);
   }
   return result;
 }

@@ -57,6 +57,21 @@ struct ParallelExploreOptions {
   /// off (see ExploreOptions::certify).
   bool certify = false;
   asp::SolverOptions solver_options{};  ///< base config; workers diversify
+
+  // ---- fault-tolerant runtime (see budget.hpp / checkpoint.hpp) ----------
+  std::uint64_t conflict_budget = 0;  ///< 0 = unlimited, total over workers
+  std::size_t mem_limit_mb = 0;       ///< 0 = unlimited; ceiling on peak RSS
+  /// External budget/token (CLI signal handling, embedding).  When set it
+  /// governs the run and the numeric limits above are ignored.
+  Budget* budget = nullptr;
+  /// Periodic archive snapshots ("" = off), written atomically by whichever
+  /// worker publishes past the interval.
+  std::string checkpoint_path;
+  double checkpoint_interval_seconds = 30.0;
+  /// Warm start from a loaded checkpoint (see ExploreOptions::resume).
+  const Checkpoint* resume = nullptr;
+  /// Fault-injection plan; nullptr = consult ASPMT_FAULT_INJECT.
+  const FaultPlan* fault = nullptr;
 };
 
 /// Per-worker accounting for the CLI report and the consistency tests.
@@ -75,6 +90,15 @@ struct WorkerReport {
   std::uint64_t archive_comparisons = 0;  ///< in the local snapshot archive
   double seconds = 0.0;
   bool proved_complete = false;  ///< this worker closed the global Unsat proof
+  bool failed = false;   ///< this worker died; `error` holds the reason
+  std::string error;     ///< the contained exception's message, if any
+};
+
+/// One contained worker death: which worker and why.  All failures are
+/// preserved, not just the first.
+struct WorkerError {
+  std::size_t worker = 0;
+  std::string message;
 };
 
 struct ParallelExploreResult {
@@ -92,6 +116,12 @@ struct ParallelExploreResult {
   std::string certificate_error;
   /// Certified mode only: the winning worker's full proof stream.
   std::string proof;
+  /// Every contained worker death, in detection order (worker index +
+  /// message — secondary failures are preserved, not dropped).
+  std::vector<WorkerError> worker_errors;
+  /// Non-fatal degradations outside worker bodies (missing witnesses,
+  /// checkpoint I/O failures, rejected resume files).
+  std::vector<std::string> errors;
   ExploreStats stats;  ///< aggregated over all workers
   std::vector<WorkerReport> workers;
 };

@@ -29,13 +29,20 @@ std::size_t ConcurrentArchive::shard_of(const Vec& p) const noexcept {
   return static_cast<std::size_t>(h % shards_.size());
 }
 
-bool ConcurrentArchive::insert(const Vec& p) {
+bool ConcurrentArchive::insert(const Vec& p, const std::atomic<bool>* cancel) {
   assert(p.size() == dims_);
   // Optimistic fast path: most candidates lose against the current front;
   // reject them with per-shard shared locks and no global serialization.
   for (const auto& s : shards_) {
     std::shared_lock lock(s->mutex);
     if (s->archive->find_weak_dominator(p) != nullptr) return false;
+  }
+  // Cancellation point: the escalation to the exclusive all-shard lock is
+  // the only phase that mutates, so bailing here leaves every shard (and
+  // the log/generation pair) exactly as it was — the front stays
+  // dominance-consistent no matter when the token trips.
+  if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+    return false;
   }
   // Slow path: take every shard exclusively (ascending index order — the
   // single lock order in this class, so no deadlock) and re-run the checks,

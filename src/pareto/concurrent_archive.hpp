@@ -42,7 +42,11 @@ class ConcurrentArchive {
   /// Thread-safe insert with single-archive semantics: rejected iff some
   /// archived point weakly dominates `p`; evicts points dominated by `p`
   /// across all shards.  Returns true iff `p` entered the archive.
-  bool insert(const Vec& p);
+  /// `cancel`, when given, is honoured at the one point between the
+  /// optimistic shared-lock pass and the exclusive escalation: a tripped
+  /// token abandons the insert with zero mutation (returns false), so the
+  /// archive is dominance-consistent at every cancellation instant.
+  bool insert(const Vec& p, const std::atomic<bool>* cancel = nullptr);
 
   /// Number of successful insertions so far — a lock-free monotone counter.
   /// Readers compare it against their last-synced value to detect front

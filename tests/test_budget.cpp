@@ -1,0 +1,165 @@
+// Budget / cancellation-token semantics: first trip wins, peer completion
+// records no failure, ceilings trip the token from poll(), and the
+// explorers surface the structured StopReason instead of a bare bool.
+#include "dse/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "dse/explorer.hpp"
+#include "dse/parallel_explorer.hpp"
+#include "synth_fixtures.hpp"
+
+namespace aspmt::dse {
+namespace {
+
+TEST(Budget, FirstTripWinsTheReasonRace) {
+  Budget b;
+  EXPECT_FALSE(b.stop_requested());
+  b.trip(StopReason::Conflicts);
+  b.trip(StopReason::Memory);  // too late; the first reason is kept
+  b.interrupt();
+  EXPECT_TRUE(b.stop_requested());
+  EXPECT_TRUE(b.tripped());
+  EXPECT_EQ(b.finish(false), StopReason::Conflicts);
+}
+
+TEST(Budget, CompletionWinsOverEveryTrip) {
+  Budget b;
+  b.trip(StopReason::Deadline);
+  EXPECT_EQ(b.finish(true), StopReason::Completed);
+}
+
+TEST(Budget, RequestStopRecordsNoFailure) {
+  Budget b;
+  b.request_stop();  // a peer finished; nothing went wrong
+  EXPECT_TRUE(b.stop_requested());
+  EXPECT_FALSE(b.tripped());
+  // An un-tripped, un-expired stop can only have been external.
+  EXPECT_EQ(b.finish(false), StopReason::Interrupted);
+}
+
+TEST(Budget, ConflictCeilingTripsOnPoll) {
+  Budget b(BudgetLimits{0.0, 100, 0});
+  b.add_conflicts(99);
+  b.poll();
+  EXPECT_FALSE(b.stop_requested());
+  b.add_conflicts(1);
+  b.poll();
+  EXPECT_TRUE(b.stop_requested());
+  EXPECT_EQ(b.finish(false), StopReason::Conflicts);
+}
+
+TEST(Budget, MemoryCeilingTripsOnPoll) {
+  ASSERT_GT(peak_rss_mb(), 0) << "RSS probe unavailable on this platform";
+  Budget b(BudgetLimits{0.0, 0, 1});  // 1 MiB: any real process exceeds it
+  b.poll();
+  EXPECT_TRUE(b.stop_requested());
+  EXPECT_EQ(b.finish(false), StopReason::Memory);
+}
+
+TEST(Budget, UnlimitedBudgetNeverTrips) {
+  Budget b;
+  b.add_conflicts(1'000'000);
+  b.poll();
+  EXPECT_FALSE(b.stop_requested());
+  EXPECT_EQ(b.finish(true), StopReason::Completed);
+}
+
+TEST(Budget, StopReasonNamesAreStable) {
+  EXPECT_EQ(std::string(to_string(StopReason::Completed)), "completed");
+  EXPECT_EQ(std::string(to_string(StopReason::Deadline)), "deadline");
+  EXPECT_EQ(std::string(to_string(StopReason::Conflicts)), "conflicts");
+  EXPECT_EQ(std::string(to_string(StopReason::Memory)), "memory");
+  EXPECT_EQ(std::string(to_string(StopReason::Interrupted)), "interrupted");
+  EXPECT_EQ(std::string(to_string(StopReason::WorkerFailure)),
+            "worker-failure");
+}
+
+TEST(Budget, SequentialExplorerReportsCompleted) {
+  const ExploreResult r = explore(test::chain3_bus());
+  ASSERT_TRUE(r.stats.complete);
+  EXPECT_EQ(r.stats.reason, StopReason::Completed);
+  EXPECT_TRUE(r.errors.empty());
+}
+
+TEST(Budget, SequentialConflictBudgetStopsEarly) {
+  ExploreOptions opts;
+  opts.conflict_budget = 1;  // trip on the first monitor poll
+  opts.solver_options.monitor_interval = 1;
+  const ExploreResult r = explore(test::diamond_two_proc(), opts);
+  EXPECT_FALSE(r.stats.complete);
+  EXPECT_EQ(r.stats.reason, StopReason::Conflicts);
+}
+
+TEST(Budget, SequentialDeadlineStopsEarly) {
+  ExploreOptions opts;
+  opts.time_limit_seconds = 1e-9;
+  const ExploreResult r = explore(test::diamond_two_proc(), opts);
+  EXPECT_FALSE(r.stats.complete);
+  EXPECT_EQ(r.stats.reason, StopReason::Deadline);
+}
+
+TEST(Budget, ExternalInterruptStopsBothExplorers) {
+  // Trip the token before the run starts: the solvers must exit at their
+  // first stop-token check and report Interrupted, not Completed.
+  Budget budget;
+  budget.interrupt();
+  ExploreOptions seq;
+  seq.budget = &budget;
+  const ExploreResult r = explore(test::chain3_bus(), seq);
+  EXPECT_FALSE(r.stats.complete);
+  EXPECT_EQ(r.stats.reason, StopReason::Interrupted);
+
+  ParallelExploreOptions par;
+  par.threads = 2;
+  par.budget = &budget;
+  const ParallelExploreResult p = explore_parallel(test::chain3_bus(), par);
+  EXPECT_FALSE(p.stats.complete);
+  EXPECT_EQ(p.stats.reason, StopReason::Interrupted);
+  EXPECT_TRUE(p.worker_errors.empty());
+}
+
+TEST(Budget, AsyncInterruptFromAnotherThread) {
+  // A peer thread trips the token mid-run (the signal-handler code path).
+  // The run must wind down cleanly with a valid partial front.
+  Budget budget;
+  std::thread killer([&budget] { budget.interrupt(); });
+  ParallelExploreOptions opts;
+  opts.threads = 4;
+  opts.budget = &budget;
+  const ParallelExploreResult r =
+      explore_parallel(test::diamond_two_proc(), opts);
+  killer.join();
+  EXPECT_TRUE(r.worker_errors.empty());
+  if (!r.stats.complete) {
+    EXPECT_EQ(r.stats.reason, StopReason::Interrupted);
+  }
+  // Whatever was found is mutually non-dominated (archive invariant).
+  for (std::size_t i = 0; i < r.front.size(); ++i) {
+    for (std::size_t j = 0; j < r.front.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(pareto::weakly_dominates(r.front[j], r.front[i]));
+      }
+    }
+  }
+}
+
+TEST(Budget, ParallelConflictBudgetIsSharedAcrossWorkers) {
+  ParallelExploreOptions opts;
+  opts.threads = 2;
+  opts.conflict_budget = 1;
+  opts.solver_options.monitor_interval = 1;
+  const ParallelExploreResult r =
+      explore_parallel(test::diamond_two_proc(), opts);
+  // The tiny fixture may still complete before the first poll; when it does
+  // not, the structured reason must say why.
+  if (!r.stats.complete) {
+    EXPECT_EQ(r.stats.reason, StopReason::Conflicts);
+  }
+}
+
+}  // namespace
+}  // namespace aspmt::dse

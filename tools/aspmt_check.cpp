@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   std::cout << "VERIFIED"
             << (r.concluded_global_unsat ? " (global unsatisfiability concluded)"
                                          : "")
+            << (r.truncated ? " (stream truncated — no completeness claim)" : "")
             << "\n";
   return 0;
 }

@@ -8,6 +8,7 @@
 //   aspmt_dse nsga2    spec.txt [--pop 40] [--gens 60] [--seed 1]
 //   aspmt_dse validate spec.txt
 //   aspmt_dse asp      program.lp [--models N]      (non-ground ASP solving)
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -21,6 +22,8 @@
 #include "asp/grounder.hpp"
 #include "asp/unfounded.hpp"
 #include "dse/baselines.hpp"
+#include "dse/budget.hpp"
+#include "dse/checkpoint.hpp"
 #include "dse/context.hpp"
 #include "dse/explorer.hpp"
 #include "dse/optimizer.hpp"
@@ -47,6 +50,34 @@ struct Args {
     const auto it = named.find(name);
     return it == named.end() ? fallback : std::stod(it->second);
   }
+};
+
+/// The budget of the currently running exploration, visible to the signal
+/// handlers.  Budget::interrupt() is async-signal-safe (atomics only).
+dse::Budget* g_budget = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  dse::Budget* b = g_budget;
+  if (b != nullptr) b->interrupt();
+}
+
+/// Installs SIGINT/SIGTERM handlers that trip the run's cancellation token
+/// — the first Ctrl-C degrades to an orderly partial-front shutdown — and
+/// restores the default disposition on scope exit, so a second Ctrl-C after
+/// the run still kills a wedged process.
+struct SignalGuard {
+  explicit SignalGuard(dse::Budget* budget) {
+    g_budget = budget;
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+  }
+  ~SignalGuard() {
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_budget = nullptr;
+  }
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -78,6 +109,9 @@ int usage() {
       "            [--no-partial-eval] [--epsilon L,E,C] [--witnesses]\n"
       "            [--threads N] [--seed S]   (N>0: parallel portfolio)\n"
       "            [--certify] [--proof FILE] [--front-out FILE]\n"
+      "            [--conflict-budget N] [--mem-limit-mb MB]\n"
+      "            [--checkpoint FILE] [--checkpoint-interval SEC]\n"
+      "            [--resume FILE]\n"
       "  aspmt_dse optimize spec.txt --objective latency|energy|cost\n"
       "  aspmt_dse baseline spec.txt --method enum|lex|lex-cold [--time-limit SEC]\n"
       "  aspmt_dse nsga2    spec.txt [--pop N] [--gens N] [--seed S]\n"
@@ -186,6 +220,36 @@ int finish_explore(const Args& args, bool complete, bool certified,
   return rc;
 }
 
+/// The run's resource ceilings from the command line (wall clock, solver
+/// conflicts, peak RSS).
+dse::BudgetLimits budget_limits(const Args& args) {
+  dse::BudgetLimits limits;
+  limits.wall_seconds = args.num("time-limit", 0.0);
+  limits.conflicts = static_cast<std::uint64_t>(args.num("conflict-budget", 0));
+  limits.memory_mb = static_cast<std::size_t>(args.num("mem-limit-mb", 0));
+  return limits;
+}
+
+/// Load --resume, degrading to a cold start (with a stderr note) when the
+/// file is missing, corrupted, or structurally invalid.
+std::optional<dse::Checkpoint> load_resume(const Args& args) {
+  const std::string path = args.get("resume", "");
+  if (path.empty()) return std::nullopt;
+  dse::Checkpoint ckpt;
+  const std::string err = dse::load_checkpoint(path, ckpt);
+  if (!err.empty()) {
+    std::cerr << "resume rejected: " << err << "; starting cold\n";
+    return std::nullopt;
+  }
+  std::cout << "resuming from " << path << " (" << ckpt.points.size()
+            << " points, " << ckpt.elapsed_ms << " ms prior search)\n";
+  return ckpt;
+}
+
+void print_run_errors(const std::vector<std::string>& errors) {
+  for (const std::string& e : errors) std::cerr << "warning: " << e << "\n";
+}
+
 int explore_portfolio(const synth::Specification& spec, const Args& args) {
   dse::ParallelExploreOptions opts;
   opts.threads = static_cast<std::size_t>(args.num("threads", 1));
@@ -194,12 +258,25 @@ int explore_portfolio(const synth::Specification& spec, const Args& args) {
   opts.partial_evaluation = !args.flag("no-partial-eval");
   opts.seed = static_cast<std::uint64_t>(args.num("seed", 1));
   opts.certify = args.flag("certify");
+  dse::Budget budget(budget_limits(args));
+  opts.budget = &budget;
+  opts.checkpoint_path = args.get("checkpoint", "");
+  opts.checkpoint_interval_seconds = args.num("checkpoint-interval", 30.0);
+  const std::optional<dse::Checkpoint> resume = load_resume(args);
+  if (resume) opts.resume = &*resume;
+  const SignalGuard guard(&budget);
   const dse::ParallelExploreResult r = dse::explore_parallel(spec, opts);
   std::cout << "exact front: " << r.front.size() << " points ("
-            << (r.stats.complete ? "complete" : "time-limited") << ", "
+            << (r.stats.complete ? "complete" : "partial") << ", stopped: "
+            << dse::to_string(r.stats.reason) << ", "
             << util::fmt(r.stats.seconds, 3) << "s, " << r.workers.size()
             << " workers, " << r.stats.models << " models, "
             << r.stats.prunings << " prunings)\n";
+  for (const dse::WorkerError& e : r.worker_errors) {
+    std::cerr << "warning: worker " << e.worker << " failed: " << e.message
+              << "\n";
+  }
+  print_run_errors(r.errors);
   util::Table front({"latency", "energy", "cost"});
   for (const auto& p : r.front) {
     front.add_row({util::fmt(p[0]), util::fmt(p[1]), util::fmt(p[2])});
@@ -241,12 +318,21 @@ int cmd_explore(const Args& args) {
     opts.epsilon = *eps;
   }
   opts.certify = args.flag("certify");
+  dse::Budget budget(budget_limits(args));
+  opts.budget = &budget;
+  opts.checkpoint_path = args.get("checkpoint", "");
+  opts.checkpoint_interval_seconds = args.num("checkpoint-interval", 30.0);
+  const std::optional<dse::Checkpoint> resume = load_resume(args);
+  if (resume) opts.resume = &*resume;
+  const SignalGuard guard(&budget);
   const dse::ExploreResult r = dse::explore(spec, opts);
   std::cout << (opts.epsilon.empty() ? "exact front" : "eps-approximate set")
             << ": " << r.front.size() << " points ("
-            << (r.stats.complete ? "complete" : "time-limited") << ", "
+            << (r.stats.complete ? "complete" : "partial") << ", stopped: "
+            << dse::to_string(r.stats.reason) << ", "
             << util::fmt(r.stats.seconds, 3) << "s, " << r.stats.models
             << " models, " << r.stats.prunings << " prunings)\n";
+  print_run_errors(r.errors);
   util::Table table({"latency", "energy", "cost"});
   for (const auto& p : r.front) {
     table.add_row({util::fmt(p[0]), util::fmt(p[1]), util::fmt(p[2])});
