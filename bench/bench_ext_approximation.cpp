@@ -27,7 +27,7 @@ int main() {
     const synth::Specification spec = gen::generate(entry.config);
 
     dse::ExploreOptions exact_opts;
-    exact_opts.time_limit_seconds = limit;
+    exact_opts.common.time_limit_seconds = limit;
     const dse::ExploreResult exact = dse::explore(spec, exact_opts);
     pareto::Vec lo = exact.front.front();
     pareto::Vec hi = exact.front.front();
@@ -48,7 +48,7 @@ int main() {
 
     for (const double frac : {0.05, 0.10, 0.25}) {
       dse::ExploreOptions opts;
-      opts.time_limit_seconds = limit;
+      opts.common.time_limit_seconds = limit;
       opts.epsilon = pareto::Vec(3, 0);
       for (std::size_t o = 0; o < 3; ++o) {
         opts.epsilon[o] = std::max<std::int64_t>(

@@ -38,9 +38,9 @@ int main() {
     bool have_reference = false;
     for (const Config& cfg : configs) {
       dse::ExploreOptions opts;
-      opts.time_limit_seconds = limit;
-      opts.objective_floors = cfg.floors;
-      opts.drill_down = cfg.drill;
+      opts.common.time_limit_seconds = limit;
+      opts.common.objective_floors = cfg.floors;
+      opts.common.drill_down = cfg.drill;
       const dse::ExploreResult r = dse::explore(spec, opts);
       table.add_row({entry.name, cfg.name,
                      r.stats.complete ? util::fmt(r.stats.seconds, 3)

@@ -24,7 +24,7 @@ int main() {
   report.note("instance", entry.name);
 
   dse::ExploreOptions opts;
-  opts.time_limit_seconds = bench::method_time_limit();
+  opts.common.time_limit_seconds = bench::method_time_limit();
   const dse::ExploreResult exact = dse::explore(spec, opts);
 
   ea::Nsga2Options ea_opts;

@@ -29,7 +29,7 @@ int main() {
     const synth::Specification spec = gen::generate(c);
 
     dse::ExploreOptions opts;
-    opts.time_limit_seconds = limit;
+    opts.common.time_limit_seconds = limit;
     const dse::ExploreResult aspmt_run = dse::explore(spec, opts);
     const dse::BaselineResult lex = dse::lexicographic_epsilon(spec, limit);
     const dse::BaselineResult cold = dse::lexicographic_epsilon_cold(spec, limit);

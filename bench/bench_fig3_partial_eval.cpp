@@ -23,9 +23,9 @@ int main() {
   for (const auto& entry : bench::standard_suite()) {
     const synth::Specification spec = gen::generate(entry.config);
     dse::ExploreOptions on;
-    on.time_limit_seconds = limit;
+    on.common.time_limit_seconds = limit;
     dse::ExploreOptions off = on;
-    off.partial_evaluation = false;
+    off.common.partial_evaluation = false;
 
     const dse::ExploreResult with_pe = dse::explore(spec, on);
     const dse::ExploreResult without_pe = dse::explore(spec, off);

@@ -62,7 +62,7 @@ int main() {
     const synth::Specification spec = gen::generate(entry.config);
 
     dse::ExploreOptions seq_opts;
-    seq_opts.time_limit_seconds = limit;
+    seq_opts.common.time_limit_seconds = limit;
     const dse::ExploreResult seq = dse::explore(spec, seq_opts);
 
     std::vector<std::string> row{
@@ -75,21 +75,21 @@ int main() {
     for (const std::size_t n : thread_counts) {
       dse::ParallelExploreOptions popts;
       popts.threads = n;
-      popts.time_limit_seconds = limit;
+      popts.common.time_limit_seconds = limit;
       const dse::ParallelExploreResult par = dse::explore_parallel(spec, popts);
-      if (seq.stats.complete && par.stats.complete &&
-          par.front != seq.front) {
+      if (seq.stats.complete && par.base.stats.complete &&
+          par.base.front != seq.front) {
         std::cerr << "FRONT MISMATCH on " << entry.name << " at " << n
                   << " threads\n";
         any_mismatch = true;
       }
-      row.push_back(par.stats.complete ? util::fmt(par.stats.seconds, 3)
+      row.push_back(par.base.stats.complete ? util::fmt(par.base.stats.seconds, 3)
                                        : std::string("t/o"));
-      if (n == 1 && par.stats.complete) t1 = par.stats.seconds;
-      if (n == 4 && par.stats.complete) t4 = par.stats.seconds;
+      if (n == 1 && par.base.stats.complete) t1 = par.base.stats.seconds;
+      if (n == 4 && par.base.stats.complete) t4 = par.base.stats.seconds;
       report.metric(
           entry.name + ".p" + util::fmt(static_cast<long long>(n)) + "_s",
-          par.stats.seconds);
+          par.base.stats.seconds);
     }
     report.metric(entry.name + ".seq_s", seq.stats.seconds);
     report.metric(entry.name + ".front_size",

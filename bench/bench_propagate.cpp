@@ -149,6 +149,8 @@ int main() {
     report.metric(prefix + ".wall_s", total.seconds);
     report.metric(prefix + ".props_per_sec", props_per_sec);
     report.metric(prefix + ".conflicts_per_sec", confl_per_sec);
+    report.registry().counter(prefix + ".propagations").set(total.propagations);
+    report.registry().counter(prefix + ".conflicts").set(total.conflicts);
   };
 
   // S06 (shared bus) and S08 (3x3 mesh) are the mid-ladder fixtures whose

@@ -30,15 +30,15 @@ int main() {
     const synth::Specification spec = gen::generate(entry.config);
 
     dse::ExploreOptions opts;
-    opts.time_limit_seconds = limit;
+    opts.common.time_limit_seconds = limit;
     const dse::ExploreResult aspmt_run = dse::explore(spec, opts);
 
     // Certified mode: same exploration with proof logging, witness
     // validation and an independent checker replay — the cert[s] column is
     // the end-to-end price of a machine-checked front.
     dse::ExploreOptions cert_opts;
-    cert_opts.time_limit_seconds = limit;
-    cert_opts.certify = true;
+    cert_opts.common.time_limit_seconds = limit;
+    cert_opts.common.certify = true;
     const dse::ExploreResult cert_run = dse::explore(spec, cert_opts);
     const std::string cert_cell =
         !cert_run.stats.complete ? std::string("t/o")

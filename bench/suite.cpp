@@ -124,7 +124,9 @@ std::string Report::write() const {
     out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(notes_[i].first)
         << "\": \"" << json_escape(notes_[i].second) << "\"";
   }
-  out << (notes_.empty() ? "" : "\n  ") << "}\n";
+  out << (notes_.empty() ? "" : "\n  ") << "},\n";
+  // Raw embed: MetricsRegistry::to_json() emits a complete JSON object.
+  out << "  \"metrics_snapshot\": " << registry_.to_json() << "\n";
   out << "}\n";
   return out ? path : std::string{};
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "gen/generator.hpp"
+#include "obs/metrics.hpp"
 
 namespace aspmt::bench {
 
@@ -37,14 +38,22 @@ class Report {
   explicit Report(std::string name) : name_(std::move(name)) {}
 
   /// Record a numeric result, e.g. metric("bus.props_per_sec", 1.9e6).
+  /// Every metric is mirrored into the report's metrics registry, so the
+  /// embedded snapshot always covers at least the headline numbers.
   void metric(const std::string& key, double value) {
     metrics_.emplace_back(key, value);
+    registry_.gauge(key).set(value);
   }
 
   /// Record a free-form annotation, e.g. note("build", "Release").
   void note(const std::string& key, const std::string& value) {
     notes_.emplace_back(key, value);
   }
+
+  /// The report's own metrics registry.  Point CommonOptions::metrics (or
+  /// dse::export_metrics) at it and the full counter/gauge/histogram state
+  /// is embedded in the JSON under "metrics_snapshot".
+  [[nodiscard]] obs::MetricsRegistry& registry() noexcept { return registry_; }
 
   /// Write BENCH_<name>.json; returns the path (empty on I/O failure).
   std::string write() const;
@@ -53,6 +62,7 @@ class Report {
   std::string name_;
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<std::pair<std::string, std::string>> notes_;
+  obs::MetricsRegistry registry_;
 };
 
 /// Peak resident set size of this process in KiB (0 when unavailable).

@@ -90,7 +90,7 @@ int main() {
   std::cout << "NoC multimedia pipeline (" << gen::summarize(spec) << ")\n\n";
 
   dse::ExploreOptions opts;
-  opts.time_limit_seconds = 60.0;
+  opts.common.time_limit_seconds = 60.0;
   const dse::ExploreResult exact = dse::explore(spec, opts);
   std::cout << "exact front: " << exact.front.size() << " points ("
             << (exact.stats.complete ? "complete" : "time-limited") << ", "

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/recorder.hpp"
+
 namespace aspmt::asp {
 
 Solver::Solver(SolverOptions options) : options_(options) {
@@ -518,6 +520,10 @@ Solver::Result Solver::solve(std::span<const Lit> assumptions,
     if (proof_ != nullptr) proof_->conclude_unsat({});
     return Result::Unsat;
   }
+  if (options_.recorder != nullptr) {
+    options_.recorder->record(obs::EventKind::SolveStart,
+                              static_cast<std::int64_t>(assumptions.size()));
+  }
   cancel_until(0);
   model_.clear();
   const Result r = search(assumptions, deadline);
@@ -527,6 +533,12 @@ Solver::Result Solver::solve(std::span<const Lit> assumptions,
     // once root unsatisfiability is established the claim is global.
     if (r == Result::Unsat) proof_->conclude_unsat(ok_ ? assumptions : std::span<const Lit>{});
     if (r == Result::Sat) proof_->sat_marker();
+  }
+  if (options_.recorder != nullptr) {
+    options_.recorder->record(obs::EventKind::SolveEnd,
+                              static_cast<std::int64_t>(r),
+                              static_cast<std::int64_t>(stats_.conflicts),
+                              static_cast<std::int64_t>(stats_.propagations));
   }
   return r;
 }
@@ -587,6 +599,10 @@ Solver::Result Solver::search(std::span<const Lit> assumptions,
     // No conflict.
     if (conflicts_this_round >= conflict_budget) {
       ++stats_.restarts;
+      if (options_.recorder != nullptr) {
+        options_.recorder->record(obs::EventKind::Restart,
+                                  static_cast<std::int64_t>(stats_.restarts));
+      }
       ++restart_round;
       conflict_budget = options_.restart_base * luby(restart_round + 1);
       conflicts_this_round = 0;

@@ -22,6 +22,10 @@
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
+namespace aspmt::obs {
+class Recorder;
+}
+
 namespace aspmt::asp {
 
 struct SolverStats {
@@ -96,6 +100,12 @@ struct SolverOptions {
   /// Conflicts between two monitor polls (also polled at solve() entry and
   /// at every restart).  Must be non-zero.
   std::uint32_t monitor_interval = 1024;
+  /// Optional observability producer (see obs/recorder.hpp): solve()
+  /// entry/exit and restarts are recorded when attached.  nullptr (default)
+  /// costs one pointer test per solve() and per restart — the propagation
+  /// loop itself carries no instrumentation at all.  Recording never alters
+  /// the search trajectory.
+  obs::Recorder* recorder = nullptr;
 };
 
 class Solver {

@@ -1,0 +1,59 @@
+// aspmt.hpp — the supported public surface of the library, in one include.
+//
+//   #include <aspmt.hpp>   (installed under include/aspmt/)
+//
+// Everything re-exported here is API: covered by tests, documented in
+// DESIGN.md, and kept stable across releases.  Headers NOT listed here
+// (solver internals, theory propagators, encoder plumbing, pareto archive
+// implementations, …) are internal — include them at your own risk; see
+// DESIGN.md §11 "Public surface" for the authoritative list.
+#pragma once
+
+// -- Problem input ----------------------------------------------------------
+// synth::Specification — the system-synthesis problem: tasks, resources,
+// mapping options, routing, objective coefficients.
+#include "synth/spec.hpp"
+// synth::load_specification / save_specification / to_text — the text format
+// round-trip used by the CLI, the generator and the checkpointing layer.
+#include "synth/specio.hpp"
+// synth::validate_implementation — independent feasibility re-check of a
+// witness against its specification.
+#include "synth/validator.hpp"
+// gen::generate — reproducible random specification families (shared bus,
+// 2x2/3x3 mesh) for benchmarks and fuzzing.
+#include "gen/generator.hpp"
+
+// -- Exploration ------------------------------------------------------------
+// dse::CommonOptions — the option block shared by both explorers (budget,
+// archive kind, checkpointing, certification, observability hooks).
+#include "dse/options.hpp"
+// dse::explore — the sequential exact explorer (ExploreOptions adds the
+// epsilon-dominance knob); dse::enumerate_witnesses; dse::export_metrics.
+#include "dse/explorer.hpp"
+// dse::explore_parallel — the parallel portfolio (ParallelExploreOptions
+// adds threads/seed/shards; the result embeds an ExploreResult as .base).
+#include "dse/parallel_explorer.hpp"
+// dse::Budget / BudgetLimits / StopReason — resource ceilings and the
+// async-signal-safe cancellation token.
+#include "dse/budget.hpp"
+// dse::Checkpoint / save_checkpoint / load_checkpoint — crash-safe periodic
+// snapshots and warm restarts.
+#include "dse/checkpoint.hpp"
+
+// -- Certification ----------------------------------------------------------
+// cert::certify_front — replay a run's proof stream and witness set through
+// the independent checker; exit code of record for certified runs.
+#include "cert/certify.hpp"
+
+// -- Observability ----------------------------------------------------------
+// obs::Event / EventKind — the typed event taxonomy (DESIGN.md §11).
+#include "obs/events.hpp"
+// obs::EventSink / MultiSink — where collected events go; implement this to
+// build custom exporters.
+#include "obs/sink.hpp"
+// obs::MetricsRegistry — named counters / gauges / histograms with a JSON
+// snapshot (CommonOptions::metrics).
+#include "obs/metrics.hpp"
+// obs::NdjsonExporter / ChromeTraceExporter / ProgressMeter — stock sinks:
+// event log, Perfetto-loadable trace, live status line.
+#include "obs/exporters.hpp"

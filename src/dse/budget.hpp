@@ -19,6 +19,7 @@
 
 #include "asp/solver.hpp"
 #include "dse/fault.hpp"
+#include "obs/recorder.hpp"
 #include "util/timer.hpp"
 
 namespace aspmt::dse {
@@ -79,6 +80,13 @@ class Budget {
   [[nodiscard]] bool tripped() const noexcept {
     return reason_.load(std::memory_order_acquire) != kUntripped;
   }
+  /// The recorded trip cause; only meaningful once tripped() is true
+  /// (returns Interrupted before any trip).
+  [[nodiscard]] StopReason trip_reason() const noexcept {
+    const std::uint8_t r = reason_.load(std::memory_order_acquire);
+    return r == kUntripped ? StopReason::Interrupted
+                           : static_cast<StopReason>(r);
+  }
 
   /// Account `delta` further solver conflicts toward the shared budget.
   void add_conflicts(std::uint64_t delta) noexcept {
@@ -130,8 +138,9 @@ class Budget {
 class BudgetMonitor final : public asp::SearchMonitor {
  public:
   explicit BudgetMonitor(Budget* budget, const FaultPlan* fault = nullptr,
-                         FaultState* state = nullptr)
-      : budget_(budget), fault_(fault), state_(state) {}
+                         FaultState* state = nullptr,
+                         obs::Recorder* recorder = nullptr)
+      : budget_(budget), fault_(fault), state_(state), recorder_(recorder) {}
 
   void poll(const asp::SolverStats& stats) override {
     budget_->add_conflicts(stats.conflicts - last_conflicts_);
@@ -143,13 +152,31 @@ class BudgetMonitor final : public asp::SearchMonitor {
       budget_->trip(StopReason::Deadline);  // deadline expiry mid-propagation
     }
     budget_->poll();
+    if (recorder_ != nullptr && recorder_->enabled()) {
+      // The monitor cadence doubles as the observability sampling cadence:
+      // rates in exporters are derived between these samples, and the trip
+      // is reported per worker here because Budget::trip() may run in a
+      // signal handler or a peer thread (the rings are SPSC).
+      recorder_->record(obs::EventKind::StatsSample,
+                        static_cast<std::int64_t>(stats.conflicts),
+                        static_cast<std::int64_t>(stats.propagations),
+                        static_cast<std::int64_t>(stats.decisions));
+      if (!trip_reported_ && budget_->tripped()) {
+        trip_reported_ = true;
+        recorder_->record(
+            obs::EventKind::BudgetTrip,
+            static_cast<std::int64_t>(budget_->trip_reason()));
+      }
+    }
   }
 
  private:
   Budget* budget_;
   const FaultPlan* fault_;
   FaultState* state_;
+  obs::Recorder* recorder_;
   std::uint64_t last_conflicts_ = 0;
+  bool trip_reported_ = false;
 };
 
 }  // namespace aspmt::dse

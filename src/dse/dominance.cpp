@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "asp/solver.hpp"
+#include "obs/recorder.hpp"
 #include "pareto/concurrent_archive.hpp"
 
 namespace aspmt::dse {
@@ -37,6 +38,10 @@ bool DominancePropagator::enforce(asp::Solver& solver) {
   clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
   for (asp::Lit& l : clause) l = ~l;
   ++prunings_;
+  if (recorder_ != nullptr) {
+    recorder_->record(obs::EventKind::DominancePrune,
+                      static_cast<std::int64_t>(prunings_));
+  }
   // Payload: the per-objective thresholds the clause literals justify.  The
   // checker re-derives each threshold through the declared objective binding
   // and demands a certified feasible point at or below all of them (only

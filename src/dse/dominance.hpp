@@ -24,6 +24,10 @@ namespace aspmt::pareto {
 class ConcurrentArchive;
 }
 
+namespace aspmt::obs {
+class Recorder;
+}
+
 namespace aspmt::dse {
 
 class DominancePropagator final : public asp::TheoryPropagator {
@@ -52,6 +56,11 @@ class DominancePropagator final : public asp::TheoryPropagator {
 
   /// Number of subtrees pruned by dominance conflicts.
   [[nodiscard]] std::uint64_t prunings() const noexcept { return prunings_; }
+
+  /// Observability: emit a DominancePrune event on every pruning conflict.
+  /// Only the (rare) conflict path records; the no-dominator fast path of
+  /// enforce() is untouched.  nullptr (default) disables recording.
+  void set_recorder(obs::Recorder* recorder) noexcept { recorder_ = recorder; }
 
   /// Portfolio mode: treat the local archive as a snapshot of `shared` and
   /// keep it fresh.  Every enforce() polls the shared generation counter
@@ -86,6 +95,7 @@ class DominancePropagator final : public asp::TheoryPropagator {
   std::uint64_t prunings_ = 0;
   bool partial_eval_ = true;
   pareto::ConcurrentArchive* shared_ = nullptr;  // non-owning; may be null
+  obs::Recorder* recorder_ = nullptr;            // non-owning; may be null
   std::uint64_t synced_generation_ = 0;
   std::vector<pareto::Vec> sync_buffer_;  // scratch for fetch_updates
 };

@@ -7,50 +7,100 @@
 #include "cert/certify.hpp"
 #include "dse/checkpoint.hpp"
 #include "dse/context.hpp"
+#include "obs/collector.hpp"
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace aspmt::dse {
 
+void export_metrics(obs::MetricsRegistry& registry,
+                    const ExploreResult& result) {
+  const ExploreStats& s = result.stats;
+  // Counter totals mirror ExploreStats exactly — test_obs holds the two
+  // equal field-for-field.
+  registry.counter("explore.models").set(s.models);
+  registry.counter("explore.prunings").set(s.prunings);
+  registry.counter("explore.conflicts").set(s.conflicts);
+  registry.counter("explore.decisions").set(s.decisions);
+  registry.counter("explore.propagations").set(s.propagations);
+  registry.counter("explore.theory_clauses").set(s.theory_clauses);
+  registry.counter("explore.archive_comparisons").set(s.archive_comparisons);
+  registry.counter("explore.front_size").set(result.front.size());
+  registry.gauge("explore.seconds").set(s.seconds);
+  registry.gauge("explore.complete").set(s.complete ? 1.0 : 0.0);
+  if (s.seconds > 0.0) {
+    registry.gauge("explore.conflicts_per_sec")
+        .set(static_cast<double>(s.conflicts) / s.seconds);
+    registry.gauge("explore.propagations_per_sec")
+        .set(static_cast<double>(s.propagations) / s.seconds);
+    registry.gauge("explore.models_per_sec")
+        .set(static_cast<double>(s.models) / s.seconds);
+  }
+}
+
 ExploreResult explore(const synth::Specification& spec,
                       const ExploreOptions& options) {
   util::Timer timer;
+  const CommonOptions& common = options.common;
 
   ExploreResult result;
-  const bool certify = options.certify && options.epsilon.empty();
-  if (options.certify && !options.epsilon.empty()) {
+  const bool certify = common.certify && options.epsilon.empty();
+  if (common.certify && !options.epsilon.empty()) {
     result.certificate_error = "certification requires exact exploration (empty epsilon)";
   }
-  const bool collect = options.collect_witnesses || certify;
+  const bool collect = common.collect_witnesses || certify;
   asp::ProofLog proof_log;
 
   // Resource governance: the caller's Budget wins; otherwise build one from
   // the numeric limits.  Either way the solver polls the same token.
-  Budget local_budget(BudgetLimits{options.time_limit_seconds,
-                                   options.conflict_budget,
-                                   options.mem_limit_mb});
-  Budget* budget = options.budget != nullptr ? options.budget : &local_budget;
+  Budget local_budget(BudgetLimits{common.time_limit_seconds,
+                                   common.conflict_budget,
+                                   common.mem_limit_mb});
+  Budget* budget = common.budget != nullptr ? common.budget : &local_budget;
 
   FaultPlan env_fault;
-  const FaultPlan* fault = options.fault;
+  const FaultPlan* fault = common.fault;
   if (fault == nullptr) {
     env_fault = FaultPlan::from_env();
     if (env_fault.any()) fault = &env_fault;
   }
   FaultState fstate;
-  BudgetMonitor monitor(budget, fault, &fstate);
+
+  // Observability: with a sink attached, this run gets one producer ring
+  // (worker 0) and a collector thread draining it.  Without one, `rec`
+  // stays null and every instrumented site below is a pointer test.
+  std::unique_ptr<obs::Collector> collector;
+  obs::Recorder* rec = nullptr;
+  if (common.sink != nullptr) {
+    collector = std::make_unique<obs::Collector>(*common.sink, 1);
+    rec = &collector->recorder(0);
+    collector->start();
+    rec->record(obs::EventKind::RunStart,
+                static_cast<std::int64_t>(common.time_limit_seconds * 1000.0),
+                1, static_cast<std::int64_t>(common.conflict_budget));
+    rec->record(obs::EventKind::WorkerStart, 0);
+  }
+  obs::Histogram* insert_hist =
+      common.metrics != nullptr
+          ? &common.metrics->histogram("archive.comparisons_per_insert")
+          : nullptr;
+
+  BudgetMonitor monitor(budget, fault, &fstate, rec);
 
   ContextOptions copts;
-  copts.archive_kind = options.archive_kind;
-  copts.partial_evaluation = options.partial_evaluation;
+  copts.archive_kind = common.archive_kind;
+  copts.partial_evaluation = common.partial_evaluation;
   // Floor explanations reference redundant copair sums the checker cannot
   // re-derive; without floors the primary sources explain every bound and
   // the front is unchanged (floors are a pruning aid only).
-  copts.objective_floors = certify ? false : options.objective_floors;
-  copts.solver_options = options.solver_options;
+  copts.objective_floors = certify ? false : common.objective_floors;
+  copts.solver_options = common.solver_options;
   copts.solver_options.stop = budget->token();
   copts.solver_options.monitor = &monitor;
+  copts.solver_options.recorder = rec;
   if (certify) copts.proof = &proof_log;
   SynthContext ctx(spec, copts);
+  ctx.dominance().set_recorder(rec);
   if (!options.epsilon.empty()) {
     assert(options.epsilon.size() == ctx.objectives.count());
     ctx.dominance().set_epsilon(options.epsilon);
@@ -62,13 +112,13 @@ ExploreResult explore(const synth::Specification& spec,
   // region it weakly dominates is pruned from the first propagation on.
   std::uint64_t base_elapsed_ms = 0;
   bool resumed = false;
-  if (options.resume != nullptr) {
-    if (options.resume->spec_fingerprint != spec_fingerprint(spec)) {
+  if (common.resume != nullptr) {
+    if (common.resume->spec_fingerprint != spec_fingerprint(spec)) {
       result.errors.push_back(
           "resume rejected: checkpoint was written for a different "
           "specification; starting cold");
     } else {
-      const Checkpoint& ckpt = *options.resume;
+      const Checkpoint& ckpt = *common.resume;
       for (std::size_t i = 0; i < ckpt.points.size(); ++i) {
         ctx.dominance().insert(ckpt.points[i]);
         if (collect && i < ckpt.witnesses.size() &&
@@ -82,15 +132,15 @@ ExploreResult explore(const synth::Specification& spec,
   }
 
   std::unique_ptr<CheckpointWriter> ckpt_writer;
-  if (!options.checkpoint_path.empty()) {
+  if (!common.checkpoint_path.empty()) {
     ckpt_writer = std::make_unique<CheckpointWriter>(
-        options.checkpoint_path, options.checkpoint_interval_seconds,
+        common.checkpoint_path, common.checkpoint_interval_seconds,
         fault != nullptr && fault->corrupt_checkpoint);
   }
   const auto snapshot = [&]() {
     Checkpoint c;
     c.spec_fingerprint = spec_fingerprint(spec);
-    c.seed = options.solver_options.seed;
+    c.seed = common.solver_options.seed;
     c.elapsed_ms = base_elapsed_ms +
                    static_cast<std::uint64_t>(timer.elapsed_ms());
     c.points = ctx.archive().points();
@@ -105,8 +155,35 @@ ExploreResult explore(const synth::Specification& spec,
     return c;
   };
 
+  // Archive insertion with observability around it: the events and the
+  // histogram only read sizes/counters, so the search trajectory is
+  // untouched whether or not a sink is attached.
+  const auto insert_point = [&](const pareto::Vec& p) {
+    const bool observing = rec != nullptr && rec->enabled();
+    const std::size_t before = observing ? ctx.archive().size() : 0;
+    const std::uint64_t cmp_before =
+        insert_hist != nullptr ? ctx.archive().comparisons() : 0;
+    const bool inserted = ctx.dominance().insert(p);
+    if (insert_hist != nullptr) {
+      insert_hist->observe(ctx.archive().comparisons() - cmp_before);
+    }
+    if (observing && inserted) {
+      rec->record(obs::EventKind::ArchiveInsert, p[0], p[1], p[2]);
+      const std::size_t after = ctx.archive().size();
+      if (before + 1 > after) {
+        rec->record(obs::EventKind::ArchiveEvict,
+                    static_cast<std::int64_t>(before + 1 - after),
+                    static_cast<std::int64_t>(after));
+      }
+    }
+    return inserted;
+  };
+
   const auto record = [&](const pareto::Vec& point) {
     ++result.stats.models;
+    if (rec != nullptr) {
+      rec->record(obs::EventKind::ModelFound, point[0], point[1], point[2]);
+    }
     fault_worker_throw(fault, 0, result.stats.models);
     if (certify) proof_log.feasible_point(point);
     result.discoveries.emplace_back(timer.elapsed_seconds(), point);
@@ -115,7 +192,13 @@ ExploreResult explore(const synth::Specification& spec,
       witnesses[point] = ctx.capture().implementation();
     }
     if (ckpt_writer != nullptr && ckpt_writer->due()) {
-      const std::string err = ckpt_writer->write_if_due(snapshot());
+      const Checkpoint c = snapshot();
+      const std::string err = ckpt_writer->write_if_due(c);
+      if (rec != nullptr) {
+        rec->record(obs::EventKind::CheckpointWrite,
+                    static_cast<std::int64_t>(c.points.size()),
+                    err.empty() ? 1 : 0);
+      }
       if (!err.empty()) result.errors.push_back(err);
     }
   };
@@ -129,14 +212,14 @@ ExploreResult explore(const synth::Specification& spec,
         pareto::Vec point = ctx.capture().vector();
         // The dominance check already rejected weakly dominated candidates,
         // so insertion must succeed.
-        const bool inserted = ctx.dominance().insert(point);
+        const bool inserted = insert_point(point);
         assert(inserted);
         (void)inserted;
         record(point);
         // Drill down: chase strictly dominating points until none is left.
         // The archive already blocks f >= point, so requiring f <= point
         // leaves exactly the strictly-better region.
-        while (options.drill_down) {
+        while (common.drill_down) {
           const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
           for (std::size_t o = 0; o < ctx.objectives.count(); ++o) {
             ctx.objectives.add_bound(o, point[o], act);
@@ -150,7 +233,7 @@ ExploreResult explore(const synth::Specification& spec,
           }
           if (r2 == asp::Solver::Result::Unsat) break;  // point is Pareto-optimal
           point = ctx.capture().vector();
-          const bool better = ctx.dominance().insert(point);
+          const bool better = insert_point(point);
           assert(better);
           (void)better;
           record(point);
@@ -212,7 +295,13 @@ ExploreResult explore(const synth::Specification& spec,
   }
 
   if (ckpt_writer != nullptr) {
-    const std::string err = ckpt_writer->write(snapshot());
+    const Checkpoint c = snapshot();
+    const std::string err = ckpt_writer->write(c);
+    if (rec != nullptr) {
+      rec->record(obs::EventKind::CheckpointWrite,
+                  static_cast<std::int64_t>(c.points.size()),
+                  err.empty() ? 1 : 0);
+    }
     if (!err.empty()) result.errors.push_back(err);
   }
 
@@ -224,6 +313,19 @@ ExploreResult explore(const synth::Specification& spec,
   result.stats.theory_clauses = s.theory_clauses;
   result.stats.archive_comparisons = ctx.archive().comparisons();
   result.stats.seconds = timer.elapsed_seconds();
+
+  if (rec != nullptr) {
+    rec->record(obs::EventKind::WorkerEnd,
+                static_cast<std::int64_t>(result.stats.models),
+                static_cast<std::int64_t>(result.stats.conflicts),
+                failed ? 1 : 0);
+    rec->record(obs::EventKind::RunEnd,
+                static_cast<std::int64_t>(result.front.size()),
+                static_cast<std::int64_t>(result.stats.models),
+                result.stats.complete ? 1 : 0);
+  }
+  if (collector != nullptr) collector->stop();
+  if (common.metrics != nullptr) export_metrics(*common.metrics, result);
   return result;
 }
 

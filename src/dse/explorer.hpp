@@ -16,58 +16,23 @@
 
 #include "asp/solver.hpp"
 #include "dse/budget.hpp"
+#include "dse/options.hpp"
 #include "pareto/point.hpp"
 #include "synth/implementation.hpp"
 #include "synth/spec.hpp"
 
 namespace aspmt::dse {
 
-struct Checkpoint;
-
 struct ExploreOptions {
-  double time_limit_seconds = 0.0;  ///< 0 = unlimited
-  bool partial_evaluation = true;   ///< Figure 3 ablation switch
-  std::string archive_kind = "quadtree";  ///< or "linear" (Figure 4 ablation)
-  bool collect_witnesses = true;
-  /// After every model, immediately descend to a Pareto-optimal point by
-  /// re-solving under activation-guarded bounds f <= v: mediocre interim
-  /// points never enter the archive, so dominance pruning is maximal from
-  /// the first insertion on.
-  bool drill_down = true;
-  /// Binding-pair floor bounds in the encoding (ablation switch; disabling
-  /// never changes the front, only the pruning power).
-  bool objective_floors = true;
+  /// Everything shared with the portfolio explorer — limits, archive kind,
+  /// certification, fault-tolerant runtime, observability (see options.hpp).
+  CommonOptions common;
   /// ε-dominance approximation (one additive slack per objective, in
   /// canonical order latency/energy/cost).  Empty = exact.  With a non-empty
   /// epsilon the run terminates with an ε-approximate front: every true
   /// Pareto point q is covered by a returned point p with p <= q + eps.
+  /// Sequential-only: the portfolio explorer always runs exact.
   pareto::Vec epsilon;
-  /// Certified mode: proof-log the whole session, validate every discovered
-  /// witness with synth::Validator, and machine-check the terminating Unsat
-  /// proof with the independent checker — on success the result's
-  /// `certified` flag asserts the front is exactly the Pareto front of the
-  /// declared system.  Forces witness collection on and objective floors
-  /// off (floor explanations are not independently re-derivable; the front
-  /// is unaffected).  Incompatible with a non-empty epsilon.
-  bool certify = false;
-  asp::SolverOptions solver_options{};
-
-  // ---- fault-tolerant runtime (see budget.hpp / checkpoint.hpp) ----------
-  std::uint64_t conflict_budget = 0;  ///< 0 = unlimited solver conflicts
-  std::size_t mem_limit_mb = 0;       ///< 0 = unlimited; ceiling on peak RSS
-  /// External budget/token (CLI signal handling, embedding).  When set it
-  /// governs the run and the three numeric limits above are ignored — the
-  /// caller configured the Budget itself.
-  Budget* budget = nullptr;
-  /// Periodic archive snapshots ("" = off), written atomically.
-  std::string checkpoint_path;
-  double checkpoint_interval_seconds = 30.0;
-  /// Warm start: seed the archive (and witness table) from a loaded
-  /// checkpoint.  Rejected with a recorded error when the spec fingerprint
-  /// does not match.  Resumed runs are not certifiable.
-  const Checkpoint* resume = nullptr;
-  /// Fault-injection plan; nullptr = consult ASPMT_FAULT_INJECT.
-  const FaultPlan* fault = nullptr;
 };
 
 struct ExploreStats {
@@ -115,6 +80,13 @@ struct ExploreResult {
 /// Compute the exact Pareto front of `spec` (latency, energy, cost).
 [[nodiscard]] ExploreResult explore(const synth::Specification& spec,
                                     const ExploreOptions& options = {});
+
+/// Fill `registry` from a finished run so counter totals equal the run's
+/// ExploreStats field-for-field ("explore.models" == stats.models, ...),
+/// with derived per-second gauges alongside.  Called automatically by both
+/// explorers when CommonOptions::metrics is set; public so embedders and
+/// benches can snapshot ad-hoc runs the same way.
+void export_metrics(obs::MetricsRegistry& registry, const ExploreResult& result);
 
 struct WitnessEnumeration {
   std::vector<synth::Implementation> implementations;

@@ -13,6 +13,8 @@
 #include "cert/certify.hpp"
 #include "dse/checkpoint.hpp"
 #include "dse/context.hpp"
+#include "obs/collector.hpp"
+#include "obs/metrics.hpp"
 #include "pareto/concurrent_archive.hpp"
 #include "util/timer.hpp"
 
@@ -65,6 +67,11 @@ struct SharedState {
   FaultState fstate;
   std::uint64_t checkpoint_seed = 0;
   std::uint64_t fingerprint = 0;
+  /// Per-insert archive work histogram (nullptr without a metrics registry).
+  /// In portfolio mode the comparison deltas are sampled off the shared
+  /// atomic counter, so concurrent inserts may attribute a peer's work to
+  /// each other — an approximation, flagged in DESIGN.md §11.
+  obs::Histogram* insert_hist = nullptr;
 
   /// Contain a worker death: preserve the error and requeue its slice so a
   /// survivor can finish the region it was responsible for.
@@ -117,24 +124,32 @@ asp::SolverOptions diversify(asp::SolverOptions base, std::size_t index,
 void run_worker(std::size_t index, std::size_t total,
                 const synth::Specification& spec,
                 const ParallelExploreOptions& opts, SharedState& shared,
-                WorkerReport& report, asp::ProofLog* proof) {
+                WorkerReport& report, asp::ProofLog* proof,
+                obs::Recorder* rec) {
   util::Timer worker_timer;
   report.worker = index;
+  const CommonOptions& common = opts.common;
+  if (rec != nullptr) {
+    rec->record(obs::EventKind::WorkerStart,
+                static_cast<std::int64_t>(index));
+  }
 
   ContextOptions copts;
-  copts.archive_kind = opts.archive_kind;
-  copts.partial_evaluation = opts.partial_evaluation;
+  copts.archive_kind = common.archive_kind;
+  copts.partial_evaluation = common.partial_evaluation;
   // Certified runs disable floors for checkable explanations (see
-  // ExploreOptions::certify) and give every worker its own proof stream.
-  copts.objective_floors = proof != nullptr ? false : opts.objective_floors;
+  // CommonOptions::certify) and give every worker its own proof stream.
+  copts.objective_floors = proof != nullptr ? false : common.objective_floors;
   copts.proof = proof;
-  copts.solver_options = diversify(opts.solver_options, index, opts.seed);
+  copts.solver_options = diversify(common.solver_options, index, opts.seed);
   copts.solver_options.stop = shared.budget->token();
-  BudgetMonitor monitor(shared.budget, shared.fault, &shared.fstate);
+  BudgetMonitor monitor(shared.budget, shared.fault, &shared.fstate, rec);
   copts.solver_options.monitor = &monitor;
+  copts.solver_options.recorder = rec;
   SynthContext ctx(spec, copts);
   assert(ctx.objectives.count() == kNumObjectives);
   ctx.dominance().attach_shared(&shared.archive);
+  ctx.dominance().set_recorder(rec);
 
   std::vector<asp::Lit> assumptions;  // the active slice bound, if any
   std::size_t active_slice = kNoSlice;
@@ -144,22 +159,45 @@ void run_worker(std::size_t index, std::size_t total,
 
   const auto publish = [&](const pareto::Vec& point) {
     ++report.models;
+    if (rec != nullptr) {
+      rec->record(obs::EventKind::ModelFound, point[0], point[1], point[2]);
+    }
     fault_worker_throw(shared.fault, index, report.models);
     if (active_slice != kNoSlice) ++report.slice_models;
+    const bool observing = rec != nullptr && rec->enabled();
+    const std::size_t before = observing ? shared.archive.size() : 0;
+    const std::uint64_t cmp_before =
+        shared.insert_hist != nullptr ? shared.archive.comparisons() : 0;
     const bool inserted = shared.archive.insert(point);
+    if (shared.insert_hist != nullptr) {
+      shared.insert_hist->observe(shared.archive.comparisons() - cmp_before);
+    }
     ctx.dominance().sync_shared();
     if (!inserted) {
       ++report.rejected_inserts;
       return;
     }
     ++report.shared_inserts;
+    if (observing) {
+      rec->record(obs::EventKind::ArchiveInsert, point[0], point[1],
+                  point[2]);
+      const std::size_t after = shared.archive.size();
+      // Sizes are sampled around a concurrent insert, so the eviction count
+      // is best-effort under races; the post-insert size `after` is what
+      // exporters treat as authoritative.
+      if (before + 1 > after) {
+        rec->record(obs::EventKind::ArchiveEvict,
+                    static_cast<std::int64_t>(before + 1 - after),
+                    static_cast<std::int64_t>(after));
+      }
+    }
     // Only first publications carry an F step: rejected points may be
     // dominated by a *different* peer point and then have no witness.
     if (proof != nullptr) proof->feasible_point(point);
     {
       std::lock_guard lock(shared.mutex);
       shared.discoveries.emplace_back(shared.timer.elapsed_seconds(), point);
-      if (opts.collect_witnesses || proof != nullptr) {
+      if (common.collect_witnesses || proof != nullptr) {
         fault_alloc(shared.fault, &shared.fstate);
         shared.witnesses[point] = ctx.capture().implementation();
       }
@@ -167,7 +205,13 @@ void run_worker(std::size_t index, std::size_t total,
     if (shared.checkpoint != nullptr && shared.checkpoint->due()) {
       // Ignore write errors here: a failing disk must not kill the search.
       // The final write at end of run reports them.
-      (void)shared.checkpoint->write_if_due(shared.snapshot());
+      const Checkpoint c = shared.snapshot();
+      const std::string err = shared.checkpoint->write_if_due(c);
+      if (rec != nullptr) {
+        rec->record(obs::EventKind::CheckpointWrite,
+                    static_cast<std::int64_t>(c.points.size()),
+                    err.empty() ? 1 : 0);
+      }
     }
   };
 
@@ -203,6 +247,10 @@ void run_worker(std::size_t index, std::size_t total,
     ctx.objectives.add_bound(0, bound, act);
     assumptions.assign(1, act);
     active_slice = sid;
+    if (rec != nullptr) {
+      rec->record(obs::EventKind::SliceActivate,
+                  static_cast<std::int64_t>(sid), bound);
+    }
   };
 
   const auto try_activate_slice = [&]() {
@@ -247,6 +295,10 @@ void run_worker(std::size_t index, std::size_t total,
             std::lock_guard lock(shared.mutex);
             shared.slice_done[active_slice] = 1;
           }
+          if (rec != nullptr) {
+            rec->record(obs::EventKind::SliceExhaust,
+                        static_cast<std::int64_t>(active_slice));
+          }
           assumptions.clear();
           active_slice = kNoSlice;
           continue;
@@ -264,7 +316,7 @@ void run_worker(std::size_t index, std::size_t total,
       // explorer does, except that a peer may publish the point first — the
       // rejected insert is counted, never asserted against.
       bool out_of_time = false;
-      while (opts.drill_down) {
+      while (common.drill_down) {
         const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
         for (std::size_t o = 0; o < ctx.objectives.count(); ++o) {
           ctx.objectives.add_bound(o, point[o], act);
@@ -305,34 +357,62 @@ void run_worker(std::size_t index, std::size_t total,
   report.theory_clauses = s.theory_clauses;
   report.archive_comparisons = ctx.archive().comparisons();
   report.seconds = worker_timer.elapsed_seconds();
+  if (rec != nullptr) {
+    rec->record(obs::EventKind::WorkerEnd,
+                static_cast<std::int64_t>(report.models),
+                static_cast<std::int64_t>(report.conflicts),
+                report.failed ? 1 : 0);
+  }
 }
 
 }  // namespace
 
 ParallelExploreResult explore_parallel(const synth::Specification& spec,
                                        const ParallelExploreOptions& options) {
+  const CommonOptions& common = options.common;
   std::size_t threads = options.threads != 0
                             ? options.threads
                             : std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
 
-  Budget local_budget(BudgetLimits{options.time_limit_seconds,
-                                   options.conflict_budget,
-                                   options.mem_limit_mb});
-  Budget* budget = options.budget != nullptr ? options.budget : &local_budget;
+  Budget local_budget(BudgetLimits{common.time_limit_seconds,
+                                   common.conflict_budget,
+                                   common.mem_limit_mb});
+  Budget* budget = common.budget != nullptr ? common.budget : &local_budget;
 
   FaultPlan env_fault;
-  const FaultPlan* fault = options.fault;
+  const FaultPlan* fault = common.fault;
   if (fault == nullptr) {
     env_fault = FaultPlan::from_env();
     if (env_fault.any()) fault = &env_fault;
   }
 
-  SharedState shared(options.archive_kind, options.archive_shards, budget,
+  SharedState shared(common.archive_kind, options.archive_shards, budget,
                      threads);
   shared.fault = fault;
   shared.checkpoint_seed = options.seed;
   shared.fingerprint = spec_fingerprint(spec);
+  if (common.metrics != nullptr) {
+    shared.insert_hist =
+        &common.metrics->histogram("archive.comparisons_per_insert");
+  }
+
+  // Observability: one SPSC ring per worker plus one for this orchestrating
+  // thread (index `threads`), all drained by the collector into the sink.
+  std::unique_ptr<obs::Collector> collector;
+  obs::Recorder* orec = nullptr;  // the orchestrator's recorder
+  if (common.sink != nullptr) {
+    collector = std::make_unique<obs::Collector>(*common.sink, threads + 1);
+    orec = &collector->recorder(threads);
+    collector->start();
+    orec->record(obs::EventKind::RunStart,
+                 static_cast<std::int64_t>(common.time_limit_seconds * 1000.0),
+                 static_cast<std::int64_t>(threads),
+                 static_cast<std::int64_t>(common.conflict_budget));
+  }
+  const auto worker_recorder = [&](std::size_t w) -> obs::Recorder* {
+    return collector != nullptr ? &collector->recorder(w) : nullptr;
+  };
 
   ParallelExploreResult result;
   result.workers.resize(threads);
@@ -340,13 +420,13 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
   // Warm start: seed the shared archive before any worker spawns, so every
   // worker's first generation-counter sync pulls the checkpointed front.
   bool resumed = false;
-  if (options.resume != nullptr) {
-    if (options.resume->spec_fingerprint != shared.fingerprint) {
-      result.errors.push_back(
+  if (common.resume != nullptr) {
+    if (common.resume->spec_fingerprint != shared.fingerprint) {
+      result.base.errors.push_back(
           "resume rejected: checkpoint was written for a different "
           "specification; starting cold");
     } else {
-      const Checkpoint& ckpt = *options.resume;
+      const Checkpoint& ckpt = *common.resume;
       for (std::size_t i = 0; i < ckpt.points.size(); ++i) {
         shared.archive.insert(ckpt.points[i]);
         if (i < ckpt.witnesses.size() &&
@@ -360,9 +440,9 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
   }
 
   std::unique_ptr<CheckpointWriter> ckpt_writer;
-  if (!options.checkpoint_path.empty()) {
+  if (!common.checkpoint_path.empty()) {
     ckpt_writer = std::make_unique<CheckpointWriter>(
-        options.checkpoint_path, options.checkpoint_interval_seconds,
+        common.checkpoint_path, common.checkpoint_interval_seconds,
         fault != nullptr && fault->corrupt_checkpoint);
     shared.checkpoint = ckpt_writer.get();
   }
@@ -370,12 +450,13 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
   // Proof logs are per worker (never shared across threads); the winner's
   // becomes the portfolio's completeness certificate.
   std::vector<std::unique_ptr<asp::ProofLog>> logs(threads);
-  if (options.certify) {
+  if (common.certify) {
     for (auto& log : logs) log = std::make_unique<asp::ProofLog>();
   }
 
   if (threads == 1) {
-    run_worker(0, 1, spec, options, shared, result.workers[0], logs[0].get());
+    run_worker(0, 1, spec, options, shared, result.workers[0], logs[0].get(),
+               worker_recorder(0));
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);
@@ -383,7 +464,7 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
       pool.emplace_back([&, w] {
         try {
           run_worker(w, threads, spec, options, shared, result.workers[w],
-                     logs[w].get());
+                     logs[w].get(), worker_recorder(w));
         } catch (const std::exception& e) {
           // run_worker contains its own search-loop failures; this catch
           // covers context construction, which leaves no stats to report.
@@ -397,27 +478,29 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
   }
   result.worker_errors = shared.errors;
 
-  result.front = shared.archive.points();
-  if (options.collect_witnesses || options.certify) {
-    result.witnesses.reserve(result.front.size());
-    for (const pareto::Vec& p : result.front) {
+  result.base.front = shared.archive.points();
+  if (common.collect_witnesses || common.certify) {
+    result.base.witnesses.reserve(result.base.front.size());
+    for (const pareto::Vec& p : result.base.front) {
       const auto it = shared.witnesses.find(p);
       if (it == shared.witnesses.end()) {
         // A worker death between archive insert and witness capture leaves
         // the point witness-less; report it instead of dereferencing end()
         // (the pre-fix behavior was UB under NDEBUG).
-        result.witnesses.emplace_back();
-        result.errors.push_back("missing witness for " + pareto::to_string(p));
+        result.base.witnesses.emplace_back();
+        result.base.errors.push_back("missing witness for " +
+                                     pareto::to_string(p));
       } else {
-        result.witnesses.push_back(it->second);
+        result.base.witnesses.push_back(it->second);
       }
     }
   }
-  result.discoveries = std::move(shared.discoveries);
-  std::stable_sort(result.discoveries.begin(), result.discoveries.end(),
+  result.base.discoveries = std::move(shared.discoveries);
+  std::stable_sort(result.base.discoveries.begin(),
+                   result.base.discoveries.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });
 
-  ExploreStats& stats = result.stats;
+  ExploreStats& stats = result.base.stats;
   for (const WorkerReport& w : result.workers) {
     stats.models += w.models;
     stats.prunings += w.prunings;
@@ -435,39 +518,70 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
   stats.reason = !result.worker_errors.empty() ? StopReason::WorkerFailure
                                                : budget->finish(stats.complete);
 
-  if (options.certify) {
+  if (common.certify) {
     const auto winner =
         std::find_if(result.workers.begin(), result.workers.end(),
                      [](const WorkerReport& w) { return w.proved_complete; });
     if (!result.worker_errors.empty()) {
-      result.certificate_error =
+      result.base.certificate_error =
           "worker " + std::to_string(result.worker_errors.front().worker) +
           " failed (" + result.worker_errors.front().message +
           "); a degraded run is never certified";
     } else if (resumed) {
-      result.certificate_error =
+      result.base.certificate_error =
           "resumed runs are not certifiable (seeded points lack in-stream "
           "derivations)";
     } else if (!stats.complete || winner == result.workers.end()) {
       // Emit the sequential anchor's stream, honestly truncation-marked, so
       // interrupted certified runs still hand over a checkable prefix.
-      result.proof = logs[0]->text() + "X 0\n";
-      result.certificate_error =
+      result.base.proof = logs[0]->text() + "X 0\n";
+      result.base.certificate_error =
           "no worker closed the global Unsat proof; nothing to certify";
     } else {
-      result.proof = logs[winner->worker]->text();
+      result.base.proof = logs[winner->worker]->text();
       std::vector<std::pair<pareto::Vec, synth::Implementation>> pairs(
           shared.witnesses.begin(), shared.witnesses.end());
-      const cert::CertifyResult cr =
-          cert::certify_front(spec, pairs, result.front, result.proof);
-      result.certified = cr.certified;
-      if (!cr.certified) result.certificate_error = cr.error;
+      const cert::CertifyResult cr = cert::certify_front(
+          spec, pairs, result.base.front, result.base.proof);
+      result.base.certified = cr.certified;
+      if (!cr.certified) result.base.certificate_error = cr.error;
     }
   }
 
   if (ckpt_writer != nullptr) {
-    const std::string err = ckpt_writer->write(shared.snapshot());
-    if (!err.empty()) result.errors.push_back(err);
+    const Checkpoint c = shared.snapshot();
+    const std::string err = ckpt_writer->write(c);
+    if (orec != nullptr) {
+      orec->record(obs::EventKind::CheckpointWrite,
+                   static_cast<std::int64_t>(c.points.size()),
+                   err.empty() ? 1 : 0);
+    }
+    if (!err.empty()) result.base.errors.push_back(err);
+  }
+
+  if (orec != nullptr) {
+    orec->record(obs::EventKind::RunEnd,
+                 static_cast<std::int64_t>(result.base.front.size()),
+                 static_cast<std::int64_t>(stats.models),
+                 stats.complete ? 1 : 0);
+  }
+  if (collector != nullptr) collector->stop();
+
+  if (common.metrics != nullptr) {
+    export_metrics(*common.metrics, result.base);
+    // Per-worker breakdown: conflict totals plus each worker's share of the
+    // portfolio's conflicts — the load-balance view of the run.
+    for (const WorkerReport& w : result.workers) {
+      const std::string prefix = "worker." + std::to_string(w.worker);
+      common.metrics->counter(prefix + ".conflicts").set(w.conflicts);
+      common.metrics->counter(prefix + ".models").set(w.models);
+      common.metrics->counter(prefix + ".shared_inserts").set(w.shared_inserts);
+      common.metrics->gauge(prefix + ".conflict_share")
+          .set(stats.conflicts == 0
+                   ? 0.0
+                   : static_cast<double>(w.conflicts) /
+                         static_cast<double>(stats.conflicts));
+    }
   }
   return result;
 }

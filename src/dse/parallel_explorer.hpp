@@ -38,40 +38,18 @@
 namespace aspmt::dse {
 
 struct ParallelExploreOptions {
+  /// Everything shared with the sequential explorer — limits, archive kind,
+  /// certification, fault-tolerant runtime, observability (see options.hpp).
+  /// In certified mode every worker proof-logs its own session and the
+  /// winning worker's terminating Unsat proof — the completeness
+  /// certificate of the whole portfolio — is machine-checked.
+  CommonOptions common;
   std::size_t threads = 0;  ///< 0 = std::thread::hardware_concurrency()
-  double time_limit_seconds = 0.0;  ///< 0 = unlimited
-  std::string archive_kind = "quadtree";  ///< local snapshots + shared shards
-  bool collect_witnesses = true;
-  bool drill_down = true;
-  bool partial_evaluation = true;
-  bool objective_floors = true;
   /// Base seed for portfolio diversification; worker w runs with a solver
   /// seed derived from (seed, w).  Worker 0 always keeps the deterministic
   /// default configuration.
   std::uint64_t seed = 1;
-  std::size_t archive_shards = 8;
-  /// Certified mode: every worker proof-logs its own session, every shared
-  /// discovery's witness is validated, and the winning worker's terminating
-  /// Unsat proof — the completeness certificate of the whole portfolio — is
-  /// machine-checked.  Forces witness collection on and objective floors
-  /// off (see ExploreOptions::certify).
-  bool certify = false;
-  asp::SolverOptions solver_options{};  ///< base config; workers diversify
-
-  // ---- fault-tolerant runtime (see budget.hpp / checkpoint.hpp) ----------
-  std::uint64_t conflict_budget = 0;  ///< 0 = unlimited, total over workers
-  std::size_t mem_limit_mb = 0;       ///< 0 = unlimited; ceiling on peak RSS
-  /// External budget/token (CLI signal handling, embedding).  When set it
-  /// governs the run and the numeric limits above are ignored.
-  Budget* budget = nullptr;
-  /// Periodic archive snapshots ("" = off), written atomically by whichever
-  /// worker publishes past the interval.
-  std::string checkpoint_path;
-  double checkpoint_interval_seconds = 30.0;
-  /// Warm start from a loaded checkpoint (see ExploreOptions::resume).
-  const Checkpoint* resume = nullptr;
-  /// Fault-injection plan; nullptr = consult ASPMT_FAULT_INJECT.
-  const FaultPlan* fault = nullptr;
+  std::size_t archive_shards = 8;  ///< ConcurrentArchive shard count
 };
 
 /// Per-worker accounting for the CLI report and the consistency tests.
@@ -102,27 +80,15 @@ struct WorkerError {
 };
 
 struct ParallelExploreResult {
-  std::vector<pareto::Vec> front;  ///< sorted lexicographically
-  /// One witness per front point (parallel to `front`), when collected.
-  std::vector<synth::Implementation> witnesses;
-  /// Shared-archive insertions over time (seconds since start), in
-  /// publication order across all workers.
-  std::vector<std::pair<double, pareto::Vec>> discoveries;
-  /// Certified mode only: true once every shared discovery's witness
-  /// validated and the winning worker's proof checker-verified.
-  bool certified = false;
-  /// Why certification failed (or was unavailable); empty when certified or
-  /// not requested.
-  std::string certificate_error;
-  /// Certified mode only: the winning worker's full proof stream.
-  std::string proof;
+  /// The portfolio's result in the sequential explorer's shape: front,
+  /// witnesses, discoveries (publication order across all workers), proof /
+  /// certification outcome, degradations, and stats aggregated over all
+  /// workers.  Embedded by composition — the parallel result *is* an
+  /// ExploreResult plus per-worker accounting, not a mirror of its fields.
+  ExploreResult base;
   /// Every contained worker death, in detection order (worker index +
   /// message — secondary failures are preserved, not dropped).
   std::vector<WorkerError> worker_errors;
-  /// Non-fatal degradations outside worker bodies (missing witnesses,
-  /// checkpoint I/O failures, rejected resume files).
-  std::vector<std::string> errors;
-  ExploreStats stats;  ///< aggregated over all workers
   std::vector<WorkerReport> workers;
 };
 

@@ -1,0 +1,77 @@
+#include "obs/collector.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace aspmt::obs {
+
+Collector::Collector(EventSink& sink, std::size_t recorders)
+    : Collector(sink, recorders, Options()) {}
+
+Collector::Collector(EventSink& sink, std::size_t recorders, Options options)
+    : sink_(sink), options_(options) {
+  const Recorder::Clock::time_point epoch = Recorder::Clock::now();
+  recorders_.reserve(recorders);
+  for (std::size_t i = 0; i < recorders; ++i) {
+    recorders_.push_back(std::make_unique<Recorder>(
+        static_cast<std::uint16_t>(i), epoch, options_.ring_capacity));
+  }
+}
+
+Collector::~Collector() { stop(); }
+
+void Collector::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& r : recorders_) r->set_enabled(true);
+  thread_ = std::thread([this] { drain_loop(); });
+}
+
+void Collector::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  {
+    std::lock_guard lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // Producers must be quiescent by now (workers joined before stop()); the
+  // final sweep below therefore sees every remaining event.
+  for (auto& r : recorders_) r->set_enabled(false);
+  drain_once();
+  const std::uint64_t dropped = dropped_total();
+  if (dropped != 0) sink_.on_drop(dropped);
+  sink_.flush();
+}
+
+std::uint64_t Collector::dropped_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : recorders_) total += r->ring().dropped();
+  return total;
+}
+
+void Collector::drain_loop() {
+  const auto interval = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::duration<double>(options_.drain_interval_seconds));
+  for (;;) {
+    drain_once();
+    sink_.tick();
+    std::unique_lock lock(mutex_);
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      return;
+    }
+  }
+}
+
+void Collector::drain_once() {
+  batch_.clear();
+  for (auto& r : recorders_) r->ring().pop_all(batch_);
+  // Per-ring order is emission order; merging by timestamp gives the sink a
+  // globally monotone stream (up to clock resolution) across workers.
+  std::stable_sort(batch_.begin(), batch_.end(),
+                   [](const Event& a, const Event& b) { return a.t_ns < b.t_ns; });
+  for (const Event& e : batch_) sink_.on_event(e);
+}
+
+}  // namespace aspmt::obs

@@ -1,0 +1,27 @@
+#include "obs/events.hpp"
+
+namespace aspmt::obs {
+
+const char* kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::RunStart: return "run-start";
+    case EventKind::RunEnd: return "run-end";
+    case EventKind::WorkerStart: return "worker-start";
+    case EventKind::WorkerEnd: return "worker-end";
+    case EventKind::SolveStart: return "solve-start";
+    case EventKind::SolveEnd: return "solve-end";
+    case EventKind::Restart: return "restart";
+    case EventKind::StatsSample: return "stats-sample";
+    case EventKind::ModelFound: return "model-found";
+    case EventKind::ArchiveInsert: return "archive-insert";
+    case EventKind::ArchiveEvict: return "archive-evict";
+    case EventKind::DominancePrune: return "dominance-prune";
+    case EventKind::SliceActivate: return "slice-activate";
+    case EventKind::SliceExhaust: return "slice-exhaust";
+    case EventKind::BudgetTrip: return "budget-trip";
+    case EventKind::CheckpointWrite: return "checkpoint-write";
+  }
+  return "unknown";
+}
+
+}  // namespace aspmt::obs

@@ -1,0 +1,107 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace aspmt::obs {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::observe(std::uint64_t sample) noexcept {
+  std::size_t bucket = 0;
+  if (sample != 0) {
+    bucket = 1;
+    while (bucket < kBuckets - 1 && (1ULL << bucket) <= sample) ++bucket;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (sample > seen &&
+         !max_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return histograms_[name];
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << c.value();
+    first = false;
+  }
+  out << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << json_number(g.value());
+    first = false;
+  }
+  out << (gauges_.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const std::uint64_t count = h.count();
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": {"
+        << "\"count\": " << count << ", \"sum\": " << h.sum()
+        << ", \"mean\": "
+        << json_number(count == 0
+                           ? 0.0
+                           : static_cast<double>(h.sum()) /
+                                 static_cast<double>(count))
+        << ", \"max\": " << h.max() << ", \"buckets\": [";
+    // Trailing all-zero buckets are elided; bucket i counts samples in
+    // [2^(i-1), 2^i), bucket 0 the zeros.
+    std::size_t last = Histogram::kBuckets;
+    while (last > 0 && h.bucket(last - 1) == 0) --last;
+    for (std::size_t i = 0; i < last; ++i) {
+      out << (i == 0 ? "" : ", ") << h.bucket(i);
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (histograms_.empty() ? "" : "\n  ") << "}\n}";
+  return out.str();
+}
+
+}  // namespace aspmt::obs

@@ -1,0 +1,103 @@
+// MetricsRegistry — named counters, gauges and histograms with a JSON
+// snapshot.
+//
+// Instruments are created on first lookup and live as long as the registry
+// (node-based storage: references stay valid across later registrations).
+// All instrument mutators are lock-free atomics, so workers may bump shared
+// instruments concurrently; lookup takes a mutex and belongs off the hot
+// path — resolve `Counter&`/`Histogram&` references once, outside loops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace aspmt::obs {
+
+/// Monotone (or set-once-at-end) unsigned total, e.g. "explore.conflicts".
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time double, e.g. "explore.conflicts_per_sec".
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed distribution of non-negative samples, e.g. "comparisons
+/// per archive insert".  Bucket i counts samples in [2^(i-1), 2^i) with
+/// bucket 0 holding the zeros; count/sum/max give the exact moments.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 33;  // 0 and 2^0..2^31, then rest
+
+  void observe(std::uint64_t sample) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create; the returned reference stays valid for the registry's
+  /// lifetime.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// Consistent-enough snapshot as pretty-printed JSON:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// mean, max, buckets}}}.  Safe to call while instruments are live.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;  // guards the maps, not the instruments
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace aspmt::obs

@@ -1,0 +1,68 @@
+// Per-thread producer handle of the observability pipeline.
+//
+// A Recorder owns one SPSC EventRing and stamps every record() with a
+// steady-clock timestamp relative to the collector epoch.  Instrumented
+// code holds a `Recorder*` that is nullptr when no sink is attached, so the
+// zero-observer cost on every instrumented site is one pointer test (the
+// enabled() check below is a relaxed atomic load for the attached case);
+// nothing inside the solver's propagation loop is instrumented at all —
+// see DESIGN.md §11 for the overhead budget.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/ring.hpp"
+
+namespace aspmt::obs {
+
+class Recorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Recorder(std::uint16_t worker, Clock::time_point epoch,
+           std::size_t ring_capacity = EventRing::kDefaultCapacity)
+      : ring_(ring_capacity), epoch_(epoch), worker_(worker) {}
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// One relaxed atomic load — the whole hot-path cost when attached.
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Emit an event (dropped silently when the ring is full or the recorder
+  /// is disabled).  Callable only from the owning thread (SPSC contract).
+  void record(EventKind kind, std::int64_t a = 0, std::int64_t b = 0,
+              std::int64_t c = 0) noexcept {
+    if (!enabled()) return;
+    Event e;
+    e.t_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             epoch_)
+            .count());
+    e.a = a;
+    e.b = b;
+    e.c = c;
+    e.kind = kind;
+    e.worker = worker_;
+    ring_.push(e);
+  }
+
+  [[nodiscard]] EventRing& ring() noexcept { return ring_; }
+  [[nodiscard]] std::uint16_t worker() const noexcept { return worker_; }
+
+  /// Collector lifecycle: producers observe the flip with relaxed loads.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+ private:
+  EventRing ring_;
+  Clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  std::uint16_t worker_;
+};
+
+}  // namespace aspmt::obs

@@ -1,0 +1,79 @@
+// Single-producer single-consumer lock-free event ring (DESIGN.md §11).
+//
+// One ring per instrumented thread: the owning worker is the only pusher,
+// the collector thread the only popper.  Overflow policy is *drop, never
+// block*: when the consumer lags, push() counts the event into `dropped_`
+// and returns — the producer's latency is one acquire load, one store and
+// one release store in the common case, with no CAS, no allocation and no
+// possibility of waiting on the consumer.  Dropped events are reported once
+// at end of run through EventSink::on_drop.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace aspmt::obs {
+
+class EventRing {
+ public:
+  /// `capacity` is rounded up to a power of two (masked indexing).
+  explicit EventRing(std::size_t capacity = kDefaultCapacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Producer side.  Returns false (and counts the drop) when full.
+  bool push(const Event& e) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[head & mask_] = e;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: append every pending event to `out`.  Returns the
+  /// number popped.
+  std::size_t pop_all(std::vector<Event>& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    for (std::uint64_t i = tail; i != head; ++i) {
+      out.push_back(slots_[i & mask_]);
+    }
+    tail_.store(head, std::memory_order_release);
+    return static_cast<std::size_t>(head - tail);
+  }
+
+  /// Events discarded because the ring was full (relaxed; exact after the
+  /// producer has stopped).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 14;
+
+ private:
+  std::vector<Event> slots_;
+  std::size_t mask_ = 0;
+  // Producer and consumer cursors on separate cache lines so the producer's
+  // release store never contends with the consumer's tail bump.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace aspmt::obs

@@ -1,0 +1,63 @@
+// EventSink — the consumer-side interface of the observability pipeline.
+//
+// Threading contract: the collector serializes every callback.  on_event,
+// tick, on_drop and flush are only ever invoked from the collector's drain
+// thread (or from Collector::stop on the stopping thread, after the drain
+// thread has joined) — a sink never needs its own locking unless the
+// embedding application reads it concurrently while the run is live.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace aspmt::obs {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// One drained event.  Events of one worker arrive in emission order;
+  /// across workers the collector merges batches by timestamp, so global
+  /// order is monotone up to the clock resolution.
+  virtual void on_event(const Event& event) = 0;
+
+  /// Periodic heartbeat between drain batches (even when no events are
+  /// pending) — exporters use it for progress lines and counter flushes.
+  virtual void tick() {}
+
+  /// Called once at end of run when ring overflow discarded events.
+  virtual void on_drop(std::uint64_t dropped) { (void)dropped; }
+
+  /// End of run; write trailers and flush buffers.
+  virtual void flush() {}
+};
+
+/// Fan a single collector stream out to several sinks (CLI: NDJSON log +
+/// Chrome trace + progress line in one run).  Non-owning.
+class MultiSink final : public EventSink {
+ public:
+  void add(EventSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  [[nodiscard]] bool empty() const noexcept { return sinks_.empty(); }
+
+  void on_event(const Event& event) override {
+    for (EventSink* s : sinks_) s->on_event(event);
+  }
+  void tick() override {
+    for (EventSink* s : sinks_) s->tick();
+  }
+  void on_drop(std::uint64_t dropped) override {
+    for (EventSink* s : sinks_) s->on_drop(dropped);
+  }
+  void flush() override {
+    for (EventSink* s : sinks_) s->flush();
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+}  // namespace aspmt::obs

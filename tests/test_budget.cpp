@@ -87,8 +87,8 @@ TEST(Budget, SequentialExplorerReportsCompleted) {
 
 TEST(Budget, SequentialConflictBudgetStopsEarly) {
   ExploreOptions opts;
-  opts.conflict_budget = 1;  // trip on the first monitor poll
-  opts.solver_options.monitor_interval = 1;
+  opts.common.conflict_budget = 1;  // trip on the first monitor poll
+  opts.common.solver_options.monitor_interval = 1;
   const ExploreResult r = explore(test::diamond_two_proc(), opts);
   EXPECT_FALSE(r.stats.complete);
   EXPECT_EQ(r.stats.reason, StopReason::Conflicts);
@@ -96,7 +96,7 @@ TEST(Budget, SequentialConflictBudgetStopsEarly) {
 
 TEST(Budget, SequentialDeadlineStopsEarly) {
   ExploreOptions opts;
-  opts.time_limit_seconds = 1e-9;
+  opts.common.time_limit_seconds = 1e-9;
   const ExploreResult r = explore(test::diamond_two_proc(), opts);
   EXPECT_FALSE(r.stats.complete);
   EXPECT_EQ(r.stats.reason, StopReason::Deadline);
@@ -108,17 +108,17 @@ TEST(Budget, ExternalInterruptStopsBothExplorers) {
   Budget budget;
   budget.interrupt();
   ExploreOptions seq;
-  seq.budget = &budget;
+  seq.common.budget = &budget;
   const ExploreResult r = explore(test::chain3_bus(), seq);
   EXPECT_FALSE(r.stats.complete);
   EXPECT_EQ(r.stats.reason, StopReason::Interrupted);
 
   ParallelExploreOptions par;
   par.threads = 2;
-  par.budget = &budget;
+  par.common.budget = &budget;
   const ParallelExploreResult p = explore_parallel(test::chain3_bus(), par);
-  EXPECT_FALSE(p.stats.complete);
-  EXPECT_EQ(p.stats.reason, StopReason::Interrupted);
+  EXPECT_FALSE(p.base.stats.complete);
+  EXPECT_EQ(p.base.stats.reason, StopReason::Interrupted);
   EXPECT_TRUE(p.worker_errors.empty());
 }
 
@@ -129,19 +129,19 @@ TEST(Budget, AsyncInterruptFromAnotherThread) {
   std::thread killer([&budget] { budget.interrupt(); });
   ParallelExploreOptions opts;
   opts.threads = 4;
-  opts.budget = &budget;
+  opts.common.budget = &budget;
   const ParallelExploreResult r =
       explore_parallel(test::diamond_two_proc(), opts);
   killer.join();
   EXPECT_TRUE(r.worker_errors.empty());
-  if (!r.stats.complete) {
-    EXPECT_EQ(r.stats.reason, StopReason::Interrupted);
+  if (!r.base.stats.complete) {
+    EXPECT_EQ(r.base.stats.reason, StopReason::Interrupted);
   }
   // Whatever was found is mutually non-dominated (archive invariant).
-  for (std::size_t i = 0; i < r.front.size(); ++i) {
-    for (std::size_t j = 0; j < r.front.size(); ++j) {
+  for (std::size_t i = 0; i < r.base.front.size(); ++i) {
+    for (std::size_t j = 0; j < r.base.front.size(); ++j) {
       if (i != j) {
-        EXPECT_FALSE(pareto::weakly_dominates(r.front[j], r.front[i]));
+        EXPECT_FALSE(pareto::weakly_dominates(r.base.front[j], r.base.front[i]));
       }
     }
   }
@@ -150,14 +150,14 @@ TEST(Budget, AsyncInterruptFromAnotherThread) {
 TEST(Budget, ParallelConflictBudgetIsSharedAcrossWorkers) {
   ParallelExploreOptions opts;
   opts.threads = 2;
-  opts.conflict_budget = 1;
-  opts.solver_options.monitor_interval = 1;
+  opts.common.conflict_budget = 1;
+  opts.common.solver_options.monitor_interval = 1;
   const ParallelExploreResult r =
       explore_parallel(test::diamond_two_proc(), opts);
   // The tiny fixture may still complete before the first poll; when it does
   // not, the structured reason must say why.
-  if (!r.stats.complete) {
-    EXPECT_EQ(r.stats.reason, StopReason::Conflicts);
+  if (!r.base.stats.complete) {
+    EXPECT_EQ(r.base.stats.reason, StopReason::Conflicts);
   }
 }
 

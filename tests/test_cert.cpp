@@ -114,7 +114,7 @@ TEST(ProofChecker, VerifiesDominanceLemma) {
 
 std::string real_proof() {
   dse::ExploreOptions opts;
-  opts.certify = true;
+  opts.common.certify = true;
   const dse::ExploreResult r = dse::explore(test::chain3_bus(), opts);
   EXPECT_TRUE(r.certified) << r.certificate_error;
   EXPECT_FALSE(r.proof.empty());
@@ -185,7 +185,7 @@ TEST(ProofMutation, TamperedSumBoundRejected) {
 TEST(CertifyFront, SingletonRoundTrips) {
   const synth::Specification spec = test::singleton();
   dse::ExploreOptions opts;
-  opts.certify = true;
+  opts.common.certify = true;
   const dse::ExploreResult r = dse::explore(spec, opts);
   ASSERT_TRUE(r.certified) << r.certificate_error;
   ASSERT_EQ(r.front.size(), 1U);

@@ -122,7 +122,7 @@ TEST(Checkpoint, UnsortedPointsAreRejected) {
 TEST(Checkpoint, ResumeFromForeignSpecStartsCold) {
   const Checkpoint foreign = explored_checkpoint(test::two_proc_bus());
   ExploreOptions opts;
-  opts.resume = &foreign;
+  opts.common.resume = &foreign;
   const ExploreResult r = explore(test::chain3_bus(), opts);
   ASSERT_TRUE(r.stats.complete);
   ASSERT_FALSE(r.errors.empty());
@@ -139,10 +139,10 @@ TEST(Checkpoint, KilledAndResumedRunMatchesUninterrupted) {
   // monitor) after forcing a checkpoint on every discovery.
   const std::string path = temp_path("resume.txt");
   ExploreOptions first;
-  first.conflict_budget = 1;
-  first.solver_options.monitor_interval = 1;
-  first.checkpoint_path = path;
-  first.checkpoint_interval_seconds = 0.0;
+  first.common.conflict_budget = 1;
+  first.common.solver_options.monitor_interval = 1;
+  first.common.checkpoint_path = path;
+  first.common.checkpoint_interval_seconds = 0.0;
   const ExploreResult killed = explore(spec, first);
   EXPECT_FALSE(killed.stats.complete);
 
@@ -151,7 +151,7 @@ TEST(Checkpoint, KilledAndResumedRunMatchesUninterrupted) {
   EXPECT_EQ(ckpt.points, killed.front);  // the final write is unconditional
 
   ExploreOptions second;
-  second.resume = &ckpt;
+  second.common.resume = &ckpt;
   const ExploreResult resumed = explore(spec, second);
   ASSERT_TRUE(resumed.stats.complete);
   EXPECT_EQ(resumed.front, uninterrupted.front);
@@ -167,10 +167,10 @@ TEST(Checkpoint, ParallelResumeMatchesUninterrupted) {
   const std::string path = temp_path("par_resume.txt");
   ParallelExploreOptions first;
   first.threads = 2;
-  first.conflict_budget = 1;
-  first.solver_options.monitor_interval = 1;
-  first.checkpoint_path = path;
-  first.checkpoint_interval_seconds = 0.0;
+  first.common.conflict_budget = 1;
+  first.common.solver_options.monitor_interval = 1;
+  first.common.checkpoint_path = path;
+  first.common.checkpoint_interval_seconds = 0.0;
   (void)explore_parallel(spec, first);
 
   Checkpoint ckpt;
@@ -178,18 +178,18 @@ TEST(Checkpoint, ParallelResumeMatchesUninterrupted) {
 
   ParallelExploreOptions second;
   second.threads = 2;
-  second.resume = &ckpt;
+  second.common.resume = &ckpt;
   const ParallelExploreResult resumed = explore_parallel(spec, second);
-  ASSERT_TRUE(resumed.stats.complete);
-  EXPECT_EQ(resumed.front, uninterrupted.front);
+  ASSERT_TRUE(resumed.base.stats.complete);
+  EXPECT_EQ(resumed.base.front, uninterrupted.front);
 }
 
 TEST(Checkpoint, ResumedRunsAreNotCertifiable) {
   const synth::Specification spec = test::two_proc_bus();
   const Checkpoint ckpt = explored_checkpoint(spec);
   ExploreOptions opts;
-  opts.resume = &ckpt;
-  opts.certify = true;
+  opts.common.resume = &ckpt;
+  opts.common.certify = true;
   const ExploreResult r = explore(spec, opts);
   ASSERT_TRUE(r.stats.complete);
   EXPECT_FALSE(r.certified);

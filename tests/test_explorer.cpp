@@ -72,9 +72,9 @@ TEST(Explorer, DiamondFrontMatchesEnumeration) {
 TEST(Explorer, ArchiveKindsAgree) {
   const synth::Specification spec = test::chain3_bus();
   ExploreOptions quad;
-  quad.archive_kind = "quadtree";
+  quad.common.archive_kind = "quadtree";
   ExploreOptions lin;
-  lin.archive_kind = "linear";
+  lin.common.archive_kind = "linear";
   const ExploreResult r1 = explore(spec, quad);
   const ExploreResult r2 = explore(spec, lin);
   EXPECT_EQ(r1.front, r2.front);
@@ -84,7 +84,7 @@ TEST(Explorer, ArchiveKindsAgree) {
 TEST(Explorer, PartialEvaluationAblationSameFront) {
   const synth::Specification spec = test::chain3_bus();
   ExploreOptions off;
-  off.partial_evaluation = false;
+  off.common.partial_evaluation = false;
   const ExploreResult with_pe = explore(spec);
   const ExploreResult without_pe = explore(spec, off);
   ASSERT_TRUE(with_pe.stats.complete && without_pe.stats.complete);
@@ -94,7 +94,7 @@ TEST(Explorer, PartialEvaluationAblationSameFront) {
 TEST(Explorer, FloorsOffSameFront) {
   const synth::Specification spec = test::chain3_bus();
   ExploreOptions no_floors;
-  no_floors.objective_floors = false;
+  no_floors.common.objective_floors = false;
   const ExploreResult with_floors = explore(spec);
   const ExploreResult without_floors = explore(spec, no_floors);
   ASSERT_TRUE(with_floors.stats.complete && without_floors.stats.complete);
@@ -104,7 +104,7 @@ TEST(Explorer, FloorsOffSameFront) {
 TEST(Explorer, DrillDownOffSameFront) {
   const synth::Specification spec = test::chain3_bus();
   ExploreOptions no_drill;
-  no_drill.drill_down = false;
+  no_drill.common.drill_down = false;
   const ExploreResult with_drill = explore(spec);
   const ExploreResult without_drill = explore(spec, no_drill);
   ASSERT_TRUE(with_drill.stats.complete && without_drill.stats.complete);
@@ -214,7 +214,7 @@ TEST(WitnessEnumeration, LimitShortCircuits) {
 TEST(Explorer, TimeoutReportsIncomplete) {
   const synth::Specification spec = test::diamond_two_proc();
   ExploreOptions opts;
-  opts.time_limit_seconds = 1e-9;
+  opts.common.time_limit_seconds = 1e-9;
   const ExploreResult r = explore(spec, opts);
   EXPECT_FALSE(r.stats.complete);
 }

@@ -84,7 +84,7 @@ TEST(FaultInjection, SequentialWorkerThrowIsContained) {
   fault.throw_worker = 0;
   fault.throw_after_models = 3;
   ExploreOptions opts;
-  opts.fault = &fault;
+  opts.common.fault = &fault;
   const ExploreResult r = explore(spec, opts);  // must not throw
   EXPECT_FALSE(r.stats.complete);
   EXPECT_EQ(r.stats.reason, StopReason::WorkerFailure);
@@ -100,7 +100,7 @@ TEST(FaultInjection, SequentialAllocFailureIsContained) {
   FaultPlan fault;
   fault.alloc_fail_after = 2;  // the second witness capture throws bad_alloc
   ExploreOptions opts;
-  opts.fault = &fault;
+  opts.common.fault = &fault;
   const ExploreResult r = explore(spec, opts);
   EXPECT_FALSE(r.stats.complete);
   EXPECT_EQ(r.stats.reason, StopReason::WorkerFailure);
@@ -115,7 +115,7 @@ TEST(FaultInjection, InjectedDeadlineMidPropagation) {
   FaultPlan fault;
   fault.deadline_after_polls = 1;  // expire on the very first monitor poll
   ExploreOptions opts;
-  opts.fault = &fault;
+  opts.common.fault = &fault;
   const ExploreResult r = explore(test::diamond_two_proc(), opts);
   EXPECT_FALSE(r.stats.complete);
   EXPECT_EQ(r.stats.reason, StopReason::Deadline);
@@ -127,7 +127,7 @@ TEST(FaultInjection, MemoryCeilingYieldsCleanPartialExit) {
   // monitor poll must trip it — equivalent to an allocation storm without
   // actually exhausting the host.
   ExploreOptions opts;
-  opts.mem_limit_mb = 1;
+  opts.common.mem_limit_mb = 1;
   const ExploreResult r = explore(test::diamond_two_proc(), opts);
   EXPECT_FALSE(r.stats.complete);
   EXPECT_EQ(r.stats.reason, StopReason::Memory);
@@ -135,10 +135,10 @@ TEST(FaultInjection, MemoryCeilingYieldsCleanPartialExit) {
 
   ParallelExploreOptions par;
   par.threads = 2;
-  par.mem_limit_mb = 1;
+  par.common.mem_limit_mb = 1;
   const ParallelExploreResult p = explore_parallel(test::diamond_two_proc(), par);
-  EXPECT_FALSE(p.stats.complete);
-  EXPECT_EQ(p.stats.reason, StopReason::Memory);
+  EXPECT_FALSE(p.base.stats.complete);
+  EXPECT_EQ(p.base.stats.reason, StopReason::Memory);
   EXPECT_TRUE(p.worker_errors.empty());
 }
 
@@ -152,24 +152,24 @@ TEST(FaultInjection, ParallelWorkerCrashIsContained) {
     fault.throw_worker = threads == 1 ? 0 : 1;
     ParallelExploreOptions opts;
     opts.threads = threads;
-    opts.fault = &fault;
-    opts.certify = true;
+    opts.common.fault = &fault;
+    opts.common.certify = true;
     const ParallelExploreResult r = explore_parallel(spec, opts);
-    expect_valid_partial_front(r.front, exact.front, "par-crash");
+    expect_valid_partial_front(r.base.front, exact.front, "par-crash");
     // The targeted worker only dies if it accepted a model before a peer
     // finished the search; when it did, the containment contract applies.
     if (!r.worker_errors.empty()) {
-      EXPECT_FALSE(r.certified);  // a degraded run is never certified
-      EXPECT_EQ(r.stats.reason, StopReason::WorkerFailure);
+      EXPECT_FALSE(r.base.certified);  // a degraded run is never certified
+      EXPECT_EQ(r.base.stats.reason, StopReason::WorkerFailure);
       EXPECT_EQ(r.worker_errors.front().worker,
                 static_cast<std::size_t>(fault.throw_worker));
       EXPECT_TRUE(r.workers[r.worker_errors.front().worker].failed);
-      EXPECT_NE(r.certificate_error.find("never certified"),
+      EXPECT_NE(r.base.certificate_error.find("never certified"),
                 std::string::npos)
-          << r.certificate_error;
+          << r.base.certificate_error;
     } else {
-      EXPECT_TRUE(r.stats.complete);
-      EXPECT_EQ(r.front, exact.front);
+      EXPECT_TRUE(r.base.stats.complete);
+      EXPECT_EQ(r.base.front, exact.front);
     }
   }
 }
@@ -182,15 +182,15 @@ TEST(FaultInjection, SingleThreadCrashBeforeFirstPublishIsClean) {
   fault.throw_after_models = 1;
   ParallelExploreOptions opts;
   opts.threads = 1;
-  opts.fault = &fault;
+  opts.common.fault = &fault;
   const ParallelExploreResult r =
       explore_parallel(test::two_proc_bus(), opts);
-  EXPECT_FALSE(r.stats.complete);
-  EXPECT_EQ(r.stats.reason, StopReason::WorkerFailure);
+  EXPECT_FALSE(r.base.stats.complete);
+  EXPECT_EQ(r.base.stats.reason, StopReason::WorkerFailure);
   ASSERT_EQ(r.worker_errors.size(), 1U);
   EXPECT_EQ(r.worker_errors.front().worker, 0U);
   EXPECT_TRUE(r.workers[0].failed);
-  EXPECT_TRUE(r.front.empty());
+  EXPECT_TRUE(r.base.front.empty());
 }
 
 TEST(FaultInjection, CorruptedCheckpointDegradesToColdStart) {
@@ -199,8 +199,8 @@ TEST(FaultInjection, CorruptedCheckpointDegradesToColdStart) {
   FaultPlan fault;
   fault.corrupt_checkpoint = true;
   ExploreOptions opts;
-  opts.fault = &fault;
-  opts.checkpoint_path = path;
+  opts.common.fault = &fault;
+  opts.common.checkpoint_path = path;
   const ExploreResult r = explore(spec, opts);
   ASSERT_TRUE(r.stats.complete);  // corruption hits the file, not the run
   Checkpoint ckpt;
@@ -232,10 +232,10 @@ TEST(FaultInjection, UninjectedRunsReachCompletedIdentically) {
       ParallelExploreOptions opts;
       opts.threads = threads;
       const ParallelExploreResult par = explore_parallel(spec, opts);
-      ASSERT_TRUE(par.stats.complete);
-      EXPECT_EQ(par.stats.reason, StopReason::Completed);
+      ASSERT_TRUE(par.base.stats.complete);
+      EXPECT_EQ(par.base.stats.reason, StopReason::Completed);
       EXPECT_TRUE(par.worker_errors.empty());
-      EXPECT_EQ(par.front, seq.front);
+      EXPECT_EQ(par.base.front, seq.front);
     }
   }
 }
@@ -243,7 +243,7 @@ TEST(FaultInjection, UninjectedRunsReachCompletedIdentically) {
 TEST(FaultInjection, CertifiedRunStillCertifiesWithoutFaults) {
   // Guard against the fault hooks perturbing the healthy certified path.
   ExploreOptions opts;
-  opts.certify = true;
+  opts.common.certify = true;
   const ExploreResult r = explore(test::chain3_bus(), opts);
   ASSERT_TRUE(r.stats.complete);
   EXPECT_TRUE(r.certified) << r.certificate_error;

@@ -53,7 +53,7 @@ TEST_P(FuzzDse, ExplorerAgreesWithLexUnderRandomConstraints) {
   }
 
   dse::ExploreOptions eopts;
-  eopts.certify = true;  // every terminating Unsat goes through the checker
+  eopts.common.certify = true;  // every terminating Unsat goes through the checker
   const dse::ExploreResult e = dse::explore(spec, eopts);
   ASSERT_TRUE(e.stats.complete) << gen::summarize(spec);
   EXPECT_TRUE(e.certified) << "seed " << seed << ": " << e.certificate_error;
@@ -85,7 +85,7 @@ TEST_P(FuzzDseSmall, EnumerationAgreesOnTinyInstances) {
   c.bus_processors = 2;
   const synth::Specification spec = gen::generate(c);
   dse::ExploreOptions eopts;
-  eopts.certify = true;
+  eopts.common.certify = true;
   const dse::ExploreResult e = dse::explore(spec, eopts);
   const dse::BaselineResult b = dse::enumerate_and_filter(spec, 300.0);
   ASSERT_TRUE(e.stats.complete && b.complete);
@@ -126,18 +126,18 @@ TEST_P(FuzzParallelDse, ParallelFrontEqualsSequentialFront) {
   dse::ParallelExploreOptions popts;
   popts.threads = 2 + static_cast<std::size_t>(rng.below(3));  // 2..4
   popts.seed = seed + 1;
-  popts.certify = true;  // winner's Unsat proof replayed by the checker
+  popts.common.certify = true;  // winner's Unsat proof replayed by the checker
   const dse::ParallelExploreResult par = dse::explore_parallel(spec, popts);
-  ASSERT_TRUE(par.stats.complete) << "seed " << seed;
-  EXPECT_TRUE(par.certified) << "seed " << seed << ": "
-                             << par.certificate_error;
-  EXPECT_EQ(par.front, seq.front)
+  ASSERT_TRUE(par.base.stats.complete) << "seed " << seed;
+  EXPECT_TRUE(par.base.certified) << "seed " << seed << ": "
+                             << par.base.certificate_error;
+  EXPECT_EQ(par.base.front, seq.front)
       << "seed " << seed << " threads " << popts.threads << " "
       << gen::summarize(spec);
-  for (std::size_t i = 0; i < par.front.size(); ++i) {
-    EXPECT_EQ(synth::validate_implementation(spec, par.witnesses[i]), "")
+  for (std::size_t i = 0; i < par.base.front.size(); ++i) {
+    EXPECT_EQ(synth::validate_implementation(spec, par.base.witnesses[i]), "")
         << "seed " << seed;
-    EXPECT_EQ(par.witnesses[i].objectives(), par.front[i])
+    EXPECT_EQ(par.base.witnesses[i].objectives(), par.base.front[i])
         << "seed " << seed;
   }
 }

@@ -94,7 +94,7 @@ TEST_P(GoldenFronts, SequentialCertifiedFrontMatchesGolden) {
   const GoldenCase& c = GetParam();
   const synth::Specification spec = load_case(c);
   dse::ExploreOptions opts;
-  opts.certify = true;
+  opts.common.certify = true;
   const dse::ExploreResult r = dse::explore(spec, opts);
   ASSERT_TRUE(r.stats.complete) << c.name;
   EXPECT_TRUE(r.certified) << c.name << ": " << r.certificate_error;
@@ -116,8 +116,8 @@ TEST_P(GoldenFronts, PortfolioFrontMatchesGoldenAtOneTwoFourThreads) {
     dse::ParallelExploreOptions opts;
     opts.threads = threads;
     const dse::ParallelExploreResult r = dse::explore_parallel(spec, opts);
-    ASSERT_TRUE(r.stats.complete) << c.name << " threads " << threads;
-    EXPECT_EQ(r.front, golden) << c.name << " threads " << threads;
+    ASSERT_TRUE(r.base.stats.complete) << c.name << " threads " << threads;
+    EXPECT_EQ(r.base.front, golden) << c.name << " threads " << threads;
   }
 }
 

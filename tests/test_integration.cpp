@@ -55,10 +55,10 @@ TEST_P(GeneratedInstance, AblationsPreserveTheFront) {
   const synth::Specification spec = make_spec();
   const dse::ExploreResult base = dse::explore(spec);
   dse::ExploreOptions no_pe;
-  no_pe.partial_evaluation = false;
+  no_pe.common.partial_evaluation = false;
   const dse::ExploreResult ablated = dse::explore(spec, no_pe);
   dse::ExploreOptions lin;
-  lin.archive_kind = "linear";
+  lin.common.archive_kind = "linear";
   const dse::ExploreResult linear = dse::explore(spec, lin);
   ASSERT_TRUE(base.stats.complete && ablated.stats.complete &&
               linear.stats.complete);

@@ -36,8 +36,8 @@ TEST(ParallelExplorer, FrontMatchesSequentialAtEveryThreadCount) {
       ParallelExploreOptions opts;
       opts.threads = threads;
       const ParallelExploreResult par = explore_parallel(f.spec, opts);
-      ASSERT_TRUE(par.stats.complete) << f.name << " @" << threads;
-      EXPECT_EQ(par.front, seq.front) << f.name << " @" << threads;
+      ASSERT_TRUE(par.base.stats.complete) << f.name << " @" << threads;
+      EXPECT_EQ(par.base.front, seq.front) << f.name << " @" << threads;
     }
   }
 }
@@ -47,12 +47,12 @@ TEST(ParallelExplorer, WitnessesValidateAndMatchTheFront) {
     ParallelExploreOptions opts;
     opts.threads = 4;
     const ParallelExploreResult r = explore_parallel(f.spec, opts);
-    ASSERT_TRUE(r.stats.complete) << f.name;
-    ASSERT_EQ(r.witnesses.size(), r.front.size()) << f.name;
-    for (std::size_t i = 0; i < r.front.size(); ++i) {
-      EXPECT_EQ(synth::validate_implementation(f.spec, r.witnesses[i]), "")
+    ASSERT_TRUE(r.base.stats.complete) << f.name;
+    ASSERT_EQ(r.base.witnesses.size(), r.base.front.size()) << f.name;
+    for (std::size_t i = 0; i < r.base.front.size(); ++i) {
+      EXPECT_EQ(synth::validate_implementation(f.spec, r.base.witnesses[i]), "")
           << f.name;
-      EXPECT_EQ(r.witnesses[i].objectives(), r.front[i]) << f.name;
+      EXPECT_EQ(r.base.witnesses[i].objectives(), r.base.front[i]) << f.name;
     }
   }
 }
@@ -63,7 +63,7 @@ TEST(ParallelExplorer, StatsAreInternallyConsistent) {
       ParallelExploreOptions opts;
       opts.threads = threads;
       const ParallelExploreResult r = explore_parallel(f.spec, opts);
-      ASSERT_TRUE(r.stats.complete) << f.name << " @" << threads;
+      ASSERT_TRUE(r.base.stats.complete) << f.name << " @" << threads;
       ASSERT_EQ(r.workers.size(), threads) << f.name;
 
       std::uint64_t models = 0;
@@ -81,13 +81,13 @@ TEST(ParallelExplorer, StatsAreInternallyConsistent) {
         someone_proved = someone_proved || w.proved_complete;
       }
       EXPECT_TRUE(someone_proved) << f.name << " @" << threads;
-      EXPECT_EQ(r.stats.models, models) << f.name << " @" << threads;
-      EXPECT_EQ(r.stats.prunings, prunings) << f.name << " @" << threads;
+      EXPECT_EQ(r.base.stats.models, models) << f.name << " @" << threads;
+      EXPECT_EQ(r.base.stats.prunings, prunings) << f.name << " @" << threads;
       // Each front point entered the shared archive exactly once; evicted
       // interim points account for the rest.
-      EXPECT_GE(inserts, r.front.size()) << f.name << " @" << threads;
-      EXPECT_GE(r.stats.models, r.front.size()) << f.name << " @" << threads;
-      EXPECT_EQ(r.discoveries.size(), inserts) << f.name << " @" << threads;
+      EXPECT_GE(inserts, r.base.front.size()) << f.name << " @" << threads;
+      EXPECT_GE(r.base.stats.models, r.base.front.size()) << f.name << " @" << threads;
+      EXPECT_EQ(r.base.discoveries.size(), inserts) << f.name << " @" << threads;
     }
   }
 }
@@ -98,8 +98,8 @@ TEST(ParallelExplorer, RepeatedRunsReturnTheSameFront) {
   opts.threads = 4;
   const ParallelExploreResult a = explore_parallel(spec, opts);
   const ParallelExploreResult b = explore_parallel(spec, opts);
-  ASSERT_TRUE(a.stats.complete && b.stats.complete);
-  EXPECT_EQ(a.front, b.front);
+  ASSERT_TRUE(a.base.stats.complete && b.base.stats.complete);
+  EXPECT_EQ(a.base.front, b.base.front);
 }
 
 TEST(ParallelExplorer, SeedChangesTrajectoryNotTheFront) {
@@ -112,28 +112,28 @@ TEST(ParallelExplorer, SeedChangesTrajectoryNotTheFront) {
   b.seed = 424242;
   const ParallelExploreResult ra = explore_parallel(spec, a);
   const ParallelExploreResult rb = explore_parallel(spec, b);
-  ASSERT_TRUE(ra.stats.complete && rb.stats.complete);
-  EXPECT_EQ(ra.front, rb.front);
+  ASSERT_TRUE(ra.base.stats.complete && rb.base.stats.complete);
+  EXPECT_EQ(ra.base.front, rb.base.front);
 }
 
 TEST(ParallelExplorer, TimeoutReportsIncomplete) {
   const synth::Specification spec = test::diamond_two_proc();
   ParallelExploreOptions opts;
   opts.threads = 2;
-  opts.time_limit_seconds = 1e-9;
+  opts.common.time_limit_seconds = 1e-9;
   const ParallelExploreResult r = explore_parallel(spec, opts);
-  EXPECT_FALSE(r.stats.complete);
+  EXPECT_FALSE(r.base.stats.complete);
 }
 
 TEST(ParallelExplorer, LinearArchiveKindAgrees) {
   const synth::Specification spec = test::chain3_bus();
   ParallelExploreOptions lin;
   lin.threads = 2;
-  lin.archive_kind = "linear";
+  lin.common.archive_kind = "linear";
   const ParallelExploreResult a = explore_parallel(spec, lin);
   const ExploreResult seq = explore(spec);
-  ASSERT_TRUE(a.stats.complete && seq.stats.complete);
-  EXPECT_EQ(a.front, seq.front);
+  ASSERT_TRUE(a.base.stats.complete && seq.stats.complete);
+  EXPECT_EQ(a.base.front, seq.front);
 }
 
 TEST(ParallelExplorer, InfeasibleSpecYieldsEmptyCompleteFront) {
@@ -142,8 +142,8 @@ TEST(ParallelExplorer, InfeasibleSpecYieldsEmptyCompleteFront) {
   ParallelExploreOptions opts;
   opts.threads = 2;
   const ParallelExploreResult r = explore_parallel(spec, opts);
-  EXPECT_TRUE(r.stats.complete);
-  EXPECT_TRUE(r.front.empty());
+  EXPECT_TRUE(r.base.stats.complete);
+  EXPECT_TRUE(r.base.front.empty());
 }
 
 }  // namespace

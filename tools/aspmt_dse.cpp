@@ -12,9 +12,11 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <fstream>
@@ -30,6 +32,9 @@
 #include "dse/parallel_explorer.hpp"
 #include "ea/nsga2.hpp"
 #include "gen/generator.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "synth/specio.hpp"
 #include "synth/validator.hpp"
 #include "util/table.hpp"
@@ -97,6 +102,20 @@ Args parse_args(int argc, char** argv) {
       args.positional.push_back(std::move(a));
     }
   }
+  // Output-file flags follow the --<thing>-out convention; the pre-redesign
+  // spellings keep working as hidden deprecated aliases.
+  static const std::pair<const char*, const char*> kDeprecated[] = {
+      {"proof", "proof-out"},
+      {"checkpoint", "checkpoint-out"},
+  };
+  for (const auto& [old_name, new_name] : kDeprecated) {
+    const auto it = args.named.find(old_name);
+    if (it == args.named.end()) continue;
+    std::cerr << "warning: --" << old_name << " is deprecated; use --"
+              << new_name << "\n";
+    if (args.named.count(new_name) == 0) args.named[new_name] = it->second;
+    args.named.erase(old_name);
+  }
   return args;
 }
 
@@ -108,10 +127,14 @@ int usage() {
       "  aspmt_dse explore  spec.txt [--time-limit SEC] [--archive KIND]\n"
       "            [--no-partial-eval] [--epsilon L,E,C] [--witnesses]\n"
       "            [--threads N] [--seed S]   (N>0: parallel portfolio)\n"
-      "            [--certify] [--proof FILE] [--front-out FILE]\n"
+      "            [--certify] [--proof-out FILE] [--front-out FILE]\n"
       "            [--conflict-budget N] [--mem-limit-mb MB]\n"
-      "            [--checkpoint FILE] [--checkpoint-interval SEC]\n"
+      "            [--checkpoint-out FILE] [--checkpoint-interval SEC]\n"
       "            [--resume FILE]\n"
+      "            [--trace-out FILE]    Chrome trace_event JSON (Perfetto)\n"
+      "            [--events-out FILE]   NDJSON event log\n"
+      "            [--metrics-out FILE]  metrics snapshot JSON\n"
+      "            [--progress]          live status line on stderr\n"
       "  aspmt_dse optimize spec.txt --objective latency|energy|cost\n"
       "  aspmt_dse baseline spec.txt --method enum|lex|lex-cold [--time-limit SEC]\n"
       "  aspmt_dse nsga2    spec.txt [--pop N] [--gens N] [--seed S]\n"
@@ -197,7 +220,7 @@ int finish_explore(const Args& args, bool complete, bool certified,
       rc = 4;
     }
   }
-  const std::string proof_path = args.get("proof", "");
+  const std::string proof_path = args.get("proof-out", "");
   if (!proof_path.empty()) {
     if (proof.empty()) {
       std::cerr << "no proof stream recorded (use --certify)\n";
@@ -250,35 +273,98 @@ void print_run_errors(const std::vector<std::string>& errors) {
   for (const std::string& e : errors) std::cerr << "warning: " << e << "\n";
 }
 
+/// Owns every observability endpoint the command line asked for (exporter
+/// sinks, metrics registry, output streams) and wires them into the common
+/// exploration options.  With no obs flag given, wire() leaves the options
+/// untouched — the zero-observer path.
+struct ObsSetup {
+  std::ofstream trace_file;
+  std::ofstream events_file;
+  std::unique_ptr<obs::ChromeTraceExporter> chrome;
+  std::unique_ptr<obs::NdjsonExporter> ndjson;
+  std::unique_ptr<obs::ProgressMeter> progress;
+  obs::MultiSink sink;
+  obs::MetricsRegistry metrics;
+  std::string metrics_path;
+
+  /// Open every requested endpoint; returns false (with a stderr message)
+  /// when an output file cannot be created.
+  bool init(const Args& args) {
+    const std::string trace_path = args.get("trace-out", "");
+    if (!trace_path.empty()) {
+      trace_file.open(trace_path);
+      if (!trace_file) {
+        std::cerr << "cannot write '" << trace_path << "'\n";
+        return false;
+      }
+      chrome = std::make_unique<obs::ChromeTraceExporter>(trace_file);
+      sink.add(chrome.get());
+    }
+    const std::string events_path = args.get("events-out", "");
+    if (!events_path.empty()) {
+      events_file.open(events_path);
+      if (!events_file) {
+        std::cerr << "cannot write '" << events_path << "'\n";
+        return false;
+      }
+      ndjson = std::make_unique<obs::NdjsonExporter>(events_file);
+      sink.add(ndjson.get());
+    }
+    if (args.flag("progress")) {
+      progress = std::make_unique<obs::ProgressMeter>(std::cerr);
+      sink.add(progress.get());
+    }
+    metrics_path = args.get("metrics-out", "");
+    return true;
+  }
+
+  void wire(dse::CommonOptions& common) {
+    if (!sink.empty()) common.sink = &sink;
+    if (!metrics_path.empty()) common.metrics = &metrics;
+  }
+
+  /// Post-run: persist the metrics snapshot.  Returns 0, or 1 on I/O error.
+  int finish() {
+    if (metrics_path.empty()) return 0;
+    if (!write_text_file(metrics_path, metrics.to_json() + "\n")) return 1;
+    std::cout << "wrote metrics to " << metrics_path << "\n";
+    return 0;
+  }
+};
+
 int explore_portfolio(const synth::Specification& spec, const Args& args) {
   dse::ParallelExploreOptions opts;
   opts.threads = static_cast<std::size_t>(args.num("threads", 1));
-  opts.time_limit_seconds = args.num("time-limit", 0.0);
-  opts.archive_kind = args.get("archive", "quadtree");
-  opts.partial_evaluation = !args.flag("no-partial-eval");
+  opts.common.time_limit_seconds = args.num("time-limit", 0.0);
+  opts.common.archive_kind = args.get("archive", "quadtree");
+  opts.common.partial_evaluation = !args.flag("no-partial-eval");
   opts.seed = static_cast<std::uint64_t>(args.num("seed", 1));
-  opts.certify = args.flag("certify");
+  opts.common.certify = args.flag("certify");
   dse::Budget budget(budget_limits(args));
-  opts.budget = &budget;
-  opts.checkpoint_path = args.get("checkpoint", "");
-  opts.checkpoint_interval_seconds = args.num("checkpoint-interval", 30.0);
+  opts.common.budget = &budget;
+  opts.common.checkpoint_path = args.get("checkpoint-out", "");
+  opts.common.checkpoint_interval_seconds =
+      args.num("checkpoint-interval", 30.0);
   const std::optional<dse::Checkpoint> resume = load_resume(args);
-  if (resume) opts.resume = &*resume;
+  if (resume) opts.common.resume = &*resume;
+  ObsSetup obs_setup;
+  if (!obs_setup.init(args)) return 1;
+  obs_setup.wire(opts.common);
   const SignalGuard guard(&budget);
   const dse::ParallelExploreResult r = dse::explore_parallel(spec, opts);
-  std::cout << "exact front: " << r.front.size() << " points ("
-            << (r.stats.complete ? "complete" : "partial") << ", stopped: "
-            << dse::to_string(r.stats.reason) << ", "
-            << util::fmt(r.stats.seconds, 3) << "s, " << r.workers.size()
-            << " workers, " << r.stats.models << " models, "
-            << r.stats.prunings << " prunings)\n";
+  std::cout << "exact front: " << r.base.front.size() << " points ("
+            << (r.base.stats.complete ? "complete" : "partial")
+            << ", stopped: " << dse::to_string(r.base.stats.reason) << ", "
+            << util::fmt(r.base.stats.seconds, 3) << "s, " << r.workers.size()
+            << " workers, " << r.base.stats.models << " models, "
+            << r.base.stats.prunings << " prunings)\n";
   for (const dse::WorkerError& e : r.worker_errors) {
     std::cerr << "warning: worker " << e.worker << " failed: " << e.message
               << "\n";
   }
-  print_run_errors(r.errors);
+  print_run_errors(r.base.errors);
   util::Table front({"latency", "energy", "cost"});
-  for (const auto& p : r.front) {
+  for (const auto& p : r.base.front) {
     front.add_row({util::fmt(p[0]), util::fmt(p[1]), util::fmt(p[2])});
   }
   front.print(std::cout);
@@ -299,31 +385,38 @@ int explore_portfolio(const synth::Specification& spec, const Args& args) {
   }
   workers.print(std::cout);
   if (args.flag("witnesses")) {
-    for (const auto& witness : r.witnesses) {
+    for (const auto& witness : r.base.witnesses) {
       std::cout << "\n" << witness.describe(spec);
     }
   }
-  return finish_explore(args, r.stats.complete, r.certified,
-                        r.certificate_error, r.proof, r.front);
+  const int obs_rc = obs_setup.finish();
+  const int rc =
+      finish_explore(args, r.base.stats.complete, r.base.certified,
+                     r.base.certificate_error, r.base.proof, r.base.front);
+  return rc != 0 ? rc : obs_rc;
 }
 
 int cmd_explore(const Args& args) {
   const synth::Specification spec = load(args);
   if (args.flag("threads")) return explore_portfolio(spec, args);
   dse::ExploreOptions opts;
-  opts.time_limit_seconds = args.num("time-limit", 0.0);
-  opts.archive_kind = args.get("archive", "quadtree");
-  opts.partial_evaluation = !args.flag("no-partial-eval");
+  opts.common.time_limit_seconds = args.num("time-limit", 0.0);
+  opts.common.archive_kind = args.get("archive", "quadtree");
+  opts.common.partial_evaluation = !args.flag("no-partial-eval");
   if (const auto eps = parse_epsilon(args.get("epsilon", ""))) {
     opts.epsilon = *eps;
   }
-  opts.certify = args.flag("certify");
+  opts.common.certify = args.flag("certify");
   dse::Budget budget(budget_limits(args));
-  opts.budget = &budget;
-  opts.checkpoint_path = args.get("checkpoint", "");
-  opts.checkpoint_interval_seconds = args.num("checkpoint-interval", 30.0);
+  opts.common.budget = &budget;
+  opts.common.checkpoint_path = args.get("checkpoint-out", "");
+  opts.common.checkpoint_interval_seconds =
+      args.num("checkpoint-interval", 30.0);
   const std::optional<dse::Checkpoint> resume = load_resume(args);
-  if (resume) opts.resume = &*resume;
+  if (resume) opts.common.resume = &*resume;
+  ObsSetup obs_setup;
+  if (!obs_setup.init(args)) return 1;
+  obs_setup.wire(opts.common);
   const SignalGuard guard(&budget);
   const dse::ExploreResult r = dse::explore(spec, opts);
   std::cout << (opts.epsilon.empty() ? "exact front" : "eps-approximate set")
@@ -343,8 +436,10 @@ int cmd_explore(const Args& args) {
       std::cout << "\n" << r.witnesses[i].describe(spec);
     }
   }
-  return finish_explore(args, r.stats.complete, r.certified,
-                        r.certificate_error, r.proof, r.front);
+  const int obs_rc = obs_setup.finish();
+  const int rc = finish_explore(args, r.stats.complete, r.certified,
+                                r.certificate_error, r.proof, r.front);
+  return rc != 0 ? rc : obs_rc;
 }
 
 int cmd_optimize(const Args& args) {

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Guard against throughput regressions in BENCH_*.json reports.
+
+Compares every `*_per_sec` metric shared between a recorded baseline and one
+or more fresh reports; fails if the best (maximum) current value for any
+metric falls more than TOLERANCE below its baseline.  Absolute wall times are
+ignored and only the best of N runs is gated because single-run throughput on
+shared CI machines is noisy; the baseline is recorded as the elementwise
+*minimum* over repeated runs (a conservative floor), so a sustained drop is a
+real regression while scheduler jitter is not.
+
+Usage:
+  check_bench_regression.py BASELINE.json CURRENT.json [CURRENT2.json ...]
+  check_bench_regression.py --record OUT.json RUN1.json [RUN2.json ...]
+
+The --record mode writes OUT.json as RUN1 with every *_per_sec metric
+replaced by the elementwise minimum across all RUN files — this is how
+bench/baselines/BENCH_propagate.json is produced.
+
+Env:   ASPMT_BENCH_TOLERANCE  fractional drop allowed (default 0.02 = 2%)
+Exit codes: 0 ok, 1 regression, 2 usage/IO error.
+"""
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_regression: cannot read {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc.get("metrics"), dict):
+        print(f"check_bench_regression: {path} has no metrics object",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def rate_keys(metrics):
+    return {k for k, v in metrics.items()
+            if k.endswith("_per_sec") and isinstance(v, (int, float))}
+
+
+def record(out_path, run_paths):
+    runs = [load(p) for p in run_paths]
+    doc = runs[0]
+    keys = set.intersection(*(rate_keys(r["metrics"]) for r in runs))
+    for key in sorted(keys):
+        doc["metrics"][key] = min(r["metrics"][key] for r in runs)
+    doc.setdefault("notes", {})["baseline"] = (
+        f"elementwise min of *_per_sec over {len(runs)} run(s)")
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"check_bench_regression: recorded {out_path} "
+          f"from {len(runs)} run(s)")
+
+
+def main():
+    argv = sys.argv[1:]
+    if len(argv) >= 2 and argv[0] == "--record":
+        record(argv[1], argv[2:] or sys.exit(2))
+        return
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    tolerance = float(os.environ.get("ASPMT_BENCH_TOLERANCE", "0.02"))
+
+    baseline = load(argv[0])["metrics"]
+    currents = [load(p)["metrics"] for p in argv[1:]]
+    keys = sorted(set.intersection(rate_keys(baseline),
+                                   *(rate_keys(c) for c in currents)))
+    if not keys:
+        print("check_bench_regression: no shared *_per_sec metrics to compare",
+              file=sys.stderr)
+        sys.exit(2)
+
+    regressions = []
+    for key in keys:
+        base = baseline[key]
+        if base <= 0:
+            continue
+        best = max(c[key] for c in currents)
+        ratio = best / base
+        status = "ok"
+        if ratio < 1.0 - tolerance:
+            status = "REGRESSION"
+            regressions.append(key)
+        print(f"  {key:32s} baseline={base:14.0f} best-of-{len(currents)}="
+              f"{best:14.0f} ({(ratio - 1.0) * 100.0:+6.1f}%) {status}")
+
+    if regressions:
+        print(f"check_bench_regression: FAIL: {len(regressions)} metric(s) "
+              f"regressed more than {tolerance * 100.0:.0f}%: "
+              f"{', '.join(regressions)}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_bench_regression: OK: {len(keys)} metric(s) within "
+          f"{tolerance * 100.0:.0f}% of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by --trace-out.
+
+Checks that the file is syntactically valid JSON, follows the trace_event
+object format (Perfetto / chrome://tracing loadable), and that solve spans
+are properly bracketed per track.
+
+Usage: check_trace.py TRACE.json [--min-events N]
+Exit codes: 0 ok, 1 validation failure, 2 usage.
+"""
+import argparse
+import collections
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="require at least N trace events")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("missing top-level traceEvents array (object format expected)")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not an array")
+    if len(events) < args.min_events:
+        fail(f"only {len(events)} events, expected >= {args.min_events}")
+
+    depth = collections.defaultdict(int)  # (pid, tid) -> open B spans
+    last_ts = {}
+    for i, e in enumerate(events):
+        for key in ("ph", "name", "pid", "tid"):
+            if key not in e:
+                fail(f"event {i} missing required key '{key}': {e}")
+        ph = e["ph"]
+        if ph not in ("B", "E", "i", "I", "C", "M", "X"):
+            fail(f"event {i} has unknown phase '{ph}'")
+        if ph != "M" and "ts" not in e:
+            fail(f"event {i} ({ph}/{e['name']}) missing ts")
+        track = (e["pid"], e["tid"])
+        if ph == "B":
+            depth[track] += 1
+        elif ph == "E":
+            depth[track] -= 1
+            if depth[track] < 0:
+                fail(f"event {i}: E without matching B on track {track}")
+        if ph in ("B", "E") and "ts" in e:
+            # Within one track, span begins/ends must be time-ordered.
+            if track in last_ts and e["ts"] < last_ts[track] - 1e-6:
+                fail(f"event {i}: ts went backwards on track {track}")
+            last_ts[track] = e["ts"]
+
+    open_spans = {t: d for t, d in depth.items() if d != 0}
+    if open_spans:
+        fail(f"unbalanced solve spans at end of trace: {open_spans}")
+
+    print(f"check_trace: OK: {len(events)} events, "
+          f"{len(depth)} span track(s), all spans balanced")
+
+
+if __name__ == "__main__":
+    main()
