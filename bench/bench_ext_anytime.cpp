@@ -1,13 +1,19 @@
-// Extension — anytime behaviour: front quality over time.
+// Extension — anytime behaviour: front quality over time, warm vs cold.
 //
-// Replays the discovery timelines of the ASPmT explorer and NSGA-II on one
-// instance and reports the hypervolume of the current archive at log-spaced
-// time checkpoints.  Shape: the exact explorer reaches (and proves) the full
-// hypervolume; the EA saturates below it.
+// Replays the discovery timelines of the cold ASPmT explorer, the hybrid
+// warm-started explorer (NSGA-II seeds + exact completion) and plain
+// NSGA-II on one instance and reports the hypervolume of the current
+// archive at log-spaced time checkpoints.  Shape: both exact runs reach
+// (and prove) the full hypervolume and the EA saturates below it, but the
+// warm run is at high hypervolume from its first instants — the
+// time-to-first-front and time-to-90%-HV metrics quantify that head start
+// and are recorded as `*_per_sec` rates so the perf-smoke gate
+// (tools/check_bench_regression.py vs bench/baselines/) can hold the line.
 #include <algorithm>
 #include <iostream>
 
 #include "dse/explorer.hpp"
+#include "dse/warmstart.hpp"
 #include "ea/nsga2.hpp"
 #include "pareto/archive.hpp"
 #include "pareto/indicators.hpp"
@@ -29,6 +35,26 @@ std::vector<Vec> archive_at(
   return archive.points();
 }
 
+/// Earliest discovery timestamp at which the replayed archive reaches
+/// `target` hypervolume w.r.t. `ref`; falls back to the last timestamp.
+double time_to_hv(const std::vector<std::pair<double, Vec>>& discoveries,
+                  double target, const Vec& ref) {
+  aspmt::pareto::LinearArchive archive;
+  double last = 0.0;
+  for (const auto& [when, point] : discoveries) {
+    archive.insert(point);
+    last = when;
+    if (aspmt::pareto::hypervolume(archive.points(), ref) >= target) {
+      return when;
+    }
+  }
+  return last;
+}
+
+/// A rate for the regression gate: events per second, saturated so a
+/// sub-microsecond measurement cannot explode the baseline.
+double as_rate(double seconds) { return 1.0 / std::max(seconds, 1e-6); }
+
 }  // namespace
 
 int main() {
@@ -45,13 +71,19 @@ int main() {
   opts.common.time_limit_seconds = bench::method_time_limit();
   const dse::ExploreResult exact = dse::explore(spec, opts);
 
+  dse::ExploreOptions wopts = opts;
+  wopts.common.warm_start.method = dse::WarmStartMethod::Nsga2;
+  wopts.common.warm_start.budget = 400;
+  wopts.common.warm_start.seed = 9;
+  const dse::ExploreResult warm = dse::explore(spec, wopts);
+
   ea::Nsga2Options ea_opts;
   ea_opts.seed = 9;
   ea_opts.population = 60;
   ea_opts.generations = 200;
   const ea::Nsga2Result ea_run = ea::nsga2(spec, ea_opts);
 
-  // Shared reference point over everything either method ever saw.
+  // Shared reference point over everything any method ever saw.
   Vec ref(3, 0);
   auto stretch = [&](const std::vector<std::pair<double, Vec>>& d) {
     for (const auto& [when, p] : d) {
@@ -60,33 +92,73 @@ int main() {
     }
   };
   stretch(exact.discoveries);
+  stretch(warm.discoveries);
   stretch(ea_run.discoveries);
 
-  const double horizon = std::max(exact.stats.seconds, ea_run.seconds);
-  util::Table table({"t[s]", "aspmt |set|", "aspmt HV", "nsga2 |set|", "nsga2 HV"});
+  const double horizon =
+      std::max({exact.stats.seconds, warm.stats.seconds, ea_run.seconds});
+  util::Table table({"t[s]", "cold |set|", "cold HV", "warm |set|", "warm HV",
+                     "nsga2 HV"});
   for (double t = horizon / 64.0; t <= horizon * 1.0001; t *= 2.0) {
     const auto a = archive_at(exact.discoveries, t);
+    const auto w = archive_at(warm.discoveries, t);
     const auto e = archive_at(ea_run.discoveries, t);
     table.add_row({util::fmt(t, 4),
                    util::fmt(static_cast<long long>(a.size())),
                    util::fmt(pareto::hypervolume(a, ref), 0),
-                   util::fmt(static_cast<long long>(e.size())),
+                   util::fmt(static_cast<long long>(w.size())),
+                   util::fmt(pareto::hypervolume(w, ref), 0),
                    util::fmt(pareto::hypervolume(e, ref), 0)});
   }
   table.print(std::cout);
+
   const double hv_exact = pareto::hypervolume(exact.front, ref);
+  const double hv_warm = pareto::hypervolume(warm.front, ref);
   const double hv_ea = pareto::hypervolume(ea_run.front, ref);
-  std::cout << "\nfinal: aspmt HV=" << util::fmt(hv_exact, 0) << " ("
+  const double cold_first =
+      exact.discoveries.empty() ? 0.0 : exact.discoveries.front().first;
+  const double warm_first =
+      warm.discoveries.empty() ? 0.0 : warm.discoveries.front().first;
+  const double cold_t90 = time_to_hv(exact.discoveries, 0.9 * hv_exact, ref);
+  const double warm_t90 = time_to_hv(warm.discoveries, 0.9 * hv_exact, ref);
+
+  std::cout << "\nfinal: cold HV=" << util::fmt(hv_exact, 0) << " ("
             << (exact.stats.complete ? "proven complete" : "time-limited")
-            << " after " << util::fmt(exact.stats.seconds, 3) << "s), nsga2 HV="
-            << util::fmt(hv_ea, 0) << " after " << util::fmt(ea_run.seconds, 3)
-            << "s / " << ea_run.evaluations << " evaluations\n";
+            << " after " << util::fmt(exact.stats.seconds, 3)
+            << "s), warm HV=" << util::fmt(hv_warm, 0) << " ("
+            << warm.stats.warm_seeds << " seeds, "
+            << (warm.stats.complete ? "proven complete" : "time-limited")
+            << " after " << util::fmt(warm.stats.seconds, 3)
+            << "s), nsga2 HV=" << util::fmt(hv_ea, 0) << " after "
+            << util::fmt(ea_run.seconds, 3) << "s / " << ea_run.evaluations
+            << " evaluations\n";
+  std::cout << "time to first front point: cold "
+            << util::fmt(cold_first * 1e3, 3) << "ms, warm "
+            << util::fmt(warm_first * 1e3, 3) << "ms\n"
+            << "time to 90% of final HV:  cold "
+            << util::fmt(cold_t90 * 1e3, 3) << "ms, warm "
+            << util::fmt(warm_t90 * 1e3, 3) << "ms\n";
+
   report.metric("aspmt.hv", hv_exact);
   report.metric("aspmt.seconds", exact.stats.seconds);
+  report.metric("warm.hv", hv_warm);
+  report.metric("warm.seconds", warm.stats.seconds);
+  report.metric("warm.seeds", static_cast<double>(warm.stats.warm_seeds));
   report.metric("nsga2.hv", hv_ea);
   report.metric("nsga2.seconds", ea_run.seconds);
   report.metric("nsga2.evaluations", static_cast<double>(ea_run.evaluations));
+  report.metric("cold.first_point_seconds", cold_first);
+  report.metric("warm.first_point_seconds", warm_first);
+  report.metric("cold.hv90_seconds", cold_t90);
+  report.metric("warm.hv90_seconds", warm_t90);
+  // Gated rates: how fast each variant reaches its first front point and
+  // 90% of the final hypervolume.  Warm must stay measurably ahead.
+  report.metric("cold.first_front_per_sec", as_rate(cold_first));
+  report.metric("warm.first_front_per_sec", as_rate(warm_first));
+  report.metric("cold.hv90_per_sec", as_rate(cold_t90));
+  report.metric("warm.hv90_per_sec", as_rate(warm_t90));
   report.note("aspmt.complete", exact.stats.complete ? "yes" : "timeout");
+  report.note("warm.complete", warm.stats.complete ? "yes" : "timeout");
   const std::string path = report.write();
   std::cout << "wrote " << (path.empty() ? "(failed)" : path) << "\n";
   return 0;

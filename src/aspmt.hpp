@@ -33,6 +33,10 @@
 // dse::explore_parallel — the parallel portfolio (ParallelExploreOptions
 // adds threads/seed/shards; the result embeds an ExploreResult as .base).
 #include "dse/parallel_explorer.hpp"
+// dse::generate_warm_seeds / WarmStartOptions / SliceScheduler — the hybrid
+// heuristic–exact pipeline: validated heuristic seeds and gap-guided slice
+// scheduling (DESIGN.md §12).
+#include "dse/warmstart.hpp"
 // dse::Budget / BudgetLimits / StopReason — resource ceilings and the
 // async-signal-safe cancellation token.
 #include "dse/budget.hpp"

@@ -12,7 +12,12 @@
 namespace aspmt::dse {
 namespace {
 
-constexpr std::string_view kHeader = "aspmt-ckpt 1";
+// Version 2 adds the `warm` line (were heuristic seeds injected into the
+// segment's archive history?).  Version-1 files are still accepted and load
+// with warm_started = false; a `warm` line inside a v1 file is rejected as
+// an unknown line kind, exactly like any other foreign line.
+constexpr std::string_view kHeaderV1 = "aspmt-ckpt 1";
+constexpr std::string_view kHeader = "aspmt-ckpt 2";
 
 std::uint64_t fnv1a(std::string_view bytes) noexcept {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -130,6 +135,7 @@ std::string to_text(const Checkpoint& ckpt) {
   out << "spec " << ckpt.spec_fingerprint << '\n';
   out << "seed " << ckpt.seed << '\n';
   out << "elapsed-ms " << ckpt.elapsed_ms << '\n';
+  out << "warm " << (ckpt.warm_started ? 1 : 0) << '\n';
   out << "points " << ckpt.points.size() << '\n';
   for (const pareto::Vec& p : ckpt.points) {
     out << "p " << p.size();
@@ -175,6 +181,7 @@ std::string parse_checkpoint(std::string_view text, Checkpoint& out) {
   std::size_t declared_points = 0;
   bool saw_header = false;
   bool counts_seen = false;
+  int version = 0;
   while (!body.empty()) {
     const std::size_t nl = body.find('\n');
     std::string_view line = body.substr(0, nl);
@@ -183,7 +190,13 @@ std::string parse_checkpoint(std::string_view text, Checkpoint& out) {
     ++line_no;
     if (line.empty()) continue;
     if (!saw_header) {
-      if (line != kHeader) return "checkpoint: bad header";
+      if (line == kHeader) {
+        version = 2;
+      } else if (line == kHeaderV1) {
+        version = 1;
+      } else {
+        return "checkpoint: bad header";
+      }
       saw_header = true;
       continue;
     }
@@ -202,6 +215,12 @@ std::string parse_checkpoint(std::string_view text, Checkpoint& out) {
       if (!sc.integer(out.elapsed_ms) || !sc.done()) {
         return "checkpoint: malformed elapsed time";
       }
+    } else if (kind == "warm" && version >= 2) {
+      int flag = 0;
+      if (!sc.integer(flag) || !sc.done() || (flag != 0 && flag != 1)) {
+        return "checkpoint: malformed warm-start flag";
+      }
+      out.warm_started = flag != 0;
     } else if (kind == "points") {
       if (!sc.integer(declared_points) || !sc.done()) {
         return "checkpoint: malformed point count";

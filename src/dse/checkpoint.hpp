@@ -36,6 +36,12 @@ struct Checkpoint {
   std::uint64_t spec_fingerprint = 0;
   std::uint64_t seed = 0;
   std::uint64_t elapsed_ms = 0;  ///< cumulative across resumed segments
+  /// Format v2: true when heuristic warm-start seeds were injected at any
+  /// point in the (possibly multi-segment) run's history.  Resume semantics
+  /// are unchanged either way — resumed runs stay non-certifiable — but the
+  /// flag keeps provenance honest across resume chains.  v1 files load with
+  /// false.
+  bool warm_started = false;
   /// Mutually non-dominated, sorted lexicographically.
   std::vector<pareto::Vec> points;
   /// Parallel to `points`; an implementation with empty option_of_task
@@ -47,7 +53,8 @@ struct Checkpoint {
 /// against a different spec is refused.
 [[nodiscard]] std::uint64_t spec_fingerprint(const synth::Specification& spec);
 
-/// Serialize to the `aspmt-ckpt 1` text format (checksum trailer included).
+/// Serialize to the `aspmt-ckpt 2` text format (checksum trailer included).
+/// The loader accepts both v2 and legacy v1 files.
 [[nodiscard]] std::string to_text(const Checkpoint& ckpt);
 
 /// Parse and validate; returns "" on success, a diagnostic otherwise.

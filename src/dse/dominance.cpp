@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "asp/proof.hpp"
 #include "asp/solver.hpp"
 #include "obs/recorder.hpp"
 #include "pareto/concurrent_archive.hpp"
@@ -12,7 +13,17 @@ void DominancePropagator::sync_shared() {
   if (shared_ == nullptr || shared_->generation() == synced_generation_) return;
   sync_buffer_.clear();
   synced_generation_ = shared_->fetch_updates(synced_generation_, sync_buffer_);
-  for (const pareto::Vec& p : sync_buffer_) archive_.insert(p);
+  for (const pareto::Vec& p : sync_buffer_) {
+    // The F step precedes the local insert, so any DOM lemma citing `p`
+    // lands strictly after it in this worker's stream.  A point already in
+    // the stream is never re-announced (the update log can only hand us a
+    // point once per generation window, but the set makes that a guarantee
+    // rather than a property of the archive).
+    if (proof_ != nullptr && proof_emitted_.insert(p).second) {
+      proof_->feasible_point(p);
+    }
+    archive_.insert(p);
+  }
 }
 
 bool DominancePropagator::enforce(asp::Solver& solver) {

@@ -16,9 +16,15 @@
 // archive states remain valid.
 #pragma once
 
+#include <set>
+
 #include "asp/propagator.hpp"
 #include "dse/objective_manager.hpp"
 #include "pareto/archive.hpp"
+
+namespace aspmt::asp {
+class ProofLog;
+}
 
 namespace aspmt::pareto {
 class ConcurrentArchive;
@@ -78,6 +84,15 @@ class DominancePropagator final : public asp::TheoryPropagator {
   /// (workers call this right after publishing their own point).
   void sync_shared();
 
+  /// Certified portfolio mode: emit an `F` feasible-point step into `proof`
+  /// for every point sync_shared() pulls from the shared front (each point
+  /// at most once).  Every shared point a DOM lemma of this worker may cite
+  /// — peer discoveries, warm-start seeds, the worker's own publications —
+  /// then has its F step earlier in this worker's stream, which is what the
+  /// trust-mode checker (aspmt_check without --require-unsat's certify
+  /// companion) demands.  nullptr (default) disables emission.
+  void set_proof(asp::ProofLog* proof) noexcept { proof_ = proof; }
+
   // -- TheoryPropagator ----------------------------------------------------
   bool propagate(asp::Solver& solver) override {
     return partial_eval_ ? enforce(solver) : true;
@@ -96,8 +111,10 @@ class DominancePropagator final : public asp::TheoryPropagator {
   bool partial_eval_ = true;
   pareto::ConcurrentArchive* shared_ = nullptr;  // non-owning; may be null
   obs::Recorder* recorder_ = nullptr;            // non-owning; may be null
+  asp::ProofLog* proof_ = nullptr;               // non-owning; may be null
   std::uint64_t synced_generation_ = 0;
   std::vector<pareto::Vec> sync_buffer_;  // scratch for fetch_updates
+  std::set<pareto::Vec> proof_emitted_;   // F-step dedup across syncs
 };
 
 }  // namespace aspmt::dse

@@ -25,6 +25,8 @@ void export_metrics(obs::MetricsRegistry& registry,
   registry.counter("explore.propagations").set(s.propagations);
   registry.counter("explore.theory_clauses").set(s.theory_clauses);
   registry.counter("explore.archive_comparisons").set(s.archive_comparisons);
+  registry.counter("explore.warm_seeds").set(s.warm_seeds);
+  registry.counter("explore.warm_rejected").set(s.warm_rejected);
   registry.counter("explore.front_size").set(result.front.size());
   registry.gauge("explore.seconds").set(s.seconds);
   registry.gauge("explore.complete").set(s.complete ? 1.0 : 0.0);
@@ -112,6 +114,7 @@ ExploreResult explore(const synth::Specification& spec,
   // region it weakly dominates is pruned from the first propagation on.
   std::uint64_t base_elapsed_ms = 0;
   bool resumed = false;
+  bool warm_ancestor = false;  // resumed from a warm-started checkpoint
   if (common.resume != nullptr) {
     if (common.resume->spec_fingerprint != spec_fingerprint(spec)) {
       result.errors.push_back(
@@ -128,6 +131,35 @@ ExploreResult explore(const synth::Specification& spec,
       }
       base_elapsed_ms = ckpt.elapsed_ms;
       resumed = !ckpt.points.empty();
+      warm_ancestor = ckpt.warm_started;
+    }
+  }
+
+  // Hybrid warm start (warmstart.hpp): validated heuristic seeds enter the
+  // archive before the first solve, so the dominance propagator prunes
+  // everything they weakly dominate from the first conflict on.  Unlike
+  // resume seeds, each one carries a freshly validated witness and (in
+  // certified mode) an in-stream `F` step, so the run stays certifiable.
+  bool warm_started = false;
+  if (warm_start_enabled(common.warm_start)) {
+    WarmStartResult ws = generate_warm_seeds(spec, common.warm_start);
+    result.stats.warm_rejected = ws.rejected_invalid + ws.rejected_dominated;
+    for (WarmSeedCandidate& seed : ws.seeds) {
+      // A resume point may already dominate the seed; skipping it keeps the
+      // archive an antichain.
+      if (!ctx.dominance().insert(seed.point)) {
+        ++result.stats.warm_rejected;
+        continue;
+      }
+      ++result.stats.warm_seeds;
+      warm_started = true;
+      if (certify) proof_log.feasible_point(seed.point);
+      result.discoveries.emplace_back(timer.elapsed_seconds(), seed.point);
+      if (rec != nullptr) {
+        rec->record(obs::EventKind::WarmStartSeed, seed.point[0], seed.point[1],
+                    seed.point[2]);
+      }
+      if (collect) witnesses[seed.point] = std::move(seed.impl);
     }
   }
 
@@ -143,6 +175,7 @@ ExploreResult explore(const synth::Specification& spec,
     c.seed = common.solver_options.seed;
     c.elapsed_ms = base_elapsed_ms +
                    static_cast<std::uint64_t>(timer.elapsed_ms());
+    c.warm_started = warm_started || warm_ancestor;
     c.points = ctx.archive().points();
     if (collect) {
       c.witnesses.reserve(c.points.size());

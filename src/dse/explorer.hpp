@@ -43,6 +43,11 @@ struct ExploreStats {
   std::uint64_t propagations = 0;
   std::uint64_t theory_clauses = 0;
   std::uint64_t archive_comparisons = 0;
+  /// Hybrid pipeline (warmstart.hpp): validated heuristic seeds that entered
+  /// the archive before solving, and candidates the validation gate or the
+  /// antichain reduction refused.
+  std::uint64_t warm_seeds = 0;
+  std::uint64_t warm_rejected = 0;
   double seconds = 0.0;
   bool complete = false;  ///< true iff the front is proven exact
   /// Structured cause of termination.  `Completed` iff `complete`, except

@@ -6,9 +6,17 @@ namespace aspmt::dse {
 
 MinimizeResult minimize_objective(SynthContext& ctx, std::size_t objective,
                                   std::vector<asp::Lit>& assumptions,
-                                  const util::Deadline* deadline) {
+                                  const util::Deadline* deadline,
+                                  std::int64_t upper_bound) {
   MinimizeResult result;
   const std::size_t base = assumptions.size();
+  if (upper_bound != kNoUpperBound) {
+    // Heuristic warm start: descend from the caller's attained value
+    // instead of from the first model the solver happens to find.
+    const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
+    ctx.objectives.add_bound(objective, upper_bound, act);
+    assumptions.push_back(act);
+  }
   for (;;) {
     const asp::Solver::Result r = ctx.solver.solve(assumptions, deadline);
     if (r == asp::Solver::Result::Sat) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "asp/literal.hpp"
@@ -24,13 +25,26 @@ struct MinimizeResult {
   std::int64_t best = 0;  ///< best objective value seen
 };
 
+/// No warm-start bound (see minimize_objective's `upper_bound`).
+inline constexpr std::int64_t kNoUpperBound =
+    std::numeric_limits<std::int64_t>::max();
+
 /// Minimise objective `objective` (index into ctx.objectives) subject to the
 /// context's constraints and `assumptions`.  On return (when feasible) a
 /// fresh activation literal pinning `objective <= best` has been appended to
 /// `assumptions`, so subsequent calls optimise lexicographically.
+///
+/// `upper_bound` warm-starts the descent: when a heuristic pass (e.g. a
+/// validated NSGA-II candidate, see warmstart.hpp) already exhibits a
+/// solution with value v, passing v prunes everything above v from the first
+/// solve on.  Sound for optimality because the caller vouches v is
+/// *attained* by a real solution: if nothing at or below v exists the
+/// bounded problem is Unsat and the result honestly reports infeasibility —
+/// so only ever pass attained values.  kNoUpperBound (default) starts cold.
 [[nodiscard]] MinimizeResult minimize_objective(SynthContext& ctx,
                                                 std::size_t objective,
                                                 std::vector<asp::Lit>& assumptions,
-                                                const util::Deadline* deadline);
+                                                const util::Deadline* deadline,
+                                                std::int64_t upper_bound = kNoUpperBound);
 
 }  // namespace aspmt::dse

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "asp/solver.hpp"
+#include "dse/warmstart.hpp"
 
 namespace aspmt::obs {
 class EventSink;
@@ -48,6 +49,13 @@ struct CommonOptions {
   /// is unaffected).  Incompatible with a non-empty epsilon.
   bool certify = false;
   asp::SolverOptions solver_options{};  ///< portfolio workers diversify this
+  /// Hybrid heuristic–exact pipeline (warmstart.hpp): a budgeted heuristic
+  /// pass whose validated candidates seed the archive before solving, so
+  /// dominance pruning bites from the first conflict.  Exactness-preserving:
+  /// every seed is re-validated and proof-logged, and `certify` still
+  /// certifies warm runs end-to-end (unlike `resume`, whose points carry no
+  /// in-stream derivations).
+  WarmStartOptions warm_start;
 
   // ---- fault-tolerant runtime (see budget.hpp / checkpoint.hpp) ----------
   std::uint64_t conflict_budget = 0;  ///< 0 = unlimited (total over workers)

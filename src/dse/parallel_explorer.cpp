@@ -25,7 +25,6 @@ namespace {
 constexpr std::size_t kNumObjectives = 3;
 
 constexpr std::size_t kNoSlice = std::numeric_limits<std::size_t>::max();
-constexpr std::int64_t kNoBound = std::numeric_limits<std::int64_t>::min();
 
 std::uint64_t mix_seed(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -37,30 +36,27 @@ std::uint64_t mix_seed(std::uint64_t x) {
 struct SharedState {
   SharedState(const std::string& kind, std::size_t shards, Budget* bdg,
               std::size_t total_workers)
-      : archive(kind, kNumObjectives, shards), budget(bdg) {
-    const std::size_t slices = total_workers > 1 ? total_workers - 1 : 0;
-    slice_bound.assign(slices, kNoBound);
-    slice_done.assign(slices, 0);
-    slice_requeued.assign(slices, 0);
-  }
+      : archive(kind, kNumObjectives, shards),
+        budget(bdg),
+        slice_parts(total_workers > 1 ? 2 * (total_workers - 1) : 0) {}
 
   pareto::ConcurrentArchive archive;
   Budget* budget;
   std::atomic<bool> complete{false};
   util::Timer timer;
   std::uint64_t base_elapsed_ms = 0;  ///< carried over from a resumed run
+  bool warm_started = false;  ///< heuristic seeds were injected (checkpoint v2)
 
-  std::mutex mutex;  // guards witnesses, discoveries, errors, slice tables
+  std::mutex mutex;  // guards witnesses, discoveries, errors
   std::map<pareto::Vec, synth::Implementation> witnesses;
   std::vector<std::pair<double, pareto::Vec>> discoveries;
   std::vector<WorkerError> errors;
 
-  // Epsilon-slice bookkeeping: slice s belongs to worker s+1 until its
-  // owner dies, at which point it is requeued (once) for survivors.
-  std::vector<std::int64_t> slice_bound;     ///< kNoBound until computed
-  std::vector<std::uint8_t> slice_done;      ///< exhausted, never requeue
-  std::vector<std::uint8_t> slice_requeued;  ///< one-shot requeue latch
-  std::vector<std::size_t> orphan_slices;    ///< requeued, awaiting adoption
+  // Gap-guided epsilon-slice dispenser (warmstart.hpp).  More slices than
+  // workers (2*(threads-1) parts), so which slice a worker adopts *next* is
+  // a real scheduling decision, driven by the hypervolume gap scores.
+  SliceScheduler scheduler;
+  const std::size_t slice_parts;
 
   CheckpointWriter* checkpoint = nullptr;
   const FaultPlan* fault = nullptr;
@@ -73,19 +69,17 @@ struct SharedState {
   /// each other — an approximation, flagged in DESIGN.md §11.
   obs::Histogram* insert_hist = nullptr;
 
-  /// Contain a worker death: preserve the error and requeue its slice so a
-  /// survivor can finish the region it was responsible for.
+  /// Contain a worker death: preserve the error and return its slice to the
+  /// scheduler (one-shot requeue) so a survivor can finish the region it
+  /// was responsible for.  Slices the dead worker never claimed are still
+  /// pending in the scheduler and need no rescue.
   void record_failure(std::size_t worker, std::size_t active_slice,
-                      bool own_slice_pending, std::string message) {
-    std::lock_guard lock(mutex);
-    errors.push_back({worker, std::move(message)});
-    std::size_t sid = active_slice;
-    if (sid == kNoSlice && own_slice_pending && worker > 0) sid = worker - 1;
-    if (sid != kNoSlice && sid < slice_done.size() && slice_done[sid] == 0 &&
-        slice_requeued[sid] == 0) {
-      slice_requeued[sid] = 1;
-      orphan_slices.push_back(sid);
+                      std::string message) {
+    {
+      std::lock_guard lock(mutex);
+      errors.push_back({worker, std::move(message)});
     }
+    if (active_slice != kNoSlice) scheduler.abandon(active_slice);
   }
 
   /// Consistent snapshot for the checkpoint writer.
@@ -95,6 +89,7 @@ struct SharedState {
     c.seed = checkpoint_seed;
     c.elapsed_ms = base_elapsed_ms +
                    static_cast<std::uint64_t>(timer.elapsed_ms());
+    c.warm_started = warm_started;
     c.points = archive.points();
     std::lock_guard lock(mutex);
     c.witnesses.reserve(c.points.size());
@@ -150,12 +145,15 @@ void run_worker(std::size_t index, std::size_t total,
   assert(ctx.objectives.count() == kNumObjectives);
   ctx.dominance().attach_shared(&shared.archive);
   ctx.dominance().set_recorder(rec);
+  // Certified mode: the propagator emits an `F` step into this worker's
+  // stream for every point it pulls from the shared front (its own
+  // publications included, on the sync right after the insert) — so any DOM
+  // lemma a point justifies has its feasible-point step earlier in the same
+  // stream, whichever worker discovered (or warm-seeded) the point.
+  ctx.dominance().set_proof(proof);
 
   std::vector<asp::Lit> assumptions;  // the active slice bound, if any
   std::size_t active_slice = kNoSlice;
-  // Workers > 0 carve an epsilon-constraint slice out of the first
-  // objective once the shared front spans a range there.
-  bool own_slice_pending = index > 0 && total > 1;
 
   const auto publish = [&](const pareto::Vec& point) {
     ++report.models;
@@ -191,9 +189,10 @@ void run_worker(std::size_t index, std::size_t total,
                     static_cast<std::int64_t>(after));
       }
     }
-    // Only first publications carry an F step: rejected points may be
-    // dominated by a *different* peer point and then have no witness.
-    if (proof != nullptr) proof->feasible_point(point);
+    // No explicit F step here: the sync_shared() above already pulled this
+    // publication back into the local snapshot and proof-logged it there
+    // (rejected points may be dominated by a *different* peer point and
+    // then have no witness, so only successful inserts ever reach a proof).
     {
       std::lock_guard lock(shared.mutex);
       shared.discoveries.emplace_back(shared.timer.elapsed_seconds(), point);
@@ -215,70 +214,30 @@ void run_worker(std::size_t index, std::size_t total,
     }
   };
 
-  /// Compute the epsilon bound for `sid` from the current shared front,
-  /// caching it so a requeued slice reuses its owner's exact bound.
-  const auto slice_bound_for = [&](std::size_t sid) -> std::int64_t {
-    {
-      std::lock_guard lock(shared.mutex);
-      if (shared.slice_bound[sid] != kNoBound) return shared.slice_bound[sid];
-    }
-    const std::vector<pareto::Vec> front = shared.archive.points();
-    if (front.size() < 2) return kNoBound;
-    std::int64_t lo = front.front()[0];
-    std::int64_t hi = lo;
-    for (const pareto::Vec& p : front) {
-      lo = std::min(lo, p[0]);
-      hi = std::max(hi, p[0]);
-    }
-    const std::vector<std::int64_t> splits =
-        ObjectiveManager::epsilon_splits(lo, hi, total);
-    std::lock_guard lock(shared.mutex);
-    if (splits.empty()) {
-      shared.slice_done[sid] = 1;  // degenerate range: nothing to slice
-      return kNoBound;
-    }
-    const std::int64_t bound = splits[std::min(sid, splits.size() - 1)];
-    if (shared.slice_bound[sid] == kNoBound) shared.slice_bound[sid] = bound;
-    return shared.slice_bound[sid];
-  };
-
-  const auto activate_slice = [&](std::size_t sid, std::int64_t bound) {
-    const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
-    ctx.objectives.add_bound(0, bound, act);
-    assumptions.assign(1, act);
-    active_slice = sid;
-    if (rec != nullptr) {
-      rec->record(obs::EventKind::SliceActivate,
-                  static_cast<std::int64_t>(sid), bound);
-    }
-  };
-
+  /// Claim the next slice from the gap-guided scheduler (workers > 0 only).
+  /// The scheduler is seeded lazily from the first front snapshot that
+  /// spans a range — with a warm start that is before the first solve call,
+  /// so slices (and their hypervolume-gap ranking) exist from t ~ 0.
   const auto try_activate_slice = [&]() {
-    if (active_slice != kNoSlice) return;
-    if (own_slice_pending) {
-      if (shared.archive.points().size() < 2) return;  // no spread yet
-      own_slice_pending = false;  // one shot, even when the range is degenerate
-      const std::int64_t bound = slice_bound_for(index - 1);
-      if (bound != kNoBound) activate_slice(index - 1, bound);
-      return;
+    if (active_slice != kNoSlice || index == 0 || total < 2) return;
+    if (!shared.scheduler.seeded() &&
+        !shared.scheduler.seed(shared.archive.points(), shared.slice_parts)) {
+      return;  // no spread yet (or degenerate range); stay unconstrained
     }
-    // Adopt an orphaned slice left behind by a dead worker (at most one
-    // requeue per slice — see record_failure).
-    std::size_t sid = kNoSlice;
-    {
-      std::lock_guard lock(shared.mutex);
-      while (!shared.orphan_slices.empty()) {
-        const std::size_t cand = shared.orphan_slices.back();
-        shared.orphan_slices.pop_back();
-        if (shared.slice_done[cand] == 0) {
-          sid = cand;
-          break;
-        }
-      }
+    const auto slice = shared.scheduler.claim();
+    if (!slice.has_value()) return;
+    ++report.slices_claimed;
+    const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
+    ctx.objectives.add_bound(0, slice->bound, act);
+    assumptions.assign(1, act);
+    active_slice = slice->id;
+    if (rec != nullptr) {
+      rec->record(obs::EventKind::SliceScheduled,
+                  static_cast<std::int64_t>(slice->id), slice->bound,
+                  static_cast<std::int64_t>(slice->gap + 0.5));
+      rec->record(obs::EventKind::SliceActivate,
+                  static_cast<std::int64_t>(slice->id), slice->bound);
     }
-    if (sid == kNoSlice) return;
-    const std::int64_t bound = slice_bound_for(sid);
-    if (bound != kNoBound) activate_slice(sid, bound);
   };
 
   try {
@@ -289,12 +248,8 @@ void run_worker(std::size_t index, std::size_t total,
       if (r == asp::Solver::Result::Unknown) break;  // peer finished or budget
       if (r == asp::Solver::Result::Unsat) {
         if (!assumptions.empty() && ctx.solver.ok()) {
-          // Slice exhausted; fall back to orphans or the unconstrained
-          // problem.
-          {
-            std::lock_guard lock(shared.mutex);
-            shared.slice_done[active_slice] = 1;
-          }
+          // Slice exhausted; the next loop iteration claims the scheduler's
+          // best remaining slice, or the unconstrained problem if none.
           if (rec != nullptr) {
             rec->record(obs::EventKind::SliceExhaust,
                         static_cast<std::int64_t>(active_slice));
@@ -340,12 +295,11 @@ void run_worker(std::size_t index, std::size_t total,
     // is requeued for a survivor, and the run degrades instead of dying.
     report.failed = true;
     report.error = e.what();
-    shared.record_failure(index, active_slice, own_slice_pending, e.what());
+    shared.record_failure(index, active_slice, e.what());
   } catch (...) {
     report.failed = true;
     report.error = "unknown exception";
-    shared.record_failure(index, active_slice, own_slice_pending,
-                          "unknown exception");
+    shared.record_failure(index, active_slice, "unknown exception");
   }
 
   const asp::SolverStats& s = ctx.solver.stats();
@@ -436,6 +390,34 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
       }
       shared.base_elapsed_ms = ckpt.elapsed_ms;
       resumed = !ckpt.points.empty();
+      shared.warm_started = ckpt.warm_started;
+    }
+  }
+
+  // Hybrid warm start: validated heuristic seeds enter the shared archive
+  // before any worker spawns, so every worker's first generation-counter
+  // sync pulls them (emitting per-stream F steps in certified mode) and the
+  // slice scheduler can rank slices by hypervolume gap from t ~ 0.
+  if (warm_start_enabled(common.warm_start)) {
+    WarmStartResult ws = generate_warm_seeds(spec, common.warm_start);
+    result.base.stats.warm_rejected =
+        ws.rejected_invalid + ws.rejected_dominated;
+    for (WarmSeedCandidate& seed : ws.seeds) {
+      if (!shared.archive.insert(seed.point)) {
+        ++result.base.stats.warm_rejected;  // a resume point dominates it
+        continue;
+      }
+      ++result.base.stats.warm_seeds;
+      shared.warm_started = true;
+      shared.discoveries.emplace_back(shared.timer.elapsed_seconds(),
+                                      seed.point);
+      if (orec != nullptr) {
+        orec->record(obs::EventKind::WarmStartSeed, seed.point[0],
+                     seed.point[1], seed.point[2]);
+      }
+      if (common.collect_witnesses || common.certify) {
+        shared.witnesses[seed.point] = std::move(seed.impl);
+      }
     }
   }
 
@@ -470,7 +452,7 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
           // covers context construction, which leaves no stats to report.
           result.workers[w].failed = true;
           result.workers[w].error = e.what();
-          shared.record_failure(w, kNoSlice, w > 0, e.what());
+          shared.record_failure(w, kNoSlice, e.what());
         }
       });
     }

@@ -10,11 +10,15 @@
 // starts pruning every other worker's search mid-flight.
 //
 // Work partitioning: as soon as the shared front spans a range in the first
-// objective, worker w (w >= 1) derives an epsilon-constraint slice
-// `latency <= split_w` from the current front and exhausts that slice first
-// — the portfolio fills the front from several regions at once instead of
-// walking it from one end.  Worker 0 always runs the unmodified sequential
-// strategy.
+// objective (immediately, under a warm start), it is carved into roughly
+// 2*(threads-1) epsilon-constraint slices `latency <= split_i`, each scored
+// by its remaining-hypervolume gap (pareto::slice_hypervolume_gaps).  A
+// shared SliceScheduler (warmstart.hpp) hands the highest-gap pending slice
+// to whichever worker asks next; a worker that exhausts its slice claims
+// another, and only falls back to the unconstrained problem when the queue
+// is empty — search effort concentrates where the most unexplained
+// objective-space volume remains instead of being statically pinned to
+// worker indices.  Worker 0 always runs the unmodified sequential strategy.
 //
 // Exactness: slices and diversification only change the *order* of
 // discovery.  The run ends when some worker proves the unconstrained
@@ -56,7 +60,8 @@ struct ParallelExploreOptions {
 struct WorkerReport {
   std::size_t worker = 0;
   std::uint64_t models = 0;            ///< accepted answer sets
-  std::uint64_t slice_models = 0;      ///< found while the slice was active
+  std::uint64_t slice_models = 0;      ///< found while some slice was active
+  std::uint64_t slices_claimed = 0;    ///< slices adopted from the scheduler
   std::uint64_t shared_inserts = 0;    ///< points this worker published first
   std::uint64_t rejected_inserts = 0;  ///< beaten to the archive by a peer
   std::uint64_t prunings = 0;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <deque>
 #include <limits>
+#include <map>
 
 #include "pareto/archive.hpp"
 #include "util/rng.hpp"
@@ -163,7 +164,10 @@ void assign_crowding(std::vector<Individual>& pop) {
   std::vector<std::size_t> idx(n);
   for (std::size_t i = 0; i < n; ++i) idx[i] = i;
   for (std::size_t o = 0; o < k; ++o) {
-    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    // stable_sort: ties on the objective value must keep index order, or the
+    // crowding sums (and with them the whole trajectory) depend on the
+    // platform's std::sort tie-breaking.
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
       return pop[a].objectives[o] < pop[b].objectives[o];
     });
     pop[idx.front()].crowding = std::numeric_limits<double>::infinity();
@@ -255,6 +259,7 @@ Nsga2Result nsga2(const Specification& spec, const Nsga2Options& options) {
 
   Nsga2Result result;
   pareto::LinearArchive archive;
+  std::map<pareto::Vec, synth::Implementation> witness_of;
 
   auto evaluate = [&](Individual& ind) {
     synth::Implementation impl;
@@ -264,6 +269,7 @@ Nsga2Result nsga2(const Specification& spec, const Nsga2Options& options) {
       ind.objectives = impl.objectives();
       if (archive.insert(ind.objectives)) {
         result.discoveries.emplace_back(timer.elapsed_seconds(), ind.objectives);
+        if (options.collect_witnesses) witness_of[ind.objectives] = impl;
       }
     } else {
       ind.feasible = false;
@@ -319,16 +325,26 @@ Nsga2Result nsga2(const Specification& spec, const Nsga2Options& options) {
       evaluate(child);
       offspring.push_back(std::move(child));
     }
-    // Environmental selection over the union.
+    // Environmental selection over the union.  stable_sort for the same
+    // reason as in assign_crowding: (rank, crowding) ties are common and the
+    // survivor set must not depend on the platform's tie-breaking.
     pop.insert(pop.end(), std::make_move_iterator(offspring.begin()),
                std::make_move_iterator(offspring.end()));
     non_dominated_sort(pop);
     assign_crowding(pop);
-    std::sort(pop.begin(), pop.end(), crowded_less);
+    std::stable_sort(pop.begin(), pop.end(), crowded_less);
     pop.resize(options.population);
   }
 
   result.front = archive.points();
+  if (options.collect_witnesses) {
+    result.witnesses.reserve(result.front.size());
+    for (const pareto::Vec& p : result.front) {
+      result.witnesses.push_back(witness_of.at(p));
+    }
+  }
+  result.population.reserve(pop.size());
+  for (Individual& ind : pop) result.population.push_back(std::move(ind.genotype));
   result.seconds = timer.elapsed_seconds();
   return result;
 }

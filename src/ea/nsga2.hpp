@@ -38,6 +38,9 @@ struct Nsga2Options {
   double crossover_rate = 0.9;
   /// Per-gene mutation probability; <= 0 means 1/num_tasks.
   double mutation_rate = -1.0;
+  /// Keep the decoded implementation of every archive insertion so callers
+  /// (the warm-start pipeline) can re-validate front points independently.
+  bool collect_witnesses = false;
 };
 
 struct Nsga2Result {
@@ -46,6 +49,15 @@ struct Nsga2Result {
   double seconds = 0.0;
   /// Anytime profile: (seconds since start, point) per archive insertion.
   std::vector<std::pair<double, pareto::Vec>> discoveries;
+  /// One decoded implementation per front point (same order as `front`);
+  /// empty unless `collect_witnesses` was set.
+  std::vector<synth::Implementation> witnesses;
+  /// Final population genotypes after the last environmental selection.
+  /// The run is a pure function of (spec, options): the RNG is a fixed
+  /// xoshiro256** stream and every sort with partially tied keys is stable,
+  /// so equal seeds yield byte-identical populations across platforms (see
+  /// Nsga2Test.GoldenPopulationDigest).
+  std::vector<Genotype> population;
 };
 
 [[nodiscard]] Nsga2Result nsga2(const synth::Specification& spec,

@@ -20,6 +20,8 @@ const char* kind_name(EventKind kind) noexcept {
     case EventKind::SliceExhaust: return "slice-exhaust";
     case EventKind::BudgetTrip: return "budget-trip";
     case EventKind::CheckpointWrite: return "checkpoint-write";
+    case EventKind::WarmStartSeed: return "warmstart-seed";
+    case EventKind::SliceScheduled: return "slice-scheduled";
   }
   return "unknown";
 }

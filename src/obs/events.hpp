@@ -57,11 +57,18 @@ enum class EventKind : std::uint8_t {
   /// An archive checkpoint was written.  a = points in the snapshot,
   /// b = 1 on success, 0 on a (contained) write failure.
   CheckpointWrite,
+  /// A validated heuristic seed entered the archive before solving began.
+  /// a,b,c = the seeded point.
+  WarmStartSeed,
+  /// The gap-guided scheduler handed a slice to a worker.  a = slice id,
+  /// b = the slice's objective-0 bound, c = its hypervolume-gap score
+  /// rounded to the nearest integer.
+  SliceScheduled,
 };
 
 /// Number of distinct EventKind values (array sizing in exporters).
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::CheckpointWrite) + 1;
+    static_cast<std::size_t>(EventKind::SliceScheduled) + 1;
 
 /// Stable kebab-case name, e.g. "model-found" (NDJSON + trace export).
 [[nodiscard]] const char* kind_name(EventKind kind) noexcept;

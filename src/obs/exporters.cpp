@@ -163,6 +163,18 @@ void ChromeTraceExporter::on_event(const Event& e) {
            << "}";
       emit("i", "checkpoint-write", e, args.str());
       break;
+    case EventKind::WarmStartSeed:
+      ++front_size_;
+      counters_dirty_ = true;
+      args << ",\"s\":\"g\",\"args\":{\"point\":[" << e.a << "," << e.b << ","
+           << e.c << "]}";
+      emit("i", "warmstart-seed", e, args.str());
+      break;
+    case EventKind::SliceScheduled:
+      args << ",\"s\":\"t\",\"args\":{\"slice\":" << e.a << ",\"bound\":"
+           << e.b << ",\"gap\":" << e.c << "}";
+      emit("i", "slice-scheduled", e, args.str());
+      break;
   }
 }
 
@@ -203,6 +215,7 @@ void ProgressMeter::on_event(const Event& e) {
       ++models_;
       break;
     case EventKind::ArchiveInsert:
+    case EventKind::WarmStartSeed:
       ++front_size_;
       break;
     case EventKind::ArchiveEvict:

@@ -10,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "dse/explorer.hpp"
 #include "dse/parallel_explorer.hpp"
@@ -17,6 +18,24 @@
 
 namespace aspmt::dse {
 namespace {
+
+/// Same FNV-1a the checkpoint writer uses — lets the tests hand-craft
+/// version-1 and deliberately damaged bodies with valid checksums.
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string with_checksum(std::string body) {
+  body += "end ";
+  body += std::to_string(fnv1a(body));
+  body += '\n';
+  return body;
+}
 
 std::string temp_path(const char* name) {
   return ::testing::TempDir() + "aspmt_ckpt_" + name;
@@ -195,6 +214,120 @@ TEST(Checkpoint, ResumedRunsAreNotCertifiable) {
   EXPECT_FALSE(r.certified);
   EXPECT_NE(r.certificate_error.find("not certifiable"), std::string::npos)
       << r.certificate_error;
+}
+
+// --- format v2: the warm-start provenance flag ----------------------------
+
+TEST(Checkpoint, WarmFlagSurvivesRoundTrip) {
+  Checkpoint a = explored_checkpoint(test::two_proc_bus());
+  a.warm_started = true;
+  const std::string text = to_text(a);
+  EXPECT_EQ(text.rfind("aspmt-ckpt 2", 0), 0U) << "v2 header expected";
+  EXPECT_NE(text.find("\nwarm 1\n"), std::string::npos);
+  Checkpoint b;
+  ASSERT_EQ(parse_checkpoint(text, b), "");
+  EXPECT_TRUE(b.warm_started);
+  EXPECT_EQ(to_text(b), text);
+}
+
+TEST(Checkpoint, VersionOneFilesStillLoadWithWarmStartedFalse) {
+  const std::string text = with_checksum(
+      "aspmt-ckpt 1\nspec 7\nseed 1\nelapsed-ms 5\npoints 1\np 3 1 2 3\n");
+  Checkpoint c;
+  c.warm_started = true;  // stale state: the parser must reset it
+  ASSERT_EQ(parse_checkpoint(text, c), "");
+  EXPECT_FALSE(c.warm_started);
+  ASSERT_EQ(c.points.size(), 1U);
+  EXPECT_EQ(c.points.front(), (pareto::Vec{1, 2, 3}));
+}
+
+TEST(Checkpoint, WarmLineInsideVersionOneIsRejected) {
+  const std::string text = with_checksum(
+      "aspmt-ckpt 1\nspec 7\nseed 1\nelapsed-ms 5\nwarm 1\npoints 1\n"
+      "p 3 1 2 3\n");
+  Checkpoint c;
+  const std::string err = parse_checkpoint(text, c);
+  EXPECT_NE(err.find("unknown line kind"), std::string::npos) << err;
+}
+
+TEST(Checkpoint, MalformedWarmFlagIsRejected) {
+  const std::string text = with_checksum(
+      "aspmt-ckpt 2\nspec 7\nseed 1\nelapsed-ms 5\nwarm 7\npoints 1\n"
+      "p 3 1 2 3\n");
+  Checkpoint c;
+  const std::string err = parse_checkpoint(text, c);
+  EXPECT_NE(err.find("warm-start flag"), std::string::npos) << err;
+}
+
+TEST(Checkpoint, WarmStartedRunRecordsTheFlag) {
+  const std::string path = temp_path("warm_flag.txt");
+  ExploreOptions opts;
+  opts.common.warm_start.method = WarmStartMethod::Nsga2;
+  opts.common.warm_start.budget = 120;
+  opts.common.checkpoint_path = path;
+  const ExploreResult r = explore(test::chain3_bus(), opts);
+  ASSERT_TRUE(r.stats.complete);
+  ASSERT_GT(r.stats.warm_seeds, 0U);
+  Checkpoint ckpt;
+  ASSERT_EQ(load_checkpoint(path, ckpt), "");
+  EXPECT_TRUE(ckpt.warm_started);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ParallelWarmStartedRunRecordsTheFlag) {
+  const std::string path = temp_path("warm_flag_par.txt");
+  ParallelExploreOptions opts;
+  opts.threads = 2;
+  opts.common.warm_start.method = WarmStartMethod::Nsga2;
+  opts.common.warm_start.budget = 120;
+  opts.common.checkpoint_path = path;
+  const ParallelExploreResult r = explore_parallel(test::chain3_bus(), opts);
+  ASSERT_TRUE(r.base.stats.complete);
+  ASSERT_GT(r.base.stats.warm_seeds, 0U);
+  Checkpoint ckpt;
+  ASSERT_EQ(load_checkpoint(path, ckpt), "");
+  EXPECT_TRUE(ckpt.warm_started);
+  std::remove(path.c_str());
+}
+
+// Resuming *after* a warm start keeps PR 4 resume semantics: the continued
+// run is exact but not certifiable (archive history crosses streams), and
+// the warm flag rides along into the next checkpoint generation.
+TEST(Checkpoint, ResumeAfterWarmStartIsExactButNotCertifiable) {
+  const synth::Specification spec = test::diamond_two_proc();
+  const ExploreResult cold = explore(spec);
+  ASSERT_TRUE(cold.stats.complete);
+
+  const std::string path = temp_path("warm_resume.txt");
+  ExploreOptions first;
+  first.common.warm_start.method = WarmStartMethod::Nsga2;
+  first.common.warm_start.budget = 120;
+  first.common.checkpoint_path = path;
+  const ExploreResult warmed = explore(spec, first);
+  ASSERT_TRUE(warmed.stats.complete);
+  ASSERT_GT(warmed.stats.warm_seeds, 0U);
+
+  Checkpoint ckpt;
+  ASSERT_EQ(load_checkpoint(path, ckpt), "");
+  EXPECT_TRUE(ckpt.warm_started);
+
+  const std::string path2 = temp_path("warm_resume2.txt");
+  ExploreOptions second;
+  second.common.resume = &ckpt;
+  second.common.certify = true;
+  second.common.checkpoint_path = path2;
+  const ExploreResult resumed = explore(spec, second);
+  ASSERT_TRUE(resumed.stats.complete);
+  EXPECT_EQ(resumed.front, cold.front);
+  EXPECT_FALSE(resumed.certified);
+  EXPECT_NE(resumed.certificate_error.find("not certifiable"),
+            std::string::npos)
+      << resumed.certificate_error;
+  Checkpoint next;
+  ASSERT_EQ(load_checkpoint(path2, next), "");
+  EXPECT_TRUE(next.warm_started) << "warm provenance must survive resume";
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
 }
 
 TEST(Checkpoint, WriterHonoursItsInterval) {

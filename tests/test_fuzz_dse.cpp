@@ -6,10 +6,15 @@
 // witnesses (see src/cert/).  Seeds honour ASPMT_TEST_SEED (test_util.hpp).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "dse/baselines.hpp"
 #include "dse/explorer.hpp"
 #include "dse/parallel_explorer.hpp"
+#include "dse/warmstart.hpp"
 #include "gen/generator.hpp"
+#include "pareto/indicators.hpp"
 #include "synth/validator.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
@@ -144,6 +149,100 @@ TEST_P(FuzzParallelDse, ParallelFrontEqualsSequentialFront) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzParallelDse,
                          ::testing::Range<std::uint64_t>(0, 12));
+
+// Hybrid-pipeline fuzz: random specs under a randomly drawn warm-start
+// configuration (method, budget, heuristic seed, occasionally an
+// adversarial fake candidate, random thread count).  The warm front must
+// equal the cold front point-for-point, certification must survive the
+// injected seeds, and the anytime hypervolume profile — seeds included —
+// must be monotone non-decreasing.
+class FuzzHybridDse : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzHybridDse, WarmFrontEqualsColdFrontAndAnytimeHvIsMonotone) {
+  const std::uint64_t seed = test::fuzz_seed(GetParam());
+  util::Rng rng(seed * 52361 + 29);
+  gen::GeneratorConfig c;
+  c.seed = rng.next();
+  c.tasks = 3 + static_cast<std::uint32_t>(rng.below(3));
+  c.layers = 2 + static_cast<std::uint32_t>(rng.below(2));
+  c.options_per_task = 2;
+  c.extra_edge_density = rng.uniform() * 0.3;
+  c.architecture = rng.chance(0.5) ? gen::Architecture::SharedBus
+                                   : gen::Architecture::Mesh2x2;
+  c.bus_processors = 2 + static_cast<std::uint32_t>(rng.below(2));
+  const synth::Specification spec = gen::generate(c);
+
+  const dse::ExploreResult cold = dse::explore(spec);
+  ASSERT_TRUE(cold.stats.complete) << "seed " << seed;
+
+  dse::WarmStartOptions warm;
+  switch (rng.below(3)) {
+    case 0: warm.method = dse::WarmStartMethod::Off; break;
+    case 1: warm.method = dse::WarmStartMethod::Nsga2; break;
+    default: warm.method = dse::WarmStartMethod::Sampler; break;
+  }
+  warm.budget = 50 + rng.below(200);
+  warm.seed = rng.next();
+  if (rng.chance(0.3)) {
+    // An adversarial candidate claiming a utopian point with no real
+    // implementation behind it — the validation gate must drop it.
+    dse::WarmSeedCandidate fake;
+    fake.point = {1, 1, 1};
+    warm.external.push_back(std::move(fake));
+  }
+
+  dse::ExploreResult hybrid;
+  const std::size_t threads = 1 + static_cast<std::size_t>(rng.below(3));
+  if (threads == 1) {
+    dse::ExploreOptions opts;
+    opts.common.certify = true;
+    opts.common.warm_start = warm;
+    hybrid = dse::explore(spec, opts);
+  } else {
+    dse::ParallelExploreOptions opts;
+    opts.threads = threads;
+    opts.seed = seed + 1;
+    opts.common.certify = true;
+    opts.common.warm_start = warm;
+    hybrid = std::move(dse::explore_parallel(spec, opts).base);
+  }
+  ASSERT_TRUE(hybrid.stats.complete) << "seed " << seed;
+  EXPECT_TRUE(hybrid.certified) << "seed " << seed << ": "
+                                << hybrid.certificate_error;
+  EXPECT_EQ(hybrid.front, cold.front)
+      << "seed " << seed << " threads " << threads << " method "
+      << dse::warm_start_method_name(warm.method) << " "
+      << gen::summarize(spec);
+  if (!warm.external.empty()) {
+    EXPECT_GE(hybrid.stats.warm_rejected, 1U) << "seed " << seed;
+  }
+
+  // Anytime-hypervolume monotonicity over the discovery sequence.
+  if (!hybrid.discoveries.empty()) {
+    pareto::Vec ref = hybrid.discoveries.front().second;
+    for (const auto& [when, p] : hybrid.discoveries) {
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ref[i] = std::max(ref[i], p[i] + 1);
+      }
+    }
+    std::vector<pareto::Vec> prefix;
+    double prev = 0.0;
+    double prev_when = 0.0;
+    for (const auto& [when, p] : hybrid.discoveries) {
+      EXPECT_GE(when, prev_when - 1e-9) << "seed " << seed;
+      prev_when = when;
+      prefix.push_back(p);
+      const double hv = pareto::hypervolume(prefix, ref);
+      EXPECT_GE(hv, prev - 1e-9)
+          << "seed " << seed << ": anytime HV regressed at "
+          << pareto::to_string(p);
+      prev = hv;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzHybridDse,
+                         ::testing::Range<std::uint64_t>(0, 15));
 
 }  // namespace
 }  // namespace aspmt

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+
 #include "dse/explorer.hpp"
 #include "synth_fixtures.hpp"
 #include "synth/validator.hpp"
@@ -114,6 +117,87 @@ TEST(Nsga2, NeverBeatsTheExactFront) {
     EXPECT_TRUE(covered) << "EA point " << pareto::to_string(p)
                          << " not covered by the exact front";
   }
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffU;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Order-sensitive digest over the final population: option indices as
+/// integers, priorities via their IEEE-754 bit patterns.
+std::uint64_t population_digest(const std::vector<Genotype>& population) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Genotype& g : population) {
+    for (const std::size_t o : g.option) h = fnv_mix(h, o);
+    for (const double p : g.priority) {
+      h = fnv_mix(h, std::bit_cast<std::uint64_t>(p));
+    }
+  }
+  return h;
+}
+
+// The cross-platform determinism pin: the final population is a pure
+// function of (spec, options) — fixed xoshiro256** stream, stable sorts on
+// every partially tied key, IEEE-754 double arithmetic — so its digest is a
+// platform-independent constant.  If this fails after an intentional
+// algorithm change, print the new digest and re-pin it like a golden file.
+TEST(Nsga2, GoldenPopulationDigest) {
+  const synth::Specification spec = test::chain3_bus();
+  Nsga2Options opts;
+  opts.seed = 7;
+  opts.population = 16;
+  opts.generations = 10;
+  const Nsga2Result r = nsga2(spec, opts);
+  ASSERT_EQ(r.population.size(), opts.population);
+  EXPECT_EQ(population_digest(r.population), 0x69176ae3b0a192ffULL)
+      << "digest drifted: NSGA-II is no longer byte-deterministic (or the "
+         "algorithm changed intentionally — re-pin after review): 0x"
+      << std::hex << population_digest(r.population);
+}
+
+TEST(Nsga2, PopulationIsByteIdenticalAcrossRuns) {
+  const synth::Specification spec = test::diamond_two_proc();
+  Nsga2Options opts;
+  opts.seed = 13;
+  opts.population = 12;
+  opts.generations = 8;
+  const Nsga2Result a = nsga2(spec, opts);
+  const Nsga2Result b = nsga2(spec, opts);
+  ASSERT_EQ(a.population.size(), b.population.size());
+  for (std::size_t i = 0; i < a.population.size(); ++i) {
+    EXPECT_EQ(a.population[i].option, b.population[i].option) << i;
+    ASSERT_EQ(a.population[i].priority.size(), b.population[i].priority.size());
+    for (std::size_t j = 0; j < a.population[i].priority.size(); ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.population[i].priority[j]),
+                std::bit_cast<std::uint64_t>(b.population[i].priority[j]))
+          << i << "/" << j << ": priorities differ at the bit level";
+    }
+  }
+  EXPECT_EQ(population_digest(a.population), population_digest(b.population));
+}
+
+TEST(Nsga2, CollectedWitnessesValidateAndMatchTheFront) {
+  const synth::Specification spec = test::chain3_bus();
+  Nsga2Options opts;
+  opts.population = 16;
+  opts.generations = 10;
+  opts.collect_witnesses = true;
+  const Nsga2Result r = nsga2(spec, opts);
+  ASSERT_EQ(r.witnesses.size(), r.front.size());
+  for (std::size_t i = 0; i < r.front.size(); ++i) {
+    EXPECT_EQ(synth::validate_implementation(spec, r.witnesses[i]), "");
+    EXPECT_EQ(r.witnesses[i].objectives(), r.front[i]);
+  }
+}
+
+TEST(Nsga2, WitnessesAreOptIn) {
+  const Nsga2Result r = nsga2(test::chain3_bus(), {});
+  EXPECT_TRUE(r.witnesses.empty());
+  EXPECT_FALSE(r.population.empty());
 }
 
 TEST(Nsga2, FindsTheSingletonOptimum) {

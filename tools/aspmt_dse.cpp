@@ -8,6 +8,7 @@
 //   aspmt_dse nsga2    spec.txt [--pop 40] [--gens 60] [--seed 1]
 //   aspmt_dse validate spec.txt
 //   aspmt_dse asp      program.lp [--models N]      (non-ground ASP solving)
+#include <algorithm>
 #include <csignal>
 #include <cstring>
 #include <iostream>
@@ -30,6 +31,7 @@
 #include "dse/explorer.hpp"
 #include "dse/optimizer.hpp"
 #include "dse/parallel_explorer.hpp"
+#include "dse/warmstart.hpp"
 #include "ea/nsga2.hpp"
 #include "gen/generator.hpp"
 #include "obs/exporters.hpp"
@@ -90,6 +92,12 @@ Args parse_args(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
+      // Both spellings work: `--key value` and `--key=value`.
+      const std::size_t eq = a.find('=');
+      if (eq != std::string::npos) {
+        args.named[a.substr(2, eq - 2)] = a.substr(eq + 1);
+        continue;
+      }
       const std::string key = a.substr(2);
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         args.named[key] = argv[++i];
@@ -131,11 +139,14 @@ int usage() {
       "            [--conflict-budget N] [--mem-limit-mb MB]\n"
       "            [--checkpoint-out FILE] [--checkpoint-interval SEC]\n"
       "            [--resume FILE]\n"
+      "            [--warm-start nsga2|sampler|off] [--warm-start-budget N]\n"
+      "            [--warm-start-seed S]  (heuristic seeds; still exact+certifiable)\n"
       "            [--trace-out FILE]    Chrome trace_event JSON (Perfetto)\n"
       "            [--events-out FILE]   NDJSON event log\n"
       "            [--metrics-out FILE]  metrics snapshot JSON\n"
       "            [--progress]          live status line on stderr\n"
       "  aspmt_dse optimize spec.txt --objective latency|energy|cost\n"
+      "            [--warm-start nsga2|sampler|off] [--warm-start-budget N]\n"
       "  aspmt_dse baseline spec.txt --method enum|lex|lex-cold [--time-limit SEC]\n"
       "  aspmt_dse nsga2    spec.txt [--pop N] [--gens N] [--seed S]\n"
       "  aspmt_dse validate spec.txt\n"
@@ -253,6 +264,31 @@ dse::BudgetLimits budget_limits(const Args& args) {
   return limits;
 }
 
+/// Apply --warm-start / --warm-start-budget / --warm-start-seed.  Returns
+/// false (after a stderr message) on an unknown method name.  The heuristic
+/// RNG seed defaults to --seed so `--seed S` alone varies both halves.
+bool apply_warm_start(const Args& args, dse::WarmStartOptions& warm) {
+  const std::string method = args.get("warm-start", "off");
+  const auto parsed = dse::parse_warm_start_method(method);
+  if (!parsed) {
+    std::cerr << "unknown --warm-start method '" << method
+              << "' (expected nsga2|sampler|off)\n";
+    return false;
+  }
+  warm.method = *parsed;
+  warm.budget = static_cast<std::uint64_t>(
+      args.num("warm-start-budget", static_cast<double>(warm.budget)));
+  warm.seed = static_cast<std::uint64_t>(
+      args.num("warm-start-seed", args.num("seed", 1)));
+  return true;
+}
+
+void print_warm_stats(const dse::ExploreStats& stats) {
+  if (stats.warm_seeds == 0 && stats.warm_rejected == 0) return;
+  std::cout << "warm start: " << stats.warm_seeds << " seed(s) injected, "
+            << stats.warm_rejected << " rejected\n";
+}
+
 /// Load --resume, degrading to a cold start (with a stderr note) when the
 /// file is missing, corrupted, or structurally invalid.
 std::optional<dse::Checkpoint> load_resume(const Args& args) {
@@ -340,6 +376,7 @@ int explore_portfolio(const synth::Specification& spec, const Args& args) {
   opts.common.partial_evaluation = !args.flag("no-partial-eval");
   opts.seed = static_cast<std::uint64_t>(args.num("seed", 1));
   opts.common.certify = args.flag("certify");
+  if (!apply_warm_start(args, opts.common.warm_start)) return 2;
   dse::Budget budget(budget_limits(args));
   opts.common.budget = &budget;
   opts.common.checkpoint_path = args.get("checkpoint-out", "");
@@ -358,6 +395,7 @@ int explore_portfolio(const synth::Specification& spec, const Args& args) {
             << util::fmt(r.base.stats.seconds, 3) << "s, " << r.workers.size()
             << " workers, " << r.base.stats.models << " models, "
             << r.base.stats.prunings << " prunings)\n";
+  print_warm_stats(r.base.stats);
   for (const dse::WorkerError& e : r.worker_errors) {
     std::cerr << "warning: worker " << e.worker << " failed: " << e.message
               << "\n";
@@ -407,6 +445,7 @@ int cmd_explore(const Args& args) {
     opts.epsilon = *eps;
   }
   opts.common.certify = args.flag("certify");
+  if (!apply_warm_start(args, opts.common.warm_start)) return 2;
   dse::Budget budget(budget_limits(args));
   opts.common.budget = &budget;
   opts.common.checkpoint_path = args.get("checkpoint-out", "");
@@ -425,6 +464,7 @@ int cmd_explore(const Args& args) {
             << dse::to_string(r.stats.reason) << ", "
             << util::fmt(r.stats.seconds, 3) << "s, " << r.stats.models
             << " models, " << r.stats.prunings << " prunings)\n";
+  print_warm_stats(r.stats);
   print_run_errors(r.errors);
   util::Table table({"latency", "energy", "cost"});
   for (const auto& p : r.front) {
@@ -454,10 +494,24 @@ int cmd_optimize(const Args& args) {
     std::cerr << "unknown objective '" << objective << "'\n";
     return 2;
   }
+  dse::WarmStartOptions warm;
+  if (!apply_warm_start(args, warm)) return 2;
+  std::int64_t upper = dse::kNoUpperBound;
+  if (dse::warm_start_enabled(warm)) {
+    const dse::WarmStartResult ws = dse::generate_warm_seeds(spec, warm);
+    for (const dse::WarmSeedCandidate& s : ws.seeds) {
+      upper = std::min(upper, s.point[index]);
+    }
+    if (upper != dse::kNoUpperBound) {
+      std::cout << "warm start: " << ws.seeds.size()
+                << " validated seed(s), descending from " << objective
+                << " <= " << upper << "\n";
+    }
+  }
   const util::Deadline deadline(args.num("time-limit", 0.0));
   std::vector<asp::Lit> assumptions;
   const dse::MinimizeResult r =
-      dse::minimize_objective(ctx, index, assumptions, &deadline);
+      dse::minimize_objective(ctx, index, assumptions, &deadline, upper);
   if (!r.feasible) {
     std::cout << "infeasible" << (r.proven ? " (proven)" : " (timeout)") << "\n";
     return r.proven ? 0 : 3;
