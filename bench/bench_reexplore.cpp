@@ -1,0 +1,138 @@
+// Extension — incremental re-exploration (src/dse/respec.*): cold vs
+// incremental wall time on an S09-class instance after a single WCET edit.
+//
+// The scenario is the respec layer's reason to exist: a finished session
+// checkpointed its archive and learnt clauses; the designer bumps one WCET
+// (an objective-coefficient-only delta, ClauseSafe) and re-runs.  The
+// incremental run warm-starts the archive from the re-validated witnesses
+// and replays the clause dump behind an assumption guard, so it should
+// reach the (identical, certified-exact-quality) front in a fraction of the
+// cold wall time.  The speedup and the reuse rate are recorded; the
+// regression gate (tools/check_bench_regression.py vs bench/baselines/)
+// holds the `*_per_sec` rates.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "dse/checkpoint.hpp"
+#include "dse/explorer.hpp"
+#include "dse/respec.hpp"
+#include "suite.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Rebuild `spec` with the first mapping option's WCET bumped by one —
+/// the canonical single-coefficient designer edit.
+aspmt::synth::Specification bump_first_wcet(
+    const aspmt::synth::Specification& spec) {
+  using namespace aspmt::synth;
+  Specification out;
+  for (const Resource& r : spec.resources()) {
+    out.add_resource(r.name, r.kind, r.cost, r.capacity);
+  }
+  for (const Link& l : spec.links()) {
+    out.add_link(l.from, l.to, l.hop_delay, l.hop_energy);
+  }
+  for (const Task& t : spec.tasks()) out.add_task(t.name);
+  for (const Message& m : spec.messages()) {
+    out.add_message(m.name, m.src, m.dst, m.payload);
+  }
+  bool first = true;
+  for (const MappingOption& m : spec.mappings()) {
+    out.add_mapping(m.task, m.resource, m.wcet + (first ? 1 : 0), m.energy);
+    first = false;
+  }
+  out.max_hops = spec.max_hops;
+  out.latency_bound = spec.latency_bound;
+  return out;
+}
+
+double as_rate(double seconds) { return 1.0 / std::max(seconds, 1e-6); }
+
+}  // namespace
+
+int main() {
+  using namespace aspmt;
+  const auto suite = bench::standard_suite();
+  const auto& entry = suite[8];  // S09
+  const synth::Specification base = gen::generate(entry.config);
+  const synth::Specification edited = bump_first_wcet(base);
+  std::cout << "Extension: incremental re-exploration on " << entry.name
+            << " (" << gen::summarize(base) << "), single WCET edit\n\n";
+  bench::Report report("reexplore");
+  report.note("instance", entry.name);
+
+  // The previous session: a cold run on the base spec, snapshot attached.
+  const std::string ckpt_path = "BENCH_reexplore.ckpt";
+  dse::ExploreOptions prev_opts;
+  prev_opts.common.time_limit_seconds = bench::method_time_limit();
+  prev_opts.common.checkpoint_path = ckpt_path;
+  const dse::ExploreResult prev_run = dse::explore(base, prev_opts);
+  dse::Checkpoint ckpt;
+  const std::string load_err = dse::load_checkpoint(ckpt_path, ckpt);
+  std::remove(ckpt_path.c_str());
+  if (!load_err.empty()) {
+    std::cerr << "checkpoint load failed: " << load_err << "\n";
+    return 1;
+  }
+
+  // Cold reference on the edited spec.
+  dse::ExploreOptions cold_opts;
+  cold_opts.common.time_limit_seconds = bench::method_time_limit();
+  const dse::ExploreResult cold = dse::explore(edited, cold_opts);
+
+  // Incremental run from the stale checkpoint.
+  dse::ReexploreOptions ro;
+  ro.base.threads = 1;
+  ro.base.common.time_limit_seconds = bench::method_time_limit();
+  const dse::ReexploreResult inc = dse::reexplore(ckpt, edited, ro);
+
+  const bool fronts_match = inc.base.front == cold.front;
+  const double speedup =
+      cold.stats.seconds / std::max(inc.base.stats.seconds, 1e-6);
+
+  util::Table table({"run", "t[s]", "|front|", "models", "conflicts"});
+  table.add_row({"prev (base)", util::fmt(prev_run.stats.seconds, 3),
+                 util::fmt(static_cast<long long>(prev_run.front.size())),
+                 util::fmt(static_cast<long long>(prev_run.stats.models)),
+                 util::fmt(static_cast<long long>(prev_run.stats.conflicts))});
+  table.add_row({"cold (edited)", util::fmt(cold.stats.seconds, 3),
+                 util::fmt(static_cast<long long>(cold.front.size())),
+                 util::fmt(static_cast<long long>(cold.stats.models)),
+                 util::fmt(static_cast<long long>(cold.stats.conflicts))});
+  table.add_row({"incremental", util::fmt(inc.base.stats.seconds, 3),
+                 util::fmt(static_cast<long long>(inc.base.front.size())),
+                 util::fmt(static_cast<long long>(inc.base.stats.models)),
+                 util::fmt(static_cast<long long>(inc.base.stats.conflicts))});
+  table.print(std::cout);
+
+  std::cout << "\ndelta: " << dse::delta_class_name(inc.reuse.delta.cls)
+            << ", archive " << inc.reuse.archive_reused << "/"
+            << inc.reuse.archive_candidates << ", clauses "
+            << inc.reuse.clauses_replayed << "/" << inc.reuse.clause_candidates
+            << " (installed " << inc.base.stats.replayed_clauses
+            << "), reuse rate " << util::fmt(inc.reuse.reuse_rate(), 3) << "\n";
+  std::cout << "cold " << util::fmt(cold.stats.seconds, 3) << "s vs incremental "
+            << util::fmt(inc.base.stats.seconds, 3) << "s — speedup "
+            << util::fmt(speedup, 2) << "x, fronts "
+            << (fronts_match ? "identical" : "MISMATCH") << "\n";
+
+  report.metric("cold.seconds", cold.stats.seconds);
+  report.metric("incremental.seconds", inc.base.stats.seconds);
+  report.metric("speedup", speedup);
+  report.metric("reuse.rate", inc.reuse.reuse_rate());
+  report.metric("reuse.archive", static_cast<double>(inc.reuse.archive_reused));
+  report.metric("reuse.clauses",
+                static_cast<double>(inc.base.stats.replayed_clauses));
+  // Gated rates for the perf-smoke leg.
+  report.metric("cold.runs_per_sec", as_rate(cold.stats.seconds));
+  report.metric("incremental.runs_per_sec", as_rate(inc.base.stats.seconds));
+  report.note("fronts", fronts_match ? "identical" : "MISMATCH");
+  report.note("cold.complete", cold.stats.complete ? "yes" : "timeout");
+  report.note("incremental.complete",
+              inc.base.stats.complete ? "yes" : "timeout");
+  const std::string path = report.write();
+  std::cout << "wrote " << (path.empty() ? "(failed)" : path) << "\n";
+  return fronts_match ? 0 : 1;
+}

@@ -103,6 +103,13 @@ void ProofLog::theory_clause(const TheoryJustification& just,
   buf_ += " 0\n";
 }
 
+void ProofLog::guarded_clause(Lit guard, std::span<const Lit> lits) {
+  buf_ += 'G';
+  append_lit(guard);
+  for (const Lit l : lits) append_lit(l);
+  buf_ += " 0\n";
+}
+
 void ProofLog::feasible_point(std::span<const std::int64_t> point) {
   buf_ += 'F';
   append_int(static_cast<std::int64_t>(point.size()));

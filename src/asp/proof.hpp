@@ -23,6 +23,14 @@
 //   O  <obj> L <sum> | O <obj> D <node>    objective binding
 //   PR <head> <body> <n> <poshead>*  program rule (for loop nogoods)
 //   I  <lit>* 0                      input clause (axiom)
+//   G  <guard> <lit>* 0              guarded replay axiom: the clause
+//                                    (-guard v lits) is installed.  The
+//                                    checker admits it only when the guard
+//                                    variable is *pure*: fresh w.r.t. every
+//                                    axiom/declaration and occurring only
+//                                    negatively in axioms, so any model of
+//                                    the original system extends with
+//                                    guard=false and Unsat is preserved.
 //   L  <lit>* 0                      learnt clause, RUP-checkable
 //   T  <tag> <payload>* ; <lit>* 0   theory lemma with justification
 //   D  <lit>* 0                      clause deletion
@@ -78,6 +86,11 @@ class ProofLog {
 
   // ---- inference steps ----------------------------------------------------
   void input_clause(std::span<const Lit> lits) { clause_step('I', lits); }
+  /// Replayed clause installed behind an assumption guard: logs
+  /// `G <guard> <lits> 0`, meaning the clause (-guard v lits) holds by
+  /// construction.  See the format doc for the purity conditions the
+  /// checker enforces.
+  void guarded_clause(Lit guard, std::span<const Lit> lits);
   void learnt_clause(std::span<const Lit> lits) { clause_step('L', lits); }
   void delete_clause(std::span<const Lit> lits) { clause_step('D', lits); }
   void theory_clause(const TheoryJustification& just, std::span<const Lit> lits);

@@ -84,6 +84,70 @@ bool Solver::add_clause(std::vector<Lit> lits) {
   return true;
 }
 
+Lit Solver::add_guarded_clauses(std::span<const std::vector<Lit>> clauses,
+                                std::size_t* installed) {
+  assert(decision_level() == 0);
+  const Lit guard = Lit::make(new_var(), true);
+  std::size_t count = 0;
+  for (const std::vector<Lit>& c : clauses) {
+    if (!ok_) break;
+    if (c.empty()) continue;
+    bool in_range = true;
+    for (const Lit l : c) in_range = in_range && l.var() < guard.var();
+    if (!in_range) continue;
+    std::vector<Lit> g;
+    g.reserve(c.size() + 1);
+    g.push_back(~guard);
+    g.insert(g.end(), c.begin(), c.end());
+    // add_clause would log the clause as an `I` axiom; a replayed clause is
+    // only axiomatic *under its guard*, so detach the log around the install
+    // and emit the `G` step (full, unsimplified tail) ourselves.
+    ProofLog* const saved = proof_;
+    proof_ = nullptr;
+    add_clause(std::move(g));
+    proof_ = saved;
+    if (saved != nullptr) saved->guarded_clause(guard, c);
+    ++count;
+  }
+  if (installed != nullptr) *installed = count;
+  return guard;
+}
+
+std::vector<std::vector<Lit>> Solver::export_learnts(
+    std::uint32_t max_var, std::size_t max_clauses) const {
+  std::vector<std::vector<Lit>> out;
+  // Root units first: the most general reusable facts.  Between solve()
+  // calls the solver sits at level 0, so the whole trail qualifies.  No
+  // ok_ gate: after the terminating Unsat the units and learnts are still
+  // implied clauses, and a completed run is the prime re-exploration donor.
+  for (const Lit l : trail_) {
+    if (level(l.var()) != 0) break;
+    if (l.var() >= max_var) continue;
+    if (out.size() >= max_clauses) return out;
+    out.push_back({l});
+  }
+  std::vector<std::pair<std::uint32_t, ClauseRef>> ranked;
+  ranked.reserve(learnt_clauses_.size());
+  for (const ClauseRef cref : learnt_clauses_) {
+    const Clause c = arena_[cref];
+    if (c.deleted()) continue;
+    bool in_range = true;
+    for (const Lit l : c.lits()) in_range = in_range && l.var() < max_var;
+    if (!in_range) continue;
+    ranked.emplace_back(c.lbd(), cref);
+  }
+  std::stable_sort(
+      ranked.begin(), ranked.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [lbd, cref] : ranked) {
+    (void)lbd;
+    if (out.size() >= max_clauses) break;
+    const Clause c = arena_[cref];
+    out.emplace_back(c.lits().begin(), c.lits().end());
+  }
+  return out;
+}
+
 void Solver::add_propagator(TheoryPropagator* propagator) {
   assert(propagator != nullptr);
   propagators_.push_back(propagator);

@@ -131,6 +131,29 @@ class Solver {
   /// solve() invocations (the solver is always at level 0 there).
   bool add_clause(std::vector<Lit> lits);
 
+  /// Install foreign clauses (e.g. a learnt-clause dump from a previous
+  /// session) behind one fresh assumption guard g: every clause c becomes
+  /// (~g v c).  Solving with g among the assumptions makes the replayed
+  /// clauses bite; solving without (or after learning ~g) silently disables
+  /// them, so a wrong or stale dump can prune nothing from the final
+  /// answer — completeness never depends on the replay.  Clauses that
+  /// mention variables >= the guard's (out of the declared range) or are
+  /// empty are skipped.  Proof-logged as `G` steps, which the checker
+  /// admits via the guard-purity argument (see asp/proof.hpp).  Returns g;
+  /// `installed`, when non-null, receives the number of clauses installed.
+  Lit add_guarded_clauses(std::span<const std::vector<Lit>> clauses,
+                          std::size_t* installed = nullptr);
+
+  /// Snapshot the reusable clause state for a later session: all root-level
+  /// units plus the live learnt clauses whose variables are all < max_var
+  /// (the stable encoding prefix), best (lowest-LBD) first, capped at
+  /// max_clauses.  Call between solve() invocations (level 0).  Also valid
+  /// after a final Unsat verdict (ok() == false): units and learnts remain
+  /// implied clauses of the formula — exactly what a later session replays —
+  /// so a completed run's snapshot still carries its dump.
+  [[nodiscard]] std::vector<std::vector<Lit>> export_learnts(
+      std::uint32_t max_var, std::size_t max_clauses = 4096) const;
+
   /// Register a theory propagator (non-owning; the caller keeps ownership
   /// and must outlive the solver's use).
   void add_propagator(TheoryPropagator* propagator);

@@ -43,6 +43,10 @@
 // dse::Checkpoint / save_checkpoint / load_checkpoint — crash-safe periodic
 // snapshots and warm restarts.
 #include "dse/checkpoint.hpp"
+// dse::reexplore / classify_checkpoint / spec_sections — incremental
+// re-exploration on spec deltas: per-section digests, delta classification,
+// archive + guarded-clause + slice reuse (DESIGN.md §13).
+#include "dse/respec.hpp"
 
 // -- Certification ----------------------------------------------------------
 // cert::certify_front — replay a run's proof stream and witness set through

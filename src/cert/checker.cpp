@@ -408,6 +408,24 @@ class Checker {
     return false;  // missing terminator
   }
 
+  /// Record that `lit_or_var`'s variable occurs in an axiom or declaration.
+  /// False iff the variable is a replay guard — axioms must never mention
+  /// guard variables or the guard-purity soundness argument collapses.
+  [[nodiscard]] bool note_axiom_var(std::int64_t lit_or_var) {
+    const std::int64_t v = std::abs(lit_or_var);
+    if (v == 0) return true;
+    if (guard_vars_.count(v) != 0) return false;
+    axiom_vars_.insert(v);
+    return true;
+  }
+
+  [[nodiscard]] bool note_axiom_lits(const Lits& lits) {
+    for (const std::int64_t l : lits) {
+      if (!note_axiom_var(l)) return false;
+    }
+    return true;
+  }
+
   CheckOptions opts_;
   CheckResult result_;
 
@@ -428,6 +446,11 @@ class Checker {
   std::vector<std::pair<char, std::int64_t>> objectives_;  // kind 'L'/'D', id
   std::vector<Rule> rules_;
   std::vector<std::vector<std::int64_t>> feasible_;
+
+  // Guard-purity bookkeeping for `G` replay axioms: variables seen in any
+  // axiom/declaration vs. variables consumed as replay guards.
+  std::set<std::int64_t> axiom_vars_;
+  std::set<std::int64_t> guard_vars_;
 };
 
 CheckResult Checker::run(std::string_view proof) {
@@ -468,9 +491,36 @@ CheckResult Checker::run(std::string_view proof) {
         if (!rup(lits)) return fail("learnt clause is not RUP");
         ++result_.learnt_clauses;
       } else {
+        if (!note_axiom_lits(lits)) {
+          return fail("input clause mentions a replay guard variable");
+        }
         ++result_.input_clauses;
       }
       install(lits);
+    } else if (kind == "G") {
+      if (!read_lits(line, lits)) return fail("unterminated guarded clause");
+      if (lits.empty()) return fail("guarded clause without a guard literal");
+      const std::int64_t guard = lits.front();
+      if (guard <= 0) return fail("guard literal must be positive");
+      if (axiom_vars_.count(guard) != 0) {
+        return fail("guard variable is not fresh w.r.t. the axioms");
+      }
+      Lits tail(lits.begin() + 1, lits.end());
+      for (const std::int64_t l : tail) {
+        const std::int64_t v = std::abs(l);
+        if (v == guard) {
+          return fail("guard variable occurs in its own clause tail");
+        }
+        if (guard_vars_.count(v) != 0) {
+          return fail("guarded clause tail mentions a guard variable");
+        }
+        axiom_vars_.insert(v);
+      }
+      guard_vars_.insert(guard);
+      tail.push_back(-guard);
+      canonicalize(tail);
+      ++result_.guarded_clauses;
+      install(std::move(tail));
     } else if (kind == "T") {
       std::string_view tag;
       if (!line.word(tag)) return fail("theory step without tag");
@@ -492,6 +542,9 @@ CheckResult Checker::run(std::string_view proof) {
       if (!separated) return fail("theory step without ';' separator");
       if (!read_lits(line, lits)) return fail("unterminated clause");
       canonicalize(lits);
+      if (!note_axiom_lits(lits)) {
+        return fail("theory lemma mentions a replay guard variable");
+      }
       const std::string why = verify_lemma(tag, payload, lits);
       if (!why.empty()) return fail("theory lemma rejected: " + why);
       ++result_.theory_lemmas;
@@ -561,6 +614,9 @@ CheckResult Checker::run(std::string_view proof) {
             weight < 0) {
           return fail("malformed sum term");
         }
+        if (!note_axiom_var(guard)) {
+          return fail("sum term mentions a replay guard variable");
+        }
         terms.emplace_back(guard, weight);
       }
       sums_.push_back(std::move(terms));
@@ -571,6 +627,9 @@ CheckResult Checker::run(std::string_view proof) {
       if (!line.integer(id) || !line.integer(bound) || !line.integer(act) ||
           id < 0 || static_cast<std::size_t>(id) >= sums_.size()) {
         return fail("malformed sum bound");
+      }
+      if (!note_axiom_var(act)) {
+        return fail("sum bound mentions a replay guard variable");
       }
       sum_bounds_.insert({id, bound, act});
     } else if (kind == "N") {
@@ -592,6 +651,9 @@ CheckResult Checker::run(std::string_view proof) {
       e.guards.resize(static_cast<std::size_t>(n));
       for (auto& g : e.guards) {
         if (!line.integer(g) || g == 0) return fail("malformed edge guard");
+        if (!note_axiom_var(g)) {
+          return fail("edge guard mentions a replay guard variable");
+        }
       }
       edges_.push_back(std::move(e));
     } else if (kind == "NB") {
@@ -601,6 +663,9 @@ CheckResult Checker::run(std::string_view proof) {
       if (!line.integer(id) || !line.integer(bound) || !line.integer(act) ||
           id < 0 || id >= num_nodes_) {
         return fail("malformed node bound");
+      }
+      if (!note_axiom_var(act)) {
+        return fail("node bound mentions a replay guard variable");
       }
       node_bounds_.insert({id, bound, act});
     } else if (kind == "O") {
@@ -625,6 +690,10 @@ CheckResult Checker::run(std::string_view proof) {
       r.pos_heads.resize(static_cast<std::size_t>(n));
       for (auto& h : r.pos_heads) {
         if (!line.integer(h) || h == 0) return fail("malformed program rule");
+      }
+      if (!note_axiom_var(r.head) || !note_axiom_var(r.body) ||
+          !note_axiom_lits(r.pos_heads)) {
+        return fail("program rule mentions a replay guard variable");
       }
       rules_.push_back(std::move(r));
     } else {

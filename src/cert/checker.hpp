@@ -48,6 +48,11 @@ struct CheckResult {
   /// but completeness claims must not be made from this stream.
   bool truncated = false;
   std::size_t input_clauses = 0;
+  /// Guarded replay axioms (`G` steps) admitted after the purity check:
+  /// each guard variable is fresh w.r.t. every axiom/declaration and occurs
+  /// only negatively in the installed clauses, so any model of the original
+  /// system extends with guard=false and Unsat conclusions carry over.
+  std::size_t guarded_clauses = 0;
   std::size_t learnt_clauses = 0;
   std::size_t theory_lemmas = 0;
   std::size_t deletions = 0;

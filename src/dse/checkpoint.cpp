@@ -13,11 +13,14 @@ namespace aspmt::dse {
 namespace {
 
 // Version 2 adds the `warm` line (were heuristic seeds injected into the
-// segment's archive history?).  Version-1 files are still accepted and load
-// with warm_started = false; a `warm` line inside a v1 file is rejected as
-// an unknown line kind, exactly like any other foreign line.
+// segment's archive history?).  Version 3 adds the per-section spec digests
+// (`sections`) and the reusable learnt-clause dump (`clauses` + `c` lines)
+// for incremental re-exploration.  Older files are still accepted and load
+// with the new fields defaulted; a newer-version line inside an older file
+// is rejected as an unknown line kind, exactly like any other foreign line.
 constexpr std::string_view kHeaderV1 = "aspmt-ckpt 1";
-constexpr std::string_view kHeader = "aspmt-ckpt 2";
+constexpr std::string_view kHeaderV2 = "aspmt-ckpt 2";
+constexpr std::string_view kHeader = "aspmt-ckpt 3";
 
 std::uint64_t fnv1a(std::string_view bytes) noexcept {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -129,6 +132,18 @@ std::uint64_t spec_fingerprint(const synth::Specification& spec) {
   return fnv1a(synth::to_text(spec));
 }
 
+bool checkpoint_matches(const Checkpoint& ckpt,
+                        const synth::Specification& spec) {
+  if (ckpt.spec_fingerprint != spec_fingerprint(spec)) return false;
+  // The combined hash alone is not enough: compare every section digest a
+  // v3 checkpoint carries, so a per-hash collision cannot smuggle a foreign
+  // front past the resume gate.
+  if (ckpt.has_sections && !(ckpt.sections == spec_sections(spec))) {
+    return false;
+  }
+  return true;
+}
+
 std::string to_text(const Checkpoint& ckpt) {
   std::ostringstream out;
   out << kHeader << '\n';
@@ -136,6 +151,20 @@ std::string to_text(const Checkpoint& ckpt) {
   out << "seed " << ckpt.seed << '\n';
   out << "elapsed-ms " << ckpt.elapsed_ms << '\n';
   out << "warm " << (ckpt.warm_started ? 1 : 0) << '\n';
+  if (ckpt.has_sections) {
+    out << "sections " << ckpt.sections.tasks << ' ' << ckpt.sections.resources
+        << ' ' << ckpt.sections.mappings << ' ' << ckpt.sections.objectives
+        << '\n';
+  }
+  if (!ckpt.clauses.empty()) {
+    out << "clauses " << ckpt.clauses.size() << ' ' << ckpt.clause_base_vars
+        << '\n';
+    for (const auto& clause : ckpt.clauses) {
+      out << "c " << clause.size();
+      for (const std::int32_t l : clause) out << ' ' << l;
+      out << '\n';
+    }
+  }
   out << "points " << ckpt.points.size() << '\n';
   for (const pareto::Vec& p : ckpt.points) {
     out << "p " << p.size();
@@ -179,8 +208,10 @@ std::string parse_checkpoint(std::string_view text, Checkpoint& out) {
 
   std::size_t line_no = 0;
   std::size_t declared_points = 0;
+  std::size_t declared_clauses = 0;
   bool saw_header = false;
   bool counts_seen = false;
+  bool clause_header_seen = false;
   int version = 0;
   while (!body.empty()) {
     const std::size_t nl = body.find('\n');
@@ -191,6 +222,8 @@ std::string parse_checkpoint(std::string_view text, Checkpoint& out) {
     if (line.empty()) continue;
     if (!saw_header) {
       if (line == kHeader) {
+        version = 3;
+      } else if (line == kHeaderV2) {
         version = 2;
       } else if (line == kHeaderV1) {
         version = 1;
@@ -221,6 +254,39 @@ std::string parse_checkpoint(std::string_view text, Checkpoint& out) {
         return "checkpoint: malformed warm-start flag";
       }
       out.warm_started = flag != 0;
+    } else if (kind == "sections" && version >= 3) {
+      if (!sc.integer(out.sections.tasks) ||
+          !sc.integer(out.sections.resources) ||
+          !sc.integer(out.sections.mappings) ||
+          !sc.integer(out.sections.objectives) || !sc.done()) {
+        return "checkpoint: malformed section digests";
+      }
+      out.has_sections = true;
+    } else if (kind == "clauses" && version >= 3) {
+      if (!sc.integer(declared_clauses) ||
+          !sc.integer(out.clause_base_vars) || !sc.done() ||
+          out.clause_base_vars == 0) {
+        return "checkpoint: malformed clause dump header";
+      }
+      clause_header_seen = true;
+    } else if (kind == "c" && version >= 3) {
+      if (!clause_header_seen) {
+        return "checkpoint: clause before clause dump header";
+      }
+      std::size_t len = 0;
+      if (!sc.integer(len) || len == 0 || len > 1024) {
+        return "checkpoint: malformed clause";
+      }
+      std::vector<std::int32_t> clause(len);
+      for (auto& l : clause) {
+        if (!sc.integer(l) || l == 0 ||
+            static_cast<std::uint64_t>(l < 0 ? -static_cast<std::int64_t>(l)
+                                             : l) > out.clause_base_vars) {
+          return "checkpoint: clause literal out of range";
+        }
+      }
+      if (!sc.done()) return "checkpoint: malformed clause";
+      out.clauses.push_back(std::move(clause));
     } else if (kind == "points") {
       if (!sc.integer(declared_points) || !sc.done()) {
         return "checkpoint: malformed point count";
@@ -249,6 +315,9 @@ std::string parse_checkpoint(std::string_view text, Checkpoint& out) {
   if (!saw_header) return "checkpoint: empty file";
   if (!counts_seen || out.points.size() != declared_points) {
     return "checkpoint: point count mismatch";
+  }
+  if (out.clauses.size() != declared_clauses) {
+    return "checkpoint: clause count mismatch";
   }
   if (!out.witnesses.empty() && out.witnesses.size() != out.points.size()) {
     return "checkpoint: witness count mismatch";

@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "dse/respec.hpp"
 #include "pareto/point.hpp"
 #include "synth/implementation.hpp"
 #include "synth/spec.hpp"
@@ -42,6 +43,16 @@ struct Checkpoint {
   /// flag keeps provenance honest across resume chains.  v1 files load with
   /// false.
   bool warm_started = false;
+  /// Format v3: per-section spec digests (dse/respec.hpp) enabling
+  /// incremental re-exploration to classify spec deltas; false on v1/v2
+  /// files, where only the combined fingerprint is available.
+  bool has_sections = false;
+  SectionDigests sections;
+  /// Format v3: reusable learnt-clause dump for assumption-guarded replay.
+  /// Literals are signed 1-based (DIMACS convention), all within
+  /// [1, clause_base_vars].  Empty when no dump was taken.
+  std::uint32_t clause_base_vars = 0;
+  std::vector<std::vector<std::int32_t>> clauses;
   /// Mutually non-dominated, sorted lexicographically.
   std::vector<pareto::Vec> points;
   /// Parallel to `points`; an implementation with empty option_of_task
@@ -53,8 +64,15 @@ struct Checkpoint {
 /// against a different spec is refused.
 [[nodiscard]] std::uint64_t spec_fingerprint(const synth::Specification& spec);
 
-/// Serialize to the `aspmt-ckpt 2` text format (checksum trailer included).
-/// The loader accepts both v2 and legacy v1 files.
+/// True iff the checkpoint was written for `spec`: the combined fingerprint
+/// matches AND (for v3 checkpoints) every per-section digest matches.  The
+/// section comparison closes a latent hole — a combined-hash collision
+/// between different specs would otherwise admit a foreign checkpoint.
+[[nodiscard]] bool checkpoint_matches(const Checkpoint& ckpt,
+                                      const synth::Specification& spec);
+
+/// Serialize to the `aspmt-ckpt 3` text format (checksum trailer included).
+/// The loader accepts v3 plus legacy v2/v1 files.
 [[nodiscard]] std::string to_text(const Checkpoint& ckpt);
 
 /// Parse and validate; returns "" on success, a diagnostic otherwise.

@@ -27,6 +27,7 @@ void export_metrics(obs::MetricsRegistry& registry,
   registry.counter("explore.archive_comparisons").set(s.archive_comparisons);
   registry.counter("explore.warm_seeds").set(s.warm_seeds);
   registry.counter("explore.warm_rejected").set(s.warm_rejected);
+  registry.counter("explore.replayed_clauses").set(s.replayed_clauses);
   registry.counter("explore.front_size").set(result.front.size());
   registry.gauge("explore.seconds").set(s.seconds);
   registry.gauge("explore.complete").set(s.complete ? 1.0 : 0.0);
@@ -108,6 +109,24 @@ ExploreResult explore(const synth::Specification& spec,
     ctx.dominance().set_epsilon(options.epsilon);
   }
 
+  // Incremental re-exploration (respec.hpp): install a previous session's
+  // learnt clauses behind a fresh assumption guard.  The guard keeps replay
+  // exactness-neutral — the first Unsat under it only proves the *augmented*
+  // problem empty, so the loop below drops the guard and re-proves
+  // completeness against the unmodified encoding.  A dump whose variable
+  // base does not match this encoding is ignored wholesale.
+  const std::uint32_t base_vars = ctx.solver.num_vars();
+  std::vector<asp::Lit> base_assume;
+  if (common.clause_replay != nullptr) {
+    const auto replay = decode_replay(*common.clause_replay, base_vars);
+    if (!replay.empty()) {
+      std::size_t installed = 0;
+      const asp::Lit guard = ctx.solver.add_guarded_clauses(replay, &installed);
+      if (installed > 0) base_assume.push_back(guard);
+      result.stats.replayed_clauses = installed;
+    }
+  }
+
   std::map<pareto::Vec, synth::Implementation> witnesses;
 
   // Warm start: seed the archive with the checkpointed front so every
@@ -116,7 +135,7 @@ ExploreResult explore(const synth::Specification& spec,
   bool resumed = false;
   bool warm_ancestor = false;  // resumed from a warm-started checkpoint
   if (common.resume != nullptr) {
-    if (common.resume->spec_fingerprint != spec_fingerprint(spec)) {
+    if (!checkpoint_matches(*common.resume, spec)) {
       result.errors.push_back(
           "resume rejected: checkpoint was written for a different "
           "specification; starting cold");
@@ -176,6 +195,22 @@ ExploreResult explore(const synth::Specification& spec,
     c.elapsed_ms = base_elapsed_ms +
                    static_cast<std::uint64_t>(timer.elapsed_ms());
     c.warm_started = warm_started || warm_ancestor;
+    c.has_sections = true;
+    c.sections = spec_sections(spec);
+    if (common.checkpoint_clause_dump > 0) {
+      for (const std::vector<asp::Lit>& cl :
+           ctx.solver.export_learnts(base_vars, common.checkpoint_clause_dump)) {
+        if (cl.size() > 1024) continue;  // the checkpoint format's clause cap
+        std::vector<std::int32_t> dimacs;
+        dimacs.reserve(cl.size());
+        for (const asp::Lit l : cl) {
+          const auto v = static_cast<std::int32_t>(l.var()) + 1;
+          dimacs.push_back(l.positive() ? v : -v);
+        }
+        c.clauses.push_back(std::move(dimacs));
+      }
+      if (!c.clauses.empty()) c.clause_base_vars = base_vars;
+    }
     c.points = ctx.archive().points();
     if (collect) {
       c.witnesses.reserve(c.points.size());
@@ -240,7 +275,16 @@ ExploreResult explore(const synth::Specification& spec,
   bool failed = false;
   try {
     for (;;) {
-      const asp::Solver::Result r = ctx.solver.solve({}, budget->deadline());
+      const asp::Solver::Result r =
+          ctx.solver.solve(base_assume, budget->deadline());
+      if (r == asp::Solver::Result::Unsat && !base_assume.empty()) {
+        // Replay guard exhausted: the augmented problem is empty, which says
+        // nothing about the original one.  Drop the guard and keep searching
+        // — any point a stale clause hid is found now and evicts whatever it
+        // dominated in the archive.
+        base_assume.clear();
+        continue;
+      }
       if (r == asp::Solver::Result::Sat) {
         pareto::Vec point = ctx.capture().vector();
         // The dominance check already rejected weakly dominated candidates,
@@ -257,7 +301,8 @@ ExploreResult explore(const synth::Specification& spec,
           for (std::size_t o = 0; o < ctx.objectives.count(); ++o) {
             ctx.objectives.add_bound(o, point[o], act);
           }
-          const std::vector<asp::Lit> assume{act};
+          std::vector<asp::Lit> assume = base_assume;
+          assume.push_back(act);
           const asp::Solver::Result r2 =
               ctx.solver.solve(assume, budget->deadline());
           if (r2 == asp::Solver::Result::Unknown) {

@@ -48,6 +48,9 @@ struct ExploreStats {
   /// antichain reduction refused.
   std::uint64_t warm_seeds = 0;
   std::uint64_t warm_rejected = 0;
+  /// Incremental re-exploration (respec.hpp): learnt clauses installed
+  /// behind the replay guard (summed over workers in the portfolio).
+  std::uint64_t replayed_clauses = 0;
   double seconds = 0.0;
   bool complete = false;  ///< true iff the front is proven exact
   /// Structured cause of termination.  `Completed` iff `complete`, except

@@ -25,6 +25,7 @@ namespace aspmt::dse {
 
 class Budget;
 struct Checkpoint;
+struct ClauseReplay;
 struct FaultPlan;
 
 struct CommonOptions {
@@ -71,6 +72,16 @@ struct CommonOptions {
   /// checkpoint.  Rejected with a recorded error when the spec fingerprint
   /// does not match.  Resumed runs are not certifiable.
   const Checkpoint* resume = nullptr;
+  /// Incremental re-exploration (respec.hpp): learnt clauses from a previous
+  /// session, installed behind a fresh assumption guard after encoding.  The
+  /// guard makes replay exactness-neutral — the run drops it on the first
+  /// Unsat under it and re-proves completeness without — so a stale dump can
+  /// delay the proof but never distort the front.  Certifiable: each replayed
+  /// clause is logged as a `G` proof step.  Ignored when base_vars does not
+  /// match the encoding's variable count.
+  const ClauseReplay* clause_replay = nullptr;
+  /// v3 checkpoints: cap on learnt clauses dumped per snapshot (0 = none).
+  std::size_t checkpoint_clause_dump = 1024;
   /// Fault-injection plan; nullptr = consult ASPMT_FAULT_INJECT.
   const FaultPlan* fault = nullptr;
 

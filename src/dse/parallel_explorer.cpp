@@ -63,6 +63,14 @@ struct SharedState {
   FaultState fstate;
   std::uint64_t checkpoint_seed = 0;
   std::uint64_t fingerprint = 0;
+  // v3 checkpoint payload: per-section digests (set once at setup) and the
+  // sequential anchor's learnt-clause dump.  Worker 0 publishes its dump at
+  // exit under `mutex`, so only the final snapshot carries clauses —
+  // mid-run snapshots dump points only.
+  SectionDigests sections;
+  std::size_t clause_dump_cap = 0;
+  std::uint32_t clause_base_vars = 0;
+  std::vector<std::vector<std::int32_t>> clauses;
   /// Per-insert archive work histogram (nullptr without a metrics registry).
   /// In portfolio mode the comparison deltas are sampled off the shared
   /// atomic counter, so concurrent inserts may attribute a peer's work to
@@ -90,8 +98,14 @@ struct SharedState {
     c.elapsed_ms = base_elapsed_ms +
                    static_cast<std::uint64_t>(timer.elapsed_ms());
     c.warm_started = warm_started;
+    c.has_sections = true;
+    c.sections = sections;
     c.points = archive.points();
     std::lock_guard lock(mutex);
+    if (!clauses.empty()) {
+      c.clause_base_vars = clause_base_vars;
+      c.clauses = clauses;
+    }
     c.witnesses.reserve(c.points.size());
     for (const pareto::Vec& p : c.points) {
       const auto it = witnesses.find(p);
@@ -152,8 +166,30 @@ void run_worker(std::size_t index, std::size_t total,
   // stream, whichever worker discovered (or warm-seeded) the point.
   ctx.dominance().set_proof(proof);
 
+  // Incremental re-exploration (respec.hpp): every worker owns an
+  // independent solver, so each installs the previous session's clauses
+  // behind its own assumption guard.  The guard is dropped on the first
+  // Unsat under it — after the active slice, before the unconstrained
+  // completeness claim — so replay never taints the global Unsat proof.
+  const std::uint32_t base_vars = ctx.solver.num_vars();
+  std::vector<asp::Lit> base_assume;
+  if (common.clause_replay != nullptr) {
+    const auto replay = decode_replay(*common.clause_replay, base_vars);
+    if (!replay.empty()) {
+      std::size_t installed = 0;
+      const asp::Lit guard = ctx.solver.add_guarded_clauses(replay, &installed);
+      if (installed > 0) base_assume.push_back(guard);
+      report.replayed_clauses = installed;
+    }
+  }
+
   std::vector<asp::Lit> assumptions;  // the active slice bound, if any
   std::size_t active_slice = kNoSlice;
+  const auto assume_all = [&]() {
+    std::vector<asp::Lit> all = base_assume;
+    all.insert(all.end(), assumptions.begin(), assumptions.end());
+    return all;
+  };
 
   const auto publish = [&](const pareto::Vec& point) {
     ++report.models;
@@ -244,18 +280,28 @@ void run_worker(std::size_t index, std::size_t total,
     for (;;) {
       try_activate_slice();
       const asp::Solver::Result r =
-          ctx.solver.solve(assumptions, shared.budget->deadline());
+          ctx.solver.solve(assume_all(), shared.budget->deadline());
       if (r == asp::Solver::Result::Unknown) break;  // peer finished or budget
       if (r == asp::Solver::Result::Unsat) {
         if (!assumptions.empty() && ctx.solver.ok()) {
           // Slice exhausted; the next loop iteration claims the scheduler's
           // best remaining slice, or the unconstrained problem if none.
+          // (Under an active replay guard "exhausted" is conservative — a
+          // stale clause may have hidden a point — but the post-guard
+          // unconstrained pass re-covers every slice's region.)
           if (rec != nullptr) {
             rec->record(obs::EventKind::SliceExhaust,
                         static_cast<std::int64_t>(active_slice));
           }
           assumptions.clear();
           active_slice = kNoSlice;
+          continue;
+        }
+        if (!base_assume.empty() && ctx.solver.ok()) {
+          // Replay guard exhausted: the *augmented* problem is empty, which
+          // proves nothing about the original.  Drop the guard and re-prove
+          // completeness against the unmodified encoding.
+          base_assume.clear();
           continue;
         }
         // Unconstrained Unsat: every feasible point is weakly dominated by
@@ -276,7 +322,7 @@ void run_worker(std::size_t index, std::size_t total,
         for (std::size_t o = 0; o < ctx.objectives.count(); ++o) {
           ctx.objectives.add_bound(o, point[o], act);
         }
-        std::vector<asp::Lit> assume = assumptions;
+        std::vector<asp::Lit> assume = assume_all();
         assume.push_back(act);
         const asp::Solver::Result r2 =
             ctx.solver.solve(assume, shared.budget->deadline());
@@ -300,6 +346,29 @@ void run_worker(std::size_t index, std::size_t total,
     report.failed = true;
     report.error = "unknown exception";
     shared.record_failure(index, active_slice, "unknown exception");
+  }
+
+  // The sequential anchor donates its learnt clauses to the final v3
+  // checkpoint (worker 0's strategy matches what a future sequential or
+  // anchor solver would replay against).
+  if (index == 0 && shared.clause_dump_cap > 0) {
+    std::vector<std::vector<std::int32_t>> dump;
+    for (const std::vector<asp::Lit>& cl :
+         ctx.solver.export_learnts(base_vars, shared.clause_dump_cap)) {
+      if (cl.size() > 1024) continue;  // the checkpoint format's clause cap
+      std::vector<std::int32_t> dimacs;
+      dimacs.reserve(cl.size());
+      for (const asp::Lit l : cl) {
+        const auto v = static_cast<std::int32_t>(l.var()) + 1;
+        dimacs.push_back(l.positive() ? v : -v);
+      }
+      dump.push_back(std::move(dimacs));
+    }
+    if (!dump.empty()) {
+      std::lock_guard lock(shared.mutex);
+      shared.clause_base_vars = base_vars;
+      shared.clauses = std::move(dump);
+    }
   }
 
   const asp::SolverStats& s = ctx.solver.stats();
@@ -346,6 +415,8 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
   shared.fault = fault;
   shared.checkpoint_seed = options.seed;
   shared.fingerprint = spec_fingerprint(spec);
+  shared.sections = spec_sections(spec);
+  shared.clause_dump_cap = common.checkpoint_clause_dump;
   if (common.metrics != nullptr) {
     shared.insert_hist =
         &common.metrics->histogram("archive.comparisons_per_insert");
@@ -375,7 +446,7 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
   // worker's first generation-counter sync pulls the checkpointed front.
   bool resumed = false;
   if (common.resume != nullptr) {
-    if (common.resume->spec_fingerprint != shared.fingerprint) {
+    if (!checkpoint_matches(*common.resume, spec)) {
       result.base.errors.push_back(
           "resume rejected: checkpoint was written for a different "
           "specification; starting cold");
@@ -491,6 +562,7 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
     stats.propagations += w.propagations;
     stats.theory_clauses += w.theory_clauses;
     stats.archive_comparisons += w.archive_comparisons;
+    stats.replayed_clauses += w.replayed_clauses;
   }
   stats.archive_comparisons += shared.archive.comparisons();
   stats.seconds = shared.timer.elapsed_seconds();

@@ -71,6 +71,7 @@ struct WorkerReport {
   std::uint64_t restarts = 0;
   std::uint64_t theory_clauses = 0;
   std::uint64_t archive_comparisons = 0;  ///< in the local snapshot archive
+  std::uint64_t replayed_clauses = 0;     ///< installed behind this worker's guard
   double seconds = 0.0;
   bool proved_complete = false;  ///< this worker closed the global Unsat proof
   bool failed = false;   ///< this worker died; `error` holds the reason

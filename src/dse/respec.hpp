@@ -1,0 +1,152 @@
+// Structural spec diffing + incremental re-exploration (DESIGN.md §13).
+//
+// Real DSE is a loop: a designer tweaks one WCET, adds a task or swaps a
+// resource and re-runs.  This layer generalizes the checkpoint's combined
+// spec fingerprint into four per-section digests (tasks, resources,
+// mappings, objective coefficients), classifies the delta between a
+// previous session's checkpoint and the edited specification, and reuses
+// everything reuse-safe:
+//
+//   * the Pareto archive — still-feasible witnesses are re-decoded against
+//     the *new* spec and pushed through the warm-start
+//     validate→antichain-reduce→inject gate (re-validate, never trust);
+//   * learnt clauses — replayed behind a fresh assumption guard
+//     (asp::Solver::add_guarded_clauses), so a stale or hostile dump can
+//     prune nothing from the final answer;
+//   * epsilon slices — the portfolio's SliceScheduler is seeded from the
+//     reused front instead of waiting for first discoveries.
+//
+// The exactness bar is unconditional: an incremental run returns the same
+// front a cold run would, certified, at any thread count — reuse only ever
+// changes how fast the search gets there.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/parallel_explorer.hpp"
+#include "synth/spec.hpp"
+
+namespace aspmt::dse {
+
+struct Checkpoint;
+
+/// Per-section FNV-1a digests of a specification.  Two specs with equal
+/// digests in a section are structurally identical there; the combined
+/// checkpoint fingerprint remains the whole-text hash (and is compared as
+/// well — see checkpoint_matches).
+struct SectionDigests {
+  std::uint64_t tasks = 0;       ///< task names + message topology
+  std::uint64_t resources = 0;   ///< resources, kinds, capacities, links, hops
+  std::uint64_t mappings = 0;    ///< task→resource option structure
+  std::uint64_t objectives = 0;  ///< every numeric coefficient + bounds
+
+  friend bool operator==(const SectionDigests&, const SectionDigests&) = default;
+};
+
+[[nodiscard]] SectionDigests spec_sections(const synth::Specification& spec);
+
+/// How much of a previous session survives the spec edit.
+enum class DeltaClass : std::uint8_t {
+  Identical,    ///< everything reuses: archive, clauses, slices
+  ClauseSafe,   ///< only coefficients changed: variable layout is intact,
+                ///< so archive + guarded clause replay + slices all reuse
+  ArchiveSafe,  ///< structure changed but tasks survive: witnesses re-decode
+                ///< against the new spec; the clause dump is meaningless
+  Unsafe,       ///< tasks changed (or v1/v2 checkpoint + different spec):
+                ///< cold start
+};
+
+[[nodiscard]] const char* delta_class_name(DeltaClass c) noexcept;
+
+struct DeltaReport {
+  DeltaClass cls = DeltaClass::Unsafe;
+  bool tasks_changed = false;
+  bool resources_changed = false;
+  bool mappings_changed = false;
+  bool objectives_changed = false;
+  /// Bitmask of the *_changed flags (tasks=1, resources=2, mappings=4,
+  /// objectives=8) — the payload of the respec-delta event.
+  [[nodiscard]] std::uint32_t section_mask() const noexcept {
+    return (tasks_changed ? 1U : 0U) | (resources_changed ? 2U : 0U) |
+           (mappings_changed ? 4U : 0U) | (objectives_changed ? 8U : 0U);
+  }
+};
+
+/// Classify the structural delta between two digest sets.
+[[nodiscard]] DeltaReport classify_delta(const SectionDigests& prev,
+                                         const SectionDigests& next);
+
+/// Classify a checkpoint against an edited spec.  v3 checkpoints carry
+/// per-section digests and classify precisely; v1/v2 checkpoints only have
+/// the combined fingerprint, so anything but an identical spec is Unsafe.
+[[nodiscard]] DeltaReport classify_checkpoint(const Checkpoint& prev,
+                                              const synth::Specification& next);
+
+/// A learnt-clause dump offered for assumption-guarded replay.  Literals use
+/// the signed 1-based DIMACS convention of the proof stream; `base_vars` is
+/// the variable count of the encoding that produced them.
+struct ClauseReplay {
+  std::uint32_t base_vars = 0;
+  std::vector<std::vector<std::int32_t>> clauses;
+};
+
+/// Decode a dump into solver literals for asp::Solver::add_guarded_clauses.
+/// Returns empty when `base_vars` does not match the dump's base (the dump
+/// came from a different encoding); clauses containing a zero or
+/// out-of-range literal are dropped individually, never installed.
+[[nodiscard]] std::vector<std::vector<asp::Lit>> decode_replay(
+    const ClauseReplay& replay, std::uint32_t base_vars);
+
+struct ReexploreOptions {
+  /// Explorer configuration for the incremental run.  threads <= 1 runs the
+  /// sequential explorer, anything larger the portfolio.  `base.common`'s
+  /// warm_start.external and clause_replay fields are overwritten by the
+  /// reuse machinery; everything else (certify, budgets, observability, …)
+  /// is honoured as given.
+  ParallelExploreOptions base;
+  /// Cap on replayed clauses (the dump is best-first already).
+  std::size_t max_replay_clauses = 4096;
+};
+
+struct ReuseStats {
+  DeltaReport delta;
+  std::size_t archive_candidates = 0;  ///< checkpoint witnesses considered
+  std::size_t archive_reused = 0;  ///< survived re-decode against the new
+                                   ///< spec (the warm gate re-validates each)
+  std::size_t clause_candidates = 0;  ///< clauses offered by the checkpoint
+  /// Validated clauses handed to the run for guarded install.  The explorer
+  /// still drops the whole hand-off if its base_vars does not match the
+  /// encoding; actually-installed counts are ExploreStats::replayed_clauses.
+  std::size_t clauses_replayed = 0;
+  std::size_t slices_resumed = 0;      ///< epsilon slices seedable from reuse
+  bool cold_start = false;             ///< nothing was reusable
+  /// Fraction of reuse candidates that actually got reused (0 when none
+  /// were offered).
+  [[nodiscard]] double reuse_rate() const noexcept {
+    const std::size_t cand = archive_candidates + clause_candidates;
+    if (cand == 0) return 0.0;
+    return static_cast<double>(archive_reused + clauses_replayed) /
+           static_cast<double>(cand);
+  }
+};
+
+struct ReexploreResult {
+  /// The incremental run's result — front, witnesses, certification.  Same
+  /// exactness contract as a cold dse::explore / explore_parallel.
+  ExploreResult base;
+  ReuseStats reuse;
+};
+
+/// Re-explore an edited specification, reusing whatever the delta
+/// classification marks safe from `prev`.  Never trusts checkpoint content:
+/// witnesses are re-decoded and re-validated, clauses are guard-isolated,
+/// and an invalid clause dump is dropped (degrading towards a cold start)
+/// rather than installed.  `new_spec` must satisfy validate().empty() and
+/// outlive the call.
+[[nodiscard]] ReexploreResult reexplore(const Checkpoint& prev,
+                                        const synth::Specification& new_spec,
+                                        const ReexploreOptions& options = {});
+
+}  // namespace aspmt::dse

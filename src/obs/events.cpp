@@ -22,6 +22,8 @@ const char* kind_name(EventKind kind) noexcept {
     case EventKind::CheckpointWrite: return "checkpoint-write";
     case EventKind::WarmStartSeed: return "warmstart-seed";
     case EventKind::SliceScheduled: return "slice-scheduled";
+    case EventKind::RespecDelta: return "respec-delta";
+    case EventKind::RespecReuse: return "respec-reuse";
   }
   return "unknown";
 }

@@ -64,11 +64,19 @@ enum class EventKind : std::uint8_t {
   /// b = the slice's objective-0 bound, c = its hypervolume-gap score
   /// rounded to the nearest integer.
   SliceScheduled,
+  /// Incremental re-exploration classified a spec delta (dse/respec.hpp).
+  /// a = DeltaClass, b = changed-section bitmask (tasks=1, resources=2,
+  /// mappings=4, objectives=8), c = 1 iff the run degraded to a cold start.
+  RespecDelta,
+  /// Incremental re-exploration reuse summary.  a = archive witnesses
+  /// reused, b = learnt clauses replayed, c = epsilon slices resumable from
+  /// the reused front.
+  RespecReuse,
 };
 
 /// Number of distinct EventKind values (array sizing in exporters).
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::SliceScheduled) + 1;
+    static_cast<std::size_t>(EventKind::RespecReuse) + 1;
 
 /// Stable kebab-case name, e.g. "model-found" (NDJSON + trace export).
 [[nodiscard]] const char* kind_name(EventKind kind) noexcept;

@@ -1,0 +1,155 @@
+// Single-edit specification mutations for the incremental re-exploration
+// tests (tests/test_respec.cpp, FuzzRespec in tests/test_fuzz_dse.cpp).
+//
+// synth::Specification is build-only (no mutators beyond set_capacity and
+// the two public knobs), so every mutation copies the spec into a plain
+// SpecEditor, applies one edit and rebuilds through the add_* API — ids are
+// assigned sequentially, so re-adding in order reproduces them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dse/respec.hpp"
+#include "synth/spec.hpp"
+
+namespace aspmt::test {
+
+struct SpecEditor {
+  std::vector<synth::Task> tasks;
+  std::vector<synth::Message> messages;
+  std::vector<synth::Resource> resources;
+  std::vector<synth::Link> links;
+  std::vector<synth::MappingOption> mappings;
+  std::uint32_t max_hops = 0;
+  std::int64_t latency_bound = 0;
+
+  explicit SpecEditor(const synth::Specification& s)
+      : tasks(s.tasks()),
+        messages(s.messages()),
+        resources(s.resources()),
+        links(s.links()),
+        mappings(s.mappings()),
+        max_hops(s.max_hops),
+        latency_bound(s.latency_bound) {}
+
+  [[nodiscard]] synth::Specification build() const {
+    synth::Specification out;
+    for (const synth::Resource& r : resources) {
+      out.add_resource(r.name, r.kind, r.cost, r.capacity);
+    }
+    for (const synth::Link& l : links) {
+      out.add_link(l.from, l.to, l.hop_delay, l.hop_energy);
+    }
+    for (const synth::Task& t : tasks) out.add_task(t.name);
+    for (const synth::Message& m : messages) {
+      out.add_message(m.name, m.src, m.dst, m.payload);
+    }
+    for (const synth::MappingOption& m : mappings) {
+      out.add_mapping(m.task, m.resource, m.wcet, m.energy);
+    }
+    out.max_hops = max_hops;
+    out.latency_bound = latency_bound;
+    return out;
+  }
+
+  /// Index of the n-th processor resource (asserts one exists).
+  [[nodiscard]] synth::ResourceId processor(std::size_t n = 0) const {
+    std::size_t seen = 0;
+    for (std::size_t i = 0; i < resources.size(); ++i) {
+      if (resources[i].kind == synth::ResourceKind::Processor) {
+        if (seen == n) return static_cast<synth::ResourceId>(i);
+        ++seen;
+      }
+    }
+    return 0;
+  }
+};
+
+// ---- the single-edit mutation catalogue -----------------------------------
+// Each mutation returns a *valid* specification; the comment gives the delta
+// class the respec layer must assign to it.
+
+/// WCET bump on the first mapping option — ClauseSafe (coefficient only).
+inline synth::Specification mutate_wcet_bump(const synth::Specification& s) {
+  SpecEditor e(s);
+  e.mappings.front().wcet += 1;
+  return e.build();
+}
+
+/// Energy bump on the last mapping option — ClauseSafe.
+inline synth::Specification mutate_energy_bump(const synth::Specification& s) {
+  SpecEditor e(s);
+  e.mappings.back().energy += 2;
+  return e.build();
+}
+
+/// Resource cost change — ClauseSafe (cost is an objective coefficient).
+inline synth::Specification mutate_resource_cost(const synth::Specification& s) {
+  SpecEditor e(s);
+  e.resources[e.processor(0)].cost += 3;
+  return e.build();
+}
+
+/// Retarget the first mapping option to a different processor —
+/// ArchiveSafe (the mapping structure changed; tasks survive).
+inline synth::Specification mutate_resource_swap(const synth::Specification& s) {
+  SpecEditor e(s);
+  synth::MappingOption& m = e.mappings.front();
+  const synth::ResourceId p0 = e.processor(0);
+  const synth::ResourceId p1 = e.processor(1);
+  m.resource = (m.resource == p0 && p1 != p0) ? p1 : p0;
+  return e.build();
+}
+
+/// Add an independent task mapped to the first processor — Unsafe.
+inline synth::Specification mutate_task_add(const synth::Specification& s) {
+  SpecEditor e(s);
+  synth::Task t;
+  t.name = "added_task";
+  e.tasks.push_back(t);
+  synth::MappingOption m;
+  m.task = static_cast<synth::TaskId>(e.tasks.size() - 1);
+  m.resource = e.processor(0);
+  m.wcet = 2;
+  m.energy = 2;
+  e.mappings.push_back(m);
+  return e.build();
+}
+
+/// Remove the last task together with its messages and mappings — Unsafe.
+/// Requires >= 2 tasks.
+inline synth::Specification mutate_task_remove(const synth::Specification& s) {
+  SpecEditor e(s);
+  const auto victim = static_cast<synth::TaskId>(e.tasks.size() - 1);
+  std::erase_if(e.messages, [victim](const synth::Message& m) {
+    return m.src == victim || m.dst == victim;
+  });
+  std::erase_if(e.mappings, [victim](const synth::MappingOption& m) {
+    return m.task == victim;
+  });
+  e.tasks.pop_back();
+  return e.build();
+}
+
+struct MutationCase {
+  const char* name;
+  dse::DeltaClass expected;
+  synth::Specification (*apply)(const synth::Specification&);
+};
+
+/// Every single-edit mutation with its expected delta classification.
+inline const MutationCase* mutation_catalogue(std::size_t& count) {
+  static const MutationCase kCases[] = {
+      {"wcet_bump", dse::DeltaClass::ClauseSafe, &mutate_wcet_bump},
+      {"energy_bump", dse::DeltaClass::ClauseSafe, &mutate_energy_bump},
+      {"resource_cost", dse::DeltaClass::ClauseSafe, &mutate_resource_cost},
+      {"resource_swap", dse::DeltaClass::ArchiveSafe, &mutate_resource_swap},
+      {"task_add", dse::DeltaClass::Unsafe, &mutate_task_add},
+      {"task_remove", dse::DeltaClass::Unsafe, &mutate_task_remove},
+  };
+  count = sizeof(kCases) / sizeof(kCases[0]);
+  return kCases;
+}
+
+}  // namespace aspmt::test

@@ -222,12 +222,116 @@ TEST(Checkpoint, WarmFlagSurvivesRoundTrip) {
   Checkpoint a = explored_checkpoint(test::two_proc_bus());
   a.warm_started = true;
   const std::string text = to_text(a);
-  EXPECT_EQ(text.rfind("aspmt-ckpt 2", 0), 0U) << "v2 header expected";
+  EXPECT_EQ(text.rfind("aspmt-ckpt 3", 0), 0U) << "v3 header expected";
   EXPECT_NE(text.find("\nwarm 1\n"), std::string::npos);
   Checkpoint b;
   ASSERT_EQ(parse_checkpoint(text, b), "");
   EXPECT_TRUE(b.warm_started);
   EXPECT_EQ(to_text(b), text);
+}
+
+TEST(Checkpoint, VersionTwoFilesStillLoad) {
+  const std::string text = with_checksum(
+      "aspmt-ckpt 2\nspec 7\nseed 1\nelapsed-ms 5\nwarm 1\npoints 1\n"
+      "p 3 1 2 3\n");
+  Checkpoint c;
+  ASSERT_EQ(parse_checkpoint(text, c), "");
+  EXPECT_TRUE(c.warm_started);
+  EXPECT_FALSE(c.has_sections);
+  EXPECT_TRUE(c.clauses.empty());
+  ASSERT_EQ(c.points.size(), 1U);
+  EXPECT_EQ(c.points.front(), (pareto::Vec{1, 2, 3}));
+}
+
+TEST(Checkpoint, SectionsLineInsideVersionTwoIsRejected) {
+  const std::string text = with_checksum(
+      "aspmt-ckpt 2\nspec 7\nseed 1\nelapsed-ms 5\nwarm 0\n"
+      "sections 1 2 3 4\npoints 1\np 3 1 2 3\n");
+  Checkpoint c;
+  const std::string err = parse_checkpoint(text, c);
+  EXPECT_NE(err.find("unknown line kind"), std::string::npos) << err;
+}
+
+// --- format v3: per-section digests + the learnt-clause dump --------------
+
+TEST(Checkpoint, SectionsAndClausesSurviveRoundTrip) {
+  Checkpoint a = explored_checkpoint(test::chain3_bus());
+  a.has_sections = true;
+  a.sections = spec_sections(test::chain3_bus());
+  a.clause_base_vars = 40;
+  a.clauses = {{1, -2, 3}, {-40, 17}};
+  const std::string text = to_text(a);
+  Checkpoint b;
+  ASSERT_EQ(parse_checkpoint(text, b), "");
+  EXPECT_TRUE(b.has_sections);
+  EXPECT_EQ(b.sections, a.sections);
+  EXPECT_EQ(b.clause_base_vars, a.clause_base_vars);
+  EXPECT_EQ(b.clauses, a.clauses);
+  EXPECT_EQ(to_text(b), text);
+}
+
+TEST(Checkpoint, ClauseLiteralOutsideBaseIsRejected) {
+  const std::string text = with_checksum(
+      "aspmt-ckpt 3\nspec 7\nseed 1\nelapsed-ms 5\nwarm 0\n"
+      "clauses 1 10\nc 2 3 -11\npoints 1\np 3 1 2 3\n");
+  Checkpoint c;
+  const std::string err = parse_checkpoint(text, c);
+  EXPECT_NE(err.find("literal out of range"), std::string::npos) << err;
+}
+
+TEST(Checkpoint, ClauseCountMismatchIsRejected) {
+  const std::string text = with_checksum(
+      "aspmt-ckpt 3\nspec 7\nseed 1\nelapsed-ms 5\nwarm 0\n"
+      "clauses 2 10\nc 1 3\npoints 1\np 3 1 2 3\n");
+  Checkpoint c;
+  const std::string err = parse_checkpoint(text, c);
+  EXPECT_NE(err.find("clause count mismatch"), std::string::npos) << err;
+}
+
+// The latent hole the per-section digests close: a checkpoint whose
+// *combined* fingerprint happens to equal the spec's but whose section
+// digests disagree must be refused by the resume gate — the combined hash
+// alone would have admitted a foreign front.
+TEST(Checkpoint, PerSectionDigestMismatchDefeatsCombinedHashCollision) {
+  const synth::Specification spec = test::two_proc_bus();
+  Checkpoint forged = explored_checkpoint(spec);
+  forged.has_sections = true;
+  forged.sections = spec_sections(spec);
+  ASSERT_TRUE(checkpoint_matches(forged, spec));
+  forged.sections.objectives ^= 0xdeadbeefULL;  // simulated collision victim
+  EXPECT_FALSE(checkpoint_matches(forged, spec))
+      << "combined hash matches but a section digest differs";
+
+  // And the explorer's resume gate actually consults it: the forged
+  // checkpoint is rejected (cold start), not silently absorbed.
+  ExploreOptions opts;
+  opts.common.resume = &forged;
+  const ExploreResult r = explore(spec, opts);
+  ASSERT_TRUE(r.stats.complete);
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors.front().find("resume rejected"), std::string::npos);
+  EXPECT_EQ(r.front, explore(spec).front);
+}
+
+TEST(Checkpoint, ExploredRunRecordsSectionsAndClausesInSnapshot) {
+  const std::string path = temp_path("v3_snapshot.txt");
+  ExploreOptions opts;
+  opts.common.checkpoint_path = path;
+  const ExploreResult r = explore(test::chain3_bus(), opts);
+  ASSERT_TRUE(r.stats.complete);
+  Checkpoint ckpt;
+  ASSERT_EQ(load_checkpoint(path, ckpt), "");
+  EXPECT_TRUE(ckpt.has_sections);
+  EXPECT_EQ(ckpt.sections, spec_sections(test::chain3_bus()));
+  for (const auto& clause : ckpt.clauses) {
+    ASSERT_FALSE(clause.empty());
+    for (const std::int32_t l : clause) {
+      ASSERT_NE(l, 0);
+      ASSERT_LE(static_cast<std::uint32_t>(l < 0 ? -l : l),
+                ckpt.clause_base_vars);
+    }
+  }
+  std::remove(path.c_str());
 }
 
 TEST(Checkpoint, VersionOneFilesStillLoadWithWarmStartedFalse) {

@@ -7,14 +7,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 #include <utility>
 
 #include "dse/baselines.hpp"
+#include "dse/checkpoint.hpp"
 #include "dse/explorer.hpp"
+#include "dse/respec.hpp"
 #include "dse/parallel_explorer.hpp"
 #include "dse/warmstart.hpp"
 #include "gen/generator.hpp"
 #include "pareto/indicators.hpp"
+#include "spec_mutations.hpp"
 #include "synth/validator.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
@@ -242,6 +247,92 @@ TEST_P(FuzzHybridDse, WarmFrontEqualsColdFrontAndAnytimeHvIsMonotone) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzHybridDse,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+// Incremental re-exploration fuzz (src/dse/respec.*): a random spec is
+// cold-explored with a snapshot attached, then edited by a random chain of
+// 2–8 catalogue mutations (tests/spec_mutations.hpp) — spanning coefficient
+// tweaks, mapping retargets and task add/remove, so the chain's delta class
+// is itself random.  dse::reexplore from the stale checkpoint must return
+// exactly the cold front of the edited spec, certified, at a random thread
+// count.  Reuse stats must stay internally consistent.
+class FuzzRespec : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzRespec, EditChainsNeverDistortTheIncrementalFront) {
+  const std::uint64_t seed = test::fuzz_seed(GetParam());
+  util::Rng rng(seed * 86243 + 41);
+  gen::GeneratorConfig c;
+  c.seed = rng.next();
+  c.tasks = 3 + static_cast<std::uint32_t>(rng.below(3));
+  c.layers = 2 + static_cast<std::uint32_t>(rng.below(2));
+  c.options_per_task = 2;
+  c.extra_edge_density = rng.uniform() * 0.3;
+  c.architecture = rng.chance(0.5) ? gen::Architecture::SharedBus
+                                   : gen::Architecture::Mesh2x2;
+  c.bus_processors = 2 + static_cast<std::uint32_t>(rng.below(2));
+  const synth::Specification base = gen::generate(c);
+
+  // The previous session: a real cold run with a snapshot file attached.
+  const std::string path = ::testing::TempDir() + "aspmt_fuzz_respec_" +
+                           std::to_string(seed) + ".ckpt";
+  dse::ExploreOptions prev_opts;
+  prev_opts.common.checkpoint_path = path;
+  const dse::ExploreResult prev_run = dse::explore(base, prev_opts);
+  ASSERT_TRUE(prev_run.stats.complete) << "seed " << seed;
+  dse::Checkpoint prev;
+  ASSERT_EQ(dse::load_checkpoint(path, prev), "") << "seed " << seed;
+  std::remove(path.c_str());
+
+  // A chain of 2..8 random single-edit mutations.
+  std::size_t n_cases = 0;
+  const test::MutationCase* cases = test::mutation_catalogue(n_cases);
+  synth::Specification edited = base;
+  const std::size_t chain = 2 + rng.below(7);
+  std::string trail;
+  for (std::size_t i = 0; i < chain; ++i) {
+    const test::MutationCase& m = cases[rng.below(n_cases)];
+    // Preserve preconditions: removing the last task needs a spare task.
+    if (m.apply == &test::mutate_task_remove && edited.tasks().size() < 2) {
+      continue;
+    }
+    synth::Specification next = m.apply(edited);
+    if (!next.validate().empty()) continue;  // edit landed on a degenerate spec
+    edited = std::move(next);
+    trail += std::string(trail.empty() ? "" : "+") + m.name;
+  }
+  ASSERT_EQ(edited.validate(), "") << "seed " << seed << " chain " << trail;
+
+  const dse::ExploreResult cold = dse::explore(edited);
+  ASSERT_TRUE(cold.stats.complete) << "seed " << seed << " chain " << trail;
+
+  dse::ReexploreOptions ro;
+  ro.base.threads = 1 + static_cast<std::size_t>(rng.below(4));  // 1..4
+  ro.base.seed = seed + 3;
+  ro.base.common.certify = true;
+  const dse::ReexploreResult inc = dse::reexplore(prev, edited, ro);
+  ASSERT_TRUE(inc.base.stats.complete)
+      << "seed " << seed << " chain " << trail;
+  EXPECT_EQ(inc.base.front, cold.front)
+      << "seed " << seed << " chain " << trail << " threads "
+      << ro.base.threads << " delta "
+      << dse::delta_class_name(inc.reuse.delta.cls) << " "
+      << gen::summarize(edited);
+  EXPECT_TRUE(inc.base.certified)
+      << "seed " << seed << " chain " << trail << ": "
+      << inc.base.certificate_error;
+
+  // Reuse accounting invariants.
+  EXPECT_GE(inc.reuse.reuse_rate(), 0.0) << "seed " << seed;
+  EXPECT_LE(inc.reuse.reuse_rate(), 1.0) << "seed " << seed;
+  EXPECT_LE(inc.reuse.archive_reused, inc.reuse.archive_candidates);
+  EXPECT_LE(inc.reuse.clauses_replayed, inc.reuse.clause_candidates);
+  if (inc.reuse.delta.cls == dse::DeltaClass::Unsafe) {
+    EXPECT_TRUE(inc.reuse.cold_start) << "seed " << seed;
+    EXPECT_EQ(inc.reuse.archive_reused, 0U) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRespec,
                          ::testing::Range<std::uint64_t>(0, 15));
 
 }  // namespace

@@ -7,14 +7,17 @@
 // and review the .front diff like any other code change.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "dse/checkpoint.hpp"
 #include "dse/explorer.hpp"
 #include "dse/parallel_explorer.hpp"
+#include "dse/respec.hpp"
 #include "synth/specio.hpp"
 #include "synth_fixtures.hpp"
 
@@ -39,6 +42,21 @@ const GoldenCase kCases[] = {
     {"mesh_small", nullptr},
     {"bus_wide", nullptr},
     {"mesh_chain", nullptr},
+    {"bus_small_edited", nullptr},
+    {"mesh_small_edited", nullptr},
+};
+
+/// Checked-in (base, single-edit) spec pairs for the incremental
+/// re-exploration layer: a session checkpointed on `base` is re-explored on
+/// `edited` and must land exactly on the edited spec's golden front.
+struct RespecPair {
+  const char* base;
+  const char* edited;
+};
+
+const RespecPair kRespecPairs[] = {
+    {"bus_small", "bus_small_edited"},
+    {"mesh_small", "mesh_small_edited"},
 };
 
 std::string data_path(const std::string& relative) {
@@ -125,6 +143,50 @@ INSTANTIATE_TEST_SUITE_P(
     Instances, GoldenFronts, ::testing::ValuesIn(kCases),
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
       return std::string(info.param.name);
+    });
+
+class GoldenRespecPairs : public ::testing::TestWithParam<RespecPair> {};
+
+TEST_P(GoldenRespecPairs, IncrementalFrontMatchesEditedGoldenAtAllThreads) {
+  const RespecPair& pair = GetParam();
+  if (regenerating()) GTEST_SKIP() << "regeneration uses the sequential run";
+  const synth::Specification base = synth::load_specification(
+      data_path("examples/specs/" + std::string(pair.base) + ".txt"));
+  const synth::Specification edited = synth::load_specification(
+      data_path("examples/specs/" + std::string(pair.edited) + ".txt"));
+  ASSERT_EQ(base.validate(), "");
+  ASSERT_EQ(edited.validate(), "");
+  const std::vector<pareto::Vec> golden = load_golden({pair.edited, nullptr});
+
+  // The previous session: a real run on the base spec with a snapshot file.
+  const std::string ckpt_path = ::testing::TempDir() + "aspmt_golden_" +
+                                std::string(pair.base) + ".ckpt";
+  dse::ExploreOptions prev_opts;
+  prev_opts.common.checkpoint_path = ckpt_path;
+  const dse::ExploreResult prev_run = dse::explore(base, prev_opts);
+  ASSERT_TRUE(prev_run.stats.complete) << pair.base;
+  dse::Checkpoint prev;
+  ASSERT_EQ(dse::load_checkpoint(ckpt_path, prev), "") << pair.base;
+  std::remove(ckpt_path.c_str());
+
+  for (const std::size_t threads : {1U, 2U, 4U}) {
+    dse::ReexploreOptions ro;
+    ro.base.threads = threads;
+    ro.base.common.certify = true;
+    const dse::ReexploreResult r = dse::reexplore(prev, edited, ro);
+    ASSERT_TRUE(r.base.stats.complete) << pair.edited << " threads " << threads;
+    EXPECT_EQ(r.base.front, golden) << pair.edited << " threads " << threads;
+    EXPECT_TRUE(r.base.certified)
+        << pair.edited << " threads " << threads << ": "
+        << r.base.certificate_error;
+    EXPECT_FALSE(r.reuse.cold_start) << pair.edited;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, GoldenRespecPairs, ::testing::ValuesIn(kRespecPairs),
+    [](const ::testing::TestParamInfo<RespecPair>& info) {
+      return std::string(info.param.base);
     });
 
 }  // namespace

@@ -139,6 +139,9 @@ int usage() {
       "            [--conflict-budget N] [--mem-limit-mb MB]\n"
       "            [--checkpoint-out FILE] [--checkpoint-interval SEC]\n"
       "            [--resume FILE]\n"
+      "            [--reexplore-from FILE]  incremental re-exploration: reuse a\n"
+      "                                  previous session's checkpoint against an\n"
+      "                                  edited spec (archive + clauses + slices)\n"
       "            [--warm-start nsga2|sampler|off] [--warm-start-budget N]\n"
       "            [--warm-start-seed S]  (heuristic seeds; still exact+certifiable)\n"
       "            [--trace-out FILE]    Chrome trace_event JSON (Perfetto)\n"
@@ -368,6 +371,69 @@ struct ObsSetup {
   }
 };
 
+/// --reexplore-from CKPT: incremental re-exploration (dse/respec.hpp).  The
+/// positional spec is the *edited* specification; the checkpoint is the
+/// previous session.  A missing or corrupted checkpoint degrades to a cold
+/// start (empty checkpoint == Unsafe delta) instead of failing the run.
+int explore_incremental(const synth::Specification& spec, const Args& args) {
+  dse::Checkpoint prev;
+  const std::string path = args.get("reexplore-from", "");
+  const std::string err = dse::load_checkpoint(path, prev);
+  if (!err.empty()) {
+    std::cerr << "reexplore: " << err << "; starting cold\n";
+    prev = dse::Checkpoint{};
+  }
+  dse::ReexploreOptions opts;
+  opts.base.threads = static_cast<std::size_t>(args.num("threads", 1));
+  opts.base.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  dse::CommonOptions& common = opts.base.common;
+  common.time_limit_seconds = args.num("time-limit", 0.0);
+  common.archive_kind = args.get("archive", "quadtree");
+  common.partial_evaluation = !args.flag("no-partial-eval");
+  common.certify = args.flag("certify");
+  if (!apply_warm_start(args, common.warm_start)) return 2;
+  dse::Budget budget(budget_limits(args));
+  common.budget = &budget;
+  common.checkpoint_path = args.get("checkpoint-out", "");
+  common.checkpoint_interval_seconds = args.num("checkpoint-interval", 30.0);
+  ObsSetup obs_setup;
+  if (!obs_setup.init(args)) return 1;
+  obs_setup.wire(common);
+  const SignalGuard guard(&budget);
+  const dse::ReexploreResult r = dse::reexplore(prev, spec, opts);
+  const dse::ReuseStats& reuse = r.reuse;
+  std::cout << "delta: " << dse::delta_class_name(reuse.delta.cls)
+            << " (archive " << reuse.archive_reused << "/"
+            << reuse.archive_candidates << ", clauses "
+            << reuse.clauses_replayed << "/" << reuse.clause_candidates
+            << ", slices " << reuse.slices_resumed << ", reuse rate "
+            << util::fmt(reuse.reuse_rate(), 2)
+            << (reuse.cold_start ? ", cold start" : "") << ")\n";
+  std::cout << "exact front: " << r.base.front.size() << " points ("
+            << (r.base.stats.complete ? "complete" : "partial")
+            << ", stopped: " << dse::to_string(r.base.stats.reason) << ", "
+            << util::fmt(r.base.stats.seconds, 3) << "s, "
+            << r.base.stats.models << " models, " << r.base.stats.prunings
+            << " prunings)\n";
+  print_warm_stats(r.base.stats);
+  print_run_errors(r.base.errors);
+  util::Table table({"latency", "energy", "cost"});
+  for (const auto& p : r.base.front) {
+    table.add_row({util::fmt(p[0]), util::fmt(p[1]), util::fmt(p[2])});
+  }
+  table.print(std::cout);
+  if (args.flag("witnesses")) {
+    for (const auto& witness : r.base.witnesses) {
+      std::cout << "\n" << witness.describe(spec);
+    }
+  }
+  const int obs_rc = obs_setup.finish();
+  const int rc =
+      finish_explore(args, r.base.stats.complete, r.base.certified,
+                     r.base.certificate_error, r.base.proof, r.base.front);
+  return rc != 0 ? rc : obs_rc;
+}
+
 int explore_portfolio(const synth::Specification& spec, const Args& args) {
   dse::ParallelExploreOptions opts;
   opts.threads = static_cast<std::size_t>(args.num("threads", 1));
@@ -436,6 +502,7 @@ int explore_portfolio(const synth::Specification& spec, const Args& args) {
 
 int cmd_explore(const Args& args) {
   const synth::Specification spec = load(args);
+  if (args.flag("reexplore-from")) return explore_incremental(spec, args);
   if (args.flag("threads")) return explore_portfolio(spec, args);
   dse::ExploreOptions opts;
   opts.common.time_limit_seconds = args.num("time-limit", 0.0);
