@@ -113,6 +113,15 @@ std::string Report::write() const {
   out << "  \"name\": \"" << json_escape(name_) << "\",\n";
   out << "  \"git_rev\": \"" << json_escape(git_rev()) << "\",\n";
   out << "  \"peak_rss_kib\": " << peak_rss_kib() << ",\n";
+  out << "  \"threads\": " << threads_ << ",\n";
+  out << "  \"processes\": " << processes_ << ",\n";
+  if (!shard_seconds_.empty()) {
+    out << "  \"shard_wall_seconds\": [";
+    for (std::size_t i = 0; i < shard_seconds_.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << json_number(shard_seconds_[i]);
+    }
+    out << "],\n";
+  }
   out << "  \"metrics\": {";
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
     out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(metrics_[i].first)

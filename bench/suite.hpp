@@ -50,6 +50,22 @@ class Report {
     notes_.emplace_back(key, value);
   }
 
+  /// Record the concurrency shape of the benchmarked run: solver threads per
+  /// process and worker process count.  Serialized as top-level "threads" /
+  /// "processes" JSON fields on every report (defaults 1/1 for the
+  /// single-process benches), so cross-commit comparisons can never conflate
+  /// runs at different parallelism.
+  void concurrency(std::size_t threads, std::size_t processes) {
+    threads_ = threads;
+    processes_ = processes;
+  }
+
+  /// Record per-shard wall times of a distributed run; serialized as the
+  /// top-level "shard_wall_seconds" array (omitted when empty).
+  void shard_seconds(std::vector<double> seconds) {
+    shard_seconds_ = std::move(seconds);
+  }
+
   /// The report's own metrics registry.  Point CommonOptions::metrics (or
   /// dse::export_metrics) at it and the full counter/gauge/histogram state
   /// is embedded in the JSON under "metrics_snapshot".
@@ -60,6 +76,9 @@ class Report {
 
  private:
   std::string name_;
+  std::size_t threads_ = 1;
+  std::size_t processes_ = 1;
+  std::vector<double> shard_seconds_;
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<std::pair<std::string, std::string>> notes_;
   obs::MetricsRegistry registry_;

@@ -35,6 +35,15 @@ void ProofLog::def_sum_bound(std::uint32_t sum, std::int64_t bound, Lit activati
   buf_ += '\n';
 }
 
+void ProofLog::def_sum_lower_bound(std::uint32_t sum, std::int64_t bound,
+                                   Lit activation) {
+  buf_ += "SL";
+  append_int(sum);
+  append_int(bound);
+  append_int(activation == kLitUndef ? 0 : proof_int(activation));
+  buf_ += '\n';
+}
+
 void ProofLog::def_node(std::uint32_t node) {
   buf_ += 'N';
   append_int(node);
@@ -96,6 +105,7 @@ void ProofLog::theory_clause(const TheoryJustification& just,
     case TheoryTag::LinearBound: buf_ += " LS"; break;
     case TheoryTag::Unfounded: buf_ += " UF"; break;
     case TheoryTag::Dominance: buf_ += " DOM"; break;
+    case TheoryTag::LinearLower: buf_ += " LL"; break;
   }
   for (const std::int64_t v : just.payload) append_int(v);
   buf_ += " ;";

@@ -17,6 +17,8 @@
 //   p aspmt 1                         header
 //   S  <sum> <n> (<lit> <w>)*        linear sum definition
 //   SB <sum> <bound> <act>           sum bound declaration (act 0 = none)
+//   SL <sum> <bound> <act>           sum floor declaration  sum >= bound
+//                                    (shard banding; act 0 = none)
 //   N  <node>                        difference-logic node
 //   E  <edge> <from> <to> <w> <n> <lit>*   guarded edge  to >= from + w
 //   NB <node> <bound> <act>          node bound declaration
@@ -59,6 +61,7 @@ enum class TheoryTag : std::uint8_t {
   LinearBound,  ///< weighted true guards exceed a declared sum bound
   Unfounded,    ///< loop nogood for an unfounded set (payload: head lits)
   Dominance,    ///< region weakly dominated by a certified feasible point
+  LinearLower,  ///< falsified guards forfeit too much weight for a sum floor
 };
 
 struct TheoryJustification {
@@ -76,6 +79,8 @@ class ProofLog {
   // ---- constraint-system declarations ------------------------------------
   void def_sum(std::uint32_t sum, std::span<const std::pair<Lit, std::int64_t>> terms);
   void def_sum_bound(std::uint32_t sum, std::int64_t bound, Lit activation);
+  /// `sum >= bound` floor (distributed shard banding): `SL <sum> <bound> <act>`.
+  void def_sum_lower_bound(std::uint32_t sum, std::int64_t bound, Lit activation);
   void def_node(std::uint32_t node);
   void def_edge(std::uint32_t edge, std::uint32_t from, std::uint32_t to,
                 std::int64_t weight, std::span<const Lit> guards);

@@ -47,6 +47,10 @@
 // re-exploration on spec deltas: per-section digests, delta classification,
 // archive + guarded-clause + slice reuse (DESIGN.md §13).
 #include "dse/respec.hpp"
+// dse::explore_distributed / shard_objective_space — multi-process
+// cube-and-conquer over objective-space bands with a certified merged
+// front (DESIGN.md §14).
+#include "dse/distributed.hpp"
 
 // -- Certification ----------------------------------------------------------
 // cert::certify_front — replay a run's proof stream and witness set through

@@ -1,10 +1,62 @@
 #include "cert/certify.hpp"
 
 #include <algorithm>
+#include <array>
+#include <charconv>
 
 #include "synth/validator.hpp"
 
 namespace aspmt::cert {
+
+namespace {
+
+/// The constraint system a proof stream claims to solve: the subsequence of
+/// its I/S/N/E/O/PR lines, verbatim.  Bound declarations (SB/SL/NB), replay
+/// axioms (G) and all derivation steps are excluded — those legitimately
+/// differ across shards of one distributed run; the system itself must not.
+std::string declaration_core(std::string_view proof) {
+  std::string core;
+  std::size_t pos = 0;
+  while (pos < proof.size()) {
+    std::size_t nl = proof.find('\n', pos);
+    if (nl == std::string_view::npos) nl = proof.size();
+    const std::string_view line = proof.substr(pos, nl - pos);
+    pos = nl + 1;
+    const std::size_t sp = line.find(' ');
+    const std::string_view head = line.substr(0, sp);
+    if (head == "I" || head == "S" || head == "N" || head == "E" ||
+        head == "O" || head == "PR") {
+      core.append(line);
+      core.push_back('\n');
+    }
+  }
+  return core;
+}
+
+bool parse_i64(std::string_view token, std::int64_t& out) {
+  const char* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(token.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+std::string_view take_line(std::string_view& rest) {
+  const std::size_t nl = rest.find('\n');
+  const std::string_view line =
+      nl == std::string_view::npos ? rest : rest.substr(0, nl);
+  rest = nl == std::string_view::npos ? std::string_view{} : rest.substr(nl + 1);
+  return line;
+}
+
+std::string_view take_token(std::string_view& rest) {
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  const std::size_t sp = rest.find(' ');
+  const std::string_view tok =
+      sp == std::string_view::npos ? rest : rest.substr(0, sp);
+  rest = sp == std::string_view::npos ? std::string_view{} : rest.substr(sp + 1);
+  return tok;
+}
+
+}  // namespace
 
 CertifyResult certify_front(
     const synth::Specification& spec,
@@ -57,6 +109,197 @@ CertifyResult certify_front(
 
   result.certified = true;
   return result;
+}
+
+MergedCertifyResult certify_merged(
+    const synth::Specification& spec,
+    std::span<const std::pair<pareto::Vec, synth::Implementation>> discoveries,
+    std::span<const pareto::Vec> front, std::span<const ShardProof> shards,
+    std::size_t shard_objective) {
+  MergedCertifyResult result;
+  if (shards.empty()) {
+    result.error = "no shard proofs to merge";
+    return result;
+  }
+
+  // 1. The union of all shards' discoveries must validate; only validated
+  //    points are admissible dominance sources in *any* shard's stream.
+  CheckOptions copts;
+  copts.require_global_unsat = false;
+  copts.trust_feasible_steps = false;
+  copts.shard_objective = static_cast<std::int64_t>(shard_objective);
+  copts.feasible_points.reserve(discoveries.size());
+  for (const auto& [point, impl] : discoveries) {
+    const std::string why = synth::validate_implementation(spec, impl);
+    if (!why.empty()) {
+      result.error =
+          "witness for " + pareto::to_string(point) + " invalid: " + why;
+      return result;
+    }
+    if (synth::recompute_objectives(spec, impl) != point) {
+      result.error = "witness objectives disagree with the recorded point " +
+                     pareto::to_string(point);
+      return result;
+    }
+    ++result.witnesses_validated;
+    copts.feasible_points.push_back(point);
+  }
+
+  // 2. Every shard's stream must verify, stay untruncated, declare no
+  //    unconditional bound, prove a box containing its claimed band, and
+  //    solve byte-for-byte the same constraint system as shard 0.
+  std::string core;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardProof& shard = shards[i];
+    const std::string tag = "shard " + std::to_string(i);
+    CheckResult check = check_proof(shard.proof, copts);
+    if (!check.ok) {
+      result.error = tag + " proof check failed: " + check.error;
+      result.checks.push_back(std::move(check));
+      return result;
+    }
+    if (check.truncated) {
+      result.error = tag + " proof is truncated; its band is not proven exhausted";
+      result.checks.push_back(std::move(check));
+      return result;
+    }
+    if (check.unsafe_bounds) {
+      result.error = tag +
+                     " declares an unconditional bound, breaking the "
+                     "cross-shard model-extension argument";
+      result.checks.push_back(std::move(check));
+      return result;
+    }
+    bool covered = false;
+    for (const std::array<std::int64_t, 2>& box : check.shard_boxes) {
+      if (box[0] <= shard.lo && box[1] >= shard.hi) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      result.error = tag + " proves no box covering its claimed band [" +
+                     std::to_string(shard.lo) + ", " + std::to_string(shard.hi) +
+                     "]";
+      result.checks.push_back(std::move(check));
+      return result;
+    }
+    std::string shard_core = declaration_core(shard.proof);
+    if (i == 0) {
+      core = std::move(shard_core);
+    } else if (shard_core != core) {
+      result.error = tag + " solved a different constraint system than shard 0";
+      result.checks.push_back(std::move(check));
+      return result;
+    }
+    result.checks.push_back(std::move(check));
+    ++result.shards_checked;
+  }
+
+  // 3. The claimed bands must tile the whole objective line exactly — sorted,
+  //    gap-free, overlap-free, open at both ends.
+  std::vector<std::array<std::int64_t, 2>> bands;
+  bands.reserve(shards.size());
+  for (const ShardProof& s : shards) bands.push_back({s.lo, s.hi});
+  std::sort(bands.begin(), bands.end());
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  if (bands.front()[0] != kMin) {
+    result.error = "shard bands leave the objective unbounded-below end uncovered";
+    return result;
+  }
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    if (bands[i][0] > bands[i][1]) {
+      result.error = "shard band " + std::to_string(bands[i][0]) + " > " +
+                     std::to_string(bands[i][1]) + " is empty";
+      return result;
+    }
+    if (i + 1 < bands.size() && bands[i + 1][0] != bands[i][1] + 1) {
+      result.error = bands[i + 1][0] <= bands[i][1]
+                         ? "shard bands overlap"
+                         : "shard bands leave a gap after " +
+                               std::to_string(bands[i][1]);
+      return result;
+    }
+  }
+  if (bands.back()[1] != kMax) {
+    result.error = "shard bands leave the objective unbounded-above end uncovered";
+    return result;
+  }
+
+  // 4. The merged front must be exactly the Pareto-minimal subset of the
+  //    validated union.
+  std::vector<pareto::Vec> points;
+  points.reserve(discoveries.size());
+  for (const auto& [point, impl] : discoveries) points.push_back(point);
+  std::vector<pareto::Vec> minimal =
+      pareto::non_dominated_filter(std::move(points));
+  std::vector<pareto::Vec> reported(front.begin(), front.end());
+  std::sort(reported.begin(), reported.end());
+  if (reported != minimal) {
+    result.error = "merged front differs from the minimal validated union";
+    return result;
+  }
+
+  result.certified = true;
+  return result;
+}
+
+std::string merged_proof_to_text(std::size_t objective,
+                                 std::span<const ShardProof> shards) {
+  std::string out{kMergedProofHeader};
+  out += "\nobjective ";
+  out += std::to_string(objective);
+  out += '\n';
+  for (const ShardProof& s : shards) {
+    out += "shard ";
+    out += std::to_string(s.lo);
+    out += ' ';
+    out += std::to_string(s.hi);
+    out += ' ';
+    out += std::to_string(s.proof.size());
+    out += '\n';
+    out += s.proof;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string parse_merged_proof(std::string_view text, std::size_t& objective,
+                               std::vector<ShardProof>& shards) {
+  shards.clear();
+  std::string_view rest = text;
+  if (take_line(rest) != kMergedProofHeader) {
+    return "missing merged-proof header";
+  }
+  std::string_view obj_line = take_line(rest);
+  if (take_token(obj_line) != "objective") return "missing objective line";
+  std::int64_t obj = -1;
+  if (!parse_i64(take_token(obj_line), obj) || obj < 0) {
+    return "malformed objective index";
+  }
+  objective = static_cast<std::size_t>(obj);
+  while (!rest.empty()) {
+    std::string_view line = take_line(rest);
+    if (line.empty()) continue;
+    if (take_token(line) != "shard") return "expected a shard block";
+    ShardProof shard;
+    std::int64_t nbytes = -1;
+    if (!parse_i64(take_token(line), shard.lo) ||
+        !parse_i64(take_token(line), shard.hi) ||
+        !parse_i64(take_token(line), nbytes) || nbytes < 0) {
+      return "malformed shard block header";
+    }
+    if (static_cast<std::size_t>(nbytes) > rest.size()) {
+      return "truncated shard payload";
+    }
+    shard.proof.assign(rest.substr(0, static_cast<std::size_t>(nbytes)));
+    rest.remove_prefix(static_cast<std::size_t>(nbytes));
+    if (!rest.empty() && rest.front() == '\n') rest.remove_prefix(1);
+    shards.push_back(std::move(shard));
+  }
+  if (shards.empty()) return "merged proof carries no shards";
+  return {};
 }
 
 }  // namespace aspmt::cert

@@ -4,6 +4,7 @@
 #include <array>
 #include <charconv>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -270,6 +271,23 @@ class Checker {
     return total;
   }
 
+  /// Weight forfeited when every guard occurring *positively* in the clause
+  /// is assumed false (the LL lemma shape: at least one of them must hold).
+  [[nodiscard]] std::int64_t clause_weight_forfeited(
+      std::size_t sum, const std::set<std::int64_t>& clause_set) const {
+    std::int64_t total = 0;
+    for (const auto& [guard, weight] : sums_[sum]) {
+      if (clause_set.count(guard) != 0) total += weight;
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::int64_t sum_total(std::size_t sum) const {
+    std::int64_t total = 0;
+    for (const auto& [guard, weight] : sums_[sum]) total += weight;
+    return total;
+  }
+
   [[nodiscard]] bool some_feasible_leq(const std::vector<std::int64_t>& p) const {
     const auto& sources =
         opts_.trust_feasible_steps ? feasible_ : opts_.feasible_points;
@@ -335,6 +353,28 @@ class Checker {
       }
       if (clause_weight_in_sum(static_cast<std::size_t>(sum), clause_set) <= bound) {
         return "negated guards do not exceed the bound";
+      }
+      return {};
+    }
+    if (tag == "LL") {
+      if (payload.size() != 3) return "LL payload must be sum/bound/act";
+      const std::int64_t sum = payload[0];
+      const std::int64_t bound = payload[1];
+      const std::int64_t act = payload[2];
+      if (sum < 0 || static_cast<std::size_t>(sum) >= sums_.size()) {
+        return "unknown sum";
+      }
+      if (sum_lower_bounds_.count({sum, bound, act}) == 0) {
+        return "sum floor was never declared";
+      }
+      if (act != 0 && clause_set.count(-act) == 0) {
+        return "clause misses the floor's activation negation";
+      }
+      // With every positive clause guard false the sum tops out at
+      // total - forfeited; the lemma holds iff that misses the floor.
+      const std::size_t s = static_cast<std::size_t>(sum);
+      if (sum_total(s) - clause_weight_forfeited(s, clause_set) >= bound) {
+        return "remaining weight still reaches the floor";
       }
       return {};
     }
@@ -426,6 +466,61 @@ class Checker {
     return true;
   }
 
+  /// Like note_axiom_var, but additionally marks the variable *structural*:
+  /// it occurs in an input clause, sum term, edge guard, or program rule, so
+  /// it can never serve as a pure shard-box activation.
+  [[nodiscard]] bool note_structural_var(std::int64_t lit_or_var) {
+    if (!note_axiom_var(lit_or_var)) return false;
+    if (lit_or_var != 0) structural_vars_.insert(std::abs(lit_or_var));
+    return true;
+  }
+
+  [[nodiscard]] bool note_structural_lits(const Lits& lits) {
+    for (const std::int64_t l : lits) {
+      if (!note_structural_var(l)) return false;
+    }
+    return true;
+  }
+
+  /// Record a bound declaration's activation for shard-box extraction.
+  /// kind: 0 = sum ceiling (SB), 1 = sum floor (SL), 2 = node bound (NB).
+  void note_bound_act(std::int64_t kind, std::int64_t id, std::int64_t bound,
+                      std::int64_t act) {
+    if (act <= 0) {
+      // Unconditional (or negative-literal) bounds block the cross-shard
+      // model-extension argument; merged certification refuses the stream.
+      result_.unsafe_bounds = true;
+      return;
+    }
+    act_bounds_[act].push_back({kind, id, bound});
+  }
+
+  /// A verified Unsat conclusion: when its assumptions are all pure box
+  /// activations on the shard objective's sum, record the proven interval.
+  void maybe_record_shard_box(const Lits& assumptions) {
+    const auto obj = static_cast<std::size_t>(opts_.shard_objective);
+    if (obj >= objectives_.size() || objectives_[obj].first != 'L') return;
+    const std::int64_t shard_sum = objectives_[obj].second;
+    std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+    std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+    for (const std::int64_t a : assumptions) {
+      if (a <= 0) return;                       // negative phase: not a box act
+      if (structural_vars_.count(a) != 0) return;  // occurs in the system
+      if (guard_vars_.count(a) != 0) return;       // replay guard
+      const auto it = act_bounds_.find(a);
+      if (it == act_bounds_.end()) return;      // activates nothing known
+      for (const auto& [kind, id, bound] : it->second) {
+        if (kind == 2 || id != shard_sum) return;  // node/off-objective bound
+        if (kind == 0) {
+          hi = std::min(hi, bound);
+        } else {
+          lo = std::max(lo, bound);
+        }
+      }
+    }
+    result_.shard_boxes.push_back({lo, hi});
+  }
+
   CheckOptions opts_;
   CheckResult result_;
 
@@ -440,6 +535,7 @@ class Checker {
 
   std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> sums_;
   std::set<std::array<std::int64_t, 3>> sum_bounds_;
+  std::set<std::array<std::int64_t, 3>> sum_lower_bounds_;
   std::int64_t num_nodes_ = 0;
   std::vector<Edge> edges_;
   std::set<std::array<std::int64_t, 3>> node_bounds_;
@@ -451,6 +547,10 @@ class Checker {
   // axiom/declaration vs. variables consumed as replay guards.
   std::set<std::int64_t> axiom_vars_;
   std::set<std::int64_t> guard_vars_;
+  // Shard-box bookkeeping: variables with structural occurrences, and the
+  // bound declarations each activation literal switches on.
+  std::set<std::int64_t> structural_vars_;
+  std::map<std::int64_t, std::vector<std::array<std::int64_t, 3>>> act_bounds_;
 };
 
 CheckResult Checker::run(std::string_view proof) {
@@ -491,7 +591,7 @@ CheckResult Checker::run(std::string_view proof) {
         if (!rup(lits)) return fail("learnt clause is not RUP");
         ++result_.learnt_clauses;
       } else {
-        if (!note_axiom_lits(lits)) {
+        if (!note_structural_lits(lits)) {
           return fail("input clause mentions a replay guard variable");
         }
         ++result_.input_clauses;
@@ -515,6 +615,7 @@ CheckResult Checker::run(std::string_view proof) {
           return fail("guarded clause tail mentions a guard variable");
         }
         axiom_vars_.insert(v);
+        structural_vars_.insert(v);
       }
       guard_vars_.insert(guard);
       tail.push_back(-guard);
@@ -572,6 +673,7 @@ CheckResult Checker::run(std::string_view proof) {
       }
       ++result_.conclusions;
       if (lits.empty()) result_.concluded_global_unsat = true;
+      if (opts_.shard_objective >= 0) maybe_record_shard_box(lits);
     } else if (kind == "M") {
       // model marker — nothing to verify on the proof side
     } else if (kind == "X") {
@@ -614,7 +716,7 @@ CheckResult Checker::run(std::string_view proof) {
             weight < 0) {
           return fail("malformed sum term");
         }
-        if (!note_axiom_var(guard)) {
+        if (!note_structural_var(guard)) {
           return fail("sum term mentions a replay guard variable");
         }
         terms.emplace_back(guard, weight);
@@ -632,6 +734,20 @@ CheckResult Checker::run(std::string_view proof) {
         return fail("sum bound mentions a replay guard variable");
       }
       sum_bounds_.insert({id, bound, act});
+      note_bound_act(0, id, bound, act);
+    } else if (kind == "SL") {
+      std::int64_t id = 0;
+      std::int64_t bound = 0;
+      std::int64_t act = 0;
+      if (!line.integer(id) || !line.integer(bound) || !line.integer(act) ||
+          id < 0 || static_cast<std::size_t>(id) >= sums_.size()) {
+        return fail("malformed sum floor");
+      }
+      if (!note_axiom_var(act)) {
+        return fail("sum floor mentions a replay guard variable");
+      }
+      sum_lower_bounds_.insert({id, bound, act});
+      note_bound_act(1, id, bound, act);
     } else if (kind == "N") {
       std::int64_t id = 0;
       if (!line.integer(id) || id != num_nodes_) {
@@ -651,7 +767,7 @@ CheckResult Checker::run(std::string_view proof) {
       e.guards.resize(static_cast<std::size_t>(n));
       for (auto& g : e.guards) {
         if (!line.integer(g) || g == 0) return fail("malformed edge guard");
-        if (!note_axiom_var(g)) {
+        if (!note_structural_var(g)) {
           return fail("edge guard mentions a replay guard variable");
         }
       }
@@ -668,6 +784,7 @@ CheckResult Checker::run(std::string_view proof) {
         return fail("node bound mentions a replay guard variable");
       }
       node_bounds_.insert({id, bound, act});
+      note_bound_act(2, id, bound, act);
     } else if (kind == "O") {
       std::int64_t obj = 0;
       std::string_view what;
@@ -691,8 +808,8 @@ CheckResult Checker::run(std::string_view proof) {
       for (auto& h : r.pos_heads) {
         if (!line.integer(h) || h == 0) return fail("malformed program rule");
       }
-      if (!note_axiom_var(r.head) || !note_axiom_var(r.body) ||
-          !note_axiom_lits(r.pos_heads)) {
+      if (!note_structural_var(r.head) || !note_structural_var(r.body) ||
+          !note_structural_lits(r.pos_heads)) {
         return fail("program rule mentions a replay guard variable");
       }
       rules_.push_back(std::move(r));

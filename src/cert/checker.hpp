@@ -11,13 +11,14 @@
 // and with them the exactness of an explored Pareto front — independently
 // machine-checked facts.
 //
-// Trust boundary: declarations (I/S/SB/N/E/NB/O/PR) are axioms of the
+// Trust boundary: declarations (I/S/SB/SL/N/E/NB/O/PR) are axioms of the
 // constraint system — they assert what problem was solved, not how.  The
 // certification layer (cert/certify.hpp) closes the remaining gap on the
 // model side by validating every feasible point's witness against the
 // specification with synth::Validator.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -37,6 +38,12 @@ struct CheckOptions {
   /// trust_feasible_steps is false these are the only admissible dominance
   /// sources, and every `F` step must match one of them.
   std::vector<std::vector<std::int64_t>> feasible_points;
+  /// When >= 0, extract *shard boxes* on this (linear) objective: every
+  /// verified Unsat conclusion whose assumptions are all pure bound
+  /// activations on the objective's sum contributes the interval
+  /// [max SL floor, min SB ceiling] it proves empty modulo dominance.  See
+  /// CheckResult::shard_boxes and cert::certify_merged.
+  std::int64_t shard_objective = -1;
 };
 
 struct CheckResult {
@@ -58,6 +65,23 @@ struct CheckResult {
   std::size_t deletions = 0;
   std::size_t conclusions = 0;
   std::size_t feasible_points = 0;
+  /// With CheckOptions::shard_objective set: closed intervals [lo, hi] of
+  /// the shard objective proven empty modulo dominance — each comes from a
+  /// verified Unsat conclusion whose assumptions are *pure* box activations
+  /// (positive literals that occur in no input clause, sum term, edge guard,
+  /// rule, or replay step, and activate bounds only on the shard objective's
+  /// sum).  Purity makes the cross-shard model-extension argument sound: a
+  /// feasible design point inside the box extends to a model of the declared
+  /// system with the box activations true and every other auxiliary variable
+  /// false, so the verified Unsat means every such point is weakly dominated
+  /// by a certified feasible point.  INT64_MIN/INT64_MAX encode unbounded
+  /// ends; an assumption-free global Unsat contributes the full line.
+  std::vector<std::array<std::int64_t, 2>> shard_boxes;
+  /// A sum/node bound declaration with no (or a negative) activation literal
+  /// was seen.  Such a bound holds unconditionally, so the model-extension
+  /// argument above cannot switch it off — merged certification rejects
+  /// shard streams carrying one.
+  bool unsafe_bounds = false;
   /// First failure, with its 1-based line number; empty when ok.
   std::string error;
 };

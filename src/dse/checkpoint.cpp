@@ -15,12 +15,15 @@ namespace {
 // Version 2 adds the `warm` line (were heuristic seeds injected into the
 // segment's archive history?).  Version 3 adds the per-section spec digests
 // (`sections`) and the reusable learnt-clause dump (`clauses` + `c` lines)
-// for incremental re-exploration.  Older files are still accepted and load
-// with the new fields defaulted; a newer-version line inside an older file
-// is rejected as an unknown line kind, exactly like any other foreign line.
+// for incremental re-exploration.  Version 4 adds the `slices` line (the
+// slice scheduler's objective-0 ceilings) so re-exploration reseeds the
+// identical work partition.  Older files are still accepted and load with
+// the new fields defaulted; a newer-version line inside an older file is
+// rejected as an unknown line kind, exactly like any other foreign line.
 constexpr std::string_view kHeaderV1 = "aspmt-ckpt 1";
 constexpr std::string_view kHeaderV2 = "aspmt-ckpt 2";
-constexpr std::string_view kHeader = "aspmt-ckpt 3";
+constexpr std::string_view kHeaderV3 = "aspmt-ckpt 3";
+constexpr std::string_view kHeader = "aspmt-ckpt 4";
 
 std::uint64_t fnv1a(std::string_view bytes) noexcept {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -67,20 +70,7 @@ class Scanner {
 };
 
 void append_witness(std::ostringstream& out, const synth::Implementation& w) {
-  if (w.option_of_task.empty()) {  // missing-witness sentinel
-    out << "w -\n";
-    return;
-  }
-  out << "w " << w.option_of_task.size();
-  for (const std::size_t o : w.option_of_task) out << ' ' << o;
-  for (const synth::ResourceId r : w.binding) out << ' ' << r;
-  for (const std::int64_t s : w.start) out << ' ' << s;
-  out << ' ' << w.route.size();
-  for (const auto& route : w.route) {
-    out << ' ' << route.size();
-    for (const synth::LinkId l : route) out << ' ' << l;
-  }
-  out << ' ' << w.latency << ' ' << w.energy << ' ' << w.cost << '\n';
+  out << "w " << witness_to_text(w) << '\n';
 }
 
 std::string parse_witness(Scanner& sc, synth::Implementation& w) {
@@ -128,6 +118,29 @@ std::string parse_witness(Scanner& sc, synth::Implementation& w) {
 
 }  // namespace
 
+std::string witness_to_text(const synth::Implementation& w) {
+  if (w.option_of_task.empty()) return "-";  // missing-witness sentinel
+  std::ostringstream out;
+  out << w.option_of_task.size();
+  for (const std::size_t o : w.option_of_task) out << ' ' << o;
+  for (const synth::ResourceId r : w.binding) out << ' ' << r;
+  for (const std::int64_t s : w.start) out << ' ' << s;
+  out << ' ' << w.route.size();
+  for (const auto& route : w.route) {
+    out << ' ' << route.size();
+    for (const synth::LinkId l : route) out << ' ' << l;
+  }
+  out << ' ' << w.latency << ' ' << w.energy << ' ' << w.cost;
+  return out.str();
+}
+
+std::string witness_from_text(std::string_view text,
+                              synth::Implementation& w) {
+  w = synth::Implementation{};
+  Scanner sc(text);
+  return parse_witness(sc, w);
+}
+
 std::uint64_t spec_fingerprint(const synth::Specification& spec) {
   return fnv1a(synth::to_text(spec));
 }
@@ -164,6 +177,11 @@ std::string to_text(const Checkpoint& ckpt) {
       for (const std::int32_t l : clause) out << ' ' << l;
       out << '\n';
     }
+  }
+  if (!ckpt.slice_bounds.empty()) {
+    out << "slices " << ckpt.slice_bounds.size();
+    for (const std::int64_t b : ckpt.slice_bounds) out << ' ' << b;
+    out << '\n';
   }
   out << "points " << ckpt.points.size() << '\n';
   for (const pareto::Vec& p : ckpt.points) {
@@ -222,6 +240,8 @@ std::string parse_checkpoint(std::string_view text, Checkpoint& out) {
     if (line.empty()) continue;
     if (!saw_header) {
       if (line == kHeader) {
+        version = 4;
+      } else if (line == kHeaderV3) {
         version = 3;
       } else if (line == kHeaderV2) {
         version = 2;
@@ -287,6 +307,16 @@ std::string parse_checkpoint(std::string_view text, Checkpoint& out) {
       }
       if (!sc.done()) return "checkpoint: malformed clause";
       out.clauses.push_back(std::move(clause));
+    } else if (kind == "slices" && version >= 4) {
+      std::size_t n = 0;
+      if (!sc.integer(n) || n == 0 || n > 4096) {
+        return "checkpoint: malformed slice bounds";
+      }
+      out.slice_bounds.resize(n);
+      for (auto& b : out.slice_bounds) {
+        if (!sc.integer(b)) return "checkpoint: malformed slice bound";
+      }
+      if (!sc.done()) return "checkpoint: malformed slice bounds";
     } else if (kind == "points") {
       if (!sc.integer(declared_points) || !sc.done()) {
         return "checkpoint: malformed point count";

@@ -53,6 +53,13 @@ struct Checkpoint {
   /// [1, clause_base_vars].  Empty when no dump was taken.
   std::uint32_t clause_base_vars = 0;
   std::vector<std::vector<std::int32_t>> clauses;
+  /// Format v4: the slice scheduler's objective-0 ceilings at snapshot time
+  /// (id order).  `--reexplore-from` reseeds the scheduler from these exact
+  /// bounds instead of re-deriving a partition from the reused front, so a
+  /// resumed session works the identical regions.  Empty when the scheduler
+  /// was never seeded (single-threaded or degenerate range); v1–v3 files
+  /// load with it empty.
+  std::vector<std::int64_t> slice_bounds;
   /// Mutually non-dominated, sorted lexicographically.
   std::vector<pareto::Vec> points;
   /// Parallel to `points`; an implementation with empty option_of_task
@@ -71,9 +78,20 @@ struct Checkpoint {
 [[nodiscard]] bool checkpoint_matches(const Checkpoint& ckpt,
                                       const synth::Specification& spec);
 
-/// Serialize to the `aspmt-ckpt 3` text format (checksum trailer included).
-/// The loader accepts v3 plus legacy v2/v1 files.
+/// Serialize to the `aspmt-ckpt 4` text format (checksum trailer included).
+/// The loader accepts v4 plus legacy v3/v2/v1 files.
 [[nodiscard]] std::string to_text(const Checkpoint& ckpt);
+
+/// Serialize one witness implementation as the payload of a checkpoint `w`
+/// line (no leading "w ", no trailing newline); "-" marks a missing
+/// witness.  Shared by the checkpoint format and the distributed shard
+/// RESULT payload, so both sides round-trip identically.
+[[nodiscard]] std::string witness_to_text(const synth::Implementation& w);
+
+/// Parse witness_to_text output.  Returns "" on success, a diagnostic
+/// otherwise; a "-" payload leaves `w` empty (missing witness).
+[[nodiscard]] std::string witness_from_text(std::string_view text,
+                                            synth::Implementation& w);
 
 /// Parse and validate; returns "" on success, a diagnostic otherwise.
 [[nodiscard]] std::string parse_checkpoint(std::string_view text,

@@ -91,6 +91,24 @@ void ObjectiveManager::add_bound(std::size_t i, std::int64_t bound,
   for (const Floor& f : e.floors) f.linear->add_bound(f.sum, bound, activation);
 }
 
+void ObjectiveManager::add_primary_bound(std::size_t i, std::int64_t bound,
+                                         asp::Lit activation) {
+  const Entry& e = objectives_[i];
+  if (e.linear != nullptr) {
+    e.linear->add_bound(e.sum, bound, activation);
+  } else {
+    e.difference->add_bound(e.node, bound, activation);
+  }
+}
+
+bool ObjectiveManager::add_lower_bound(std::size_t i, std::int64_t bound,
+                                       asp::Lit activation) {
+  const Entry& e = objectives_[i];
+  if (e.linear == nullptr) return false;
+  e.linear->add_lower_bound(e.sum, bound, activation);
+  return true;
+}
+
 std::vector<std::int64_t> ObjectiveManager::epsilon_splits(std::int64_t lo,
                                                            std::int64_t hi,
                                                            std::size_t parts) {

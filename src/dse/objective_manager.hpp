@@ -58,6 +58,22 @@ class ObjectiveManager {
   void add_bound(std::size_t i, std::int64_t bound,
                  asp::Lit activation = asp::kLitUndef);
 
+  /// Like add_bound but on the primary source only — the bound is NOT
+  /// mirrored onto floors.  Used for the distributed shard-band ceiling: the
+  /// merged-front checker only accepts a shard box whose activation bounds
+  /// touch exactly one sum (the shard objective's), so the ceiling must not
+  /// fan out across floor sums.  Mirroring is purely a propagation
+  /// sharpener; skipping it never affects exactness.
+  void add_primary_bound(std::size_t i, std::int64_t bound,
+                         asp::Lit activation = asp::kLitUndef);
+
+  /// Impose `objective_i >= bound` (distributed shard banding).  Only
+  /// supported for linear objectives — returns false for difference-logic
+  /// objectives.  NOT mirrored onto floors: floor <= objective, so a floor
+  /// may legitimately sit below the banding threshold.
+  bool add_lower_bound(std::size_t i, std::int64_t bound,
+                       asp::Lit activation = asp::kLitUndef);
+
   /// Primary theory source of an objective — what a proof log's objective
   /// binding declares and the checker re-evaluates explanations against.
   struct Source {

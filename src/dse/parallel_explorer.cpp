@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -100,6 +101,7 @@ struct SharedState {
     c.warm_started = warm_started;
     c.has_sections = true;
     c.sections = sections;
+    c.slice_bounds = scheduler.bounds();
     c.points = archive.points();
     std::lock_guard lock(mutex);
     if (!clauses.empty()) {
@@ -183,10 +185,39 @@ void run_worker(std::size_t index, std::size_t total,
     }
   }
 
+  // Distributed banding: permanent shard assumptions.  Unlike the replay
+  // guard and slice bounds these are never dropped — the terminating Unsat
+  // is concluded under exactly these activations, which is what makes it a
+  // *shard box* proof the merge layer can combine across processes.
+  std::vector<asp::Lit> shard_assume;
+  if (opts.shard.active) {
+    constexpr auto kMin = std::numeric_limits<std::int64_t>::min();
+    constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+    if (opts.shard.hi != kMax) {
+      const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
+      // Primary-only: a floor-mirrored ceiling would make the checker's
+      // shard-box extraction reject the activation as impure (bounds on
+      // more than one sum).
+      ctx.objectives.add_primary_bound(opts.shard.objective, opts.shard.hi,
+                                       act);
+      shard_assume.push_back(act);
+    }
+    if (opts.shard.lo != kMin) {
+      const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
+      if (!ctx.objectives.add_lower_bound(opts.shard.objective, opts.shard.lo,
+                                          act)) {
+        throw std::runtime_error(
+            "shard objective must be linear (difference logic has no floor)");
+      }
+      shard_assume.push_back(act);
+    }
+  }
+
   std::vector<asp::Lit> assumptions;  // the active slice bound, if any
   std::size_t active_slice = kNoSlice;
   const auto assume_all = [&]() {
     std::vector<asp::Lit> all = base_assume;
+    all.insert(all.end(), shard_assume.begin(), shard_assume.end());
     all.insert(all.end(), assumptions.begin(), assumptions.end());
     return all;
   };
@@ -304,8 +335,10 @@ void run_worker(std::size_t index, std::size_t total,
           base_assume.clear();
           continue;
         }
-        // Unconstrained Unsat: every feasible point is weakly dominated by
-        // the shared archive, which therefore is the exact front.
+        // Unsat under at most the permanent shard assumptions: every
+        // feasible point (of the shard's band, or globally when unbanded)
+        // is weakly dominated by the shared archive, which therefore is the
+        // exact front of the explored region.
         report.proved_complete = true;
         shared.complete.store(true, std::memory_order_release);
         shared.budget->request_stop();
@@ -492,6 +525,13 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
     }
   }
 
+  // Checkpoint-v4 slice persistence / shard requeue: rebuild the slice
+  // partition from explicit bounds so a resumed session works the same
+  // regions (gap scores refresh against whatever front is already seeded).
+  if (!options.slice_bounds.empty() && threads > 1) {
+    shared.scheduler.seed_bounds(options.slice_bounds, shared.archive.points());
+  }
+
   std::unique_ptr<CheckpointWriter> ckpt_writer;
   if (!common.checkpoint_path.empty()) {
     ckpt_writer = std::make_unique<CheckpointWriter>(
@@ -548,6 +588,11 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
       }
     }
   }
+  if (common.collect_witnesses || common.certify) {
+    std::lock_guard lock(shared.mutex);
+    result.discovery_witnesses.assign(shared.witnesses.begin(),
+                                      shared.witnesses.end());
+  }
   result.base.discoveries = std::move(shared.discoveries);
   std::stable_sort(result.base.discoveries.begin(),
                    result.base.discoveries.end(),
@@ -591,6 +636,11 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
       result.base.proof = logs[0]->text() + "X 0\n";
       result.base.certificate_error =
           "no worker closed the global Unsat proof; nothing to certify";
+    } else if (options.shard.active) {
+      // Shard-banded run: the winning stream concludes Unsat under the
+      // shard's box activations, not globally — hand it up unjudged; the
+      // coordinator certifies the merged front with cert::certify_merged.
+      result.base.proof = logs[winner->worker]->text();
     } else {
       result.base.proof = logs[winner->worker]->text();
       std::vector<std::pair<pareto::Vec, synth::Implementation>> pairs(

@@ -30,7 +30,9 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "asp/solver.hpp"
@@ -54,6 +56,29 @@ struct ParallelExploreOptions {
   /// default configuration.
   std::uint64_t seed = 1;
   std::size_t archive_shards = 8;  ///< ConcurrentArchive shard count
+
+  /// Distributed objective-space banding (dse/distributed.hpp).  When
+  /// active, every worker permanently assumes
+  ///   lo <= objective[objective] <= hi
+  /// through activation-guarded theory bounds, and the portfolio's
+  /// terminating Unsat is concluded under exactly those activations — which
+  /// the proof checker turns into a verified *shard box* (see
+  /// cert::CheckResult::shard_boxes).  INT64_MIN / INT64_MAX ends install no
+  /// bound at all.  The banded objective must be linear (energy or cost in
+  /// the standard encoding; latency's difference logic has no sound floor).
+  struct ShardBand {
+    bool active = false;
+    std::size_t objective = 1;
+    std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+    std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  };
+  ShardBand shard;
+
+  /// Pre-seeded slice bounds (checkpoint v4 persistence, shard requeue):
+  /// when non-empty the SliceScheduler is built from these objective-0
+  /// ceilings before any worker spawns instead of waiting for a front
+  /// snapshot that spans a range.
+  std::vector<std::int64_t> slice_bounds;
 };
 
 /// Per-worker accounting for the CLI report and the consistency tests.
@@ -96,6 +121,13 @@ struct ParallelExploreResult {
   /// message — secondary failures are preserved, not dropped).
   std::vector<WorkerError> worker_errors;
   std::vector<WorkerReport> workers;
+  /// Every discovered point with its captured witness (not just the final
+  /// front — dominated discoveries keep their witnesses too, because shard
+  /// proofs reference them through `F` steps).  Filled when certification or
+  /// witness collection is on; the distributed merge layer validates the
+  /// union of these across shards.
+  std::vector<std::pair<pareto::Vec, synth::Implementation>>
+      discovery_witnesses;
 };
 
 /// Compute the exact Pareto front of `spec` with a portfolio of

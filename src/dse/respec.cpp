@@ -282,11 +282,15 @@ ReexploreResult reexplore(const Checkpoint& prev,
       run.threads != 0 ? run.threads : std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
 
-  // Slice resumption: the portfolio's gap-guided scheduler seeds from the
-  // first front snapshot that spans a range — with the reused archive that
-  // is immediately, before any worker's first solve.  Count what it will
-  // be able to schedule.
-  if (threads > 1 && common.warm_start.external.size() >= 2) {
+  // Slice resumption.  A v4 checkpoint persists the previous session's
+  // slice bounds, so the scheduler reseeds the *identical* partition (slice
+  // bounds are pure work-partitioning heuristics — safe under every delta
+  // class that reuses anything).  Without them, fall back to PR 7 behavior:
+  // the scheduler derives a fresh partition from the reused front.
+  if (threads > 1 && cls != DeltaClass::Unsafe && !prev.slice_bounds.empty()) {
+    run.slice_bounds = prev.slice_bounds;
+    reuse.slices_resumed = prev.slice_bounds.size();
+  } else if (threads > 1 && common.warm_start.external.size() >= 2) {
     std::vector<pareto::Vec> pts;
     pts.reserve(common.warm_start.external.size());
     for (const WarmSeedCandidate& c : common.warm_start.external) {

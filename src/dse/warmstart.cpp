@@ -144,6 +144,35 @@ bool SliceScheduler::seed(const std::vector<pareto::Vec>& front,
       ObjectiveManager::epsilon_splits(lo, hi, parts);
   if (splits.empty()) return false;
   const std::vector<double> gaps = pareto::slice_hypervolume_gaps(front, splits);
+  install(splits, gaps);
+  return true;
+}
+
+bool SliceScheduler::seed_bounds(const std::vector<std::int64_t>& bounds,
+                                 const std::vector<pareto::Vec>& front) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (seeded_) return true;
+  if (bounds.empty()) return false;
+  std::vector<std::int64_t> splits = bounds;
+  std::sort(splits.begin(), splits.end());
+  splits.erase(std::unique(splits.begin(), splits.end()), splits.end());
+  const std::vector<double> gaps =
+      front.size() >= 2 ? pareto::slice_hypervolume_gaps(front, splits)
+                        : std::vector<double>();
+  install(splits, gaps);
+  return true;
+}
+
+std::vector<std::int64_t> SliceScheduler::bounds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::int64_t> out;
+  out.reserve(slices_.size());
+  for (const Slice& s : slices_) out.push_back(s.bound);
+  return out;
+}
+
+void SliceScheduler::install(const std::vector<std::int64_t>& splits,
+                             const std::vector<double>& gaps) {
   slices_.resize(splits.size());
   requeued_.assign(splits.size(), 0);
   for (std::size_t i = 0; i < splits.size(); ++i) {
@@ -161,7 +190,6 @@ bool SliceScheduler::seed(const std::vector<pareto::Vec>& front,
                      return slices_[a].id > slices_[b].id;
                    });
   seeded_ = true;
-  return true;
 }
 
 std::optional<SliceScheduler::Slice> SliceScheduler::claim() {

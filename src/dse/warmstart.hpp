@@ -111,6 +111,18 @@ class SliceScheduler {
   /// table was (already) built.
   bool seed(const std::vector<pareto::Vec>& front, std::size_t parts);
 
+  /// Build the slice table from explicit objective-0 ceilings (checkpoint v4
+  /// slice persistence, distributed shard resume) instead of deriving splits
+  /// from a front snapshot.  Gaps are scored against `front` when it has the
+  /// two points slice_hypervolume_gaps needs, else they default to zero.
+  /// Same first-call-wins contract as seed().
+  bool seed_bounds(const std::vector<std::int64_t>& bounds,
+                   const std::vector<pareto::Vec>& front);
+
+  /// All slice bounds in id order (empty before seeding) — what checkpoint
+  /// v4 persists so a later session reseeds the identical partition.
+  [[nodiscard]] std::vector<std::int64_t> bounds() const;
+
   /// Claim the pending slice with the largest gap; nullopt when none left.
   std::optional<Slice> claim();
 
@@ -122,6 +134,11 @@ class SliceScheduler {
   [[nodiscard]] std::size_t pending() const;
 
  private:
+  /// Shared tail of seed()/seed_bounds(): fill the slice table and order the
+  /// pending queue.  Caller holds `mutex_`.
+  void install(const std::vector<std::int64_t>& splits,
+               const std::vector<double>& gaps);
+
   mutable std::mutex mutex_;
   bool seeded_ = false;
   std::vector<Slice> slices_;        // immutable after seeding

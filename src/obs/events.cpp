@@ -24,6 +24,11 @@ const char* kind_name(EventKind kind) noexcept {
     case EventKind::SliceScheduled: return "slice-scheduled";
     case EventKind::RespecDelta: return "respec-delta";
     case EventKind::RespecReuse: return "respec-reuse";
+    case EventKind::ShardSpawn: return "shard-spawn";
+    case EventKind::ShardExit: return "shard-exit";
+    case EventKind::ShardRequeue: return "shard-requeue";
+    case EventKind::ShardPoint: return "shard-point";
+    case EventKind::ShardHeartbeat: return "shard-heartbeat";
   }
   return "unknown";
 }

@@ -72,11 +72,28 @@ enum class EventKind : std::uint8_t {
   /// reused, b = learnt clauses replayed, c = epsilon slices resumable from
   /// the reused front.
   RespecReuse,
+  /// Distributed exploration (dse/distributed.hpp): a shard was handed to a
+  /// worker process (or in-process lane).  a = shard id, b = band lower
+  /// bound (clamped to int64), c = band upper bound.
+  ShardSpawn,
+  /// A shard's worker finished.  a = shard id, b = 1 iff it delivered a
+  /// result (0 = died or timed out), c = attempt number (1-based).
+  ShardExit,
+  /// A dead shard was requeued onto the surviving workers.  a = shard id,
+  /// b = attempt number the requeue starts, c = 1 iff a checkpoint was
+  /// available to resume from.
+  ShardRequeue,
+  /// A point streamed up from a shard worker over the control channel.
+  /// a,b,c = the point (coordinator-side mirror of ArchiveInsert).
+  ShardPoint,
+  /// Heartbeat received from a shard worker.  a = shard id, b = the
+  /// worker-reported elapsed ms, c = points received from it so far.
+  ShardHeartbeat,
 };
 
 /// Number of distinct EventKind values (array sizing in exporters).
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::RespecReuse) + 1;
+    static_cast<std::size_t>(EventKind::ShardHeartbeat) + 1;
 
 /// Stable kebab-case name, e.g. "model-found" (NDJSON + trace export).
 [[nodiscard]] const char* kind_name(EventKind kind) noexcept;

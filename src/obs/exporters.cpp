@@ -175,6 +175,32 @@ void ChromeTraceExporter::on_event(const Event& e) {
            << e.b << ",\"gap\":" << e.c << "}";
       emit("i", "slice-scheduled", e, args.str());
       break;
+    case EventKind::ShardSpawn:
+      args << ",\"s\":\"g\",\"args\":{\"shard\":" << e.a << ",\"lo\":" << e.b
+           << ",\"hi\":" << e.c << "}";
+      emit("i", "shard-spawn", e, args.str());
+      break;
+    case EventKind::ShardExit:
+      args << ",\"s\":\"g\",\"args\":{\"shard\":" << e.a << ",\"delivered\":"
+           << e.b << ",\"attempt\":" << e.c << "}";
+      emit("i", "shard-exit", e, args.str());
+      break;
+    case EventKind::ShardRequeue:
+      args << ",\"s\":\"g\",\"args\":{\"shard\":" << e.a << ",\"attempt\":"
+           << e.b << ",\"resumed\":" << e.c << "}";
+      emit("i", "shard-requeue", e, args.str());
+      break;
+    case EventKind::ShardPoint:
+      args << ",\"s\":\"g\",\"args\":{\"point\":[" << e.a << "," << e.b << ","
+           << e.c << "]}";
+      emit("i", "shard-point", e, args.str());
+      break;
+    case EventKind::ShardHeartbeat:
+      // High-frequency liveness signal; counters, not instants, keep the
+      // trace readable.
+      break;
+    default:
+      break;
   }
 }
 

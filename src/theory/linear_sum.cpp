@@ -47,6 +47,12 @@ void LinearSumPropagator::add_bound(SumId s, std::int64_t bound, Lit activation)
   sums_[s].bounds.push_back(BoundEntry{bound, activation});
 }
 
+void LinearSumPropagator::add_lower_bound(SumId s, std::int64_t bound,
+                                          Lit activation) {
+  if (proof_ != nullptr) proof_->def_sum_lower_bound(s, bound, activation);
+  sums_[s].lower_bounds.push_back(BoundEntry{bound, activation});
+}
+
 void LinearSumPropagator::set_bound(SumId s, std::int64_t bound, Lit activation) {
   sums_[s].bounds.clear();
   add_bound(s, bound, activation);
@@ -67,6 +73,22 @@ void LinearSumPropagator::explain_lower_bound(SumId id, std::int64_t threshold,
     if (gathered >= threshold) return;
   }
   assert(gathered >= threshold && "lower bound smaller than threshold");
+}
+
+void LinearSumPropagator::explain_forfeit(SumId id, std::int64_t threshold,
+                                          const Solver& solver,
+                                          std::vector<Lit>& out) const {
+  if (threshold <= 0) return;
+  const Sum& s = sums_[id];
+  std::int64_t gathered = 0;
+  for (const Term& t : s.terms) {  // heavy terms first: short explanations
+    if (t.weight == 0) break;
+    if (solver.value(t.guard) != Lbool::False) continue;
+    out.push_back(t.guard);
+    gathered += t.weight;
+    if (gathered >= threshold) return;
+  }
+  assert(gathered >= threshold && "forfeited weight smaller than threshold");
 }
 
 std::int64_t LinearSumPropagator::value_under_model(
@@ -121,6 +143,50 @@ bool LinearSumPropagator::enforce_bound(Solver& solver, SumId id) {
   return true;
 }
 
+bool LinearSumPropagator::enforce_lower_bound(Solver& solver, SumId id) {
+  Sum& s = sums_[id];
+  if (s.lower_bounds.empty()) return true;
+  // The largest active floor subsumes all the others.
+  const BoundEntry* tightest = nullptr;
+  for (const BoundEntry& b : s.lower_bounds) {
+    if (b.activation != asp::kLitUndef &&
+        solver.value(b.activation) != Lbool::True) {
+      continue;
+    }
+    if (tightest == nullptr || b.bound > tightest->bound) tightest = &b;
+  }
+  if (tightest == nullptr || tightest->bound <= 0) return true;
+  const std::int64_t bound = tightest->bound;
+  const Lit activation = tightest->activation;
+  // Both lemma shapes share one re-derivation: the positive guards in the
+  // clause, all assumed false, forfeit so much weight that the sum can no
+  // longer reach the declared floor.
+  const asp::TheoryJustification just{
+      asp::TheoryTag::LinearLower,
+      {id, bound,
+       activation == asp::kLitUndef ? 0 : asp::proof_int(activation)}};
+  const std::int64_t upper = s.lower + s.slack;
+  std::vector<Lit> clause;
+  if (upper < bound) {
+    // Conflict: the falsified guards forfeit weight > total - bound.
+    explain_forfeit(id, s.total - bound + 1, solver, clause);
+    if (activation != asp::kLitUndef) clause.push_back(~activation);
+    return solver.add_theory_clause(clause, &just);
+  }
+  // Implication: any undecided guard whose loss would undershoot is true.
+  const std::int64_t surplus = upper - bound;
+  for (const Term& t : s.terms) {
+    if (t.weight <= surplus) break;  // sorted descending: nothing heavier left
+    if (solver.value(t.guard) != Lbool::Undef) continue;
+    clause.clear();
+    explain_forfeit(id, s.total - bound - t.weight + 1, solver, clause);
+    clause.push_back(t.guard);
+    if (activation != asp::kLitUndef) clause.push_back(~activation);
+    if (!solver.add_theory_clause(clause, &just)) return false;
+  }
+  return true;
+}
+
 bool LinearSumPropagator::propagate(Solver& solver) {
   bool any_change = false;
   while (cursor_ < solver.trail().size()) {
@@ -151,6 +217,7 @@ bool LinearSumPropagator::propagate(Solver& solver) {
   if (!partial_eval_) return true;
   for (SumId id = 0; id < sums_.size(); ++id) {
     if (!enforce_bound(solver, id)) return false;
+    if (!enforce_lower_bound(solver, id)) return false;
   }
   return true;
 }
@@ -173,6 +240,7 @@ bool LinearSumPropagator::check(Solver& solver) {
   if (!propagate(solver)) return false;
   for (SumId id = 0; id < sums_.size(); ++id) {
     if (!enforce_bound(solver, id)) return false;
+    if (!enforce_lower_bound(solver, id)) return false;
   }
   return true;
 }

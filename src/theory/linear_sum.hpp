@@ -65,6 +65,15 @@ class LinearSumPropagator final : public asp::TheoryPropagator {
   /// active at once; the tightest active one is enforced.
   void add_bound(SumId s, std::int64_t bound, asp::Lit activation = asp::kLitUndef);
 
+  /// Impose `sum >= bound` (the distributed shard floor).  Mirrors
+  /// add_bound: with a real `activation` literal the constraint applies only
+  /// while that literal is true, and every injected clause carries its
+  /// negation.  Enforced against the *upper* bound (lower + slack): once the
+  /// falsified guards forfeit too much weight the remaining heavy undecided
+  /// guards are forced true, and running out of weight is a conflict.
+  void add_lower_bound(SumId s, std::int64_t bound,
+                       asp::Lit activation = asp::kLitUndef);
+
   /// Replace all bounds of a sum by a single one.
   void set_bound(SumId s, std::int64_t bound, asp::Lit activation = asp::kLitUndef);
 
@@ -109,6 +118,7 @@ class LinearSumPropagator final : public asp::TheoryPropagator {
     std::int64_t slack = 0;           // weights of undecided guards
     std::int64_t total = 0;           // Σ weights
     std::vector<BoundEntry> bounds;
+    std::vector<BoundEntry> lower_bounds;
   };
 
   struct WatchRef {
@@ -125,6 +135,12 @@ class LinearSumPropagator final : public asp::TheoryPropagator {
   };
 
   [[nodiscard]] bool enforce_bound(asp::Solver& solver, SumId id);
+  [[nodiscard]] bool enforce_lower_bound(asp::Solver& solver, SumId id);
+  // Collect FALSE guards (appended positively) explaining
+  // `upper_bound(s) <= total - threshold`, heavy-first.
+  void explain_forfeit(SumId s, std::int64_t threshold,
+                       const asp::Solver& solver,
+                       std::vector<asp::Lit>& out) const;
 
   std::vector<Sum> sums_;
   // watch table: literal index -> terms whose guard equals that literal

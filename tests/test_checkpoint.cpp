@@ -222,7 +222,7 @@ TEST(Checkpoint, WarmFlagSurvivesRoundTrip) {
   Checkpoint a = explored_checkpoint(test::two_proc_bus());
   a.warm_started = true;
   const std::string text = to_text(a);
-  EXPECT_EQ(text.rfind("aspmt-ckpt 3", 0), 0U) << "v3 header expected";
+  EXPECT_EQ(text.rfind("aspmt-ckpt 4", 0), 0U) << "v4 header expected";
   EXPECT_NE(text.find("\nwarm 1\n"), std::string::npos);
   Checkpoint b;
   ASSERT_EQ(parse_checkpoint(text, b), "");
@@ -332,6 +332,57 @@ TEST(Checkpoint, ExploredRunRecordsSectionsAndClausesInSnapshot) {
     }
   }
   std::remove(path.c_str());
+}
+
+// --- format v4: slice-scheduler bounds ------------------------------------
+
+TEST(Checkpoint, SliceBoundsSurviveRoundTrip) {
+  Checkpoint a = explored_checkpoint(test::chain3_bus());
+  a.slice_bounds = {7, 12, 25};
+  const std::string text = to_text(a);
+  EXPECT_EQ(text.rfind("aspmt-ckpt 4", 0), 0U);
+  Checkpoint b;
+  b.slice_bounds = {99};  // stale state: the parser must reset it
+  ASSERT_EQ(parse_checkpoint(text, b), "");
+  EXPECT_EQ(b.slice_bounds, a.slice_bounds);
+  EXPECT_EQ(to_text(b), text);
+}
+
+TEST(Checkpoint, EmptySliceBoundsOmitTheSlicesLine) {
+  const Checkpoint a = explored_checkpoint(test::two_proc_bus());
+  const std::string text = to_text(a);
+  EXPECT_EQ(text.find("slices"), std::string::npos);
+  Checkpoint b;
+  ASSERT_EQ(parse_checkpoint(text, b), "");
+  EXPECT_TRUE(b.slice_bounds.empty());
+}
+
+TEST(Checkpoint, VersionThreeFilesLoadWithEmptySliceBounds) {
+  const std::string text = with_checksum(
+      "aspmt-ckpt 3\nspec 7\nseed 1\nelapsed-ms 5\nwarm 0\npoints 1\n"
+      "p 3 1 2 3\n");
+  Checkpoint c;
+  c.slice_bounds = {4};  // stale state: the parser must reset it
+  ASSERT_EQ(parse_checkpoint(text, c), "");
+  EXPECT_TRUE(c.slice_bounds.empty());
+}
+
+TEST(Checkpoint, SlicesLineInsideVersionThreeIsRejected) {
+  const std::string text = with_checksum(
+      "aspmt-ckpt 3\nspec 7\nseed 1\nelapsed-ms 5\nwarm 0\n"
+      "slices 2 4 9\npoints 1\np 3 1 2 3\n");
+  Checkpoint c;
+  const std::string err = parse_checkpoint(text, c);
+  EXPECT_NE(err.find("unknown line kind"), std::string::npos) << err;
+}
+
+TEST(Checkpoint, MalformedSlicesLineIsRejected) {
+  const std::string text = with_checksum(
+      "aspmt-ckpt 4\nspec 7\nseed 1\nelapsed-ms 5\nwarm 0\n"
+      "slices 3 4 9\npoints 1\np 3 1 2 3\n");  // promises 3 bounds, gives 2
+  Checkpoint c;
+  const std::string err = parse_checkpoint(text, c);
+  EXPECT_FALSE(err.empty());
 }
 
 TEST(Checkpoint, VersionOneFilesStillLoadWithWarmStartedFalse) {

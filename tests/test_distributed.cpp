@@ -1,0 +1,508 @@
+// Distributed sharding is an *exact* method: whatever the shard/process
+// split, the merged front must be point-for-point identical to the
+// single-process explorer's and the merged certificate must verify.  These
+// tests enforce that over the full {threads} x {processes} matrix on every
+// synth fixture, exercise both execution backends (in-process lanes and
+// forked shard workers), and drive the certified merge with adversarial
+// shard results — forged witnesses, truncated proofs, overlapping and
+// missing bands — that must all be rejected.
+#include "dse/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cert/certify.hpp"
+#include "dse/explorer.hpp"
+#include "dse/parallel_explorer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "pareto/point.hpp"
+#include "synth/validator.hpp"
+#include "synth_fixtures.hpp"
+
+namespace aspmt::dse {
+namespace {
+
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+struct Fixture {
+  const char* name;
+  synth::Specification spec;
+};
+
+std::vector<Fixture> fixtures() {
+  std::vector<Fixture> f;
+  f.push_back({"singleton", test::singleton()});
+  f.push_back({"two_proc_bus", test::two_proc_bus()});
+  f.push_back({"chain3_bus", test::chain3_bus()});
+  f.push_back({"diamond_two_proc", test::diamond_two_proc()});
+  return f;
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "aspmt_dist_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void expect_tiling(const std::vector<Shard>& shards) {
+  ASSERT_FALSE(shards.empty());
+  EXPECT_EQ(shards.front().lo, kMin);
+  EXPECT_EQ(shards.back().hi, kMax);
+  for (std::size_t i = 0; i + 1 < shards.size(); ++i) {
+    ASSERT_LT(shards[i].hi, kMax);
+    EXPECT_EQ(shards[i + 1].lo, shards[i].hi + 1)
+        << "bands " << i << " and " << i + 1 << " do not meet";
+  }
+}
+
+// ---- shard_objective_space -------------------------------------------------
+
+TEST(Distributed, SingleShardSplitIsOneUnboundedBand) {
+  const std::vector<Shard> shards =
+      shard_objective_space(test::chain3_bus(), 1, 1);
+  ASSERT_EQ(shards.size(), 1U);
+  EXPECT_EQ(shards[0].lo, kMin);
+  EXPECT_EQ(shards[0].hi, kMax);
+}
+
+TEST(Distributed, BandsTileTheObjectiveLine) {
+  const synth::Specification spec = test::chain3_bus();
+  for (const std::size_t want : {2U, 3U, 4U}) {
+    const std::vector<Shard> shards = shard_objective_space(spec, want, 1);
+    EXPECT_LE(shards.size(), want);
+    expect_tiling(shards);
+  }
+}
+
+TEST(Distributed, DegenerateSampleCollapsesToFewerShards) {
+  // The singleton fixture has one design point: every sampled objective
+  // value coincides, so no quantile split exists and the request collapses
+  // to a single unbounded band instead of fabricating empty shards.
+  const std::vector<Shard> shards =
+      shard_objective_space(test::singleton(), 4, 1);
+  ASSERT_EQ(shards.size(), 1U);
+  EXPECT_EQ(shards[0].lo, kMin);
+  EXPECT_EQ(shards[0].hi, kMax);
+}
+
+TEST(Distributed, SplitSampleDoublesAsValidatedSeedPool) {
+  const synth::Specification spec = test::chain3_bus();
+  std::vector<WarmSeedCandidate> seeds;
+  const std::vector<Shard> shards =
+      shard_objective_space(spec, 2, 1, 256, 1, &seeds);
+  expect_tiling(shards);
+  ASSERT_FALSE(seeds.empty());
+  for (const WarmSeedCandidate& s : seeds) {
+    EXPECT_EQ(synth::validate_implementation(spec, s.impl), "");
+    EXPECT_EQ(s.impl.objectives(), s.point);
+  }
+}
+
+// ---- seed-file handoff -----------------------------------------------------
+
+TEST(Distributed, SeedFileRoundTrips) {
+  std::vector<WarmSeedCandidate> seeds;
+  (void)shard_objective_space(test::chain3_bus(), 2, 1, 256, 1, &seeds);
+  ASSERT_FALSE(seeds.empty());
+
+  const std::string path = temp_path("seeds_roundtrip.txt");
+  ASSERT_TRUE(save_seed_file(path, seeds));
+  std::vector<WarmSeedCandidate> loaded;
+  ASSERT_EQ(load_seed_file(path, loaded), "");
+  ASSERT_EQ(loaded.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(loaded[i].point, seeds[i].point);
+    EXPECT_EQ(loaded[i].impl.objectives(), seeds[i].impl.objectives());
+    EXPECT_EQ(loaded[i].impl.option_of_task, seeds[i].impl.option_of_task);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Distributed, CorruptSeedFilesAreRejected) {
+  std::vector<WarmSeedCandidate> seeds;
+  (void)shard_objective_space(test::chain3_bus(), 2, 1, 256, 1, &seeds);
+  ASSERT_FALSE(seeds.empty());
+  const std::string path = temp_path("seeds_corrupt.txt");
+  ASSERT_TRUE(save_seed_file(path, seeds));
+  const std::string good = slurp(path);
+
+  auto rejects = [&](const std::string& text) {
+    std::ofstream(path, std::ios::binary) << text;
+    std::vector<WarmSeedCandidate> out;
+    return !load_seed_file(path, out).empty();
+  };
+  EXPECT_TRUE(rejects("aspmt-seeds 9\n0\n")) << "wrong header version";
+  EXPECT_TRUE(rejects("not a seed file\n")) << "foreign header";
+  // Truncation: drop the final witness line — the promised count is short.
+  const std::size_t last_w = good.rfind("\nw ");
+  ASSERT_NE(last_w, std::string::npos);
+  EXPECT_TRUE(rejects(good.substr(0, last_w + 1))) << "truncated file";
+  // A witness that fails to parse must not slip through as empty.
+  std::string bad = good;
+  const std::size_t w_at = bad.find("\nw ");
+  ASSERT_NE(w_at, std::string::npos);
+  bad.replace(w_at, 3, "\nw @");
+  EXPECT_TRUE(rejects(bad)) << "mangled witness";
+  std::remove(path.c_str());
+}
+
+// ---- RESULT payload --------------------------------------------------------
+
+TEST(Distributed, ShardResultPayloadRoundTrips) {
+  ParallelExploreOptions opts;
+  opts.threads = 2;
+  opts.common.certify = true;
+  const ParallelExploreResult r =
+      explore_parallel(test::chain3_bus(), opts);
+  ASSERT_TRUE(r.base.stats.complete);
+  ASSERT_FALSE(r.discovery_witnesses.empty());
+  ASSERT_FALSE(r.base.proof.empty());
+
+  const std::string text = shard_result_to_text(r);
+  ShardResultPayload p;
+  ASSERT_EQ(parse_shard_result(text, p), "");
+  EXPECT_TRUE(p.complete);
+  EXPECT_EQ(p.models, r.base.stats.models);
+  EXPECT_EQ(p.front, r.base.front);
+  EXPECT_EQ(p.proof, r.base.proof);
+  ASSERT_EQ(p.discoveries.size(), r.discovery_witnesses.size());
+  for (std::size_t i = 0; i < p.discoveries.size(); ++i) {
+    EXPECT_EQ(p.discoveries[i].first, r.discovery_witnesses[i].first);
+    EXPECT_EQ(p.discoveries[i].second.option_of_task,
+              r.discovery_witnesses[i].second.option_of_task);
+  }
+}
+
+TEST(Distributed, TruncatedShardResultIsRejected) {
+  ParallelExploreOptions opts;
+  opts.common.certify = true;
+  const ParallelExploreResult r = explore_parallel(test::two_proc_bus(), opts);
+  ASSERT_TRUE(r.base.stats.complete);
+  const std::string text = shard_result_to_text(r);
+  ShardResultPayload p;
+  // Every prefix that cuts into the proof bytes or the trailer must fail:
+  // the length-prefixed framing makes truncation detectable, not silent.
+  EXPECT_NE(parse_shard_result(text.substr(0, text.size() / 2), p), "");
+  EXPECT_NE(parse_shard_result(text.substr(0, text.size() - 5), p), "");
+  EXPECT_NE(parse_shard_result("", p), "");
+}
+
+// ---- the equivalence matrix ------------------------------------------------
+
+TEST(Distributed, FrontMatchesSingleProcessAcrossThreadByProcessMatrix) {
+  for (const Fixture& f : fixtures()) {
+    const ExploreResult seq = explore(f.spec);
+    ASSERT_TRUE(seq.stats.complete) << f.name;
+    for (const std::size_t threads : {1U, 2U, 4U}) {
+      for (const std::size_t processes : {1U, 2U, 4U}) {
+        DistributedOptions opts;
+        opts.in_process = true;  // deterministic backend for the matrix
+        opts.processes = processes;
+        opts.base.threads = threads;
+        opts.base.common.certify = true;
+        const DistributedResult r = explore_distributed(f.spec, opts);
+        ASSERT_TRUE(r.base.stats.complete)
+            << f.name << " t" << threads << " p" << processes;
+        EXPECT_EQ(r.base.front, seq.front)
+            << f.name << " t" << threads << " p" << processes;
+        EXPECT_TRUE(r.base.certified)
+            << f.name << " t" << threads << " p" << processes << ": "
+            << r.base.certificate_error;
+        for (const ShardReport& s : r.shards) {
+          EXPECT_TRUE(s.completed) << f.name << " shard " << s.shard;
+          EXPECT_EQ(s.attempts, 1U) << f.name << " shard " << s.shard;
+        }
+      }
+    }
+  }
+}
+
+TEST(Distributed, MergedWitnessesValidateAndMatchTheFront) {
+  const synth::Specification spec = test::chain3_bus();
+  DistributedOptions opts;
+  opts.in_process = true;
+  opts.processes = 2;
+  opts.base.common.certify = true;
+  const DistributedResult r = explore_distributed(spec, opts);
+  ASSERT_TRUE(r.base.certified) << r.base.certificate_error;
+  ASSERT_EQ(r.base.witnesses.size(), r.base.front.size());
+  for (std::size_t i = 0; i < r.base.front.size(); ++i) {
+    EXPECT_EQ(synth::validate_implementation(spec, r.base.witnesses[i]), "");
+    EXPECT_EQ(r.base.witnesses[i].objectives(), r.base.front[i]);
+  }
+}
+
+TEST(Distributed, MergedProofContainerRoundTripsAndReCertifies) {
+  const synth::Specification spec = test::chain3_bus();
+  DistributedOptions opts;
+  opts.in_process = true;
+  opts.processes = 2;
+  opts.base.common.certify = true;
+  const DistributedResult r = explore_distributed(spec, opts);
+  ASSERT_TRUE(r.base.certified) << r.base.certificate_error;
+  ASSERT_FALSE(r.base.proof.empty());
+  EXPECT_EQ(r.base.proof.compare(0, cert::kMergedProofHeader.size(),
+                                 cert::kMergedProofHeader),
+            0);
+  std::size_t objective = 99;
+  std::vector<cert::ShardProof> shards;
+  ASSERT_EQ(cert::parse_merged_proof(r.base.proof, objective, shards), "");
+  EXPECT_EQ(objective, 1U);
+  EXPECT_EQ(shards.size(), r.shards.size());
+}
+
+TEST(Distributed, CoordinatorEmitsShardLifecycleEvents) {
+  struct Capture final : obs::EventSink {
+    std::vector<obs::Event> events;
+    bool flushed = false;
+    void on_event(const obs::Event& e) override { events.push_back(e); }
+    void flush() override { flushed = true; }
+  } capture;
+
+  DistributedOptions opts;
+  opts.in_process = true;
+  opts.processes = 2;
+  opts.base.common.sink = &capture;
+  const DistributedResult r = explore_distributed(test::chain3_bus(), opts);
+  ASSERT_TRUE(r.base.stats.complete);
+  EXPECT_TRUE(capture.flushed);
+
+  std::size_t spawns = 0;
+  std::size_t exits = 0;
+  std::size_t run_start = 0;
+  std::size_t run_end = 0;
+  for (const obs::Event& e : capture.events) {
+    switch (e.kind) {
+      case obs::EventKind::ShardSpawn: ++spawns; break;
+      case obs::EventKind::ShardExit: ++exits; break;
+      case obs::EventKind::RunStart: ++run_start; break;
+      case obs::EventKind::RunEnd: ++run_end; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(run_start, 1U);
+  EXPECT_EQ(run_end, 1U);
+  EXPECT_EQ(spawns, r.shards.size());
+  EXPECT_EQ(exits, r.shards.size());
+}
+
+// ---- adversarial merged certification ---------------------------------------
+//
+// Built from a *real* 2-shard certified run: each adversarial case tampers
+// with exactly one aspect of otherwise-valid shard results, so a rejection
+// can only come from the check under test.
+
+struct TwoShardRun {
+  synth::Specification spec;
+  std::vector<Shard> bands;
+  std::vector<std::pair<pareto::Vec, synth::Implementation>> discoveries;
+  std::vector<pareto::Vec> front;
+  std::vector<cert::ShardProof> proofs;
+};
+
+TwoShardRun real_two_shard_run() {
+  TwoShardRun run;
+  run.spec = test::chain3_bus();
+  run.bands = shard_objective_space(run.spec, 2, 1);
+  EXPECT_EQ(run.bands.size(), 2U);
+
+  std::vector<pareto::Vec> union_points;
+  for (const Shard& band : run.bands) {
+    ParallelExploreOptions opts;
+    opts.common.certify = true;
+    opts.shard.active = true;
+    opts.shard.objective = 1;
+    opts.shard.lo = band.lo;
+    opts.shard.hi = band.hi;
+    const ParallelExploreResult r = explore_parallel(run.spec, opts);
+    EXPECT_TRUE(r.base.stats.complete);
+    for (const auto& [point, impl] : r.discovery_witnesses) {
+      bool seen = false;
+      for (const auto& [p, unused] : run.discoveries) seen = seen || p == point;
+      if (!seen) run.discoveries.emplace_back(point, impl);
+    }
+    for (const pareto::Vec& p : r.base.front) union_points.push_back(p);
+    run.proofs.push_back(cert::ShardProof{band.lo, band.hi, r.base.proof});
+  }
+  run.front = pareto::non_dominated_filter(std::move(union_points));
+  return run;
+}
+
+TEST(Distributed, AdversarialShardResultsAreRejected) {
+  const TwoShardRun run = real_two_shard_run();
+  ASSERT_EQ(run.proofs.size(), 2U);
+
+  // Baseline: the untampered run certifies — every rejection below is
+  // attributable to its single tampered aspect.
+  {
+    const cert::MergedCertifyResult ok = cert::certify_merged(
+        run.spec, run.discoveries, run.front, run.proofs, 1);
+    ASSERT_TRUE(ok.certified) << ok.error;
+  }
+
+  // Forged witness: a discovery claims objectives its implementation does
+  // not realise.
+  {
+    auto discoveries = run.discoveries;
+    ASSERT_FALSE(discoveries.empty());
+    discoveries.front().first[0] += 1;
+    const cert::MergedCertifyResult r = cert::certify_merged(
+        run.spec, discoveries, run.front, run.proofs, 1);
+    EXPECT_FALSE(r.certified);
+    EXPECT_FALSE(r.error.empty());
+  }
+
+  // Dropped witness: a discovery with an empty implementation cannot stand
+  // in for the proof's F step.
+  {
+    auto discoveries = run.discoveries;
+    discoveries.front().second = synth::Implementation{};
+    const cert::MergedCertifyResult r = cert::certify_merged(
+        run.spec, discoveries, run.front, run.proofs, 1);
+    EXPECT_FALSE(r.certified);
+  }
+
+  // Truncated proof: shard 1's stream loses its tail (and with it the
+  // verified Unsat conclusion).
+  {
+    auto proofs = run.proofs;
+    ASSERT_GT(proofs[1].proof.size(), 40U);
+    proofs[1].proof.resize(proofs[1].proof.size() / 2);
+    const cert::MergedCertifyResult r = cert::certify_merged(
+        run.spec, run.discoveries, run.front, proofs, 1);
+    EXPECT_FALSE(r.certified);
+  }
+
+  // Overlapping bands: shard 1 claims to start inside shard 0's band, so
+  // the claimed bands no longer tile the objective line.
+  {
+    auto proofs = run.proofs;
+    proofs[1].lo = proofs[0].lo;
+    const cert::MergedCertifyResult r = cert::certify_merged(
+        run.spec, run.discoveries, run.front, proofs, 1);
+    EXPECT_FALSE(r.certified);
+  }
+
+  // Missing band: dropping a shard leaves a hole no Unsat covers.
+  {
+    const std::vector<cert::ShardProof> proofs{run.proofs[0]};
+    const cert::MergedCertifyResult r = cert::certify_merged(
+        run.spec, run.discoveries, run.front, proofs, 1);
+    EXPECT_FALSE(r.certified);
+  }
+
+  // Band claim wider than the proven box: the bands still tile, but shard
+  // 0's proof only established exhaustion up to its real hi.
+  {
+    auto proofs = run.proofs;
+    proofs[0].hi += 5;
+    proofs[1].lo += 5;
+    const cert::MergedCertifyResult r = cert::certify_merged(
+        run.spec, run.discoveries, run.front, proofs, 1);
+    EXPECT_FALSE(r.certified);
+  }
+
+  // Forged front: an extra (dominated) point smuggled into the merged front
+  // fails the front == non-dominated-filter(union) check.
+  {
+    auto front = run.front;
+    ASSERT_FALSE(front.empty());
+    pareto::Vec extra = front.front();
+    for (std::int64_t& v : extra) v += 1;
+    front.push_back(extra);
+    const cert::MergedCertifyResult r = cert::certify_merged(
+        run.spec, run.discoveries, front, run.proofs, 1);
+    EXPECT_FALSE(r.certified);
+  }
+}
+
+// ---- process mode ----------------------------------------------------------
+//
+// ASPMT_DSE_BIN points at the real aspmt_dse binary (set by the test build),
+// so these run the genuine fork/exec + pipe + RESULT path end to end.
+#ifdef ASPMT_DSE_BIN
+
+TEST(Distributed, ProcessModeMatchesSingleProcessAndCertifies) {
+  const synth::Specification spec = test::chain3_bus();
+  const ExploreResult seq = explore(spec);
+  ASSERT_TRUE(seq.stats.complete);
+
+  DistributedOptions opts;
+  opts.processes = 2;
+  opts.base.threads = 1;
+  opts.base.common.certify = true;
+  opts.worker_path = ASPMT_DSE_BIN;
+  const DistributedResult r = explore_distributed(spec, opts);
+  ASSERT_TRUE(r.base.stats.complete);
+  EXPECT_EQ(r.base.front, seq.front);
+  EXPECT_TRUE(r.base.certified) << r.base.certificate_error;
+  for (const ShardReport& s : r.shards) {
+    EXPECT_TRUE(s.completed) << "shard " << s.shard << ": " << s.error;
+    EXPECT_EQ(s.attempts, 1U);
+    EXPECT_GT(s.seconds, 0.0);
+  }
+}
+
+TEST(Distributed, KilledWorkerIsRequeuedAndConvergesToTheSameFront) {
+  const synth::Specification spec = test::chain3_bus();
+  const ExploreResult seq = explore(spec);
+  ASSERT_TRUE(seq.stats.complete);
+
+  obs::MetricsRegistry metrics;
+  DistributedOptions opts;
+  opts.processes = 2;
+  opts.base.threads = 1;
+  opts.base.common.certify = true;
+  opts.base.common.metrics = &metrics;
+  opts.worker_path = ASPMT_DSE_BIN;
+  opts.sabotage_shard = 0;  // first attempt self-kills after one point
+  opts.sabotage_after_points = 1;
+  const DistributedResult r = explore_distributed(spec, opts);
+  ASSERT_TRUE(r.base.stats.complete)
+      << (r.base.errors.empty() ? "" : r.base.errors.front());
+  EXPECT_EQ(r.base.front, seq.front);
+  EXPECT_TRUE(r.base.certified) << r.base.certificate_error;
+  ASSERT_FALSE(r.shards.empty());
+  EXPECT_EQ(r.shards[0].attempts, 2U) << "sabotaged shard was not requeued";
+  EXPECT_TRUE(r.shards[0].completed) << r.shards[0].error;
+  EXPECT_EQ(metrics.counter("distributed.requeues").value(), 1U);
+}
+
+TEST(Distributed, RemovedCliAliasesAreHardErrors) {
+  const std::string err_path = temp_path("alias_stderr.txt");
+  const std::string cmd = std::string(ASPMT_DSE_BIN) +
+                          " explore missing.txt --proof=x 2>" + err_path;
+  const int status = std::system(cmd.c_str());
+  ASSERT_NE(status, -1);
+  EXPECT_NE(status, 0) << "--proof must be a hard error";
+  const std::string err = slurp(err_path);
+  EXPECT_NE(err.find("--proof was removed"), std::string::npos) << err;
+  EXPECT_NE(err.find("--proof-out"), std::string::npos) << err;
+  std::remove(err_path.c_str());
+
+  const std::string cmd2 = std::string(ASPMT_DSE_BIN) +
+                           " explore missing.txt --checkpoint=x 2>" + err_path;
+  EXPECT_NE(std::system(cmd2.c_str()), 0);
+  const std::string err2 = slurp(err_path);
+  EXPECT_NE(err2.find("--checkpoint-out"), std::string::npos) << err2;
+  std::remove(err_path.c_str());
+}
+
+#endif  // ASPMT_DSE_BIN
+
+}  // namespace
+}  // namespace aspmt::dse

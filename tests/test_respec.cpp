@@ -294,5 +294,34 @@ TEST(Respec, EmitsDeltaAndReuseEventsAndMetrics) {
             static_cast<std::uint64_t>(inc.reuse.clauses_replayed));
 }
 
+// A v4 checkpoint carries the previous session's slice bounds; reexplore at
+// >1 threads must reseed the scheduler from those exact bounds (not a fresh
+// partition) and still land on the cold front.
+TEST(Respec, SliceBoundsFromV4CheckpointReseedTheScheduler) {
+  const synth::Specification base = test::chain3_bus();
+  const std::string path =
+      ::testing::TempDir() + "aspmt_respec_slices.ckpt";
+  ParallelExploreOptions par;
+  par.threads = 4;
+  par.common.checkpoint_path = path;
+  const ParallelExploreResult prev_run = explore_parallel(base, par);
+  ASSERT_TRUE(prev_run.base.stats.complete);
+  Checkpoint prev;
+  ASSERT_EQ(load_checkpoint(path, prev), "");
+  std::remove(path.c_str());
+  ASSERT_FALSE(prev.slice_bounds.empty())
+      << "a 4-thread run must persist its slice partition";
+
+  const synth::Specification edited = test::mutate_wcet_bump(base);
+  const ExploreResult cold = cold_reference(edited);
+  ASSERT_TRUE(cold.stats.complete);
+
+  const ReexploreResult inc = reexplore(prev, edited, incremental_options(4));
+  ASSERT_TRUE(inc.base.stats.complete);
+  EXPECT_EQ(inc.base.front, cold.front);
+  EXPECT_EQ(inc.reuse.slices_resumed, prev.slice_bounds.size())
+      << "scheduler must resume the persisted partition verbatim";
+}
+
 }  // namespace
 }  // namespace aspmt::dse

@@ -9,18 +9,24 @@
 //   aspmt_dse validate spec.txt
 //   aspmt_dse asp      program.lp [--models N]      (non-ground ASP solving)
 #include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include <fstream>
+
+#include <unistd.h>
 
 #include "asp/grounder.hpp"
 #include "asp/unfounded.hpp"
@@ -28,6 +34,7 @@
 #include "dse/budget.hpp"
 #include "dse/checkpoint.hpp"
 #include "dse/context.hpp"
+#include "dse/distributed.hpp"
 #include "dse/explorer.hpp"
 #include "dse/optimizer.hpp"
 #include "dse/parallel_explorer.hpp"
@@ -48,6 +55,8 @@ using namespace aspmt;
 struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> named;
+  /// Non-empty when a removed flag was used; main() reports it and exits 2.
+  std::string removed_flag_error;
   bool flag(const std::string& name) const { return named.count(name) != 0; }
   std::string get(const std::string& name, const std::string& fallback) const {
     const auto it = named.find(name);
@@ -56,6 +65,10 @@ struct Args {
   double num(const std::string& name, double fallback) const {
     const auto it = named.find(name);
     return it == named.end() ? fallback : std::stod(it->second);
+  }
+  std::int64_t i64(const std::string& name, std::int64_t fallback) const {
+    const auto it = named.find(name);
+    return it == named.end() ? fallback : std::stoll(it->second);
   }
 };
 
@@ -110,19 +123,18 @@ Args parse_args(int argc, char** argv) {
       args.positional.push_back(std::move(a));
     }
   }
-  // Output-file flags follow the --<thing>-out convention; the pre-redesign
-  // spellings keep working as hidden deprecated aliases.
-  static const std::pair<const char*, const char*> kDeprecated[] = {
+  // Output-file flags follow the --<thing>-out convention.  The
+  // pre-redesign spellings were deprecated aliases for several releases and
+  // are now hard errors naming their replacement.
+  static const std::pair<const char*, const char*> kRemoved[] = {
       {"proof", "proof-out"},
       {"checkpoint", "checkpoint-out"},
   };
-  for (const auto& [old_name, new_name] : kDeprecated) {
-    const auto it = args.named.find(old_name);
-    if (it == args.named.end()) continue;
-    std::cerr << "warning: --" << old_name << " is deprecated; use --"
-              << new_name << "\n";
-    if (args.named.count(new_name) == 0) args.named[new_name] = it->second;
-    args.named.erase(old_name);
+  for (const auto& [old_name, new_name] : kRemoved) {
+    if (args.named.count(old_name) == 0) continue;
+    args.removed_flag_error = std::string("--") + old_name +
+                              " was removed; use --" + new_name;
+    break;
   }
   return args;
 }
@@ -148,6 +160,10 @@ int usage() {
       "            [--events-out FILE]   NDJSON event log\n"
       "            [--metrics-out FILE]  metrics snapshot JSON\n"
       "            [--progress]          live status line on stderr\n"
+      "            [--shard-workers M]   distributed: M worker processes\n"
+      "            [--shards K]          objective-space bands (default M)\n"
+      "            [--shard-objective I] banded objective (1=energy, 2=cost)\n"
+      "            [--heartbeat-timeout SEC]  dead-worker requeue threshold\n"
       "  aspmt_dse optimize spec.txt --objective latency|energy|cost\n"
       "            [--warm-start nsga2|sampler|off] [--warm-start-budget N]\n"
       "  aspmt_dse baseline spec.txt --method enum|lex|lex-cold [--time-limit SEC]\n"
@@ -500,9 +516,208 @@ int explore_portfolio(const synth::Specification& spec, const Args& args) {
   return rc != 0 ? rc : obs_rc;
 }
 
+// ---- distributed exploration (dse/distributed.hpp) -------------------------
+
+/// Serialized stdout writer for the shard-worker protocol: whole lines only,
+/// one write() per message, so heartbeat and event lines never interleave.
+std::mutex g_shard_out_mutex;
+
+void shard_write(const std::string& text) {
+  const std::lock_guard<std::mutex> lock(g_shard_out_mutex);
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(STDOUT_FILENO, text.data() + off,
+                              text.size() - off);
+    if (n <= 0) return;  // coordinator gone; nothing sensible left to do
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// EventSink of the shard worker: forwards every archive insert up the
+/// control pipe as a `PT` line.  Doubles as the crash-injection hook — with
+/// --die-after-points N the worker hard-exits after the Nth streamed point,
+/// simulating a mid-run worker death for the requeue tests.
+class ShardPipeSink final : public obs::EventSink {
+ public:
+  explicit ShardPipeSink(std::uint64_t die_after_points)
+      : die_after_(die_after_points) {}
+
+  void on_event(const obs::Event& e) override {
+    // Seeded points count as points: the PT stream mirrors everything that
+    // entered the worker's archive, however it got there — which also makes
+    // --die-after-points fire even on a shard whose band is fully covered
+    // by the shared seed pool.
+    if (e.kind != obs::EventKind::ArchiveInsert &&
+        e.kind != obs::EventKind::WarmStartSeed) {
+      return;
+    }
+    std::ostringstream line;
+    line << "PT " << e.a << ' ' << e.b << ' ' << e.c << '\n';
+    shard_write(line.str());
+    if (die_after_ != 0 && ++points_ >= die_after_) _exit(9);
+  }
+
+ private:
+  std::uint64_t die_after_;
+  std::uint64_t points_ = 0;
+};
+
+/// `aspmt_dse shard-worker spec.txt --shard-lo=.. --shard-hi=..` — one shard
+/// of a distributed run.  Speaks the wire format documented in
+/// dse/distributed.hpp on stdout and exits 0 after the RESULT payload.
+int cmd_shard_worker(const Args& args) {
+  const synth::Specification spec = load(args);
+  dse::ParallelExploreOptions opts;
+  opts.threads = static_cast<std::size_t>(args.num("threads", 1));
+  opts.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  opts.common.time_limit_seconds = args.num("time-limit", 0.0);
+  opts.common.archive_kind = args.get("archive", "quadtree");
+  opts.common.partial_evaluation = !args.flag("no-partial-eval");
+  opts.common.certify = args.flag("certify");
+  opts.common.collect_witnesses = true;  // RESULT payload + checkpoints
+  opts.common.checkpoint_path = args.get("checkpoint-out", "");
+  opts.common.checkpoint_interval_seconds = args.num("checkpoint-interval", 0.0);
+  opts.shard.active = true;
+  opts.shard.objective = static_cast<std::size_t>(args.num("shard-objective", 1));
+  opts.shard.lo = args.i64("shard-lo", std::numeric_limits<std::int64_t>::min());
+  opts.shard.hi = args.i64("shard-hi", std::numeric_limits<std::int64_t>::max());
+
+  // Shared seed pool: the coordinator's split sample, forwarded to every
+  // shard so cross-band dominance pruning survives the partition.  Seeds go
+  // through the same validation gate as any warm start.
+  const std::string seeds_path = args.get("warm-seeds", "");
+  if (!seeds_path.empty()) {
+    const std::string err =
+        dse::load_seed_file(seeds_path, opts.common.warm_start.external);
+    if (!err.empty()) {
+      std::cerr << "warm-seeds rejected: " << err << "; starting cold\n";
+    }
+  }
+
+  // Requeue resume: the dead predecessor's checkpoint re-enters through the
+  // certifiable warm-start gate — every point re-validates and emits its F
+  // proof step, so a resumed shard certifies like a cold one.
+  const std::string resume_path = args.get("shard-resume", "");
+  if (!resume_path.empty()) {
+    dse::Checkpoint ckpt;
+    const std::string err = dse::load_checkpoint(resume_path, ckpt);
+    if (!err.empty()) {
+      std::cerr << "shard-resume rejected: " << err << "; starting cold\n";
+    } else if (!dse::checkpoint_matches(ckpt, spec)) {
+      std::cerr << "shard-resume rejected: spec mismatch; starting cold\n";
+    } else {
+      for (std::size_t i = 0; i < ckpt.points.size(); ++i) {
+        if (i >= ckpt.witnesses.size() ||
+            ckpt.witnesses[i].option_of_task.empty()) {
+          continue;  // witness-less points cannot pass the validation gate
+        }
+        opts.common.warm_start.external.push_back(
+            dse::WarmSeedCandidate{ckpt.points[i], ckpt.witnesses[i]});
+      }
+    }
+  }
+
+  ShardPipeSink sink(
+      static_cast<std::uint64_t>(args.num("die-after-points", 0)));
+  opts.common.sink = &sink;
+
+  shard_write("ASPMT-SHARD 1\n");
+  const long hb_ms = static_cast<long>(args.num("heartbeat-ms", 200));
+  std::atomic<bool> stop{false};
+  util::Timer up;
+  std::thread heartbeat([&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::ostringstream line;
+      line << "HB " << static_cast<long long>(up.elapsed_ms()) << '\n';
+      shard_write(line.str());
+      // Sleep in short slices so join() after a fast explore is immediate.
+      for (long slept = 0; slept < hb_ms; slept += 10) {
+        if (stop.load(std::memory_order_relaxed)) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  });
+
+  const dse::ParallelExploreResult r = dse::explore_parallel(spec, opts);
+
+  stop.store(true, std::memory_order_relaxed);
+  heartbeat.join();
+  const std::string payload = dse::shard_result_to_text(r);
+  shard_write("RESULT " + std::to_string(payload.size()) + "\n" + payload);
+  return r.base.stats.complete ? 0 : 3;
+}
+
+int explore_sharded(const synth::Specification& spec, const Args& args) {
+  dse::DistributedOptions opts;
+  opts.processes = static_cast<std::size_t>(args.num("shard-workers", 2));
+  opts.shards = static_cast<std::size_t>(args.num("shards", 0));
+  opts.shard_objective =
+      static_cast<std::size_t>(args.num("shard-objective", 1));
+  opts.heartbeat_timeout_seconds = args.num("heartbeat-timeout", 10.0);
+  opts.in_process = args.flag("shards-in-process");
+  opts.base.threads = static_cast<std::size_t>(args.num("threads", 1));
+  opts.base.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  opts.base.common.time_limit_seconds = args.num("time-limit", 0.0);
+  opts.base.common.archive_kind = args.get("archive", "quadtree");
+  opts.base.common.partial_evaluation = !args.flag("no-partial-eval");
+  opts.base.common.certify = args.flag("certify");
+  if (opts.shard_objective == 0) {
+    std::cerr << "--shard-objective 0 (latency) is not shardable: difference "
+                 "logic has no sound floor bound; use 1 (energy) or 2 (cost)\n";
+    return 2;
+  }
+  ObsSetup obs_setup;
+  if (!obs_setup.init(args)) return 1;
+  obs_setup.wire(opts.base.common);
+  const dse::DistributedResult r = dse::explore_distributed(spec, opts);
+  std::cout << "exact front: " << r.base.front.size() << " points ("
+            << (r.base.stats.complete ? "complete" : "partial")
+            << ", stopped: " << dse::to_string(r.base.stats.reason) << ", "
+            << util::fmt(r.base.stats.seconds, 3) << "s, " << r.shards.size()
+            << " shards x " << r.processes << " workers, "
+            << r.base.stats.models << " models)\n";
+  print_run_errors(r.base.errors);
+  util::Table front({"latency", "energy", "cost"});
+  for (const auto& p : r.base.front) {
+    front.add_row({util::fmt(p[0]), util::fmt(p[1]), util::fmt(p[2])});
+  }
+  front.print(std::cout);
+  std::cout << "\nper-shard breakdown:\n";
+  util::Table shards({"shard", "band", "attempts", "resumed", "points",
+                      "models", "sec", "complete"});
+  for (const dse::ShardReport& s : r.shards) {
+    const auto bound = [](std::int64_t v) {
+      if (v == std::numeric_limits<std::int64_t>::min()) return std::string("-inf");
+      if (v == std::numeric_limits<std::int64_t>::max()) return std::string("+inf");
+      return std::to_string(v);
+    };
+    shards.add_row({util::fmt(static_cast<long long>(s.shard)),
+                    "[" + bound(s.lo) + "," + bound(s.hi) + "]",
+                    util::fmt(static_cast<long long>(s.attempts)),
+                    s.resumed ? "yes" : "-",
+                    util::fmt(static_cast<long long>(s.points)),
+                    util::fmt(static_cast<long long>(s.models)),
+                    util::fmt(s.seconds, 3), s.completed ? "yes" : "no"});
+  }
+  shards.print(std::cout);
+  if (args.flag("witnesses")) {
+    for (const auto& witness : r.base.witnesses) {
+      std::cout << "\n" << witness.describe(spec);
+    }
+  }
+  const int obs_rc = obs_setup.finish();
+  const int rc =
+      finish_explore(args, r.base.stats.complete, r.base.certified,
+                     r.base.certificate_error, r.base.proof, r.base.front);
+  return rc != 0 ? rc : obs_rc;
+}
+
 int cmd_explore(const Args& args) {
   const synth::Specification spec = load(args);
   if (args.flag("reexplore-from")) return explore_incremental(spec, args);
+  if (args.flag("shard-workers") || args.flag("shards")) {
+    return explore_sharded(spec, args);
+  }
   if (args.flag("threads")) return explore_portfolio(spec, args);
   dse::ExploreOptions opts;
   opts.common.time_limit_seconds = args.num("time-limit", 0.0);
@@ -703,6 +918,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Args args = parse_args(argc, argv);
+  if (!args.removed_flag_error.empty()) {
+    std::cerr << "error: " << args.removed_flag_error << "\n";
+    return 2;
+  }
   try {
     if (command == "generate") return cmd_generate(args);
     if (command == "explore") return cmd_explore(args);
@@ -712,6 +931,7 @@ int main(int argc, char** argv) {
     if (command == "validate") return cmd_validate(args);
     if (command == "asp") return cmd_asp(args);
     if (command == "witnesses") return cmd_witnesses(args);
+    if (command == "shard-worker") return cmd_shard_worker(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
