@@ -52,6 +52,21 @@
 // front (DESIGN.md §14).
 #include "dse/distributed.hpp"
 
+// -- Service ----------------------------------------------------------------
+// dse::Session — one exploration job as a unit of supervision: per-attempt
+// budgets, sticky cancellation, checkpoint auto-resume.
+#include "dse/session.hpp"
+// dse::RetryPolicy / RetrySupervisor — capped exponential backoff with
+// deterministic jitter and a per-key circuit breaker (DESIGN.md §15).
+#include "dse/supervise.hpp"
+// serve::Server / ServerOptions — the exploration service core: admission
+// control, overload shedding, crash-safe job journal, graceful drain.
+#include "serve/server.hpp"
+// serve::SocketEndpoint / serve::Client — the unix-socket transport and its
+// blocking client (line-delimited JSON; grammar in DESIGN.md §15).
+#include "serve/endpoint.hpp"
+#include "serve/client.hpp"
+
 // -- Certification ----------------------------------------------------------
 // cert::certify_front — replay a run's proof stream and witness set through
 // the independent checker; exit code of record for certified runs.

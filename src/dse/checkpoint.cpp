@@ -1,9 +1,12 @@
 #include "dse/checkpoint.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -380,28 +383,68 @@ std::string parse_checkpoint(std::string_view text, Checkpoint& out) {
   return "";
 }
 
+std::string atomic_write_file(const std::string& path, std::string_view text,
+                              bool sync_fail) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return "durable write: cannot open '" + tmp + "' for writing";
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ::ssize_t n =
+        ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return "durable write: write to '" + tmp + "' failed";
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: a crash after the rename must never expose a file
+  // whose checksum was computed over bytes that never reached the disk.
+  // A failed fsync degrades durability but not atomicity — the rename still
+  // publishes a complete, checksummed file — so we finish the write and
+  // report the degradation for the caller to surface.
+  bool durable = true;
+  if (sync_fail || ::fsync(fd) != 0) durable = false;
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return "durable write: close of '" + tmp + "' failed";
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return "durable write: rename to '" + path + "' failed";
+  }
+  // fsync the parent directory so the rename itself survives a crash.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    if (sync_fail || ::fsync(dfd) != 0) durable = false;
+    ::close(dfd);
+  } else {
+    durable = false;
+  }
+  if (!durable) {
+    return "durable write: fsync of '" + path +
+           "' failed (durability degraded)";
+  }
+  return "";
+}
+
 std::string save_checkpoint(const Checkpoint& ckpt, const std::string& path,
-                            bool inject_corruption) {
+                            bool inject_corruption, bool sync_fail) {
   std::string text = to_text(ckpt);
   if (inject_corruption && text.size() > 20) {
     text[text.size() / 2] ^= 0x20;  // damage the payload post-checksum
   }
-  const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return "checkpoint: cannot open '" + tmp + "' for writing";
-    out << text;
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return "checkpoint: write to '" + tmp + "' failed";
-    }
+  const std::string err = atomic_write_file(path, text, sync_fail);
+  if (!err.empty() && err.find("durability degraded") != std::string::npos) {
+    return "checkpoint: fsync of '" + path + "' failed (durability degraded)";
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return "checkpoint: rename to '" + path + "' failed";
-  }
+  if (!err.empty()) return "checkpoint: " + err;
   return "";
 }
 
@@ -417,14 +460,14 @@ std::string CheckpointWriter::write_if_due(const Checkpoint& ckpt) {
   if (!due()) return "";
   std::unique_lock lock(mutex_, std::try_to_lock);
   if (!lock.owns_lock() || !due()) return "";  // another worker is writing
-  const std::string err = save_checkpoint(ckpt, path_, corrupt_);
+  const std::string err = save_checkpoint(ckpt, path_, corrupt_, sync_fail_);
   timer_.restart();
   return err;
 }
 
 std::string CheckpointWriter::write(const Checkpoint& ckpt) {
   const std::lock_guard lock(mutex_);
-  const std::string err = save_checkpoint(ckpt, path_, corrupt_);
+  const std::string err = save_checkpoint(ckpt, path_, corrupt_, sync_fail_);
   timer_.restart();
   return err;
 }

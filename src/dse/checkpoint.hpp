@@ -97,12 +97,23 @@ struct Checkpoint {
 [[nodiscard]] std::string parse_checkpoint(std::string_view text,
                                            Checkpoint& out);
 
+/// Durable atomic write: tmp file, fsync, rename, fsync of the parent
+/// directory.  A failed fsync (or the `sync_fail` fault hook) still
+/// publishes the complete file but returns a "durability degraded"
+/// diagnostic for the caller to surface as a non-fatal warning; any other
+/// non-empty return is a hard failure and nothing was published.
+[[nodiscard]] std::string atomic_write_file(const std::string& path,
+                                            std::string_view text,
+                                            bool sync_fail = false);
+
 /// Atomic write-rename.  Returns "" on success, a diagnostic otherwise.
 /// `inject_corruption` is the fault hook: the payload is damaged after the
-/// checksum was computed, so the loader must reject the file.
+/// checksum was computed, so the loader must reject the file.  `sync_fail`
+/// simulates fsync failure (see atomic_write_file).
 [[nodiscard]] std::string save_checkpoint(const Checkpoint& ckpt,
                                           const std::string& path,
-                                          bool inject_corruption = false);
+                                          bool inject_corruption = false,
+                                          bool sync_fail = false);
 
 /// Load + parse_checkpoint.  Returns "" on success, a diagnostic otherwise.
 [[nodiscard]] std::string load_checkpoint(const std::string& path,
@@ -114,10 +125,11 @@ struct Checkpoint {
 class CheckpointWriter {
  public:
   CheckpointWriter(std::string path, double interval_seconds,
-                   bool inject_corruption = false)
+                   bool inject_corruption = false, bool sync_fail = false)
       : path_(std::move(path)),
         interval_(interval_seconds),
-        corrupt_(inject_corruption) {}
+        corrupt_(inject_corruption),
+        sync_fail_(sync_fail) {}
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
@@ -137,6 +149,7 @@ class CheckpointWriter {
   std::string path_;
   double interval_;
   bool corrupt_;
+  bool sync_fail_ = false;
   std::mutex mutex_;
   util::Timer timer_;
 };

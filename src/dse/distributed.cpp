@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -407,6 +408,11 @@ DistributedResult explore_distributed(const synth::Specification& spec,
   std::deque<std::size_t> queue;
   for (std::size_t i = 0; i < shards.size(); ++i) queue.push_back(i);
 
+  // Requeue supervision (process mode): per-shard failure ledger plus the
+  // backoff gate a requeued shard must wait out before relaunch.
+  RetrySupervisor requeue_supervisor(options.retry, options.base.seed);
+  std::vector<double> ready_at(shards.size(), 0.0);
+
   events.emit(obs::EventKind::RunStart,
               static_cast<std::int64_t>(
                   options.base.common.time_limit_seconds * 1e3),
@@ -616,12 +622,25 @@ DistributedResult explore_distributed(const synth::Specification& spec,
 
     std::vector<WorkerProc> procs;
     while (!queue.empty() || !procs.empty()) {
-      while (procs.size() < processes && !queue.empty()) {
-        const std::size_t idx = queue.front();
-        queue.pop_front();
+      // Launch every ready shard (backoff gate elapsed), skipping ones
+      // still waiting theirs out.
+      const double launch_now = events.epoch.elapsed_seconds();
+      for (std::size_t qi = 0;
+           procs.size() < processes && qi < queue.size();) {
+        const std::size_t idx = queue[qi];
+        if (ready_at[idx] > launch_now) {
+          ++qi;
+          continue;
+        }
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(qi));
         launch(idx, procs);
       }
-      if (procs.empty()) break;
+      if (procs.empty()) {
+        if (queue.empty()) break;
+        // Every queued shard is backing off; sleep toward the nearest gate.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
 
       std::vector<pollfd> pfds;
       pfds.reserve(procs.size());
@@ -696,16 +715,25 @@ DistributedResult explore_distributed(const synth::Specification& spec,
         events.emit(obs::EventKind::ShardExit,
                     static_cast<std::int64_t>(shards[idx].id),
                     delivered ? 1 : 0, static_cast<std::int64_t>(p.attempt));
-        if (!delivered && attempts[idx] < 2) {
-          // One-shot requeue onto the survivors, resuming from the dead
-          // worker's checkpoint when one was written.
-          const bool have_ckpt = fs::exists(ckpt_path(idx));
-          events.emit(obs::EventKind::ShardRequeue,
-                      static_cast<std::int64_t>(shards[idx].id),
-                      static_cast<std::int64_t>(attempts[idx] + 1),
-                      have_ckpt ? 1 : 0);
-          outcomes[idx] = ShardOutcome{};
-          queue.push_back(idx);
+        if (!delivered) {
+          // Supervised requeue onto the survivors: capped attempts with a
+          // jittered backoff gate, resuming from the dead worker's
+          // checkpoint when one was written.  Past the cap the circuit
+          // opens and the shard stays failed (its error is already in
+          // outcomes[idx]) rather than churning the pool.
+          const auto decision =
+              requeue_supervisor.on_failure(shards[idx].id);
+          if (decision.retry) {
+            const bool have_ckpt = fs::exists(ckpt_path(idx));
+            events.emit(obs::EventKind::ShardRequeue,
+                        static_cast<std::int64_t>(shards[idx].id),
+                        static_cast<std::int64_t>(attempts[idx] + 1),
+                        have_ckpt ? 1 : 0);
+            outcomes[idx] = ShardOutcome{};
+            ready_at[idx] =
+                events.epoch.elapsed_seconds() + decision.delay_seconds;
+            queue.push_back(idx);
+          }
         }
         procs.erase(procs.begin() + static_cast<std::ptrdiff_t>(i));
       }
@@ -826,13 +854,18 @@ DistributedResult explore_distributed(const synth::Specification& spec,
     reg->counter("distributed.processes").set(result.processes);
     reg->counter("distributed.models").set(total_models);
     std::uint64_t requeues = 0;
+    std::uint64_t launches = 0;
     for (std::size_t i = 0; i < shards.size(); ++i) {
       if (attempts[i] > 1) requeues += attempts[i] - 1;
+      launches += attempts[i];
       reg->gauge("distributed.shard" + std::to_string(shards[i].id) +
                  ".seconds")
           .set(outcomes[i].seconds);
     }
     reg->counter("distributed.requeues").set(requeues);
+    // Total launches including first attempts — requeues tells how often
+    // workers died, requeue_attempts how much launch work the run cost.
+    reg->counter("distributed.requeue_attempts").set(launches);
     reg->gauge("distributed.wall_seconds").set(result.base.stats.seconds);
   }
 

@@ -21,11 +21,13 @@
 //    then one length-prefixed `RESULT` payload) that the coordinator turns
 //    into ShardPoint/ShardHeartbeat observability events.  A worker that
 //    exits without a result or goes silent past the heartbeat timeout is
-//    SIGKILLed and its shard is requeued exactly once onto the surviving
-//    slots; because shard workers checkpoint independently, the retry
-//    resumes from the dead worker's last snapshot through the *certifiable*
-//    warm-start gate (seeds re-validate and emit F proof steps), so no
-//    progress and no certifiability is lost.
+//    SIGKILLed and its shard is requeued under the shared supervision
+//    policy (dse/supervise.hpp): capped retries with exponential backoff +
+//    deterministic jitter, then circuit-breaker quarantine so one poisoned
+//    shard cannot churn the pool forever.  Because shard workers checkpoint
+//    independently, each retry resumes from the dead worker's last snapshot
+//    through the *certifiable* warm-start gate (seeds re-validate and emit
+//    F proof steps), so no progress and no certifiability is lost.
 //
 //  * in-process mode: shards run on coordinator threads calling
 //    explore_parallel directly — the deterministic backend the equivalence
@@ -49,6 +51,7 @@
 #include "cert/certify.hpp"
 #include "dse/explorer.hpp"
 #include "dse/parallel_explorer.hpp"
+#include "dse/supervise.hpp"
 #include "dse/warmstart.hpp"
 #include "pareto/point.hpp"
 #include "synth/implementation.hpp"
@@ -138,6 +141,10 @@ struct DistributedOptions {
   /// streaming `sabotage_after_points` points.  -1 = off.
   std::int64_t sabotage_shard = -1;
   std::uint64_t sabotage_after_points = 1;
+  /// Requeue supervision (process mode): a failed shard is relaunched after
+  /// a capped, jittered exponential backoff until `retry.max_attempts`
+  /// total launches, then quarantined with its failure recorded.
+  RetryPolicy retry;
 };
 
 /// Per-shard accounting for the CLI report, the bench and the tests.

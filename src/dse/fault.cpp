@@ -48,6 +48,8 @@ FaultPlan FaultPlan::parse(std::string_view text) {
       plan.deadline_after_polls = parse_u64(value, key);
     } else if (key == "corrupt-checkpoint") {
       plan.corrupt_checkpoint = true;
+    } else if (key == "sync-fail") {
+      plan.sync_fail = true;
     } else {
       throw std::invalid_argument("fault plan: unknown key '" +
                                   std::string(key) + "'");

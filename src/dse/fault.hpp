@@ -16,6 +16,9 @@
 //                        (deadline expiry mid-propagation)
 //   corrupt-checkpoint   every checkpoint write flips one payload byte
 //                        after the checksum was computed
+//   sync-fail            every durable (tmp+rename) write reports fsync
+//                        failure; the write proceeds but callers must
+//                        surface the degraded-durability diagnostic
 #pragma once
 
 #include <atomic>
@@ -30,10 +33,11 @@ struct FaultPlan {
   std::uint64_t alloc_fail_after = 0;      ///< 0 = off; N-th capture throws
   std::uint64_t deadline_after_polls = 0;  ///< 0 = off; N-th poll trips deadline
   bool corrupt_checkpoint = false;         ///< writer flips a payload byte
+  bool sync_fail = false;                  ///< durable writes report fsync loss
 
   [[nodiscard]] bool any() const noexcept {
     return throw_worker >= 0 || alloc_fail_after != 0 ||
-           deadline_after_polls != 0 || corrupt_checkpoint;
+           deadline_after_polls != 0 || corrupt_checkpoint || sync_fail;
   }
 
   /// Parse the ASPMT_FAULT_INJECT syntax; throws std::invalid_argument on

@@ -536,7 +536,8 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
   if (!common.checkpoint_path.empty()) {
     ckpt_writer = std::make_unique<CheckpointWriter>(
         common.checkpoint_path, common.checkpoint_interval_seconds,
-        fault != nullptr && fault->corrupt_checkpoint);
+        fault != nullptr && fault->corrupt_checkpoint,
+        fault != nullptr && fault->sync_fail);
     shared.checkpoint = ckpt_writer.get();
   }
 

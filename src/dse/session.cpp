@@ -1,0 +1,60 @@
+#include "dse/session.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "dse/checkpoint.hpp"
+
+namespace aspmt::dse {
+
+ParallelExploreResult Session::run() {
+  const std::lock_guard<std::mutex> run_lock(run_mutex_);
+
+  auto budget = std::make_shared<Budget>(options_.limits);
+  {
+    const std::lock_guard<std::mutex> lock(budget_mutex_);
+    budget_ = budget;
+  }
+  if (cancelled_.load(std::memory_order_acquire)) {
+    budget->interrupt();  // poisoned session: the attempt stops immediately
+  }
+
+  ParallelExploreOptions opts = options_.base;
+  opts.common.budget = budget.get();
+  opts.common.checkpoint_path = options_.checkpoint_path;
+  opts.common.checkpoint_interval_seconds =
+      options_.checkpoint_interval_seconds;
+  opts.common.resume = nullptr;
+
+  // Auto-resume: a matching checkpoint at the session's anchor means a
+  // previous attempt (this process or a predecessor that was killed) made
+  // progress — seed from it.  A missing, corrupt, or foreign file degrades
+  // to a cold start; the explorer records the mismatch diagnostic itself
+  // when `resume` is set, so only a *loadable matching* file is passed on.
+  Checkpoint ckpt;
+  bool resumed = false;
+  if (options_.resume_from_checkpoint && !options_.checkpoint_path.empty() &&
+      std::filesystem::exists(options_.checkpoint_path)) {
+    const std::string err = load_checkpoint(options_.checkpoint_path, ckpt);
+    if (err.empty() && checkpoint_matches(ckpt, spec_)) {
+      opts.common.resume = &ckpt;
+      resumed = true;
+    }
+  }
+  resumed_.store(resumed, std::memory_order_release);
+
+  return explore_parallel(spec_, opts);
+}
+
+void Session::cancel() {
+  cancelled_.store(true, std::memory_order_release);
+  const std::lock_guard<std::mutex> lock(budget_mutex_);
+  if (budget_ != nullptr) budget_->interrupt();
+}
+
+void Session::interrupt() {
+  const std::lock_guard<std::mutex> lock(budget_mutex_);
+  if (budget_ != nullptr) budget_->interrupt();
+}
+
+}  // namespace aspmt::dse

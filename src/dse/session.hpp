@@ -1,0 +1,97 @@
+// dse::Session — one exploration job as a restartable, cancellable unit.
+//
+// The batch explorers take a fully-wired options struct and run once; a
+// long-lived service needs the same run to be (a) cancellable from another
+// thread at any point, (b) restartable after a crash or a contained worker
+// failure, and (c) re-attemptable without re-parsing or re-validating the
+// specification.  Session packages exactly that: it owns the parsed spec,
+// derives a fresh per-attempt Budget from fixed BudgetLimits (the numeric
+// limits in CommonOptions would be consumed by the first attempt's
+// wall-clock otherwise), pins the checkpoint path, and auto-resumes from
+// that checkpoint whenever a matching one exists — which covers both the
+// retry-after-failure path and the killed-daemon recovery path with the
+// same code.
+//
+// Cancellation is sticky: cancel() trips the current attempt's Budget and
+// every future attempt starts pre-tripped, so a supervisor racing a cancel
+// against a retry cannot resurrect a job.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "dse/budget.hpp"
+#include "dse/parallel_explorer.hpp"
+#include "synth/spec.hpp"
+
+namespace aspmt::dse {
+
+struct SessionOptions {
+  /// Explorer configuration.  `base.common.budget`, `.checkpoint_path`,
+  /// `.checkpoint_interval_seconds` and `.resume` are owned by the session
+  /// and overwritten on every attempt; everything else passes through.
+  ParallelExploreOptions base;
+  /// Per-attempt resource ceilings (each attempt gets the full allowance —
+  /// a retried job is not punished for its failed attempts' wall time).
+  BudgetLimits limits;
+  /// Crash-safety anchor ("" = none): periodic snapshots are written here
+  /// and a matching file found at attempt start is resumed from.
+  std::string checkpoint_path;
+  double checkpoint_interval_seconds = 1.0;
+  /// Gate for the auto-resume probe (tests force cold starts with false).
+  bool resume_from_checkpoint = true;
+};
+
+class Session {
+ public:
+  Session(synth::Specification spec, SessionOptions options)
+      : spec_(std::move(spec)), options_(std::move(options)) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Run one attempt to completion (or budget trip / cancellation).
+  /// Serialized: one attempt at a time per session.  May be called again
+  /// after a failure or interruption; the new attempt resumes from the
+  /// session checkpoint when one matches the spec.
+  [[nodiscard]] ParallelExploreResult run();
+
+  /// Trip the in-flight attempt (if any) and poison future ones.
+  /// Thread-safe, callable concurrently with run().
+  void cancel();
+
+  /// Stop the in-flight attempt without poisoning future ones (graceful
+  /// drain: the attempt checkpoints and can be resumed by a later run()).
+  void interrupt();
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// True iff the most recent run() warm-started from the session
+  /// checkpoint (such runs are never certifiable).
+  [[nodiscard]] bool resumed_last_run() const noexcept {
+    return resumed_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const synth::Specification& spec() const noexcept {
+    return spec_;
+  }
+  [[nodiscard]] const SessionOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  synth::Specification spec_;
+  SessionOptions options_;
+  std::mutex run_mutex_;  ///< serializes attempts
+
+  /// The in-flight attempt's budget, published for cross-thread cancel.
+  std::mutex budget_mutex_;
+  std::shared_ptr<Budget> budget_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> resumed_{false};
+};
+
+}  // namespace aspmt::dse

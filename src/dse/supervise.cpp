@@ -1,0 +1,65 @@
+#include "dse/supervise.hpp"
+
+#include <algorithm>
+
+namespace aspmt::dse {
+
+namespace {
+
+/// SplitMix64 — the repo's standard mixing function for derived streams.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double retry_backoff_seconds(const RetryPolicy& policy, std::uint64_t seed,
+                             std::uint64_t key, std::size_t attempt) noexcept {
+  if (attempt < 2) return 0.0;
+  double backoff = policy.initial_backoff_seconds;
+  for (std::size_t k = 2; k < attempt; ++k) {
+    backoff *= policy.multiplier;
+    if (backoff >= policy.max_backoff_seconds) break;
+  }
+  backoff = std::min(backoff, policy.max_backoff_seconds);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter <= 0.0) return backoff;
+  // Uniform in [0,1) from the deterministic (seed, key, attempt) stream.
+  const std::uint64_t h =
+      mix(mix(seed) ^ mix(key ^ (0x5e71e0ULL + attempt)));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+  return backoff * (1.0 - jitter * u);
+}
+
+RetrySupervisor::Decision RetrySupervisor::on_failure(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t failed_attempts = ++failures_[key];
+  const std::size_t cap = std::max<std::size_t>(1, policy_.max_attempts);
+  Decision d;
+  d.attempt = failed_attempts + 1;
+  if (failed_attempts >= cap) {
+    d.retry = false;  // circuit breaker: quarantine
+    return d;
+  }
+  d.retry = true;
+  d.delay_seconds = retry_backoff_seconds(policy_, seed_, key, d.attempt);
+  ++retries_;
+  return d;
+}
+
+std::size_t RetrySupervisor::attempts(std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = failures_.find(key);
+  return it == failures_.end() ? 0 : it->second;
+}
+
+std::uint64_t RetrySupervisor::retries_granted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return retries_;
+}
+
+}  // namespace aspmt::dse

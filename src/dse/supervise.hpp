@@ -1,0 +1,71 @@
+// Retry/backoff supervision shared by the exploration service and the
+// distributed shard coordinator.
+//
+// A RetryPolicy bounds how stubbornly a failed unit of work (an exploration
+// job, a shard worker) is retried: capped exponential backoff between
+// attempts, deterministic jitter so a herd of failures de-synchronizes
+// without making reruns irreproducible, and a circuit breaker that
+// quarantines the unit after `max_attempts` instead of letting one poisoned
+// job starve the pool forever.  The jitter is a pure function of
+// (seed, key, attempt) — two runs with the same seed schedule identical
+// retries, which keeps the differential tests exact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace aspmt::dse {
+
+struct RetryPolicy {
+  /// Total attempts before the circuit breaker quarantines the unit
+  /// (first run included).  1 = never retry; 0 is treated as 1.
+  std::size_t max_attempts = 3;
+  double initial_backoff_seconds = 0.05;
+  double max_backoff_seconds = 2.0;
+  double multiplier = 2.0;
+  /// Fraction of the computed backoff randomized away ([0,1]): the delay
+  /// drawn for attempt k lies in [(1-jitter)*b_k, b_k].
+  double jitter = 0.5;
+};
+
+/// The (deterministically jittered) delay before retry attempt `attempt`
+/// (2-based: the delay after the first failure is attempt == 2).  `key`
+/// identifies the unit of work so distinct units de-synchronize.
+[[nodiscard]] double retry_backoff_seconds(const RetryPolicy& policy,
+                                           std::uint64_t seed,
+                                           std::uint64_t key,
+                                           std::size_t attempt) noexcept;
+
+/// Per-unit attempt ledger implementing the policy.  Thread-safe.
+class RetrySupervisor {
+ public:
+  explicit RetrySupervisor(RetryPolicy policy, std::uint64_t seed = 1)
+      : policy_(policy), seed_(seed) {}
+
+  struct Decision {
+    bool retry = false;           ///< false = quarantined (circuit open)
+    double delay_seconds = 0.0;   ///< backoff before the retry
+    std::size_t attempt = 0;      ///< attempt number the retry would be
+  };
+
+  /// Record one failure of unit `key` and decide its fate.
+  [[nodiscard]] Decision on_failure(std::uint64_t key);
+
+  /// Failures recorded for `key` so far.
+  [[nodiscard]] std::size_t attempts(std::uint64_t key) const;
+
+  /// Total retries granted across all keys.
+  [[nodiscard]] std::uint64_t retries_granted() const;
+
+  [[nodiscard]] const RetryPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  std::uint64_t seed_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::size_t> failures_;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace aspmt::dse

@@ -29,6 +29,11 @@ const char* kind_name(EventKind kind) noexcept {
     case EventKind::ShardRequeue: return "shard-requeue";
     case EventKind::ShardPoint: return "shard-point";
     case EventKind::ShardHeartbeat: return "shard-heartbeat";
+    case EventKind::JobAdmit: return "job-admit";
+    case EventKind::JobShed: return "job-shed";
+    case EventKind::JobRequeue: return "job-requeue";
+    case EventKind::JobQuarantine: return "job-quarantine";
+    case EventKind::JobDone: return "job-done";
   }
   return "unknown";
 }

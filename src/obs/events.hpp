@@ -89,11 +89,28 @@ enum class EventKind : std::uint8_t {
   /// Heartbeat received from a shard worker.  a = shard id, b = the
   /// worker-reported elapsed ms, c = points received from it so far.
   ShardHeartbeat,
+  /// Exploration service (serve/server.hpp): a job passed admission.
+  /// a = job sequence number, b = queue depth after admission, c = the
+  /// job's priority.
+  JobAdmit,
+  /// A queued job was load-shed (overload watermark crossed).  a = job
+  /// sequence number, b = queue depth at the shed decision, c = 1 iff the
+  /// trigger was RSS (0 = queue depth).
+  JobShed,
+  /// A failed job was requeued for a supervised retry.  a = job sequence
+  /// number, b = attempt number the retry starts, c = backoff delay in ms.
+  JobRequeue,
+  /// A job exhausted its retry budget and was quarantined.  a = job
+  /// sequence number, b = failed attempts.
+  JobQuarantine,
+  /// A job reached a terminal state.  a = job sequence number,
+  /// b = terminal JobState, c = front size (terminal runs only).
+  JobDone,
 };
 
 /// Number of distinct EventKind values (array sizing in exporters).
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::ShardHeartbeat) + 1;
+    static_cast<std::size_t>(EventKind::JobDone) + 1;
 
 /// Stable kebab-case name, e.g. "model-found" (NDJSON + trace export).
 [[nodiscard]] const char* kind_name(EventKind kind) noexcept;

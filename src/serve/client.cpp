@@ -1,0 +1,89 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aspmt::serve {
+
+Client::~Client() { close(); }
+
+std::string Client::connect(const std::string& socket_path) {
+  close();
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return "socket path too long";
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return "cannot create socket";
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string err =
+        "cannot connect to '" + socket_path + "': " + std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return err;
+  }
+  return "";
+}
+
+std::string Client::send(const Json& req) {
+  if (fd_ < 0) return "not connected";
+  std::string line = req.dump();
+  line.push_back('\n');
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ::ssize_t n =
+        ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::string("send failed: ") + std::strerror(errno);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return "";
+}
+
+std::string Client::read_line(std::string& out) {
+  if (fd_ < 0) return "not connected";
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return "";
+    }
+    char chunk[4096];
+    const ::ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::string("recv failed: ") + std::strerror(errno);
+    }
+    if (n == 0) return "eof";
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::request(const Json& req, Json& response) {
+  std::string err = send(req);
+  if (!err.empty()) return err;
+  std::string line;
+  err = read_line(line);
+  if (!err.empty()) return err;
+  return Json::parse(line, response);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace aspmt::serve

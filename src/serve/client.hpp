@@ -1,0 +1,44 @@
+// Minimal blocking client for the aspmt_served unix-socket protocol.
+// Used by the `aspmt_served` CLI subcommands and the service tests; one
+// connection per Client, one request/response line pair per call, plus a
+// read_line() escape hatch for streamed events.
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace aspmt::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to the daemon socket.  Returns "" on success.
+  [[nodiscard]] std::string connect(const std::string& socket_path);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Send one request object and read one response line into `response`.
+  /// Returns "" on success, a transport diagnostic otherwise.
+  [[nodiscard]] std::string request(const Json& req, Json& response);
+
+  /// Send a request without waiting for the reply (streamed ops).
+  [[nodiscard]] std::string send(const Json& req);
+
+  /// Read the next protocol line into `out`.  Returns "" on success,
+  /// "eof" when the daemon closed the connection, a diagnostic otherwise.
+  [[nodiscard]] std::string read_line(std::string& out);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+}  // namespace aspmt::serve

@@ -1,0 +1,339 @@
+#include "serve/endpoint.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace aspmt::serve {
+
+namespace {
+
+Json record_to_json(const JobRecord& record) {
+  Json out = Json::object();
+  out.set("job", record.id);
+  out.set("tenant", record.tenant);
+  out.set("state", to_string(record.state));
+  out.set("attempts", record.attempts);
+  if (!record.error.empty()) out.set("error", record.error);
+  if (is_terminal(record.state)) {
+    out.set("complete", record.complete);
+    out.set("certified", record.certified);
+    out.set("seconds", record.seconds);
+    Json front = Json::array();
+    for (const pareto::Vec& p : record.front) {
+      Json point = Json::array();
+      for (const std::int64_t v : p) point.push_back(v);
+      front.push_back(std::move(point));
+    }
+    out.set("front", std::move(front));
+  }
+  return out;
+}
+
+Json error_response(const std::string& message) {
+  Json out = Json::object();
+  out.set("ok", false);
+  out.set("error", message);
+  return out;
+}
+
+}  // namespace
+
+void SocketEndpoint::ConnWriter::write_line(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (closed) return;
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ::ssize_t n = ::send(fd, framed.data() + off, framed.size() - off,
+                               MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      closed = true;  // peer went away; late events become no-ops
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void SocketEndpoint::ConnWriter::close() {
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (closed) return;
+  closed = true;
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+SocketEndpoint::SocketEndpoint(Server& server, std::string socket_path,
+                               std::function<void()> on_drain)
+    : server_(server),
+      socket_path_(std::move(socket_path)),
+      on_drain_(std::move(on_drain)) {}
+
+SocketEndpoint::~SocketEndpoint() { stop(); }
+
+std::string SocketEndpoint::start() {
+  sockaddr_un addr{};
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    return "socket path too long (" + std::to_string(socket_path_.size()) +
+           " bytes, limit " + std::to_string(sizeof(addr.sun_path) - 1) + ")";
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return "cannot create socket";
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  ::unlink(socket_path_.c_str());  // stale socket from a killed predecessor
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "cannot bind '" + socket_path_ + "': " + std::strerror(errno);
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return "cannot listen on '" + socket_path_ + "'";
+  }
+  listen_fd_.store(fd);
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return "";
+}
+
+void SocketEndpoint::stop() {
+  if (!started_ || stopping_.exchange(true)) {
+    // Still join if a racing stop() won the exchange but hasn't finished;
+    // the joins below are idempotent via joinable().
+  }
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<ConnWriter>> conns;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns = conns_;
+  }
+  for (const auto& writer : conns) writer->close();
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  ::unlink(socket_path_.c_str());
+}
+
+void SocketEndpoint::accept_loop() {
+  for (;;) {
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) return;  // stop() already retired the listener
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (stop) or hard error
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void SocketEndpoint::serve_connection(int fd) {
+  auto writer = std::make_shared<ConnWriter>();
+  writer->fd = fd;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.push_back(writer);
+  }
+  std::string linebuf;
+  char buf[4096];
+  for (;;) {
+    const ::ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    std::size_t off = 0;
+    while (off < static_cast<std::size_t>(n)) {
+      const char* nl = static_cast<const char*>(
+          std::memchr(buf + off, '\n', static_cast<std::size_t>(n) - off));
+      if (nl == nullptr) {
+        linebuf.append(buf + off, static_cast<std::size_t>(n) - off);
+        break;
+      }
+      linebuf.append(buf + off, static_cast<std::size_t>(nl - (buf + off)));
+      off = static_cast<std::size_t>(nl - buf) + 1;
+      if (!linebuf.empty()) {
+        const std::string response = handle_request(linebuf, writer);
+        if (!response.empty()) writer->write_line(response);
+      }
+      linebuf.clear();
+    }
+  }
+  writer->close();
+}
+
+std::string SocketEndpoint::handle_request(
+    const std::string& line, const std::shared_ptr<ConnWriter>& writer) {
+  Json request;
+  const std::string parse_err = Json::parse(line, request);
+  if (!parse_err.empty()) return error_response(parse_err).dump();
+  if (!request.is_object()) {
+    return error_response("request must be an object").dump();
+  }
+  const std::string op = request.get("op").as_string();
+
+  if (op == "hello") {
+    Json out = Json::object();
+    out.set("ok", true);
+    out.set("server", "aspmt_served");
+    out.set("proto", 1);
+    return out.dump();
+  }
+
+  if (op == "submit") {
+    JobRequest job;
+    job.spec_text = request.get("spec").as_string();
+    if (request.has("tenant")) job.tenant = request.get("tenant").as_string();
+    job.priority = request.get("priority").as_int(0);
+    job.threads =
+        static_cast<std::size_t>(request.get("threads").as_int(1));
+    job.limits.wall_seconds = request.get("time_limit").as_double(0.0);
+    job.limits.conflicts =
+        static_cast<std::uint64_t>(request.get("conflicts").as_int(0));
+    job.limits.memory_mb =
+        static_cast<std::size_t>(request.get("mem_mb").as_int(0));
+    job.certify = request.get("certify").as_bool(false);
+    const bool stream = request.get("stream").as_bool(false);
+    const SubmitOutcome outcome = server_.submit(std::move(job));
+    Json out = Json::object();
+    if (!outcome.accepted) {
+      out.set("ok", false);
+      out.set("rejected", outcome.reject_reason);
+      if (!outcome.detail.empty()) out.set("detail", outcome.detail);
+      return out.dump();
+    }
+    out.set("ok", true);
+    out.set("job", outcome.job_id);
+    if (!stream) return out.dump();
+    // Streamed submits: acknowledge first, then subscribe, so the accept
+    // line always precedes the first event on the wire.
+    writer->write_line(out.dump());
+    Server* server = &server_;
+    const std::string job_id = outcome.job_id;
+    server_.subscribe(job_id, [writer, server, job_id](const JobEvent& ev) {
+      Json msg = Json::object();
+      msg.set("job", ev.job_id);
+      switch (ev.kind) {
+        case JobEvent::Kind::FrontDelta: {
+          msg.set("event", "front-delta");
+          Json point = Json::array();
+          for (const std::int64_t v : ev.payload) point.push_back(v);
+          msg.set("point", std::move(point));
+          break;
+        }
+        case JobEvent::Kind::Progress:
+          msg.set("event", "progress");
+          if (ev.payload.size() == 3) {
+            msg.set("conflicts", ev.payload[0]);
+            msg.set("propagations", ev.payload[1]);
+            msg.set("decisions", ev.payload[2]);
+          }
+          break;
+        case JobEvent::Kind::Checkpoint:
+          msg.set("event", "checkpoint");
+          if (ev.payload.size() == 2) {
+            msg.set("points", ev.payload[0]);
+            msg.set("ok", ev.payload[1] != 0);
+          }
+          break;
+        case JobEvent::Kind::Requeue:
+          msg.set("event", "requeue");
+          if (ev.payload.size() == 2) {
+            msg.set("attempt", ev.payload[0]);
+            msg.set("backoff_ms", ev.payload[1]);
+          }
+          break;
+        case JobEvent::Kind::Done: {
+          msg = record_to_json(server->status(ev.job_id).record);
+          msg.set("event", "done");
+          break;
+        }
+      }
+      writer->write_line(msg.dump());
+    });
+    return "";
+  }
+
+  if (op == "status" || op == "result") {
+    const std::string job_id = request.get("job").as_string();
+    Server::StatusResult status;
+    if (op == "result" && request.get("wait").as_bool(true)) {
+      // Sliced waits keep the connection thread joinable on stop().
+      const double timeout = request.get("timeout").as_double(0.0);
+      util::Timer waited;
+      for (;;) {
+        status = server_.wait(job_id, 0.25);
+        if (!status.known || is_terminal(status.record.state)) break;
+        if (stopping_.load()) break;
+        if (timeout > 0.0 && waited.elapsed_seconds() >= timeout) break;
+      }
+    } else {
+      status = server_.status(job_id);
+    }
+    if (!status.known) return error_response("unknown job").dump();
+    Json out = record_to_json(status.record);
+    out.set("ok", true);
+    return out.dump();
+  }
+
+  if (op == "cancel") {
+    const std::string job_id = request.get("job").as_string();
+    Json out = Json::object();
+    out.set("ok", server_.cancel(job_id));
+    return out.dump();
+  }
+
+  if (op == "stats") {
+    const ServerStats s = server_.stats();
+    Json out = Json::object();
+    out.set("ok", true);
+    out.set("queued", s.queued);
+    out.set("running", s.running);
+    out.set("completed", s.completed);
+    out.set("cancelled", s.cancelled);
+    out.set("shed", s.shed);
+    out.set("quarantined", s.quarantined);
+    out.set("admitted", static_cast<std::int64_t>(s.admitted));
+    out.set("rejected", static_cast<std::int64_t>(s.rejected));
+    out.set("retries", static_cast<std::int64_t>(s.retries));
+    out.set("draining", s.draining);
+    return out.dump();
+  }
+
+  if (op == "drain") {
+    Json out = Json::object();
+    out.set("ok", true);
+    out.set("draining", true);
+    writer->write_line(out.dump());
+    if (on_drain_) on_drain_();
+    return "";
+  }
+
+  return error_response("unknown op '" + op + "'").dump();
+}
+
+}  // namespace aspmt::serve

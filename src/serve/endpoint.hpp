@@ -1,0 +1,85 @@
+// Unix-domain-socket transport for the exploration service.
+//
+// One listener thread accepts connections; each connection gets a reader
+// thread speaking the line-delimited JSON protocol (serve/protocol.hpp,
+// grammar in DESIGN.md §15) against the transport-agnostic Server.
+// Responses and streamed job events share the connection through a
+// mutex-guarded writer, so a subscription callback firing from a
+// collector thread can never interleave bytes with a response.
+//
+// TCP transport is explicitly deferred (ROADMAP): everything above the
+// accept/connect pair is transport-neutral, so lifting to AF_INET means
+// swapping this file's listener only.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace aspmt::serve {
+
+class SocketEndpoint {
+ public:
+  /// `on_drain` runs (once) when a client issues the drain op — the daemon
+  /// uses it to leave its main wait loop; the endpoint itself keeps
+  /// serving until stop().
+  SocketEndpoint(Server& server, std::string socket_path,
+                 std::function<void()> on_drain = nullptr);
+  ~SocketEndpoint();
+
+  SocketEndpoint(const SocketEndpoint&) = delete;
+  SocketEndpoint& operator=(const SocketEndpoint&) = delete;
+
+  /// Bind + listen + spawn the accept loop.  Returns "" on success, a
+  /// diagnostic otherwise.  An existing socket file is replaced (the
+  /// daemon owns its path; a stale file from a killed predecessor must
+  /// not block restart).
+  [[nodiscard]] std::string start();
+
+  /// Stop accepting, shut down live connections, join all threads.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return socket_path_;
+  }
+
+ private:
+  /// Shared, mutex-guarded connection writer; survives the connection so
+  /// a late subscription callback degrades to a no-op instead of writing
+  /// to a recycled fd.
+  struct ConnWriter {
+    std::mutex mutex;
+    int fd = -1;
+    bool closed = false;
+
+    void write_line(const std::string& line);
+    void close();
+  };
+
+  void accept_loop();
+  void serve_connection(int fd);
+  [[nodiscard]] std::string handle_request(
+      const std::string& line, const std::shared_ptr<ConnWriter>& writer);
+
+  Server& server_;
+  std::string socket_path_;
+  std::function<void()> on_drain_;
+  // Atomic because stop() retires the fd from the caller's thread while
+  // accept_loop() is still blocked on / about to call accept() with it.
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conns_mutex_;
+  std::vector<std::shared_ptr<ConnWriter>> conns_;
+  std::vector<std::thread> conn_threads_;
+  bool started_ = false;
+};
+
+}  // namespace aspmt::serve

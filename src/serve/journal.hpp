@@ -1,0 +1,111 @@
+// Crash-safe job journal for the exploration service.
+//
+// Every accepted job is persisted as one `<id>.job` file in the journal
+// directory, rewritten on each state transition with the same durability
+// discipline as checkpoint v4: serialize, write to a tmp file, fsync,
+// rename, fsync the directory, with an FNV-1a checksum trailer the loader
+// verifies before trusting anything.  A daemon killed at any instant
+// therefore restarts into a consistent queue: terminal jobs keep their
+// recorded fronts, queued and running jobs are re-admitted and re-run, and
+// running jobs additionally resume from their periodic `<id>.ckpt`
+// exploration checkpoint (dse/checkpoint.hpp) so progress survives the
+// kill.  A torn or corrupted journal entry is skipped with a diagnostic —
+// it degrades that one job to "unknown", never poisons the daemon.
+//
+// Format (`aspmt-job 1`, text, LF):
+//   aspmt-job 1
+//   id <string>                     job identifier (journal file stem)
+//   tenant <string>
+//   state <queued|running|completed|cancelled|shed|quarantined>
+//   priority <int>
+//   threads <n>
+//   attempts <n>
+//   limits <wall_seconds> <conflicts> <memory_mb>
+//   certify <0|1>
+//   spec-bytes <n>                  exactly n raw spec bytes follow, then \n
+//   <spec text>
+//   error <message>                 optional, single line
+//   result <complete> <certified> <seconds>   terminal states only
+//   p <l> <e> <c>                   one per front point, terminal only
+//   end <fnv1a-of-everything-above>
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/budget.hpp"
+#include "pareto/point.hpp"
+
+namespace aspmt::serve {
+
+enum class JobState : std::uint8_t {
+  Queued = 0,
+  Running,
+  Completed,   ///< terminal: ran to a front (possibly partial — see Record)
+  Cancelled,   ///< terminal: client cancel
+  Shed,        ///< terminal: load-shed before running
+  Quarantined, ///< terminal: retry budget exhausted
+};
+
+[[nodiscard]] const char* to_string(JobState state) noexcept;
+
+/// True for states that will never transition again.
+[[nodiscard]] constexpr bool is_terminal(JobState s) noexcept {
+  return s != JobState::Queued && s != JobState::Running;
+}
+
+struct JobRecord {
+  std::string id;
+  std::string tenant;
+  JobState state = JobState::Queued;
+  std::int64_t priority = 0;
+  std::size_t threads = 1;
+  std::size_t attempts = 0;
+  dse::BudgetLimits limits;
+  bool certify = false;
+  std::string spec_text;  ///< canonical spec text (synth/specio.hpp)
+  std::string error;      ///< last failure / shed / quarantine diagnostic
+
+  // Terminal result (Completed / the front computed so far elsewhere).
+  bool complete = false;   ///< front proven exact
+  bool certified = false;  ///< machine-checked certificate
+  double seconds = 0.0;
+  std::vector<pareto::Vec> front;
+};
+
+/// Serialize to the `aspmt-job 1` format (checksum trailer included).
+[[nodiscard]] std::string job_to_text(const JobRecord& record);
+
+/// Parse + verify job_to_text output.  Returns "" on success, a diagnostic
+/// otherwise.
+[[nodiscard]] std::string job_from_text(std::string_view text, JobRecord& out);
+
+/// Directory of `<id>.job` entries plus per-job exploration checkpoints.
+class JobJournal {
+ public:
+  explicit JobJournal(std::string dir) : dir_(std::move(dir)) {}
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::string job_path(const std::string& id) const;
+  [[nodiscard]] std::string checkpoint_path(const std::string& id) const;
+
+  /// Durably persist `record` (atomic write + fsync; see file comment).
+  /// A "durability degraded" diagnostic means the record IS on disk but an
+  /// fsync failed; callers surface it as a warning, not a failure.
+  [[nodiscard]] std::string save(const JobRecord& record,
+                                 bool sync_fail = false) const;
+
+  /// Load every parseable `.job` entry; unreadable ones are skipped and
+  /// reported in `diagnostics` (when non-null).
+  [[nodiscard]] std::vector<JobRecord> load_all(
+      std::vector<std::string>* diagnostics = nullptr) const;
+
+  /// Remove the journal entry and checkpoint of `id` (best effort).
+  void remove(const std::string& id) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace aspmt::serve

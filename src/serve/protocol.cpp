@@ -1,0 +1,322 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace aspmt::serve {
+
+void Json::set(std::string key, Json value) {
+  kind_ = Kind::Object;
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+const Json& Json::get(std::string_view key) const noexcept {
+  static const Json kNull;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  return kNull;
+}
+
+bool Json::has(std::string_view key) const noexcept {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_value(const Json& j, std::string& out) {
+  switch (j.kind()) {
+    case Json::Kind::Null:
+      out += "null";
+      break;
+    case Json::Kind::Bool:
+      out += j.as_bool() ? "true" : "false";
+      break;
+    case Json::Kind::Int:
+      out += std::to_string(j.as_int());
+      break;
+    case Json::Kind::Double: {
+      const double d = j.as_double();
+      if (!std::isfinite(d)) {
+        out += "null";  // JSON has no inf/nan
+        break;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      out += buf;
+      break;
+    }
+    case Json::Kind::String:
+      dump_string(j.as_string(), out);
+      break;
+    case Json::Kind::Array: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& v : j.items()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_value(v, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Json::Kind::Object: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : j.members()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_string(k, out);
+        out.push_back(':');
+        dump_value(v, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::string parse(Json& out) {
+    const std::string err = value(out, 0);
+    if (!err.empty()) return err;
+    skip_ws();
+    if (pos_ != text_.size()) return "json: trailing characters after value";
+    return "";
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string value(Json& out, std::size_t depth) {
+    if (depth > kMaxDepth) return "json: nesting too deep";
+    skip_ws();
+    if (pos_ >= text_.size()) return "json: unexpected end of input";
+    const char c = text_[pos_];
+    if (c == '{') return object(out, depth);
+    if (c == '[') return array(out, depth);
+    if (c == '"') {
+      std::string s;
+      const std::string err = string(s);
+      if (!err.empty()) return err;
+      out = Json(std::move(s));
+      return "";
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out = Json();
+      return "";
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out = Json(true);
+      return "";
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out = Json(false);
+      return "";
+    }
+    return number(out);
+  }
+
+  std::string number(Json& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool floating = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        floating = floating || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty()) return "json: unexpected character";
+    if (!floating) {
+      std::int64_t i = 0;
+      const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+      if (res.ec == std::errc{} && res.ptr == tok.data() + tok.size()) {
+        out = Json(i);
+        return "";
+      }
+    }
+    double d = 0.0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size()) {
+      return "json: malformed number";
+    }
+    out = Json(d);
+    return "";
+  }
+
+  std::string string(std::string& out) {
+    if (!eat('"')) return "json: expected string";
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return "";
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return "json: truncated \\u escape";
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return "json: malformed \\u escape";
+            }
+          }
+          // The protocol is ASCII-first; encode BMP code points as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return "json: unknown escape";
+      }
+    }
+    return "json: unterminated string";
+  }
+
+  std::string array(Json& out, std::size_t depth) {
+    (void)eat('[');
+    out = Json::array();
+    skip_ws();
+    if (eat(']')) return "";
+    for (;;) {
+      Json v;
+      const std::string err = value(v, depth + 1);
+      if (!err.empty()) return err;
+      out.push_back(std::move(v));
+      skip_ws();
+      if (eat(']')) return "";
+      if (!eat(',')) return "json: expected ',' or ']'";
+    }
+  }
+
+  std::string object(Json& out, std::size_t depth) {
+    (void)eat('{');
+    out = Json::object();
+    skip_ws();
+    if (eat('}')) return "";
+    for (;;) {
+      skip_ws();
+      std::string key;
+      const std::string kerr = string(key);
+      if (!kerr.empty()) return kerr;
+      skip_ws();
+      if (!eat(':')) return "json: expected ':'";
+      Json v;
+      const std::string verr = value(v, depth + 1);
+      if (!verr.empty()) return verr;
+      out.set(std::move(key), std::move(v));
+      skip_ws();
+      if (eat('}')) return "";
+      if (!eat(',')) return "json: expected ',' or '}'";
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+std::string Json::parse(std::string_view text, Json& out) {
+  return Parser(text).parse(out);
+}
+
+}  // namespace aspmt::serve

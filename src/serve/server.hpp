@@ -1,0 +1,241 @@
+// The exploration service core: a bounded worker-pool scheduler over
+// dse::Session jobs with admission control, overload shedding, crash-safe
+// journaling and retry/backoff supervision.  Transport-agnostic — the unix
+// socket endpoint (serve/endpoint.hpp) and the tests drive the same API.
+//
+// Robustness model (DESIGN.md §15):
+//
+//  * Admission.  submit() is the only way in.  A job is rejected — with a
+//    structured reason, never a hang — when the daemon is draining, the
+//    spec does not parse, the bounded queue is full, or the tenant already
+//    holds `tenant_quota` live (queued + running) jobs.  After every
+//    admission the shed scan runs: while queue depth exceeds
+//    `shed_watermark` (or peak RSS exceeds `rss_watermark_mb`), queued jobs
+//    are shed newest-lowest-priority first and report state `shed`.
+//
+//  * Journal.  Every accepted job and every state transition is persisted
+//    through JobJournal (atomic + fsync'd, checksummed).  start() replays
+//    the journal: terminal jobs stay queryable, queued/running jobs are
+//    re-admitted, and a re-run job resumes from its periodic exploration
+//    checkpoint — so SIGKILL at any instant loses at most one checkpoint
+//    interval of work and never the queue.
+//
+//  * Supervision.  Each attempt runs under a fresh dse::Budget derived
+//    from the job's limits (wall deadline, conflict cap, RSS ceiling).  An
+//    attempt that throws (or dies to total worker failure) is requeued
+//    after the shared capped-exponential-backoff policy (dse/supervise.hpp)
+//    and quarantined once the circuit opens.  Cancellation is sticky and
+//    wins every race against a retry.
+//
+//  * Drain.  drain() stops admission, lets running jobs finish within the
+//    grace window, then interrupts them — the explorer writes its final
+//    checkpoint and the job re-journals as queued, ready for the next
+//    daemon — joins the pool and flushes the journal and sink.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dse/session.hpp"
+#include "dse/supervise.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "serve/journal.hpp"
+#include "util/timer.hpp"
+
+namespace aspmt::serve {
+
+struct ServerOptions {
+  /// Journal directory; "" disables crash safety (unit tests).
+  std::string journal_dir;
+  /// Concurrent jobs (each job may itself run a small portfolio).
+  std::size_t workers = 2;
+  /// Admission bound on queued jobs; beyond it submit() rejects.
+  std::size_t max_queue_depth = 64;
+  /// Shedding starts once queued jobs exceed this (must be < queue depth
+  /// to be meaningful).
+  std::size_t shed_watermark = 48;
+  /// Shedding also triggers when peak RSS exceeds this (MiB; 0 = off).
+  std::size_t rss_watermark_mb = 0;
+  /// Live (queued + running) jobs one tenant may hold; beyond it the
+  /// tenant's submits are rejected with `overload`.
+  std::size_t tenant_quota = 8;
+  /// Cap on any single job's portfolio threads.
+  std::size_t max_job_threads = 4;
+  /// Periodic in-flight checkpoints (crash-safety granularity).
+  double checkpoint_interval_seconds = 0.5;
+  /// Applied when a request carries no wall limit (0 = unlimited).
+  double default_time_limit_seconds = 0.0;
+  /// Running jobs get this long to finish naturally on drain before their
+  /// budgets are interrupted.
+  double drain_grace_seconds = 5.0;
+  /// Retry/backoff/circuit-breaker policy for failed attempts.
+  dse::RetryPolicy retry;
+  /// Seed for deterministic backoff jitter.
+  std::uint64_t seed = 1;
+  /// Daemon-level observability (JobAdmit/JobShed/JobRequeue/... events).
+  obs::EventSink* sink = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct JobRequest {
+  std::string tenant = "default";
+  std::string spec_text;        ///< synth::parse_specification input
+  std::int64_t priority = 0;    ///< higher runs first, sheds last
+  std::size_t threads = 1;      ///< portfolio width (clamped to the cap)
+  dse::BudgetLimits limits;     ///< per-attempt ceilings
+  bool certify = false;
+  /// Test hook: runs at the start of each attempt (1-based); a throw counts
+  /// as that attempt's failure.  Not journaled — recovered jobs run without.
+  std::function<void(std::size_t attempt)> before_attempt;
+};
+
+struct SubmitOutcome {
+  bool accepted = false;
+  std::string job_id;           ///< set iff accepted
+  /// "overload" (queue/quota), "draining", or "invalid-spec".
+  std::string reject_reason;
+  std::string detail;           ///< human-readable specifics
+};
+
+/// Streamed to per-job subscribers (endpoint connections, tests).
+struct JobEvent {
+  enum class Kind : std::uint8_t {
+    FrontDelta,   ///< point entered the job's archive
+    Progress,     ///< periodic conflict/propagation sample
+    Checkpoint,   ///< in-flight checkpoint written
+    Requeue,      ///< failed attempt scheduled for retry
+    Done,         ///< terminal state reached
+  };
+  Kind kind = Kind::Progress;
+  std::string job_id;
+  std::vector<std::int64_t> payload;  ///< kind-specific (see endpoint)
+  JobState state = JobState::Queued;  ///< Done only
+};
+
+struct ServerStats {
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+  std::size_t shed = 0;
+  std::size_t quarantined = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;   ///< all rejections (overload + other)
+  std::uint64_t retries = 0;
+  bool draining = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Replay the journal and spawn the worker pool.  Returns recovery
+  /// diagnostics (corrupt journal entries skipped), empty on a clean start.
+  std::vector<std::string> start();
+
+  [[nodiscard]] SubmitOutcome submit(JobRequest request);
+
+  /// Request cancellation; wins against queued, running and retrying jobs.
+  /// Returns false for unknown ids.
+  bool cancel(const std::string& job_id);
+
+  /// Snapshot of the job's journal record; `known == false` for foreign ids.
+  struct StatusResult {
+    bool known = false;
+    JobRecord record;
+  };
+  [[nodiscard]] StatusResult status(const std::string& job_id) const;
+
+  /// Block until the job is terminal or `timeout_seconds` elapses
+  /// (<= 0 = wait forever).  Returns the final status (known == false on
+  /// foreign id, record.state non-terminal on timeout).
+  [[nodiscard]] StatusResult wait(const std::string& job_id,
+                                  double timeout_seconds = 0.0);
+
+  /// Register a callback for the job's stream events.  The callback runs
+  /// on collector/worker threads — it must be fast and thread-safe.
+  /// Returns false for unknown ids (terminal jobs still accept and get an
+  /// immediate Done).
+  bool subscribe(const std::string& job_id,
+                 std::function<void(const JobEvent&)> callback);
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Graceful shutdown (see file comment).  Idempotent.
+  void drain();
+
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct Job {
+    JobRecord record;
+    JobRequest request;
+    std::uint64_t seq = 0;
+    double ready_at = 0.0;  ///< backoff gate (epoch seconds)
+    bool cancel_requested = false;
+    std::shared_ptr<dse::Session> session;
+    std::shared_ptr<obs::EventSink> adapter;  ///< per-job event router
+    std::vector<std::function<void(const JobEvent&)>> subscribers;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  /// Pick the runnable job (highest priority, then lowest seq) whose
+  /// backoff gate elapsed.  Caller holds mutex_.
+  [[nodiscard]] std::shared_ptr<Job> pick_locked(double now);
+  void shed_overloaded_locked();
+  void journal_locked(Job& job);
+  void emit(obs::EventKind kind, std::int64_t a, std::int64_t b,
+            std::int64_t c);
+  /// Queue `event` for the job's subscribers; delivered by flush_events()
+  /// once the caller has released mutex_ (callbacks never run under it).
+  void publish_locked(Job& job, JobEvent event);
+  void flush_events();
+  /// Direct delivery path for the per-job collector threads (no lock held).
+  void publish_by_id(const std::string& job_id, const JobEvent& event);
+  void finish_job_locked(Job& job, JobState state);
+  [[nodiscard]] std::size_t queued_count_locked() const;
+  [[nodiscard]] std::size_t tenant_live_locked(const std::string& tenant) const;
+  void update_gauges_locked();
+
+  class JobSinkAdapter;
+
+  ServerOptions options_;
+  JobJournal journal_;
+  bool journaling_ = false;
+  bool sync_fail_ = false;  ///< armed from ASPMT_FAULT_INJECT at start()
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< workers: new work / drain
+  std::condition_variable done_cv_;   ///< waiters: job reached terminal
+  std::map<std::string, std::shared_ptr<Job>> jobs_;
+  std::vector<std::thread> pool_;
+  dse::RetrySupervisor supervisor_;
+  util::Timer epoch_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t running_ = 0;
+  bool draining_ = false;
+  bool drained_ = false;
+  bool started_ = false;
+  std::vector<std::pair<std::vector<std::function<void(const JobEvent&)>>,
+                        JobEvent>>
+      pending_events_;  ///< publish_locked queue, drained by flush_events
+
+  std::mutex sink_mutex_;  ///< serializes daemon-level sink callbacks
+  ServerStats counters_;   ///< cumulative counters (guarded by mutex_)
+};
+
+}  // namespace aspmt::serve

@@ -480,6 +480,9 @@ TEST(Distributed, KilledWorkerIsRequeuedAndConvergesToTheSameFront) {
   EXPECT_EQ(r.shards[0].attempts, 2U) << "sabotaged shard was not requeued";
   EXPECT_TRUE(r.shards[0].completed) << r.shards[0].error;
   EXPECT_EQ(metrics.counter("distributed.requeues").value(), 1U);
+  // Total launches across both shards: the sabotaged one twice, the other
+  // once (supervised retry bookkeeping, shared with the service layer).
+  EXPECT_EQ(metrics.counter("distributed.requeue_attempts").value(), 3U);
 }
 
 TEST(Distributed, RemovedCliAliasesAreHardErrors) {
