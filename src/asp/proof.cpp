@@ -87,6 +87,24 @@ void ProofLog::def_objective_diff(std::size_t objective, std::uint32_t node) {
   buf_ += '\n';
 }
 
+void ProofLog::def_objective_term(std::size_t objective,
+                                  std::string_view tree_tokens) {
+  buf_ += 'O';
+  append_int(static_cast<std::int64_t>(objective));
+  buf_ += ' ';
+  buf_ += tree_tokens;
+  buf_ += '\n';
+}
+
+void ProofLog::def_objective_bound(std::size_t objective, std::int64_t bound,
+                                   Lit activation) {
+  buf_ += "OB";
+  append_int(static_cast<std::int64_t>(objective));
+  append_int(bound);
+  append_int(activation == kLitUndef ? 0 : proof_int(activation));
+  buf_ += '\n';
+}
+
 void ProofLog::def_rule(Lit head, Lit body, std::span<const Lit> positive_heads) {
   buf_ += "PR";
   append_lit(head);
@@ -106,6 +124,7 @@ void ProofLog::theory_clause(const TheoryJustification& just,
     case TheoryTag::Unfounded: buf_ += " UF"; break;
     case TheoryTag::Dominance: buf_ += " DOM"; break;
     case TheoryTag::LinearLower: buf_ += " LL"; break;
+    case TheoryTag::CombinatorBound: buf_ += " CB"; break;
   }
   for (const std::int64_t v : just.payload) append_int(v);
   buf_ += " ;";

@@ -22,7 +22,15 @@
 //   N  <node>                        difference-logic node
 //   E  <edge> <from> <to> <w> <n> <lit>*   guarded edge  to >= from + w
 //   NB <node> <bound> <act>          node bound declaration
-//   O  <obj> L <sum> | O <obj> D <node>    objective binding
+//   O  <obj> <term>                  objective binding; <term> is a tree:
+//                                      L <sum> | D <node>
+//                                    | X <k> <cap>{k} <term>{k}   lex packing
+//                                    | M <k> <term>{k}            min-max
+//                                    | W <k> <w>{k} <term>{k}     weighted
+//                                    | V <k> <term>{k}            scenario worst
+//                                    (leaf-only bindings are the legacy form)
+//   OB <obj> <bound> <act>           combinator-axis bound declaration:
+//                                    objective <obj> <= bound while act holds
 //   PR <head> <body> <n> <poshead>*  program rule (for loop nogoods)
 //   I  <lit>* 0                      input clause (axiom)
 //   G  <guard> <lit>* 0              guarded replay axiom: the clause
@@ -47,6 +55,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "asp/literal.hpp"
@@ -62,6 +71,7 @@ enum class TheoryTag : std::uint8_t {
   Unfounded,    ///< loop nogood for an unfounded set (payload: head lits)
   Dominance,    ///< region weakly dominated by a certified feasible point
   LinearLower,  ///< falsified guards forfeit too much weight for a sum floor
+  CombinatorBound,  ///< combinator-axis lower bound exceeds a declared OB bound
 };
 
 struct TheoryJustification {
@@ -87,6 +97,12 @@ class ProofLog {
   void def_node_bound(std::uint32_t node, std::int64_t bound, Lit activation);
   void def_objective_linear(std::size_t objective, std::uint32_t sum);
   void def_objective_diff(std::size_t objective, std::uint32_t node);
+  /// Tree objective binding: `O <obj> <tree_tokens>`.  A leaf-only token
+  /// string degenerates to the legacy linear/diff binding line.
+  void def_objective_term(std::size_t objective, std::string_view tree_tokens);
+  /// Combinator-axis bound declaration: `OB <obj> <bound> <act>`.
+  void def_objective_bound(std::size_t objective, std::int64_t bound,
+                           Lit activation);
   void def_rule(Lit head, Lit body, std::span<const Lit> positive_heads);
 
   // ---- inference steps ----------------------------------------------------

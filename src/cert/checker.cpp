@@ -75,6 +75,17 @@ struct Rule {
   Lits pos_heads;  // head literals of the positive body atoms
 };
 
+/// One objective binding as declared by an O line: a leaf ('L' sum, 'D'
+/// node) or a combinator ('X' lex with caps, 'M' minmax, 'W' weighted with
+/// weights, 'V' scenario-worst) over such trees.  kind 0 marks an axis whose
+/// binding was never declared.
+struct ObjTree {
+  char kind = 0;
+  std::int64_t id = 0;                // leaf theory id
+  std::vector<std::int64_t> params;   // caps ('X') or weights ('W')
+  std::vector<ObjTree> children;
+};
+
 /// The whole verification state: clause database with watched-literal unit
 /// propagation plus the declared theory tables.
 class Checker {
@@ -300,6 +311,76 @@ class Checker {
     return false;
   }
 
+  /// Re-derive a lower bound of an objective tree under the assumption that
+  /// every literal of the (negated) clause holds: leaf bounds come from the
+  /// declared sum/edge tables exactly as in the LS/DB lemmas, combinators
+  /// fold them monotonically (max for minmax/worst, weighted sum, clamped
+  /// big-endian packing for lex — the same arithmetic the solver binds).  A
+  /// positive cycle in a difference leaf makes its bound vacuously infinite.
+  /// Returns an empty string and writes `out` on success.
+  [[nodiscard]] std::string tree_lower_bound(
+      const ObjTree& t, const std::set<std::int64_t>& G,
+      const std::set<std::int64_t>& clause_set, std::int64_t& out) const {
+    constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+    switch (t.kind) {
+      case 'L': {
+        if (t.id < 0 || static_cast<std::size_t>(t.id) >= sums_.size()) {
+          return "unknown sum";
+        }
+        out = clause_weight_in_sum(static_cast<std::size_t>(t.id), clause_set);
+        return {};
+      }
+      case 'D': {
+        if (t.id < 0 || t.id >= num_nodes_) return "unknown node";
+        std::vector<std::int64_t> dist;
+        bool cycle = false;
+        longest_paths(G, dist, cycle);
+        out = cycle ? kMax : dist[static_cast<std::size_t>(t.id)];
+        return {};
+      }
+      case 'M':
+      case 'V': {
+        std::int64_t best = std::numeric_limits<std::int64_t>::min();
+        for (const ObjTree& c : t.children) {
+          std::int64_t v = 0;
+          const std::string why = tree_lower_bound(c, G, clause_set, v);
+          if (!why.empty()) return why;
+          best = std::max(best, v);
+        }
+        out = best;
+        return {};
+      }
+      case 'W': {
+        __int128 acc = 0;
+        for (std::size_t i = 0; i < t.children.size(); ++i) {
+          std::int64_t v = 0;
+          const std::string why = tree_lower_bound(t.children[i], G, clause_set, v);
+          if (!why.empty()) return why;
+          acc += static_cast<__int128>(t.params[i]) * v;
+        }
+        out = acc > kMax ? kMax : static_cast<std::int64_t>(acc);
+        return {};
+      }
+      case 'X': {
+        // Big-endian packing with per-child clamping to [0, cap]; strides
+        // were validated overflow-free at declaration time.
+        __int128 acc = 0;
+        for (std::size_t i = 0; i < t.children.size(); ++i) {
+          std::int64_t v = 0;
+          const std::string why = tree_lower_bound(t.children[i], G, clause_set, v);
+          if (!why.empty()) return why;
+          const std::int64_t cap = t.params[i];
+          acc = acc * (static_cast<__int128>(cap) + 1) +
+                std::clamp<std::int64_t>(v, 0, cap);
+        }
+        out = acc > kMax ? kMax : static_cast<std::int64_t>(acc);
+        return {};
+      }
+      default:
+        return "objective binding was never declared";
+    }
+  }
+
   /// Verify one theory lemma against the declared tables.  Returns an empty
   /// string on success, the reason otherwise.
   [[nodiscard]] std::string verify_lemma(std::string_view tag,
@@ -411,25 +492,40 @@ class Checker {
       }
       for (std::size_t i = 0; i < point.size(); ++i) {
         if (point[i] <= 0) continue;  // objectives are >= 0 by construction
-        if (i >= objectives_.size() || objectives_[i].first == 0) {
+        if (i >= objectives_.size() || objectives_[i].kind == 0) {
           return "objective binding was never declared";
         }
-        const auto [kind, id] = objectives_[i];
-        if (kind == 'L') {
-          if (static_cast<std::size_t>(id) >= sums_.size()) return "unknown sum";
-          if (clause_weight_in_sum(static_cast<std::size_t>(id), clause_set) <
-              point[i]) {
-            return "negated guards do not reach the dominance threshold";
-          }
-        } else {
-          if (id < 0 || id >= num_nodes_) return "unknown node";
-          std::vector<std::int64_t> dist;
-          bool cycle = false;
-          longest_paths(G, dist, cycle);
-          if (!cycle && dist[static_cast<std::size_t>(id)] < point[i]) {
-            return "guarded longest path misses the dominance threshold";
-          }
+        std::int64_t lb = 0;
+        const std::string why =
+            tree_lower_bound(objectives_[i], G, clause_set, lb);
+        if (!why.empty()) return why;
+        if (lb < point[i]) {
+          return "negated guards do not reach the dominance threshold";
         }
+      }
+      return {};
+    }
+    if (tag == "CB") {
+      if (payload.size() != 3) return "CB payload must be objective/bound/act";
+      const std::int64_t obj = payload[0];
+      const std::int64_t bound = payload[1];
+      const std::int64_t act = payload[2];
+      if (obj < 0 || static_cast<std::size_t>(obj) >= objectives_.size() ||
+          objectives_[static_cast<std::size_t>(obj)].kind == 0) {
+        return "objective binding was never declared";
+      }
+      if (comb_bounds_.count({obj, bound, act}) == 0) {
+        return "combinator bound was never declared";
+      }
+      if (act != 0 && clause_set.count(-act) == 0) {
+        return "clause misses the bound's activation negation";
+      }
+      std::int64_t lb = 0;
+      const std::string why = tree_lower_bound(
+          objectives_[static_cast<std::size_t>(obj)], G, clause_set, lb);
+      if (!why.empty()) return why;
+      if (lb <= bound) {
+        return "negated guards do not exceed the combinator bound";
       }
       return {};
     }
@@ -446,6 +542,56 @@ class Checker {
       out.push_back(v);
     }
     return false;  // missing terminator
+  }
+
+  /// Parse one objective-binding term from an O line.  Grammar:
+  ///   term := L <sum> | D <node> | X <k> <cap>{k} <term>{k}
+  ///         | M <k> <term>{k} | W <k> <weight>{k} <term>{k} | V <k> <term>{k}
+  /// Structural limits mirror the spec validator (depth <= 8, <= 64 nodes);
+  /// lex cap products are checked overflow-free so packing arithmetic in
+  /// tree_lower_bound cannot wrap.  Returns an empty string on success.
+  [[nodiscard]] std::string parse_obj_tree(Line& line, ObjTree& out, int depth,
+                                           std::size_t& nodes) {
+    if (depth > 8) return "tree too deep";
+    if (++nodes > 64) return "tree too large";
+    std::string_view what;
+    if (!line.word(what)) return "missing term";
+    if (what == "L" || what == "D") {
+      std::int64_t id = 0;
+      if (!line.integer(id) || id < 0) return "malformed leaf";
+      out.kind = what[0];
+      out.id = id;
+      return {};
+    }
+    if (what != "X" && what != "M" && what != "W" && what != "V") {
+      return "unknown term kind";
+    }
+    out.kind = what[0];
+    std::int64_t k = 0;
+    if (!line.integer(k) || k < 1 || k > 64) return "malformed arity";
+    if (out.kind != 'W' && k < 2) return "combinator needs two children";
+    if (out.kind == 'X' || out.kind == 'W') {
+      out.params.resize(static_cast<std::size_t>(k));
+      __int128 radix = 1;
+      for (auto& p : out.params) {
+        if (!line.integer(p)) return "malformed parameters";
+        if (out.kind == 'X') {
+          if (p < 0) return "negative lex cap";
+          radix *= static_cast<__int128>(p) + 1;
+          if (radix > std::numeric_limits<std::int64_t>::max()) {
+            return "lex packing overflows";
+          }
+        } else if (p < 1) {
+          return "weight must be positive";
+        }
+      }
+    }
+    out.children.resize(static_cast<std::size_t>(k));
+    for (auto& c : out.children) {
+      const std::string why = parse_obj_tree(line, c, depth + 1, nodes);
+      if (!why.empty()) return why;
+    }
+    return {};
   }
 
   /// Record that `lit_or_var`'s variable occurs in an axiom or declaration.
@@ -483,7 +629,8 @@ class Checker {
   }
 
   /// Record a bound declaration's activation for shard-box extraction.
-  /// kind: 0 = sum ceiling (SB), 1 = sum floor (SL), 2 = node bound (NB).
+  /// kind: 0 = sum ceiling (SB), 1 = sum floor (SL), 2 = node bound (NB),
+  /// 3 = combinator bound (OB — id is an objective index, not a sum id).
   void note_bound_act(std::int64_t kind, std::int64_t id, std::int64_t bound,
                       std::int64_t act) {
     if (act <= 0) {
@@ -499,8 +646,13 @@ class Checker {
   /// activations on the shard objective's sum, record the proven interval.
   void maybe_record_shard_box(const Lits& assumptions) {
     const auto obj = static_cast<std::size_t>(opts_.shard_objective);
-    if (obj >= objectives_.size() || objectives_[obj].first != 'L') return;
-    const std::int64_t shard_sum = objectives_[obj].second;
+    // The shard objective must be a *linear leaf*: combinator axes have no
+    // single sum whose SB/SL activations could carve a sound interval.
+    if (obj >= objectives_.size() || objectives_[obj].kind != 'L' ||
+        !objectives_[obj].children.empty()) {
+      return;
+    }
+    const std::int64_t shard_sum = objectives_[obj].id;
     std::int64_t lo = std::numeric_limits<std::int64_t>::min();
     std::int64_t hi = std::numeric_limits<std::int64_t>::max();
     for (const std::int64_t a : assumptions) {
@@ -510,7 +662,11 @@ class Checker {
       const auto it = act_bounds_.find(a);
       if (it == act_bounds_.end()) return;      // activates nothing known
       for (const auto& [kind, id, bound] : it->second) {
-        if (kind == 2 || id != shard_sum) return;  // node/off-objective bound
+        // Only plain sum ceilings/floors on the shard sum qualify; node
+        // bounds (kind 2) and combinator bounds (kind 3, id = objective
+        // index) disqualify the conclusion as a box.
+        if (kind != 0 && kind != 1) return;
+        if (id != shard_sum) return;
         if (kind == 0) {
           hi = std::min(hi, bound);
         } else {
@@ -539,7 +695,8 @@ class Checker {
   std::int64_t num_nodes_ = 0;
   std::vector<Edge> edges_;
   std::set<std::array<std::int64_t, 3>> node_bounds_;
-  std::vector<std::pair<char, std::int64_t>> objectives_;  // kind 'L'/'D', id
+  std::vector<ObjTree> objectives_;  // one binding tree per Pareto axis
+  std::set<std::array<std::int64_t, 3>> comb_bounds_;
   std::vector<Rule> rules_;
   std::vector<std::vector<std::int64_t>> feasible_;
 
@@ -787,16 +944,35 @@ CheckResult Checker::run(std::string_view proof) {
       note_bound_act(2, id, bound, act);
     } else if (kind == "O") {
       std::int64_t obj = 0;
-      std::string_view what;
-      std::int64_t id = 0;
-      if (!line.integer(obj) || obj < 0 || !line.word(what) ||
-          (what != "L" && what != "D") || !line.integer(id) || id < 0) {
+      if (!line.integer(obj) || obj < 0) {
         return fail("malformed objective binding");
       }
-      if (objectives_.size() < static_cast<std::size_t>(obj) + 1) {
-        objectives_.resize(static_cast<std::size_t>(obj) + 1, {0, 0});
+      ObjTree tree;
+      std::size_t nodes = 0;
+      const std::string why = parse_obj_tree(line, tree, 0, nodes);
+      if (!why.empty()) return fail("malformed objective binding: " + why);
+      std::string_view rest;
+      if (line.word(rest)) {
+        return fail("malformed objective binding: trailing tokens");
       }
-      objectives_[static_cast<std::size_t>(obj)] = {what == "L" ? 'L' : 'D', id};
+      if (objectives_.size() < static_cast<std::size_t>(obj) + 1) {
+        objectives_.resize(static_cast<std::size_t>(obj) + 1);
+      }
+      objectives_[static_cast<std::size_t>(obj)] = std::move(tree);
+    } else if (kind == "OB") {
+      std::int64_t obj = 0;
+      std::int64_t bound = 0;
+      std::int64_t act = 0;
+      if (!line.integer(obj) || !line.integer(bound) || !line.integer(act) ||
+          obj < 0 || static_cast<std::size_t>(obj) >= objectives_.size() ||
+          objectives_[static_cast<std::size_t>(obj)].kind == 0) {
+        return fail("combinator bound on an undeclared objective");
+      }
+      if (!note_axiom_var(act)) {
+        return fail("combinator bound mentions a replay guard variable");
+      }
+      comb_bounds_.insert({obj, bound, act});
+      note_bound_act(3, obj, bound, act);
     } else if (kind == "PR") {
       Rule r;
       std::int64_t n = 0;

@@ -20,13 +20,18 @@ namespace {
 // (`sections`) and the reusable learnt-clause dump (`clauses` + `c` lines)
 // for incremental re-exploration.  Version 4 adds the `slices` line (the
 // slice scheduler's objective-0 ceilings) so re-exploration reseeds the
-// identical work partition.  Older files are still accepted and load with
-// the new fields defaulted; a newer-version line inside an older file is
-// rejected as an unknown line kind, exactly like any other foreign line.
+// identical work partition.  Version 5 appends a fifth section digest — the
+// objective-tree digest (scenarios + combinator axes) — and gates the
+// witness-objectives-equal-point invariant on it: with a non-default tree
+// the points are tree-valued while witnesses record the base triple.  Older
+// files are still accepted and load with the new fields defaulted; a
+// newer-version line inside an older file is rejected as an unknown line
+// kind, exactly like any other foreign line.
 constexpr std::string_view kHeaderV1 = "aspmt-ckpt 1";
 constexpr std::string_view kHeaderV2 = "aspmt-ckpt 2";
 constexpr std::string_view kHeaderV3 = "aspmt-ckpt 3";
-constexpr std::string_view kHeader = "aspmt-ckpt 4";
+constexpr std::string_view kHeaderV4 = "aspmt-ckpt 4";
+constexpr std::string_view kHeader = "aspmt-ckpt 5";
 
 std::uint64_t fnv1a(std::string_view bytes) noexcept {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -170,7 +175,7 @@ std::string to_text(const Checkpoint& ckpt) {
   if (ckpt.has_sections) {
     out << "sections " << ckpt.sections.tasks << ' ' << ckpt.sections.resources
         << ' ' << ckpt.sections.mappings << ' ' << ckpt.sections.objectives
-        << '\n';
+        << ' ' << ckpt.sections.tree << '\n';
   }
   if (!ckpt.clauses.empty()) {
     out << "clauses " << ckpt.clauses.size() << ' ' << ckpt.clause_base_vars
@@ -243,6 +248,8 @@ std::string parse_checkpoint(std::string_view text, Checkpoint& out) {
     if (line.empty()) continue;
     if (!saw_header) {
       if (line == kHeader) {
+        version = 5;
+      } else if (line == kHeaderV4) {
         version = 4;
       } else if (line == kHeaderV3) {
         version = 3;
@@ -281,8 +288,17 @@ std::string parse_checkpoint(std::string_view text, Checkpoint& out) {
       if (!sc.integer(out.sections.tasks) ||
           !sc.integer(out.sections.resources) ||
           !sc.integer(out.sections.mappings) ||
-          !sc.integer(out.sections.objectives) || !sc.done()) {
+          !sc.integer(out.sections.objectives)) {
         return "checkpoint: malformed section digests";
+      }
+      if (version >= 5) {
+        if (!sc.integer(out.sections.tree) || !sc.done()) {
+          return "checkpoint: malformed section digests";
+        }
+      } else {
+        // Pre-v5 files predate declared objective trees: default axes.
+        if (!sc.done()) return "checkpoint: malformed section digests";
+        out.sections.tree = default_tree_digest();
       }
       out.has_sections = true;
     } else if (kind == "clauses" && version >= 3) {
@@ -375,7 +391,13 @@ std::string parse_checkpoint(std::string_view text, Checkpoint& out) {
           w.start.size() != w.option_of_task.size()) {
         return "checkpoint: witness shape mismatch";
       }
-      if (w.objectives() != out.points[i]) {
+      // Witnesses record the base (latency, energy, cost) triple.  Only
+      // under the default objective tree is that also the Pareto point; with
+      // declared combinator axes the spec-aware resume path re-validates via
+      // synth::recompute_objectives instead.
+      const bool default_tree =
+          !out.has_sections || out.sections.tree == default_tree_digest();
+      if (default_tree && w.objectives() != out.points[i]) {
         return "checkpoint: witness objectives do not match point";
       }
     }

@@ -78,8 +78,8 @@ struct Checkpoint {
 [[nodiscard]] bool checkpoint_matches(const Checkpoint& ckpt,
                                       const synth::Specification& spec);
 
-/// Serialize to the `aspmt-ckpt 4` text format (checksum trailer included).
-/// The loader accepts v4 plus legacy v3/v2/v1 files.
+/// Serialize to the `aspmt-ckpt 5` text format (checksum trailer included).
+/// The loader accepts v5 plus legacy v4/v3/v2/v1 files.
 [[nodiscard]] std::string to_text(const Checkpoint& ckpt);
 
 /// Serialize one witness implementation as the payload of a checkpoint `w`

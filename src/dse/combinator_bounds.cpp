@@ -1,0 +1,40 @@
+#include "dse/combinator_bounds.hpp"
+
+#include <algorithm>
+
+#include "asp/proof.hpp"
+#include "asp/solver.hpp"
+#include "dse/objective_manager.hpp"
+
+namespace aspmt::dse {
+
+void CombinatorBoundPropagator::add_bound(std::size_t axis, std::int64_t bound,
+                                          asp::Lit activation) {
+  if (proof_ != nullptr) proof_->def_objective_bound(axis, bound, activation);
+  bounds_.push_back(Bound{axis, bound, activation});
+}
+
+bool CombinatorBoundPropagator::enforce(asp::Solver& solver) {
+  for (const Bound& b : bounds_) {
+    if (b.activation != asp::kLitUndef &&
+        solver.value(b.activation) != asp::Lbool::True) {
+      continue;
+    }
+    const std::int64_t lb = objectives_.lower_bound(b.axis);
+    if (lb <= b.bound) continue;
+    std::vector<asp::Lit> clause;
+    objectives_.explain(b.axis, b.bound + 1, clause);
+    std::sort(clause.begin(), clause.end());
+    clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+    for (asp::Lit& l : clause) l = ~l;
+    if (b.activation != asp::kLitUndef) clause.push_back(~b.activation);
+    const asp::TheoryJustification just{
+        asp::TheoryTag::CombinatorBound,
+        {static_cast<std::int64_t>(b.axis), b.bound,
+         b.activation == asp::kLitUndef ? 0 : asp::proof_int(b.activation)}};
+    return solver.add_theory_clause(clause, &just);
+  }
+  return true;
+}
+
+}  // namespace aspmt::dse

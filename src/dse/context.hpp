@@ -8,6 +8,7 @@
 
 #include "asp/solver.hpp"
 #include "asp/unfounded.hpp"
+#include "dse/combinator_bounds.hpp"
 #include "dse/dominance.hpp"
 #include "dse/objective_manager.hpp"
 #include "pareto/archive.hpp"
@@ -73,10 +74,14 @@ class SynthContext {
   theory::LinearSumPropagator linear;
   theory::DifferencePropagator difference;
   synth::Encoding encoding;
-  ObjectiveManager objectives;  ///< order: latency, energy, cost
+  ObjectiveManager objectives;  ///< one ObjectiveTerm tree per Pareto axis, in
+                                ///< spec order (latency, energy, cost default)
 
   [[nodiscard]] pareto::Archive& archive() noexcept { return *archive_; }
   [[nodiscard]] DominancePropagator& dominance() noexcept { return *dominance_; }
+  [[nodiscard]] CombinatorBoundPropagator& combinator_bounds() noexcept {
+    return *combinator_bounds_;
+  }
   [[nodiscard]] ModelCapture& capture() noexcept { return *capture_; }
   [[nodiscard]] const asp::UnfoundedSetChecker& unfounded() const noexcept {
     return *unfounded_;
@@ -84,6 +89,7 @@ class SynthContext {
 
  private:
   const synth::Specification* spec_;
+  std::unique_ptr<CombinatorBoundPropagator> combinator_bounds_;
   std::unique_ptr<asp::UnfoundedSetChecker> unfounded_;
   std::unique_ptr<pareto::Archive> archive_;
   std::unique_ptr<DominancePropagator> dominance_;

@@ -383,6 +383,20 @@ std::string parse_shard_result(std::string_view text, ShardResultPayload& out) {
 
 DistributedResult explore_distributed(const synth::Specification& spec,
                                       const DistributedOptions& options) {
+  // Fail fast on unshardable axes: banding needs a linear *leaf* objective
+  // (a non-latency metric), because neither difference logic nor any
+  // combinator admits a sound single-sum floor/ceiling decomposition — and
+  // the merged-front checker would reject such shard boxes regardless.
+  const std::vector<synth::ObjectiveExpr> axes = spec.effective_objectives();
+  if (options.shard_objective >= axes.size() ||
+      axes[options.shard_objective].kind != synth::ObjectiveExpr::Kind::Metric ||
+      axes[options.shard_objective].metric == "latency") {
+    throw std::invalid_argument(
+        "distributed sharding requires a linear leaf shard objective "
+        "(an energy or cost axis); latency and combinator axes cannot be "
+        "banded soundly");
+  }
+
   DistributedResult result;
   util::Timer total;
   const std::size_t processes = std::max<std::size_t>(1, options.processes);

@@ -13,6 +13,16 @@
 
 namespace aspmt::dse {
 
+namespace {
+
+/// Obs event payloads have exactly three slots; axes beyond them are elided
+/// and missing ones report 0 (combinator specs may declare any axis count).
+inline std::int64_t axis_or_zero(const pareto::Vec& p, std::size_t i) {
+  return i < p.size() ? p[i] : 0;
+}
+
+}  // namespace
+
 void export_metrics(obs::MetricsRegistry& registry,
                     const ExploreResult& result) {
   const ExploreStats& s = result.stats;
@@ -175,8 +185,10 @@ ExploreResult explore(const synth::Specification& spec,
       if (certify) proof_log.feasible_point(seed.point);
       result.discoveries.emplace_back(timer.elapsed_seconds(), seed.point);
       if (rec != nullptr) {
-        rec->record(obs::EventKind::WarmStartSeed, seed.point[0], seed.point[1],
-                    seed.point[2]);
+        // Obs events carry three payload slots; combinator specs may have
+        // fewer (or more) axes, so missing slots report 0.
+        rec->record(obs::EventKind::WarmStartSeed, axis_or_zero(seed.point, 0),
+                    axis_or_zero(seed.point, 1), axis_or_zero(seed.point, 2));
       }
       if (collect) witnesses[seed.point] = std::move(seed.impl);
     }
@@ -237,7 +249,8 @@ ExploreResult explore(const synth::Specification& spec,
       insert_hist->observe(ctx.archive().comparisons() - cmp_before);
     }
     if (observing && inserted) {
-      rec->record(obs::EventKind::ArchiveInsert, p[0], p[1], p[2]);
+      rec->record(obs::EventKind::ArchiveInsert, axis_or_zero(p, 0),
+                  axis_or_zero(p, 1), axis_or_zero(p, 2));
       const std::size_t after = ctx.archive().size();
       if (before + 1 > after) {
         rec->record(obs::EventKind::ArchiveEvict,
@@ -251,7 +264,8 @@ ExploreResult explore(const synth::Specification& spec,
   const auto record = [&](const pareto::Vec& point) {
     ++result.stats.models;
     if (rec != nullptr) {
-      rec->record(obs::EventKind::ModelFound, point[0], point[1], point[2]);
+      rec->record(obs::EventKind::ModelFound, axis_or_zero(point, 0),
+                  axis_or_zero(point, 1), axis_or_zero(point, 2));
     }
     fault_worker_throw(fault, 0, result.stats.models);
     if (certify) proof_log.feasible_point(point);

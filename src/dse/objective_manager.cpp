@@ -1,46 +1,51 @@
 #include "dse/objective_manager.hpp"
 
-#include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+#include "dse/combinator_bounds.hpp"
 
 namespace aspmt::dse {
+
+namespace {
+
+void warn_deprecated_once(const char* what, const char* replacement) {
+  static bool warned[3] = {false, false, false};
+  const int slot = what[4] == 'l' ? 0 : (what[4] == 'm' ? 1 : 2);
+  if (warned[slot]) return;
+  warned[slot] = true;
+  std::fprintf(stderr,
+               "warning: ObjectiveManager::%s is deprecated and will be "
+               "removed next release; use %s\n",
+               what, replacement);
+}
+
+}  // namespace
+
+void ObjectiveManager::add(ObjectiveTerm term) {
+  axes_.push_back(std::move(term));
+}
 
 void ObjectiveManager::add_linear(std::string name,
                                   theory::LinearSumPropagator* propagator,
                                   theory::LinearSumPropagator::SumId sum) {
-  assert(propagator != nullptr);
-  Entry e;
-  e.name = std::move(name);
-  e.linear = propagator;
-  e.sum = sum;
-  objectives_.push_back(std::move(e));
+  warn_deprecated_once("add_linear", "add(ObjectiveTerm::linear(...))");
+  add(ObjectiveTerm::linear(std::move(name), propagator, sum));
 }
 
 void ObjectiveManager::add_makespan(std::string name,
                                     theory::DifferencePropagator* propagator,
                                     theory::DifferencePropagator::NodeId node) {
-  assert(propagator != nullptr);
-  Entry e;
-  e.name = std::move(name);
-  e.difference = propagator;
-  e.node = node;
-  objectives_.push_back(std::move(e));
+  warn_deprecated_once("add_makespan", "add(ObjectiveTerm::makespan(...))");
+  add(ObjectiveTerm::makespan(std::move(name), propagator, node));
 }
 
 void ObjectiveManager::add_floor(theory::LinearSumPropagator* propagator,
                                  theory::LinearSumPropagator::SumId sum) {
-  assert(!objectives_.empty() && propagator != nullptr);
-  objectives_.back().floors.push_back(Floor{propagator, sum});
-}
-
-std::int64_t ObjectiveManager::lower_bound(std::size_t i) const {
-  const Entry& e = objectives_[i];
-  std::int64_t best = e.linear != nullptr ? e.linear->lower_bound(e.sum)
-                                          : e.difference->lower_bound(e.node);
-  for (const Floor& f : e.floors) {
-    best = std::max(best, f.linear->lower_bound(f.sum));
-  }
-  return best;
+  warn_deprecated_once("add_floor", "ObjectiveTerm::with_floor(...)");
+  assert(!axes_.empty());
+  axes_.back().with_floor(propagator, sum);
 }
 
 pareto::Vec ObjectiveManager::lower_bounds() const {
@@ -50,63 +55,50 @@ pareto::Vec ObjectiveManager::lower_bounds() const {
 }
 
 void ObjectiveManager::lower_bounds_into(pareto::Vec& out) const {
-  out.resize(objectives_.size());
-  for (std::size_t i = 0; i < objectives_.size(); ++i) out[i] = lower_bound(i);
+  out.resize(axes_.size());
+  for (std::size_t i = 0; i < axes_.size(); ++i) out[i] = axes_[i].lower_bound();
 }
 
 void ObjectiveManager::explain(std::size_t i, std::int64_t threshold,
                                std::vector<asp::Lit>& out) const {
-  const Entry& e = objectives_[i];
-  // Use the primary source when it suffices, else the strongest floor.
-  const std::int64_t primary = e.linear != nullptr
-                                   ? e.linear->lower_bound(e.sum)
-                                   : e.difference->lower_bound(e.node);
-  if (primary >= threshold) {
-    if (e.linear != nullptr) {
-      e.linear->explain_lower_bound(e.sum, threshold, out);
-    } else if (threshold > 0) {
-      e.difference->explain_bound(e.node, out);
-    }
-    return;
-  }
-  for (const Floor& f : e.floors) {
-    if (f.linear->lower_bound(f.sum) >= threshold) {
-      f.linear->explain_lower_bound(f.sum, threshold, out);
-      return;
-    }
-  }
-  assert(threshold <= 0 && "no source explains the requested threshold");
+  axes_[i].explain(threshold, out);
 }
 
 void ObjectiveManager::add_bound(std::size_t i, std::int64_t bound,
                                  asp::Lit activation) {
-  const Entry& e = objectives_[i];
-  if (e.linear != nullptr) {
-    e.linear->add_bound(e.sum, bound, activation);
-  } else {
-    e.difference->add_bound(e.node, bound, activation);
+  if (axes_[i].push_bound(bound, activation, /*mirror_floors=*/true)) return;
+  if (residual_ == nullptr) {
+    throw std::logic_error(
+        "combinator axis bound requires an attached CombinatorBoundPropagator");
   }
-  // Floors never exceed the objective, so the same bound holds for them and
-  // sharpens propagation.
-  for (const Floor& f : e.floors) f.linear->add_bound(f.sum, bound, activation);
+  residual_->add_bound(i, bound, activation);
 }
 
 void ObjectiveManager::add_primary_bound(std::size_t i, std::int64_t bound,
                                          asp::Lit activation) {
-  const Entry& e = objectives_[i];
-  if (e.linear != nullptr) {
-    e.linear->add_bound(e.sum, bound, activation);
-  } else {
-    e.difference->add_bound(e.node, bound, activation);
+  if (axes_[i].push_bound(bound, activation, /*mirror_floors=*/false)) return;
+  if (residual_ == nullptr) {
+    throw std::logic_error(
+        "combinator axis bound requires an attached CombinatorBoundPropagator");
   }
+  residual_->add_bound(i, bound, activation);
 }
 
 bool ObjectiveManager::add_lower_bound(std::size_t i, std::int64_t bound,
                                        asp::Lit activation) {
-  const Entry& e = objectives_[i];
-  if (e.linear == nullptr) return false;
-  e.linear->add_lower_bound(e.sum, bound, activation);
-  return true;
+  return axes_[i].push_lower_bound(bound, activation);
+}
+
+ObjectiveManager::Source ObjectiveManager::source(std::size_t i) const noexcept {
+  const ObjectiveTerm& t = axes_[i];
+  switch (t.kind()) {
+    case ObjectiveTerm::Kind::Linear:
+      return Source{Source::Kind::Linear, t.leaf_id()};
+    case ObjectiveTerm::Kind::Difference:
+      return Source{Source::Kind::Difference, t.leaf_id()};
+    default:
+      return Source{Source::Kind::Combinator, 0};
+  }
 }
 
 std::vector<std::int64_t> ObjectiveManager::epsilon_splits(std::int64_t lo,

@@ -1,7 +1,9 @@
-// Uniform view over the objectives of an encoding, regardless of which
-// background theory computes them (guarded linear sums for energy/cost,
-// difference logic for latency).  The dominance propagator and the
-// optimiser only talk to this facade.
+// Uniform view over the Pareto axes of an encoding.  Each axis is an
+// ObjectiveTerm tree — a theory-backed leaf (guarded linear sum or
+// difference-logic node) or a combinator over such leaves — and the
+// dominance propagator and the optimiser only talk to this facade.  The
+// manager is conceptually the `pareto_of(...)` root of the term tree: its
+// registration order defines the axes a pareto::Point carries.
 #pragma once
 
 #include <cstdint>
@@ -9,39 +11,61 @@
 #include <vector>
 
 #include "asp/literal.hpp"
+#include "dse/objective_term.hpp"
 #include "pareto/point.hpp"
-#include "theory/difference.hpp"
-#include "theory/linear_sum.hpp"
+
+namespace aspmt::asp {
+class ProofLog;
+}
 
 namespace aspmt::dse {
 
+class CombinatorBoundPropagator;
+
 class ObjectiveManager {
  public:
-  /// Register a linear-sum objective (non-owning propagator pointer).
+  /// Register one Pareto axis.  This is the only registration surface; the
+  /// positional add_linear/add_makespan/add_floor calls below are deprecated
+  /// shims over it.
+  void add(ObjectiveTerm term);
+
+  /// Wire the residual-bound propagator (and, transitively, its proof log)
+  /// used for `add_bound` on combinator axes whose pushdown is incomplete.
+  /// Without it such bounds throw (exactness would silently be lost).
+  void attach_combinator_bounds(CombinatorBoundPropagator* residual) noexcept {
+    residual_ = residual;
+  }
+
+  // ---- deprecated registration shims (one release; use add()) -------------
+
+  /// \deprecated Use add(ObjectiveTerm::linear(...)).
   void add_linear(std::string name, theory::LinearSumPropagator* propagator,
                   theory::LinearSumPropagator::SumId sum);
 
-  /// Attach a *floor* to the most recently added objective: a redundant sum
-  /// whose value never exceeds the true objective in any total model but
-  /// whose lower bound can be tighter on partial assignments (e.g. minimal
-  /// communication energy implied by the bound endpoints before routing is
-  /// decided).  lower_bound() takes the maximum over all sources; bounds
-  /// added via add_bound() are mirrored onto floors (sound, since
-  /// floor <= objective).
-  void add_floor(theory::LinearSumPropagator* propagator,
-                 theory::LinearSumPropagator::SumId sum);
-
-  /// Register a difference-logic node objective (e.g. the makespan).
+  /// \deprecated Use add(ObjectiveTerm::makespan(...)).
   void add_makespan(std::string name, theory::DifferencePropagator* propagator,
                     theory::DifferencePropagator::NodeId node);
 
-  [[nodiscard]] std::size_t count() const noexcept { return objectives_.size(); }
+  /// \deprecated Use ObjectiveTerm::with_floor before add().  Attaches a
+  /// floor to the most recently added axis, which must be a linear leaf.
+  void add_floor(theory::LinearSumPropagator* propagator,
+                 theory::LinearSumPropagator::SumId sum);
+
+  // ---- axis inspection ----------------------------------------------------
+
+  [[nodiscard]] std::size_t count() const noexcept { return axes_.size(); }
   [[nodiscard]] const std::string& name(std::size_t i) const {
-    return objectives_[i].name;
+    return axes_[i].name();
+  }
+  [[nodiscard]] const ObjectiveTerm& term(std::size_t i) const {
+    return axes_[i];
   }
 
-  /// Lower bound of objective `i` under the current partial assignment.
-  [[nodiscard]] std::int64_t lower_bound(std::size_t i) const;
+  /// Lower bound of axis `i` under the current partial assignment (exact on
+  /// total assignments).
+  [[nodiscard]] std::int64_t lower_bound(std::size_t i) const {
+    return axes_[i].lower_bound();
+  }
 
   /// All lower bounds as a vector in registration order.
   [[nodiscard]] pareto::Vec lower_bounds() const;
@@ -53,12 +77,14 @@ class ObjectiveManager {
   void explain(std::size_t i, std::int64_t threshold,
                std::vector<asp::Lit>& out) const;
 
-  /// Impose `objective_i <= bound` (activation-guarded; see the theory
-  /// propagators' add_bound contracts).
+  /// Impose `axis_i <= bound` (activation-guarded; see the theory
+  /// propagators' add_bound contracts).  Leaf axes decompose fully; on
+  /// combinator axes the sound pushdowns are installed and any undischarged
+  /// remainder goes to the attached CombinatorBoundPropagator.
   void add_bound(std::size_t i, std::int64_t bound,
                  asp::Lit activation = asp::kLitUndef);
 
-  /// Like add_bound but on the primary source only — the bound is NOT
+  /// Like add_bound but on the primary source only — leaf bounds are NOT
   /// mirrored onto floors.  Used for the distributed shard-band ceiling: the
   /// merged-front checker only accepts a shard box whose activation bounds
   /// touch exactly one sum (the shard objective's), so the ceiling must not
@@ -67,23 +93,24 @@ class ObjectiveManager {
   void add_primary_bound(std::size_t i, std::int64_t bound,
                          asp::Lit activation = asp::kLitUndef);
 
-  /// Impose `objective_i >= bound` (distributed shard banding).  Only
-  /// supported for linear objectives — returns false for difference-logic
-  /// objectives.  NOT mirrored onto floors: floor <= objective, so a floor
-  /// may legitimately sit below the banding threshold.
+  /// Impose `axis_i >= bound` (distributed shard banding).  Only supported
+  /// for linear *leaf* axes — returns false for difference-logic leaves and
+  /// for every combinator (the floor of a combinator is not decomposable
+  /// into sound child floors, so distributed banding keeps its linear-only
+  /// contract instead of silently miscomputing).
   bool add_lower_bound(std::size_t i, std::int64_t bound,
                        asp::Lit activation = asp::kLitUndef);
 
-  /// Primary theory source of an objective — what a proof log's objective
-  /// binding declares and the checker re-evaluates explanations against.
+  /// Primary theory source of an axis — what a proof log's objective binding
+  /// declares and the checker re-evaluates explanations against.  Combinator
+  /// axes have no single theory id; callers that need one (distributed
+  /// shard-objective validation) must check the kind first.
   struct Source {
-    bool is_linear = false;
-    std::uint32_t id = 0;  ///< sum id (linear) or node id (difference)
+    enum class Kind : std::uint8_t { Linear, Difference, Combinator };
+    Kind kind = Kind::Linear;
+    std::uint32_t id = 0;  ///< sum id (linear) or node id (difference); 0 otherwise
   };
-  [[nodiscard]] Source source(std::size_t i) const noexcept {
-    const Entry& e = objectives_[i];
-    return e.linear != nullptr ? Source{true, e.sum} : Source{false, e.node};
-  }
+  [[nodiscard]] Source source(std::size_t i) const noexcept;
 
   /// Epsilon-constraint work partitioning for the parallel portfolio: split
   /// the observed objective range [lo, hi] into `parts` regions and return
@@ -97,19 +124,8 @@ class ObjectiveManager {
       std::int64_t lo, std::int64_t hi, std::size_t parts);
 
  private:
-  struct Floor {
-    theory::LinearSumPropagator* linear = nullptr;
-    theory::LinearSumPropagator::SumId sum = 0;
-  };
-  struct Entry {
-    std::string name;
-    theory::LinearSumPropagator* linear = nullptr;
-    theory::LinearSumPropagator::SumId sum = 0;
-    theory::DifferencePropagator* difference = nullptr;
-    theory::DifferencePropagator::NodeId node = 0;
-    std::vector<Floor> floors;
-  };
-  std::vector<Entry> objectives_;
+  std::vector<ObjectiveTerm> axes_;
+  CombinatorBoundPropagator* residual_ = nullptr;
 };
 
 }  // namespace aspmt::dse

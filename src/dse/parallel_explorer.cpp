@@ -22,10 +22,13 @@
 namespace aspmt::dse {
 namespace {
 
-/// SynthContext always registers latency, energy, cost (see context.cpp).
-constexpr std::size_t kNumObjectives = 3;
-
 constexpr std::size_t kNoSlice = std::numeric_limits<std::size_t>::max();
+
+/// Obs event payloads have exactly three slots; axes beyond them are elided
+/// and missing ones report 0 (combinator specs may declare any axis count).
+inline std::int64_t axis_or_zero(const pareto::Vec& p, std::size_t i) {
+  return i < p.size() ? p[i] : 0;
+}
 
 std::uint64_t mix_seed(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -35,9 +38,9 @@ std::uint64_t mix_seed(std::uint64_t x) {
 }
 
 struct SharedState {
-  SharedState(const std::string& kind, std::size_t shards, Budget* bdg,
-              std::size_t total_workers)
-      : archive(kind, kNumObjectives, shards),
+  SharedState(const std::string& kind, std::size_t axes, std::size_t shards,
+              Budget* bdg, std::size_t total_workers)
+      : archive(kind, axes, shards),
         budget(bdg),
         slice_parts(total_workers > 1 ? 2 * (total_workers - 1) : 0) {}
 
@@ -158,7 +161,7 @@ void run_worker(std::size_t index, std::size_t total,
   copts.solver_options.monitor = &monitor;
   copts.solver_options.recorder = rec;
   SynthContext ctx(spec, copts);
-  assert(ctx.objectives.count() == kNumObjectives);
+  assert(ctx.objectives.count() == spec.axis_count());
   ctx.dominance().attach_shared(&shared.archive);
   ctx.dominance().set_recorder(rec);
   // Certified mode: the propagator emits an `F` step into this worker's
@@ -193,6 +196,16 @@ void run_worker(std::size_t index, std::size_t total,
   if (opts.shard.active) {
     constexpr auto kMin = std::numeric_limits<std::int64_t>::min();
     constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+    if (opts.shard.objective >= ctx.objectives.count() ||
+        ctx.objectives.source(opts.shard.objective).kind !=
+            ObjectiveManager::Source::Kind::Linear) {
+      // Reject rather than miscompute: banding a combinator (or difference)
+      // axis has no sound single-sum floor/ceiling decomposition, and the
+      // merged-front checker would refuse the shard boxes anyway.
+      throw std::runtime_error(
+          "shard objective must be a linear leaf axis; difference-logic and "
+          "combinator axes cannot be banded soundly");
+    }
     if (opts.shard.hi != kMax) {
       const asp::Lit act = asp::Lit::make(ctx.solver.new_var(), true);
       // Primary-only: a floor-mirrored ceiling would make the checker's
@@ -225,7 +238,8 @@ void run_worker(std::size_t index, std::size_t total,
   const auto publish = [&](const pareto::Vec& point) {
     ++report.models;
     if (rec != nullptr) {
-      rec->record(obs::EventKind::ModelFound, point[0], point[1], point[2]);
+      rec->record(obs::EventKind::ModelFound, axis_or_zero(point, 0),
+                  axis_or_zero(point, 1), axis_or_zero(point, 2));
     }
     fault_worker_throw(shared.fault, index, report.models);
     if (active_slice != kNoSlice) ++report.slice_models;
@@ -244,8 +258,8 @@ void run_worker(std::size_t index, std::size_t total,
     }
     ++report.shared_inserts;
     if (observing) {
-      rec->record(obs::EventKind::ArchiveInsert, point[0], point[1],
-                  point[2]);
+      rec->record(obs::EventKind::ArchiveInsert, axis_or_zero(point, 0),
+                  axis_or_zero(point, 1), axis_or_zero(point, 2));
       const std::size_t after = shared.archive.size();
       // Sizes are sampled around a concurrent insert, so the eviction count
       // is best-effort under races; the post-insert size `after` is what
@@ -443,8 +457,8 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
     if (env_fault.any()) fault = &env_fault;
   }
 
-  SharedState shared(common.archive_kind, options.archive_shards, budget,
-                     threads);
+  SharedState shared(common.archive_kind, spec.axis_count(),
+                     options.archive_shards, budget, threads);
   shared.fault = fault;
   shared.checkpoint_seed = options.seed;
   shared.fingerprint = spec_fingerprint(spec);
@@ -516,8 +530,8 @@ ParallelExploreResult explore_parallel(const synth::Specification& spec,
       shared.discoveries.emplace_back(shared.timer.elapsed_seconds(),
                                       seed.point);
       if (orec != nullptr) {
-        orec->record(obs::EventKind::WarmStartSeed, seed.point[0],
-                     seed.point[1], seed.point[2]);
+        orec->record(obs::EventKind::WarmStartSeed, axis_or_zero(seed.point, 0),
+                     axis_or_zero(seed.point, 1), axis_or_zero(seed.point, 2));
       }
       if (common.collect_witnesses || common.certify) {
         shared.witnesses[seed.point] = std::move(seed.impl);

@@ -10,6 +10,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
+#include "synth/validator.hpp"
 
 namespace aspmt::dse {
 namespace {
@@ -100,7 +101,31 @@ SectionDigests spec_sections(const synth::Specification& spec) {
     h.i64(spec.latency_bound);
     d.objectives = h.h;
   }
+  {
+    // Objective-tree identity: declared scenarios plus the combinator axis
+    // expressions.  A classic spec (no declarations) hashes to the fixed
+    // default_tree_digest(), which is what pre-v5 checkpoints assume.
+    Fnv h;
+    h.u64(spec.scenarios().size());
+    for (const synth::Scenario& s : spec.scenarios()) {
+      h.str(s.name);
+      h.u64(s.factor.size());
+      for (const std::int64_t f : s.factor) h.i64(f);
+    }
+    h.u64(spec.objective_exprs().size());
+    for (const synth::ObjectiveExpr& e : spec.objective_exprs()) {
+      h.str(synth::to_string(e));
+    }
+    d.tree = h.h;
+  }
   return d;
+}
+
+std::uint64_t default_tree_digest() noexcept {
+  Fnv h;
+  h.u64(0);  // no scenarios
+  h.u64(0);  // no objective expressions
+  return h.h;
 }
 
 const char* delta_class_name(DeltaClass c) noexcept {
@@ -120,7 +145,11 @@ DeltaReport classify_delta(const SectionDigests& prev,
   r.resources_changed = prev.resources != next.resources;
   r.mappings_changed = prev.mappings != next.mappings;
   r.objectives_changed = prev.objectives != next.objectives;
-  if (r.tasks_changed) {
+  r.tree_changed = prev.tree != next.tree;
+  if (r.tasks_changed || r.tree_changed) {
+    // A changed objective tree redefines what a Pareto point *is* — axis
+    // count, axis semantics, dominance geometry — so neither the archive nor
+    // any learnt dominance clause survives: cold start.
     r.cls = DeltaClass::Unsafe;
   } else if (r.resources_changed || r.mappings_changed) {
     r.cls = DeltaClass::ArchiveSafe;
@@ -213,7 +242,7 @@ bool reseed_witness(const synth::Specification& new_spec,
   }
   synth::Implementation impl;
   if (!ea::decode_genotype(new_spec, g, impl)) return false;
-  out.point = impl.objectives();
+  out.point = synth::recompute_objectives(new_spec, impl);
   out.impl = std::move(impl);
   return true;
 }

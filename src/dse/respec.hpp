@@ -41,11 +41,20 @@ struct SectionDigests {
   std::uint64_t resources = 0;   ///< resources, kinds, capacities, links, hops
   std::uint64_t mappings = 0;    ///< task→resource option structure
   std::uint64_t objectives = 0;  ///< every numeric coefficient + bounds
+  std::uint64_t tree = 0;        ///< scenarios + combinator axis expressions
 
   friend bool operator==(const SectionDigests&, const SectionDigests&) = default;
 };
 
 [[nodiscard]] SectionDigests spec_sections(const synth::Specification& spec);
+
+/// The `tree` digest of a spec with no scenario/objective declarations (the
+/// classic latency/energy/cost axes).  Pre-v5 checkpoints carry no tree
+/// digest and load with this value; the checkpoint parser only enforces the
+/// witness-objectives-equal-point invariant under it, because with declared
+/// combinator axes the point is tree-valued while the witness records the
+/// base triple.
+[[nodiscard]] std::uint64_t default_tree_digest() noexcept;
 
 /// How much of a previous session survives the spec edit.
 enum class DeltaClass : std::uint8_t {
@@ -66,11 +75,13 @@ struct DeltaReport {
   bool resources_changed = false;
   bool mappings_changed = false;
   bool objectives_changed = false;
+  bool tree_changed = false;
   /// Bitmask of the *_changed flags (tasks=1, resources=2, mappings=4,
-  /// objectives=8) — the payload of the respec-delta event.
+  /// objectives=8, tree=16) — the payload of the respec-delta event.
   [[nodiscard]] std::uint32_t section_mask() const noexcept {
     return (tasks_changed ? 1U : 0U) | (resources_changed ? 2U : 0U) |
-           (mappings_changed ? 4U : 0U) | (objectives_changed ? 8U : 0U);
+           (mappings_changed ? 4U : 0U) | (objectives_changed ? 8U : 0U) |
+           (tree_changed ? 16U : 0U);
   }
 };
 

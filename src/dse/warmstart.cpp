@@ -72,7 +72,7 @@ void sampler_candidates(const synth::Specification& spec,
     ++evaluations;
     synth::Implementation impl;
     if (ea::decode_genotype(spec, g, impl)) {
-      pareto::Vec point = impl.objectives();
+      pareto::Vec point = synth::recompute_objectives(spec, impl);
       out.push_back({std::move(point), std::move(impl)});
     }
   }
@@ -104,8 +104,11 @@ WarmStartResult generate_warm_seeds(const synth::Specification& spec,
   // objectives must equal the claimed point.
   std::vector<WarmSeedCandidate> validated;
   for (WarmSeedCandidate& c : candidates) {
-    if (c.point != c.impl.objectives() ||
-        !synth::validate_implementation(spec, c.impl).empty()) {
+    // Structural validation first: recompute_objectives walks bindings and
+    // routes, so it must never see an unvalidated (possibly adversarial)
+    // candidate.
+    if (!synth::validate_implementation(spec, c.impl).empty() ||
+        c.point != synth::recompute_objectives(spec, c.impl)) {
       ++result.rejected_invalid;
       continue;
     }

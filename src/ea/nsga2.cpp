@@ -7,6 +7,7 @@
 #include <map>
 
 #include "pareto/archive.hpp"
+#include "synth/validator.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -266,7 +267,7 @@ Nsga2Result nsga2(const Specification& spec, const Nsga2Options& options) {
     ++result.evaluations;
     if (decode_genotype(spec, ind.genotype, impl)) {
       ind.feasible = true;
-      ind.objectives = impl.objectives();
+      ind.objectives = synth::recompute_objectives(spec, impl);
       if (archive.insert(ind.objectives)) {
         result.discoveries.emplace_back(timer.elapsed_seconds(), ind.objectives);
         if (options.collect_witnesses) witness_of[ind.objectives] = impl;
@@ -274,7 +275,7 @@ Nsga2Result nsga2(const Specification& spec, const Nsga2Options& options) {
     } else {
       ind.feasible = false;
       const std::int64_t big = std::numeric_limits<std::int64_t>::max() / 4;
-      ind.objectives = pareto::Vec{big, big, big};
+      ind.objectives = pareto::Vec(spec.axis_count(), big);
     }
   };
 

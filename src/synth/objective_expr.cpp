@@ -1,0 +1,362 @@
+#include "synth/objective_expr.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <sstream>
+
+#include "synth/spec.hpp"
+
+namespace aspmt::synth {
+
+namespace {
+
+/// Saturation ceiling for static caps: leaves ample headroom for weighted
+/// aggregation and lex packing arithmetic in __int128 before clamping.
+constexpr std::int64_t kCapMax =
+    std::numeric_limits<std::int64_t>::max() / 4;
+
+std::int64_t saturate(__int128 v) {
+  if (v > kCapMax) return kCapMax;
+  if (v < 0) return 0;
+  return static_cast<std::int64_t>(v);
+}
+
+std::int64_t clamp_value(__int128 v) {
+  constexpr __int128 lim = std::numeric_limits<std::int64_t>::max();
+  if (v > lim) return std::numeric_limits<std::int64_t>::max();
+  if (v < 0) return 0;
+  return static_cast<std::int64_t>(v);
+}
+
+const char* kind_word(ObjectiveExpr::Kind k) {
+  switch (k) {
+    case ObjectiveExpr::Kind::Lex: return "lex";
+    case ObjectiveExpr::Kind::MinMax: return "minmax";
+    case ObjectiveExpr::Kind::Worst: return "worst";
+    case ObjectiveExpr::Kind::Weighted: return "weighted";
+    case ObjectiveExpr::Kind::Metric: break;
+  }
+  return "";
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool at(char c) const {
+    return pos < text.size() && text[pos] == c;
+  }
+  bool eat(char c) {
+    if (!at(c)) return false;
+    ++pos;
+    return true;
+  }
+
+  std::string word() {
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '_')) {
+      ++pos;
+    }
+    return std::string(text.substr(start, pos - start));
+  }
+
+  bool integer(std::int64_t& out) {
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+    if (pos == start) return false;
+    out = 0;
+    for (std::size_t i = start; i < pos; ++i) {
+      if (out > kCapMax / 10) return false;  // absurd weight
+      out = out * 10 + (text[i] - '0');
+    }
+    return true;
+  }
+
+  bool fail(std::string why) {
+    if (error.empty()) error = std::move(why);
+    return false;
+  }
+
+  bool parse_expr(ObjectiveExpr& out) {
+    const std::string head = word();
+    if (head.empty()) return fail("expected a metric or combinator");
+    if (at('(')) {
+      ++pos;
+      out.children.clear();
+      if (head == "lex") out.kind = ObjectiveExpr::Kind::Lex;
+      else if (head == "minmax") out.kind = ObjectiveExpr::Kind::MinMax;
+      else if (head == "worst") out.kind = ObjectiveExpr::Kind::Worst;
+      else if (head == "weighted") out.kind = ObjectiveExpr::Kind::Weighted;
+      else return fail("unknown combinator '" + head + "'");
+      const bool weighted = out.kind == ObjectiveExpr::Kind::Weighted;
+      const char sep = weighted ? '+' : ',';
+      do {
+        ObjectiveExpr child;
+        if (weighted) {
+          std::int64_t w = 0;
+          if (!integer(w) || !eat('*')) {
+            return fail("weighted term must be <int>*<expr>");
+          }
+          out.weights.push_back(w);
+        }
+        if (!parse_expr(child)) return false;
+        out.children.push_back(std::move(child));
+      } while (eat(sep));
+      if (!eat(')')) return fail("expected '" + std::string(1, sep) + "' or ')'");
+      return true;
+    }
+    out.kind = ObjectiveExpr::Kind::Metric;
+    out.metric = head;
+    if (eat('@')) {
+      out.scenario = word();
+      if (out.scenario.empty()) return fail("expected a scenario name after '@'");
+    }
+    return true;
+  }
+};
+
+std::string validate_node(const Specification& spec, const ObjectiveExpr& expr,
+                          std::size_t depth, std::size_t& nodes) {
+  if (depth > 8) return "expression nests too deeply";
+  if (++nodes > 64) return "expression has too many nodes";
+  switch (expr.kind) {
+    case ObjectiveExpr::Kind::Metric: {
+      if (expr.metric != "latency" && expr.metric != "energy" &&
+          expr.metric != "cost") {
+        return "unknown metric '" + expr.metric + "'";
+      }
+      if (!expr.scenario.empty()) {
+        if (expr.metric != "energy") {
+          return "scenario qualifier is only defined for energy";
+        }
+        if (spec.scenario_index(expr.scenario) == Specification::npos) {
+          return "unknown scenario '" + expr.scenario + "'";
+        }
+      }
+      if (!expr.children.empty() || !expr.weights.empty()) {
+        return "metric leaf with children";
+      }
+      return {};
+    }
+    case ObjectiveExpr::Kind::Weighted: {
+      if (expr.children.empty()) return "weighted needs at least one term";
+      if (expr.weights.size() != expr.children.size()) {
+        return "weighted arity mismatch";
+      }
+      for (const std::int64_t w : expr.weights) {
+        if (w < 1) return "weights must be positive integers";
+      }
+      break;
+    }
+    case ObjectiveExpr::Kind::Lex:
+    case ObjectiveExpr::Kind::MinMax:
+    case ObjectiveExpr::Kind::Worst: {
+      if (expr.children.size() < 2) {
+        return std::string(kind_word(expr.kind)) + " needs at least two children";
+      }
+      if (!expr.weights.empty()) return "unexpected weights";
+      break;
+    }
+  }
+  for (const ObjectiveExpr& c : expr.children) {
+    const std::string err = validate_node(spec, c, depth + 1, nodes);
+    if (!err.empty()) return err;
+  }
+  if (expr.kind == ObjectiveExpr::Kind::Lex) {
+    // The packed range Π (cap_i + 1) must fit an int64.
+    __int128 product = 1;
+    for (const ObjectiveExpr& c : expr.children) {
+      product *= static_cast<__int128>(expr_cap(spec, c)) + 1;
+      if (product > std::numeric_limits<std::int64_t>::max()) {
+        return "lex caps overflow the packed axis";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string to_string(const ObjectiveExpr& expr) {
+  std::ostringstream os;
+  if (expr.kind == ObjectiveExpr::Kind::Metric) {
+    os << expr.metric;
+    if (!expr.scenario.empty()) os << '@' << expr.scenario;
+    return os.str();
+  }
+  os << kind_word(expr.kind) << '(';
+  for (std::size_t i = 0; i < expr.children.size(); ++i) {
+    if (i != 0) os << (expr.kind == ObjectiveExpr::Kind::Weighted ? '+' : ',');
+    if (expr.kind == ObjectiveExpr::Kind::Weighted) os << expr.weights[i] << '*';
+    os << to_string(expr.children[i]);
+  }
+  os << ')';
+  return os.str();
+}
+
+std::string parse_objective_expr(std::string_view text, ObjectiveExpr& out) {
+  Parser p{text, 0, {}};
+  ObjectiveExpr expr;
+  if (!p.parse_expr(expr)) {
+    return p.error.empty() ? "malformed objective expression" : p.error;
+  }
+  if (p.pos != text.size()) {
+    return "trailing characters after objective expression";
+  }
+  out = std::move(expr);
+  return {};
+}
+
+std::string validate_objective_expr(const Specification& spec,
+                                    const ObjectiveExpr& expr) {
+  std::size_t nodes = 0;
+  return validate_node(spec, expr, 0, nodes);
+}
+
+std::int64_t expr_cap(const Specification& spec, const ObjectiveExpr& expr) {
+  switch (expr.kind) {
+    case ObjectiveExpr::Kind::Metric: {
+      if (expr.metric == "latency") {
+        if (spec.latency_bound > 0) return spec.latency_bound;
+        __int128 cap = 0;
+        for (std::size_t t = 0; t < spec.tasks().size(); ++t) {
+          std::int64_t worst = 0;
+          for (const std::size_t mi : spec.mappings_of(static_cast<TaskId>(t))) {
+            worst = std::max(worst, spec.mappings()[mi].wcet);
+          }
+          cap += worst;
+        }
+        std::int64_t max_delay = 0;
+        for (const Link& l : spec.links()) {
+          max_delay = std::max(max_delay, l.hop_delay);
+        }
+        const __int128 hops = spec.effective_max_hops();
+        for (const Message& m : spec.messages()) {
+          cap += static_cast<__int128>(m.payload) * max_delay * hops;
+        }
+        return saturate(cap);
+      }
+      if (expr.metric == "cost") {
+        __int128 cap = 0;
+        for (const Resource& r : spec.resources()) cap += r.cost;
+        return saturate(cap);
+      }
+      // energy (nominal or scenario-scaled)
+      const std::size_t scn = expr.scenario.empty()
+                                  ? Specification::npos
+                                  : spec.scenario_index(expr.scenario);
+      auto factor = [&](std::size_t resource) -> std::int64_t {
+        return scn == Specification::npos
+                   ? 1
+                   : spec.scenarios()[scn].factor_of(resource);
+      };
+      __int128 cap = 0;
+      for (std::size_t t = 0; t < spec.tasks().size(); ++t) {
+        __int128 worst = 0;
+        for (const std::size_t mi : spec.mappings_of(static_cast<TaskId>(t))) {
+          const MappingOption& o = spec.mappings()[mi];
+          worst = std::max(worst, static_cast<__int128>(o.energy) *
+                                      factor(o.resource));
+        }
+        cap += worst;
+      }
+      __int128 max_hop = 0;
+      for (const Link& l : spec.links()) {
+        max_hop = std::max(max_hop, static_cast<__int128>(l.hop_energy) *
+                                        factor(l.from));
+      }
+      const __int128 hops = spec.effective_max_hops();
+      for (const Message& m : spec.messages()) {
+        cap += static_cast<__int128>(m.payload) * max_hop * hops;
+      }
+      return saturate(cap);
+    }
+    case ObjectiveExpr::Kind::Lex: {
+      __int128 product = 1;
+      for (const ObjectiveExpr& c : expr.children) {
+        product *= static_cast<__int128>(expr_cap(spec, c)) + 1;
+      }
+      return saturate(product - 1);
+    }
+    case ObjectiveExpr::Kind::MinMax:
+    case ObjectiveExpr::Kind::Worst: {
+      std::int64_t cap = 0;
+      for (const ObjectiveExpr& c : expr.children) {
+        cap = std::max(cap, expr_cap(spec, c));
+      }
+      return cap;
+    }
+    case ObjectiveExpr::Kind::Weighted: {
+      __int128 cap = 0;
+      for (std::size_t i = 0; i < expr.children.size(); ++i) {
+        cap += static_cast<__int128>(expr.weights[i]) *
+               expr_cap(spec, expr.children[i]);
+      }
+      return saturate(cap);
+    }
+  }
+  return 0;
+}
+
+std::int64_t lex_pack(const std::vector<std::int64_t>& values,
+                      const std::vector<std::int64_t>& caps) {
+  __int128 packed = 0;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    const std::int64_t v =
+        std::clamp<std::int64_t>(i < values.size() ? values[i] : 0, 0, caps[i]);
+    packed = packed * (static_cast<__int128>(caps[i]) + 1) + v;
+  }
+  return clamp_value(packed);
+}
+
+std::int64_t evaluate_objective_expr(const Specification& spec,
+                                     const ObjectiveExpr& expr,
+                                     const MetricValues& values) {
+  switch (expr.kind) {
+    case ObjectiveExpr::Kind::Metric: {
+      if (expr.metric == "latency") return values.latency;
+      if (expr.metric == "cost") return values.cost;
+      if (expr.scenario.empty()) return values.energy;
+      const std::size_t scn = spec.scenario_index(expr.scenario);
+      return scn < values.scenario_energy.size() ? values.scenario_energy[scn]
+                                                 : values.energy;
+    }
+    case ObjectiveExpr::Kind::Lex: {
+      std::vector<std::int64_t> vals;
+      std::vector<std::int64_t> caps;
+      vals.reserve(expr.children.size());
+      caps.reserve(expr.children.size());
+      for (const ObjectiveExpr& c : expr.children) {
+        vals.push_back(evaluate_objective_expr(spec, c, values));
+        caps.push_back(expr_cap(spec, c));
+      }
+      return lex_pack(vals, caps);
+    }
+    case ObjectiveExpr::Kind::MinMax:
+    case ObjectiveExpr::Kind::Worst: {
+      std::int64_t worst = 0;
+      for (const ObjectiveExpr& c : expr.children) {
+        worst = std::max(worst, evaluate_objective_expr(spec, c, values));
+      }
+      return worst;
+    }
+    case ObjectiveExpr::Kind::Weighted: {
+      __int128 total = 0;
+      for (std::size_t i = 0; i < expr.children.size(); ++i) {
+        total += static_cast<__int128>(expr.weights[i]) *
+                 evaluate_objective_expr(spec, expr.children[i], values);
+      }
+      return clamp_value(total);
+    }
+  }
+  return 0;
+}
+
+}  // namespace aspmt::synth

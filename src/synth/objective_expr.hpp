@@ -1,0 +1,106 @@
+// Spec-level objective combinator trees.
+//
+// A specification may replace the default latency/energy/cost Pareto axes by
+// a list of *objective expressions*: each expression is one axis of the
+// dominance relation, built from the three base metrics (optionally
+// evaluated under a named energy *scenario*) and the combinators
+//
+//   lex(a, b, ...)        lexicographic order, packed into one scalar
+//   minmax(a, b, ...)     worst (largest) of the children
+//   weighted(2*a+3*b)     positive-integer weighted aggregate
+//   worst(e@s1, e@s2)     best worst-case over a scenario set (robustness)
+//
+// Lexicographic axes are represented as a single packed integer
+// Σ clamp(v_i, 0, cap_i) · stride_i with *static* per-child caps derived
+// from the specification (see expr_cap).  Because clamping and packing are
+// monotone in every child, the packed axis is a well-defined monotone
+// objective for ANY cap values; the caps merely decide up to which magnitude
+// the packing is faithful to the true lexicographic order.  The caps are
+// part of the axis definition and are serialized into proof bindings, so
+// the runtime tree, the witness recomputation and the proof checker always
+// agree on them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aspmt::synth {
+
+class Specification;
+
+/// Named energy scenario: per-resource integer factors (>= 1) scaling every
+/// energy contribution attributed to that resource (execution energy of
+/// tasks bound there; communication energy of links leaving it).
+struct Scenario {
+  std::string name;
+  /// factor[r] for resource r; entries beyond the vector default to 1.
+  std::vector<std::int64_t> factor;
+
+  [[nodiscard]] std::int64_t factor_of(std::size_t resource) const noexcept {
+    return resource < factor.size() ? factor[resource] : 1;
+  }
+};
+
+/// One node of an objective expression tree.
+struct ObjectiveExpr {
+  enum class Kind : std::uint8_t { Metric, Lex, MinMax, Weighted, Worst };
+
+  Kind kind = Kind::Metric;
+  /// Metric leaves: "latency" | "energy" | "cost".
+  std::string metric;
+  /// Optional scenario name for an energy leaf ("" = nominal).
+  std::string scenario;
+  /// Weighted: positive integer weight per child.
+  std::vector<std::int64_t> weights;
+  std::vector<ObjectiveExpr> children;
+
+  bool operator==(const ObjectiveExpr&) const = default;
+};
+
+/// Compact display/round-trip form, e.g. "lex(latency,energy@hot)" or
+/// "weighted(2*energy+3*cost)".  Inverse of parse_objective_expr.
+[[nodiscard]] std::string to_string(const ObjectiveExpr& expr);
+
+/// Parse one whitespace-free objective expression.  On success fills `out`
+/// and returns an empty string; otherwise returns the reason.
+[[nodiscard]] std::string parse_objective_expr(std::string_view text,
+                                               ObjectiveExpr& out);
+
+/// Structural validation of an expression against a specification: known
+/// metrics, declared scenarios (energy leaves only), weight arity/positivity,
+/// child counts, bounded size, and packable lex caps.  Empty string = valid.
+[[nodiscard]] std::string validate_objective_expr(const Specification& spec,
+                                                  const ObjectiveExpr& expr);
+
+/// Static upper bound ("cap") of an expression's value over all feasible
+/// implementations, derived from the specification alone.  Used as the lex
+/// packing caps; also bounds overflow analysis.  Saturates at int64 max / 4.
+[[nodiscard]] std::int64_t expr_cap(const Specification& spec,
+                                    const ObjectiveExpr& expr);
+
+/// Lex packing over child values with the given caps: the children are
+/// clamped into [0, cap_i] and packed big-endian (child 0 most significant).
+/// Monotone in every child for any caps.  Caps must satisfy
+/// Π (cap_i + 1) <= int64 max (validate_objective_expr enforces this).
+[[nodiscard]] std::int64_t lex_pack(const std::vector<std::int64_t>& values,
+                                    const std::vector<std::int64_t>& caps);
+
+/// Base metrics of an implementation plus its per-scenario energies, the
+/// inputs of expression evaluation.
+struct MetricValues {
+  std::int64_t latency = 0;
+  std::int64_t energy = 0;  ///< nominal
+  std::int64_t cost = 0;
+  /// Parallel to Specification::scenarios().
+  std::vector<std::int64_t> scenario_energy;
+};
+
+/// Evaluate an expression over concrete metric values (spec resolves the
+/// scenario names and the lex caps).
+[[nodiscard]] std::int64_t evaluate_objective_expr(const Specification& spec,
+                                                   const ObjectiveExpr& expr,
+                                                   const MetricValues& values);
+
+}  // namespace aspmt::synth

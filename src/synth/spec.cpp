@@ -86,6 +86,38 @@ std::uint32_t Specification::effective_max_hops() const {
   return needed;
 }
 
+std::size_t Specification::add_scenario(std::string name) {
+  scenarios_.push_back(Scenario{std::move(name), {}});
+  return scenarios_.size() - 1;
+}
+
+void Specification::set_scenario_factor(std::size_t s, ResourceId r,
+                                        std::int64_t factor) {
+  assert(s < scenarios_.size());
+  auto& f = scenarios_[s].factor;
+  if (f.size() <= r) f.resize(r + 1, 1);
+  f[r] = factor;
+}
+
+std::size_t Specification::scenario_index(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+    if (scenarios_[i].name == name) return i;
+  }
+  return npos;
+}
+
+std::vector<ObjectiveExpr> Specification::default_objectives() {
+  std::vector<ObjectiveExpr> axes(3);
+  axes[0].metric = "latency";
+  axes[1].metric = "energy";
+  axes[2].metric = "cost";
+  return axes;
+}
+
+std::vector<ObjectiveExpr> Specification::effective_objectives() const {
+  return objectives_.empty() ? default_objectives() : objectives_;
+}
+
 std::string Specification::validate() const {
   for (TaskId t = 0; t < tasks_.size(); ++t) {
     if (mappings_by_task_[t].empty()) {
@@ -124,6 +156,25 @@ std::string Specification::validate() const {
   }
   for (const Link& l : links_) {
     if (l.hop_delay < 0 || l.hop_energy < 0) return "link with negative weights";
+  }
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    const Scenario& sc = scenarios_[s];
+    if (sc.name.empty()) return "scenario with empty name";
+    for (std::size_t t = 0; t < s; ++t) {
+      if (scenarios_[t].name == sc.name) {
+        return "duplicate scenario '" + sc.name + "'";
+      }
+    }
+    if (sc.factor.size() > resources_.size()) {
+      return "scenario '" + sc.name + "' names an unknown resource";
+    }
+    for (const std::int64_t f : sc.factor) {
+      if (f < 1) return "scenario '" + sc.name + "' has a factor below 1";
+    }
+  }
+  for (const ObjectiveExpr& expr : objectives_) {
+    const std::string err = validate_objective_expr(*this, expr);
+    if (!err.empty()) return "objective " + to_string(expr) + ": " + err;
   }
   return {};
 }

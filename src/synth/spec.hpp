@@ -16,7 +16,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "synth/objective_expr.hpp"
 
 namespace aspmt::synth {
 
@@ -112,9 +115,38 @@ class Specification {
   static constexpr std::uint32_t kUnreachable = 0xffffffffU;
   [[nodiscard]] std::vector<std::vector<std::uint32_t>> hop_distances() const;
 
+  // ---- objective combinators ----------------------------------------------
+
+  /// Declare a named energy scenario (factors default to 1 per resource).
+  std::size_t add_scenario(std::string name);
+  /// Set the per-resource energy factor (>= 1) of scenario `s`.
+  void set_scenario_factor(std::size_t s, ResourceId r, std::int64_t factor);
+  [[nodiscard]] const std::vector<Scenario>& scenarios() const noexcept {
+    return scenarios_;
+  }
+  /// Index of a scenario by name, or npos.
+  [[nodiscard]] std::size_t scenario_index(std::string_view name) const noexcept;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Declare one Pareto axis.  With no declared axes the specification uses
+  /// the classic latency/energy/cost triple (default_objectives()).
+  void add_objective(ObjectiveExpr expr) { objectives_.push_back(std::move(expr)); }
+  [[nodiscard]] const std::vector<ObjectiveExpr>& objective_exprs() const noexcept {
+    return objectives_;
+  }
+  /// The classic latency/energy/cost axes used when none are declared.
+  [[nodiscard]] static std::vector<ObjectiveExpr> default_objectives();
+  /// Declared axes, or the default triple when none are declared.
+  [[nodiscard]] std::vector<ObjectiveExpr> effective_objectives() const;
+  /// Number of Pareto axes the exploration sees.
+  [[nodiscard]] std::size_t axis_count() const noexcept {
+    return objectives_.empty() ? 3 : objectives_.size();
+  }
+
   /// Structural sanity: every task has a mapping, every message joins
   /// existing tasks, and every message admits at least one routable
-  /// candidate binding pair.  Returns an empty string when sound.
+  /// candidate binding pair.  Also validates scenario declarations and
+  /// objective expressions.  Returns an empty string when sound.
   [[nodiscard]] std::string validate() const;
 
  private:
@@ -125,6 +157,8 @@ class Specification {
   std::vector<MappingOption> mappings_;
   std::vector<std::vector<std::size_t>> mappings_by_task_;
   std::vector<std::vector<LinkId>> links_from_;
+  std::vector<Scenario> scenarios_;
+  std::vector<ObjectiveExpr> objectives_;
 };
 
 }  // namespace aspmt::synth

@@ -92,6 +92,20 @@ std::string to_text(const Specification& spec) {
        << spec.resources()[o.resource].name << " wcet=" << o.wcet
        << " energy=" << o.energy << "\n";
   }
+  // Combinator declarations are emitted only when present, so classic specs
+  // round-trip byte-identically (and their fingerprints stay stable).
+  for (const Scenario& s : spec.scenarios()) {
+    os << "scenario " << s.name;
+    for (std::size_t r = 0; r < s.factor.size(); ++r) {
+      if (s.factor[r] != 1) {
+        os << " " << spec.resources()[r].name << "=" << s.factor[r];
+      }
+    }
+    os << "\n";
+  }
+  for (const ObjectiveExpr& expr : spec.objective_exprs()) {
+    os << "objective " << to_string(expr) << "\n";
+  }
   return os.str();
 }
 
@@ -184,6 +198,25 @@ Specification parse_specification(std::string_view text) {
                        resource_of(t.positional[2], line_no),
                        require_opt(t, "wcet", line_no),
                        opt_or(t, "energy", 0));
+    } else if (head == "scenario") {
+      expect_args(1);
+      const std::string& name = t.positional[1];
+      if (spec.scenario_index(name) != Specification::npos) {
+        throw SpecParseError("line " + std::to_string(line_no) +
+                             ": duplicate scenario '" + name + "'");
+      }
+      const std::size_t s = spec.add_scenario(name);
+      for (const auto& [res, factor] : t.options) {
+        spec.set_scenario_factor(s, resource_of(res, line_no), factor);
+      }
+    } else if (head == "objective") {
+      expect_args(1);
+      ObjectiveExpr expr;
+      const std::string err = parse_objective_expr(t.positional[1], expr);
+      if (!err.empty()) {
+        throw SpecParseError("line " + std::to_string(line_no) + ": " + err);
+      }
+      spec.add_objective(std::move(expr));
     } else {
       throw SpecParseError("line " + std::to_string(line_no) +
                            ": unknown statement '" + head + "'");

@@ -9,6 +9,16 @@
 //   task <name>
 //   message <name> <src_task> <dst_task> [payload=<int>]
 //   map <task> <resource> wcet=<int> [energy=<int>]
+//   scenario <name> [<resource>=<factor> ...]
+//   objective <expr>
+//
+// `scenario` declares a named energy scenario (per-resource integer factors
+// >= 1, unlisted resources default to 1).  `objective` declares one Pareto
+// axis; one statement per axis, in axis order.  Expressions are
+// whitespace-free: a metric (`latency`, `energy`, `cost`, optionally
+// `energy@<scenario>`) or a combinator `lex(a,b,...)`, `minmax(a,b,...)`,
+// `worst(a,b,...)`, `weighted(2*a+3*b)`.  Without `objective` statements the
+// classic latency/energy/cost axes apply.
 //
 // Names are whitespace-free identifiers; statements may appear in any order
 // as long as referenced entities are declared first.

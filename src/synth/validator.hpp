@@ -12,8 +12,21 @@
 
 namespace aspmt::synth {
 
-/// Recompute (latency, energy, cost) from the structure of `impl` alone
-/// (latency from the stored start times).  Assumes structural validity.
+/// Recompute the base (latency, energy, cost) triple from the structure of
+/// `impl` alone (latency from the stored start times).  Assumes structural
+/// validity.  This is what Implementation::objectives() records.
+[[nodiscard]] pareto::Vec recompute_base(const Specification& spec,
+                                         const Implementation& impl);
+
+/// Base metrics plus the per-scenario energies of `impl` — the inputs of
+/// objective-expression evaluation.
+[[nodiscard]] MetricValues recompute_metrics(const Specification& spec,
+                                             const Implementation& impl);
+
+/// Recompute the *Pareto axes* of `impl` under the specification's objective
+/// expressions (the classic latency/energy/cost triple when none are
+/// declared — in that case identical to recompute_base).  This is the vector
+/// the exploration's archive and certification compare against.
 [[nodiscard]] pareto::Vec recompute_objectives(const Specification& spec,
                                                const Implementation& impl);
 

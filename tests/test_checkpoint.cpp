@@ -222,7 +222,7 @@ TEST(Checkpoint, WarmFlagSurvivesRoundTrip) {
   Checkpoint a = explored_checkpoint(test::two_proc_bus());
   a.warm_started = true;
   const std::string text = to_text(a);
-  EXPECT_EQ(text.rfind("aspmt-ckpt 4", 0), 0U) << "v4 header expected";
+  EXPECT_EQ(text.rfind("aspmt-ckpt 5", 0), 0U) << "v5 header expected";
   EXPECT_NE(text.find("\nwarm 1\n"), std::string::npos);
   Checkpoint b;
   ASSERT_EQ(parse_checkpoint(text, b), "");
@@ -340,7 +340,7 @@ TEST(Checkpoint, SliceBoundsSurviveRoundTrip) {
   Checkpoint a = explored_checkpoint(test::chain3_bus());
   a.slice_bounds = {7, 12, 25};
   const std::string text = to_text(a);
-  EXPECT_EQ(text.rfind("aspmt-ckpt 4", 0), 0U);
+  EXPECT_EQ(text.rfind("aspmt-ckpt 5", 0), 0U);
   Checkpoint b;
   b.slice_bounds = {99};  // stale state: the parser must reset it
   ASSERT_EQ(parse_checkpoint(text, b), "");
@@ -383,6 +383,42 @@ TEST(Checkpoint, MalformedSlicesLineIsRejected) {
   Checkpoint c;
   const std::string err = parse_checkpoint(text, c);
   EXPECT_FALSE(err.empty());
+}
+
+// --- format v5: the objective-tree section digest --------------------------
+
+TEST(Checkpoint, VersionFourSectionsLoadWithTheDefaultTreeDigest) {
+  const std::string text = with_checksum(
+      "aspmt-ckpt 4\nspec 7\nseed 1\nelapsed-ms 5\nwarm 0\n"
+      "sections 1 2 3 4\npoints 1\np 3 1 2 3\n");
+  Checkpoint c;
+  ASSERT_EQ(parse_checkpoint(text, c), "");
+  EXPECT_TRUE(c.has_sections);
+  // Pre-v5 files predate declared objective trees: they load as "default
+  // axes", so a resumed session against an unchanged classic spec still
+  // section-matches.
+  EXPECT_EQ(c.sections.tree, default_tree_digest());
+}
+
+TEST(Checkpoint, FourDigestSectionsLineInsideVersionFiveIsRejected) {
+  const std::string text = with_checksum(
+      "aspmt-ckpt 5\nspec 7\nseed 1\nelapsed-ms 5\nwarm 0\n"
+      "sections 1 2 3 4\npoints 1\np 3 1 2 3\n");
+  Checkpoint c;
+  const std::string err = parse_checkpoint(text, c);
+  EXPECT_NE(err.find("malformed section digests"), std::string::npos) << err;
+}
+
+TEST(Checkpoint, TreeDigestSurvivesRoundTripInTheSectionsLine) {
+  Checkpoint a = explored_checkpoint(test::chain3_bus());
+  a.has_sections = true;
+  a.sections = spec_sections(test::chain3_bus());
+  const std::string text = to_text(a);
+  EXPECT_NE(text.find("sections "), std::string::npos);
+  Checkpoint b;
+  ASSERT_EQ(parse_checkpoint(text, b), "");
+  EXPECT_EQ(b.sections.tree, a.sections.tree);
+  EXPECT_EQ(to_text(b), text);
 }
 
 TEST(Checkpoint, VersionOneFilesStillLoadWithWarmStartedFalse) {

@@ -44,6 +44,11 @@ const GoldenCase kCases[] = {
     {"mesh_chain", nullptr},
     {"bus_small_edited", nullptr},
     {"mesh_small_edited", nullptr},
+    // Multicore PPA family under combinator objectives (ObjectiveTerm
+    // trees): lexicographic latency-then-energy vs. area, and a
+    // minmax/scenario-worst robustness pairing.
+    {"multicore_lex", nullptr},
+    {"multicore_minmax", nullptr},
 };
 
 /// Checked-in (base, single-edit) spec pairs for the incremental

@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "spec_mutations.hpp"
+#include "synth/objective_expr.hpp"
 #include "synth_fixtures.hpp"
 
 namespace aspmt::dse {
@@ -93,6 +94,30 @@ TEST(Respec, SectionDigestsAreStableAndEditSensitive) {
 
   const SectionDigests d_rm = spec_sections(test::mutate_task_remove(base));
   EXPECT_NE(d_rm.tasks, d0.tasks);
+}
+
+TEST(Respec, ObjectiveTreeEditsClassifyUnsafe) {
+  // Declaring (or editing) combinator axes redefines the geometry of every
+  // archived point, so nothing from the old session is reusable.
+  const synth::Specification base = test::chain3_bus();
+  const SectionDigests d0 = spec_sections(base);
+  EXPECT_EQ(d0.tree, default_tree_digest());
+
+  synth::Specification comb = test::chain3_bus();
+  const std::size_t hot = comb.add_scenario("hot");
+  comb.set_scenario_factor(hot, 1, 2);
+  synth::ObjectiveExpr expr;
+  ASSERT_EQ(synth::parse_objective_expr("lex(latency,energy@hot)", expr), "");
+  comb.add_objective(std::move(expr));
+  const SectionDigests d1 = spec_sections(comb);
+  EXPECT_NE(d1.tree, d0.tree);
+  EXPECT_EQ(d1.tasks, d0.tasks);
+  EXPECT_EQ(d1.mappings, d0.mappings);
+
+  const DeltaReport rep = classify_delta(d0, d1);
+  EXPECT_TRUE(rep.tree_changed);
+  EXPECT_EQ(rep.cls, DeltaClass::Unsafe);
+  EXPECT_NE(rep.section_mask() & 16U, 0U);
 }
 
 TEST(Respec, CatalogueMutationsClassifyAsDocumented) {

@@ -41,6 +41,7 @@
 #include "dse/warmstart.hpp"
 #include "ea/nsga2.hpp"
 #include "gen/generator.hpp"
+#include "gen/multicore.hpp"
 #include "obs/exporters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
@@ -144,6 +145,12 @@ int usage() {
       "usage:\n"
       "  aspmt_dse generate --tasks N --arch bus|mesh2x2|mesh3x3 [--seed S]\n"
       "            [--options K] [--bus-procs P] -o spec.txt\n"
+      "  aspmt_dse generate --family multicore --tasks N [--seed S]\n"
+      "            [--big B] [--little L] [--depths D] [--caches C]\n"
+      "            [--options K] [--throttle-factor F]\n"
+      "            [--axes 'EXPR;EXPR;...']  Pareto axes, e.g.\n"
+      "                'lex(latency,energy);cost' (default) or\n"
+      "                'minmax(latency,cost);worst(energy,energy@throttle)'\n"
       "  aspmt_dse explore  spec.txt [--time-limit SEC] [--archive KIND]\n"
       "            [--no-partial-eval] [--epsilon L,E,C] [--witnesses]\n"
       "            [--threads N] [--seed S]   (N>0: parallel portfolio)\n"
@@ -179,7 +186,46 @@ synth::Specification load(const Args& args) {
   return synth::load_specification(args.positional.front());
 }
 
+void write_generated(const Args& args, const synth::Specification& spec) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::cout << synth::to_text(spec);
+  } else {
+    synth::save_specification(spec, out);
+    std::cout << "wrote " << out << " (" << gen::summarize(spec) << ")\n";
+  }
+}
+
+int cmd_generate_multicore(const Args& args) {
+  gen::MulticoreConfig c;
+  c.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  c.tasks = static_cast<std::uint32_t>(args.num("tasks", 6));
+  c.layers = static_cast<std::uint32_t>(args.num("layers", 3));
+  c.big_cores = static_cast<std::uint32_t>(args.num("big", 1));
+  c.little_cores = static_cast<std::uint32_t>(args.num("little", 2));
+  c.pipeline_depths = static_cast<std::uint32_t>(args.num("depths", 2));
+  c.cache_levels = static_cast<std::uint32_t>(args.num("caches", 2));
+  c.options_per_task = static_cast<std::uint32_t>(args.num("options", 0));
+  c.throttle_factor = args.num("throttle-factor", 3);
+  const std::string axes = args.get("axes", "");
+  for (std::size_t begin = 0; begin < axes.size();) {
+    std::size_t end = axes.find(';', begin);
+    if (end == std::string::npos) end = axes.size();
+    if (end > begin) c.axes.push_back(axes.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  write_generated(args, gen::generate_multicore(c));
+  return 0;
+}
+
 int cmd_generate(const Args& args) {
+  const std::string family = args.get("family", "layered");
+  if (family == "multicore") return cmd_generate_multicore(args);
+  if (family != "layered") {
+    std::cerr << "unknown generator family '" << family
+              << "' (expected layered or multicore)\n";
+    return 2;
+  }
   gen::GeneratorConfig c;
   c.seed = static_cast<std::uint64_t>(args.num("seed", 1));
   c.tasks = static_cast<std::uint32_t>(args.num("tasks", 6));
@@ -194,14 +240,7 @@ int cmd_generate(const Args& args) {
     std::cerr << "unknown architecture '" << arch << "'\n";
     return 2;
   }
-  const synth::Specification spec = gen::generate(c);
-  const std::string out = args.get("out", "");
-  if (out.empty()) {
-    std::cout << synth::to_text(spec);
-  } else {
-    synth::save_specification(spec, out);
-    std::cout << "wrote " << out << " (" << gen::summarize(spec) << ")\n";
-  }
+  write_generated(args, gen::generate(c));
   return 0;
 }
 
@@ -300,6 +339,24 @@ bool apply_warm_start(const Args& args, dse::WarmStartOptions& warm) {
   warm.seed = static_cast<std::uint64_t>(
       args.num("warm-start-seed", args.num("seed", 1)));
   return true;
+}
+
+/// Print a front table with one column per Pareto axis, headed by the
+/// spec's objective expressions (latency/energy/cost on classic specs).
+void print_front(const synth::Specification& spec,
+                 const std::vector<pareto::Vec>& front) {
+  std::vector<std::string> headers;
+  for (const synth::ObjectiveExpr& e : spec.effective_objectives()) {
+    headers.push_back(synth::to_string(e));
+  }
+  util::Table table(std::move(headers));
+  for (const pareto::Vec& p : front) {
+    std::vector<std::string> row;
+    row.reserve(p.size());
+    for (const std::int64_t v : p) row.push_back(util::fmt(v));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
 }
 
 void print_warm_stats(const dse::ExploreStats& stats) {
@@ -433,11 +490,7 @@ int explore_incremental(const synth::Specification& spec, const Args& args) {
             << " prunings)\n";
   print_warm_stats(r.base.stats);
   print_run_errors(r.base.errors);
-  util::Table table({"latency", "energy", "cost"});
-  for (const auto& p : r.base.front) {
-    table.add_row({util::fmt(p[0]), util::fmt(p[1]), util::fmt(p[2])});
-  }
-  table.print(std::cout);
+  print_front(spec, r.base.front);
   if (args.flag("witnesses")) {
     for (const auto& witness : r.base.witnesses) {
       std::cout << "\n" << witness.describe(spec);
@@ -483,11 +536,7 @@ int explore_portfolio(const synth::Specification& spec, const Args& args) {
               << "\n";
   }
   print_run_errors(r.base.errors);
-  util::Table front({"latency", "energy", "cost"});
-  for (const auto& p : r.base.front) {
-    front.add_row({util::fmt(p[0]), util::fmt(p[1]), util::fmt(p[2])});
-  }
-  front.print(std::cout);
+  print_front(spec, r.base.front);
   std::cout << "\nper-worker breakdown:\n";
   util::Table workers({"worker", "models", "slice", "inserts", "rejected",
                        "prunings", "conflicts", "restarts", "sec", "proof"});
@@ -661,10 +710,21 @@ int explore_sharded(const synth::Specification& spec, const Args& args) {
   opts.base.common.archive_kind = args.get("archive", "quadtree");
   opts.base.common.partial_evaluation = !args.flag("no-partial-eval");
   opts.base.common.certify = args.flag("certify");
-  if (opts.shard_objective == 0) {
-    std::cerr << "--shard-objective 0 (latency) is not shardable: difference "
-                 "logic has no sound floor bound; use 1 (energy) or 2 (cost)\n";
-    return 2;
+  {
+    // Mirrors the explore_distributed pre-flight: banding is only sound on
+    // a linear leaf axis (an energy or cost metric).
+    const std::vector<synth::ObjectiveExpr> axes = spec.effective_objectives();
+    const bool linear_leaf =
+        opts.shard_objective < axes.size() &&
+        axes[opts.shard_objective].kind == synth::ObjectiveExpr::Kind::Metric &&
+        axes[opts.shard_objective].metric != "latency";
+    if (!linear_leaf) {
+      std::cerr << "--shard-objective " << opts.shard_objective
+                << " is not shardable: only a linear leaf axis (an energy or "
+                   "cost metric) admits sound banding; latency (difference "
+                   "logic) and combinator axes do not\n";
+      return 2;
+    }
   }
   ObsSetup obs_setup;
   if (!obs_setup.init(args)) return 1;
@@ -677,11 +737,7 @@ int explore_sharded(const synth::Specification& spec, const Args& args) {
             << " shards x " << r.processes << " workers, "
             << r.base.stats.models << " models)\n";
   print_run_errors(r.base.errors);
-  util::Table front({"latency", "energy", "cost"});
-  for (const auto& p : r.base.front) {
-    front.add_row({util::fmt(p[0]), util::fmt(p[1]), util::fmt(p[2])});
-  }
-  front.print(std::cout);
+  print_front(spec, r.base.front);
   std::cout << "\nper-shard breakdown:\n";
   util::Table shards({"shard", "band", "attempts", "resumed", "points",
                       "models", "sec", "complete"});
@@ -748,11 +804,7 @@ int cmd_explore(const Args& args) {
             << " models, " << r.stats.prunings << " prunings)\n";
   print_warm_stats(r.stats);
   print_run_errors(r.errors);
-  util::Table table({"latency", "energy", "cost"});
-  for (const auto& p : r.front) {
-    table.add_row({util::fmt(p[0]), util::fmt(p[1]), util::fmt(p[2])});
-  }
-  table.print(std::cout);
+  print_front(spec, r.front);
   if (args.flag("witnesses")) {
     for (std::size_t i = 0; i < r.witnesses.size(); ++i) {
       std::cout << "\n" << r.witnesses[i].describe(spec);
